@@ -1,0 +1,207 @@
+// Shared infrastructure for the paper-reproduction benchmarks: a PKI, the
+// LibSEAL configuration variants used in §6, and a closed-loop load driver
+// that reports throughput and latency like the paper's figures.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/libseal.h"
+#include "src/net/net.h"
+#include "src/services/https_client.h"
+#include "src/tls/x509.h"
+
+namespace seal::bench {
+
+struct BenchPki {
+  BenchPki() {
+    ca = tls::MakeSelfSignedCa("Bench CA", crypto::EcdsaPrivateKey::FromSeed(ToBytes("bench-ca")));
+    server_key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("bench-server"));
+    server_cert = tls::IssueCertificate(ca, "bench.service", server_key.public_key(), 2);
+  }
+  tls::CertifiedKey ca;
+  crypto::EcdsaPrivateKey server_key;
+  tls::Certificate server_cert;
+};
+
+inline BenchPki& Pki() {
+  static BenchPki pki;
+  return pki;
+}
+
+inline tls::TlsConfig ServerTls() {
+  tls::TlsConfig config;
+  config.certificate = Pki().server_cert;
+  config.private_key = Pki().server_key;
+  return config;
+}
+
+inline tls::TlsConfig ClientTls() {
+  tls::TlsConfig config;
+  config.trusted_roots = {Pki().ca.cert};
+  return config;
+}
+
+// The evaluation configurations of §6.4. Enclave cost injection is ON so
+// the overhead shapes match the paper's.
+enum class Variant {
+  kNative,         // plain TLS ("LibreSSL")
+  kLibSealProcess, // TLS in the enclave, no logging
+  kLibSealMem,     // + audit log in the in-enclave database
+  kLibSealDisk,    // + synchronous persistence and counter rounds
+};
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kNative:
+      return "native";
+    case Variant::kLibSealProcess:
+      return "LibSEAL-process";
+    case Variant::kLibSealMem:
+      return "LibSEAL-mem";
+    case Variant::kLibSealDisk:
+      return "LibSEAL-disk";
+  }
+  return "?";
+}
+
+inline core::LibSealOptions LibSealBenchOptions(Variant variant, const std::string& disk_path,
+                                                size_t check_interval = 25) {
+  core::LibSealOptions options;
+  options.enclave.inject_costs = true;
+  options.use_async_calls = true;
+  options.async.enclave_threads = 3;
+  options.async.tasks_per_thread = 48;
+  options.logger.check_interval = check_interval;
+  options.audit_log.counter_options.inject_latency = true;
+  options.audit_log.counter_options.network_rtt_nanos = 200'000;
+  if (variant == Variant::kLibSealDisk) {
+    options.audit_log.mode = core::PersistenceMode::kDisk;
+    options.audit_log.path = disk_path;
+  }
+  options.tls = ServerTls();
+  return options;
+}
+
+// Closed-loop load result.
+struct LoadResult {
+  double throughput_rps = 0;
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p95_latency_ms = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+// Per-client request factory: called with (client_index, request_index).
+using RequestFactory = std::function<http::HttpRequest(int, uint64_t)>;
+
+struct LoadOptions {
+  int clients = 4;
+  double seconds = 1.5;
+  bool keep_alive = true;  // false = fresh TLS connection per request
+  int64_t link_latency_nanos = 0;
+  int64_t link_bandwidth_bytes_per_sec = 0;  // 0 = unlimited
+  // Optional fixed request count per client (overrides `seconds`).
+  uint64_t requests_per_client = 0;
+};
+
+inline LoadResult RunClosedLoop(net::Network* network, const std::string& address,
+                                const tls::TlsConfig& client_tls, const RequestFactory& factory,
+                                const LoadOptions& options) {
+  std::atomic<uint64_t> total_requests{0};
+  std::atomic<uint64_t> total_errors{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(options.clients));
+  int64_t start = NowNanos();
+  int64_t deadline = start + static_cast<int64_t>(options.seconds * 1e9);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::unique_ptr<services::HttpsClient> client;
+      uint64_t i = 0;
+      for (;;) {
+        if (options.requests_per_client > 0) {
+          if (i >= options.requests_per_client) {
+            break;
+          }
+        } else if (NowNanos() >= deadline) {
+          break;
+        }
+        int64_t t0 = NowNanos();
+        bool ok = false;
+        if (options.keep_alive) {
+          if (client == nullptr) {
+            auto conn = services::HttpsClient::Connect(network, address, client_tls,
+                                                       options.link_latency_nanos,
+                                                       options.link_bandwidth_bytes_per_sec);
+            if (!conn.ok()) {
+              total_errors.fetch_add(1);
+              break;
+            }
+            client = std::move(*conn);
+          }
+          auto rsp = client->RoundTrip(factory(c, i));
+          ok = rsp.ok();
+          if (!ok) {
+            client.reset();
+          }
+        } else {
+          auto rsp = services::OneShotRequest(network, address, client_tls, factory(c, i),
+                                              options.link_latency_nanos,
+                                              options.link_bandwidth_bytes_per_sec);
+          ok = rsp.ok();
+        }
+        int64_t t1 = NowNanos();
+        if (ok) {
+          total_requests.fetch_add(1);
+          latencies[static_cast<size_t>(c)].push_back(static_cast<double>(t1 - t0) / 1e6);
+        } else {
+          total_errors.fetch_add(1);
+        }
+        ++i;
+      }
+      if (client != nullptr) {
+        client->Close();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  int64_t elapsed = NowNanos() - start;
+
+  LoadResult result;
+  result.requests = total_requests.load();
+  result.errors = total_errors.load();
+  result.throughput_rps = static_cast<double>(result.requests) /
+                          (static_cast<double>(elapsed) / 1e9);
+  std::vector<double> all;
+  for (const auto& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    double sum = 0;
+    for (double l : all) {
+      sum += l;
+    }
+    result.mean_latency_ms = sum / static_cast<double>(all.size());
+    result.p50_latency_ms = all[all.size() / 2];
+    result.p95_latency_ms = all[std::min(all.size() - 1, all.size() * 95 / 100)];
+  }
+  return result;
+}
+
+inline std::string TempPath(const std::string& name) { return "/tmp/libseal_bench_" + name; }
+
+}  // namespace seal::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

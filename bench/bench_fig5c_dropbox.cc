@@ -1,0 +1,129 @@
+// Figure 5c: Dropbox request latency through the Squid proxy.
+//
+// Paper setup: all Dropbox traffic is routed through a Squid proxy linked
+// against LibSEAL; the WAN link to Dropbox has ~76 ms average latency, so
+// the enclave and logging overheads (µs-ms) are invisible: medians move
+// from 363 ms (native) to 370 ms (mem) and 377 ms (disk).
+//
+// Here the origin is the simulated Dropbox service behind a 76 ms one-way
+// link; the proxy terminates client TLS with each variant.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/services/dropbox_service.h"
+#include "src/services/http_server.h"
+#include "src/services/proxy.h"
+#include "src/ssm/dropbox_ssm.h"
+
+namespace seal::bench {
+namespace {
+
+constexpr int64_t kWanLatencyNanos = 38'000'000;  // 38 ms one way = 76 ms RTT
+
+struct LatencyStats {
+  double median_ms = 0;
+  double q1_ms = 0;
+  double q3_ms = 0;
+};
+
+LatencyStats Summarise(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  LatencyStats stats;
+  if (!samples.empty()) {
+    stats.median_ms = samples[samples.size() / 2];
+    stats.q1_ms = samples[samples.size() / 4];
+    stats.q3_ms = samples[samples.size() * 3 / 4];
+  }
+  return stats;
+}
+
+void RunVariant(Variant variant) {
+  net::Network network;
+  services::DropboxService dropbox;
+  tls::TlsConfig origin_tls = ServerTls();
+  services::PlainTransport origin_transport(origin_tls);
+  services::HttpServer origin(&network, {.address = "dropbox:443"}, &origin_transport,
+                              [&](const http::HttpRequest& r) { return dropbox.Handle(r); });
+  if (!origin.Start().ok()) {
+    return;
+  }
+
+  std::unique_ptr<core::LibSealRuntime> runtime;
+  std::unique_ptr<services::ServerTransport> transport;
+  tls::TlsConfig proxy_tls = ServerTls();
+  if (variant == Variant::kNative) {
+    transport = std::make_unique<services::PlainTransport>(proxy_tls);
+  } else {
+    runtime = std::make_unique<core::LibSealRuntime>(
+        LibSealBenchOptions(variant, TempPath("fig5c.log"), /*check_interval=*/100),
+        std::make_unique<ssm::DropboxModule>());
+    if (!runtime->Init().ok()) {
+      return;
+    }
+    transport = std::make_unique<services::LibSealTransport>(runtime.get());
+  }
+  services::ProxyServer::Options proxy_options;
+  proxy_options.listen_address = "proxy:3128";
+  proxy_options.upstream_address = "dropbox:443";
+  proxy_options.upstream_latency_nanos = kWanLatencyNanos;
+  proxy_options.upstream_tls.verify_peer = false;  // §6.4: cert checks disabled
+  services::ProxyServer proxy(&network, proxy_options, transport.get());
+  if (!proxy.Start().ok()) {
+    return;
+  }
+
+  tls::TlsConfig client_tls = ClientTls();
+  auto client = services::HttpsClient::Connect(&network, "proxy:3128", client_tls);
+  if (!client.ok()) {
+    return;
+  }
+  services::DropboxWorkload workload("acct", 5);
+
+  constexpr int kSamples = 24;
+  std::vector<double> commit_latencies;
+  std::vector<double> list_latencies;
+  for (int i = 0; i < kSamples * 2; ++i) {
+    // Alternate commit_batch and list so both message kinds are measured.
+    http::HttpRequest req =
+        (i % 2 == 0)
+            ? services::MakeCommitBatch(
+                  "acct", "h", {services::DropboxCommit{"f" + std::to_string(i), "bl", 100}})
+            : services::MakeListRequest("acct");
+    int64_t t0 = NowNanos();
+    auto rsp = (*client)->RoundTrip(req);
+    int64_t t1 = NowNanos();
+    if (rsp.ok()) {
+      (i % 2 == 0 ? commit_latencies : list_latencies)
+          .push_back(static_cast<double>(t1 - t0) / 1e6);
+    }
+  }
+  (*client)->Close();
+  LatencyStats commit = Summarise(commit_latencies);
+  LatencyStats list = Summarise(list_latencies);
+  std::printf("%-16s commit_batch median %6.1f ms [q1 %6.1f, q3 %6.1f]   "
+              "list median %6.1f ms [q1 %6.1f, q3 %6.1f]\n",
+              VariantName(variant), commit.median_ms, commit.q1_ms, commit.q3_ms, list.median_ms,
+              list.q1_ms, list.q3_ms);
+  proxy.Stop();
+  origin.Stop();
+  if (runtime != nullptr) {
+    runtime->Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main() {
+  using namespace seal::bench;
+  std::printf("=== Figure 5c: Dropbox latency through the proxy (76 ms WAN RTT) ===\n");
+  RunVariant(Variant::kNative);
+  RunVariant(Variant::kLibSealMem);
+  RunVariant(Variant::kLibSealDisk);
+  std::printf("\npaper: commit_batch medians 363 / 370 / 377 ms -- marginal increases, the\n"
+              "WAN RTT dominates and LibSEAL does not impact Dropbox latency\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 6: normalized invariant-checking + trimming time against the
+// checking interval, for all three services.
+//
+// Checking rarely means each check is expensive (the log has grown);
+// checking often wastes fixed per-check cost. Normalising the combined
+// check+trim time by the interval length exposes an optimal interval.
+// Paper optima: 25 requests (Git), 75 (ownCloud), 100 (Dropbox), with
+// absolute check+trim costs of 0.3-0.4 ms at those optima (on SQLite; our
+// interpreter is slower in absolute terms, so our optima shift right --
+// the curve SHAPE is the reproduced result).
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/services/dropbox_service.h"
+#include "src/services/git_service.h"
+#include "src/services/owncloud_service.h"
+#include "src/ssm/dropbox_ssm.h"
+#include "src/ssm/git_ssm.h"
+#include "src/ssm/owncloud_ssm.h"
+
+namespace seal::bench {
+namespace {
+
+using PairSource = std::function<std::pair<std::string, std::string>()>;
+
+// Measures normalized check+trim cost (µs per request) at a given interval.
+double MeasureNormalizedCost(const std::function<std::unique_ptr<core::ServiceModule>()>& module,
+                             const PairSource& next_pair, int interval, int total_requests) {
+  core::AuditLogOptions log_options;
+  // Disk mode, as deployed: each trim rewrites the persisted log, re-signs
+  // the chain head and runs a counter round -- the FIXED per-check cost
+  // that makes checking too often expensive (the left arm of the U).
+  log_options.mode = core::PersistenceMode::kDisk;
+  log_options.path = TempPath("fig6_" + std::string(1, 'a' + interval % 26) + ".log");
+  log_options.counter_options.inject_latency = true;
+  log_options.counter_options.network_rtt_nanos = 200'000;
+  core::LoggerOptions logger_options;
+  logger_options.check_interval = static_cast<size_t>(interval);
+  core::AuditLogger logger(module(), log_options, logger_options,
+                           crypto::EcdsaPrivateKey::FromSeed(ToBytes("fig6")));
+  if (!logger.Init().ok()) {
+    return 0;
+  }
+  int64_t check_trim_nanos = 0;
+  for (int i = 0; i < total_requests; ++i) {
+    auto [request, response] = next_pair();
+    auto report = logger.OnPair(request, response, false);
+    if (report.ok() && report->has_value()) {
+      check_trim_nanos += (*report)->check_nanos + (*report)->trim_nanos;
+    }
+  }
+  return static_cast<double>(check_trim_nanos) / 1e3 / static_cast<double>(total_requests);
+}
+
+void RunService(const char* name,
+                const std::function<std::unique_ptr<core::ServiceModule>()>& module,
+                const std::function<PairSource()>& make_source) {
+  std::printf("%-10s", name);
+  for (int interval : {5, 10, 25, 50, 75, 100, 150}) {
+    PairSource source = make_source();
+    double cost = MeasureNormalizedCost(module, source, interval, 450);
+    std::printf(" %8.1f", cost);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main() {
+  using namespace seal::bench;
+  using seal::http::HttpRequest;
+  std::printf("=== Figure 6: normalized check+trim time (us/request) vs interval ===\n");
+  std::printf("%-10s", "interval");
+  for (int interval : {5, 10, 25, 50, 75, 100, 150}) {
+    std::printf(" %8d", interval);
+  }
+  std::printf("\n");
+
+  RunService(
+      "git", [] { return std::make_unique<seal::ssm::GitModule>(); },
+      [] {
+        auto backend = std::make_shared<seal::services::GitBackend>();
+        auto workload = std::make_shared<seal::services::GitWorkload>("repo", 3, 1);
+        return [backend, workload]() {
+          HttpRequest req = workload->Next();
+          return std::make_pair(req.Serialize(), backend->Handle(req).Serialize());
+        };
+      });
+  RunService(
+      "owncloud", [] { return std::make_unique<seal::ssm::OwnCloudModule>(); },
+      [] {
+        auto service = std::make_shared<seal::services::OwnCloudService>();
+        auto workload = std::make_shared<seal::services::OwnCloudWorkload>(4, 8, 1);
+        return [service, workload]() {
+          HttpRequest req = workload->Next();
+          return std::make_pair(req.Serialize(), service->Handle(req).Serialize());
+        };
+      });
+  RunService(
+      "dropbox", [] { return std::make_unique<seal::ssm::DropboxModule>(); },
+      [] {
+        // Bounded account (10 files churning) so the list relation stays
+        // proportional to live state, as in the paper's benchmark.
+        auto service = std::make_shared<seal::services::DropboxService>();
+        auto counter = std::make_shared<int>(0);
+        return [service, counter]() {
+          int i = (*counter)++;
+          HttpRequest req =
+              (i % 4 == 3)
+                  ? seal::services::MakeListRequest("acct")
+                  : seal::services::MakeCommitBatch(
+                        "acct", "h",
+                        {seal::services::DropboxCommit{
+                            "file-" + std::to_string(i % 10),
+                            "bl-" + std::to_string(i), 4 << 20}});
+          return std::make_pair(req.Serialize(), service->Handle(req).Serialize());
+        };
+      });
+
+  std::printf("\npaper: U-shaped curves with optima at 25 (Git), 75 (ownCloud), 100 (Dropbox)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 7a: Apache throughput for different content sizes, LibreSSL vs
+// LibSEAL (without auditing) -- the pure cost of in-enclave TLS.
+//
+// Non-persistent connections: a fresh TLS handshake per request, which is
+// the worst case. Paper result: 23-25%% overhead for small content (the
+// handshake dominates and pays the enclave costs), amortising to ~1%% at
+// 100 MB where the network/cipher path dominates (8.7 Gbps).
+//
+// Content sizes are capped at 4 MB here: our from-scratch AES/GHASH run at
+// software speed on one core, so the large-transfer regime (overhead -> 0)
+// is reached earlier; the SHAPE (monotonically vanishing overhead) is the
+// reproduced result.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/services/http_server.h"
+#include "src/services/static_content.h"
+
+namespace seal::bench {
+namespace {
+
+struct Series {
+  std::vector<size_t> sizes;
+  std::vector<double> rps;
+};
+
+Series RunVariant(bool libseal) {
+  net::Network network;
+  std::unique_ptr<core::LibSealRuntime> runtime;
+  std::unique_ptr<services::ServerTransport> transport;
+  tls::TlsConfig server_tls = ServerTls();
+  if (!libseal) {
+    transport = std::make_unique<services::PlainTransport>(server_tls);
+  } else {
+    runtime = std::make_unique<core::LibSealRuntime>(
+        LibSealBenchOptions(Variant::kLibSealProcess, ""), nullptr);
+    if (!runtime->Init().ok()) {
+      return {};
+    }
+    transport = std::make_unique<services::LibSealTransport>(runtime.get());
+  }
+  services::HttpServer server(&network, {.address = "web:443"}, &*transport,
+                              services::ServeStaticContent);
+  if (!server.Start().ok()) {
+    return {};
+  }
+
+  // The paper's load generators run on separate machines, so client-side
+  // crypto is free; on this single shared core we at least skip the
+  // client's certificate verification to keep the measured bottleneck on
+  // the server side.
+  tls::TlsConfig client_tls = ClientTls();
+  client_tls.verify_peer = false;
+  Series series;
+  std::printf("%-18s %10s %10s %12s\n", libseal ? "Apache-LibSEAL" : "Apache-LibreSSL",
+              "content", "req/s", "goodput MB/s");
+  for (size_t size : {size_t{0}, size_t{1} << 10, size_t{10} << 10, size_t{64} << 10,
+                      size_t{512} << 10, size_t{1} << 20, size_t{4} << 20}) {
+    LoadOptions load;
+    load.clients = 2;
+    load.seconds = 2.0;
+    load.keep_alive = false;  // non-persistent: handshake per request
+    // Model the testbed's network: fast enough to be irrelevant for small
+    // content, the bottleneck for bulk transfers (scaled to this host's
+    // software-crypto throughput the way 10 Gbps related to the paper's
+    // hardware-crypto throughput).
+    load.link_bandwidth_bytes_per_sec = 15ll * 1000 * 1000;
+    LoadResult result = RunClosedLoop(
+        &network, "web:443", client_tls,
+        [size](int, uint64_t) { return services::MakeContentRequest(size); }, load);
+    series.sizes.push_back(size);
+    series.rps.push_back(result.throughput_rps);
+    std::printf("%-18s %9zuB %10.0f %12.1f\n", "", size, result.throughput_rps,
+                result.throughput_rps * static_cast<double>(size) / 1e6);
+  }
+  server.Stop();
+  if (runtime != nullptr) {
+    runtime->Shutdown();
+  }
+  return series;
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main() {
+  using namespace seal::bench;
+  std::printf("=== Figure 7a: Apache throughput vs content size (TLS only, no auditing) ===\n");
+  Series native = RunVariant(false);
+  Series libseal = RunVariant(true);
+  std::printf("\n%-10s %12s %12s %10s\n", "content", "LibreSSL", "LibSEAL", "overhead");
+  for (size_t i = 0; i < native.sizes.size() && i < libseal.rps.size(); ++i) {
+    double overhead = 100.0 * (1.0 - libseal.rps[i] / native.rps[i]);
+    std::printf("%9zuB %12.0f %12.0f %9.1f%%\n", native.sizes[i], native.rps[i], libseal.rps[i],
+                overhead);
+  }
+  std::printf("\npaper: 23-25%% overhead at 0B-10KB, 18%% at 64KB, shrinking to 1%% at 100MB\n");
+  return 0;
+}

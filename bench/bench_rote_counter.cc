@@ -1,0 +1,65 @@
+// §5.1 ablation: why LibSEAL replaces the SGX hardware monotonic counter
+// with the distributed ROTE protocol for rollback protection.
+//
+// The paper: hardware counters "have poor performance and limited
+// lifespans"; ROTE trades them for one cluster round trip per log commit.
+// This ablation measures the commit rate an audit log can sustain with
+// each rollback-protection backend, and the effect of the ROTE cluster's
+// parameters (f, RTT).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/rote/rote.h"
+#include "src/sgx/counter.h"
+
+namespace seal::bench {
+namespace {
+
+constexpr int kIncrements = 40;
+
+double MeasureHardware(int64_t latency_ms) {
+  sgx::HardwareMonotonicCounter::Options options;
+  options.increment_latency_nanos = latency_ms * 1'000'000;
+  sgx::HardwareMonotonicCounter counter(options);
+  int64_t t0 = NowNanos();
+  for (int i = 0; i < kIncrements; ++i) {
+    (void)counter.Increment();
+  }
+  return kIncrements / (static_cast<double>(NowNanos() - t0) / 1e9);
+}
+
+double MeasureRote(int f, int64_t rtt_us) {
+  rote::RoteCounter::Options options;
+  options.f = f;
+  options.network_rtt_nanos = rtt_us * 1000;
+  rote::RoteCounter counter(options);
+  int64_t t0 = NowNanos();
+  for (int i = 0; i < kIncrements * 20; ++i) {
+    (void)counter.Increment();
+  }
+  return (kIncrements * 20) / (static_cast<double>(NowNanos() - t0) / 1e9);
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main() {
+  using namespace seal::bench;
+  std::printf("=== §5.1 ablation: rollback-protection backends (counter increments/s) ===\n");
+  std::printf("%-44s %14s\n", "backend", "increments/s");
+  // SGX PSE counters take ~80-250 ms per write.
+  for (int64_t ms : {80, 150, 250}) {
+    std::printf("hardware monotonic counter (%3lld ms/write) %14.1f\n",
+                static_cast<long long>(ms), MeasureHardware(ms));
+  }
+  for (int f : {1, 2}) {
+    for (int64_t rtt : {200, 500, 1000}) {
+      std::printf("ROTE f=%d, n=%d, rtt=%4lld us               %14.1f\n", f, 3 * f + 1,
+                  static_cast<long long>(rtt), MeasureRote(f, rtt));
+    }
+  }
+  std::printf("\none counter round runs per request/response pair in LibSEAL-disk mode:\n"
+              "hardware counters cap the service at ~4-12 req/s and wear out after ~1M\n"
+              "writes; a same-cluster ROTE round sustains thousands of commits/s.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 4: asynchronous enclave calls while varying the number of lthread
+// tasks per enclave thread (S = 3 SGX threads).
+//
+// Paper result: throughput is flat (~1,700 req/s) across 12/24/36/48
+// tasks, but too few tasks increase the latency seen by clients because an
+// async-ecall must wait for a free user-level thread.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/services/http_server.h"
+#include "src/services/static_content.h"
+
+namespace seal::bench {
+namespace {
+
+void RunConfig(int lthread_tasks) {
+  net::Network network;
+  core::LibSealOptions options = LibSealBenchOptions(Variant::kLibSealProcess, "");
+  options.async.enclave_threads = 3;
+  options.async.tasks_per_thread = lthread_tasks;
+  core::LibSealRuntime runtime(options, nullptr);
+  if (!runtime.Init().ok()) {
+    return;
+  }
+  services::LibSealTransport transport(&runtime);
+  services::HttpServer server(&network, {.address = "web:443"}, &transport,
+                              services::ServeStaticContent);
+  if (!server.Start().ok()) {
+    return;
+  }
+  tls::TlsConfig client_tls = ClientTls();
+  LoadOptions load;
+  load.clients = 8;
+  load.seconds = 1.2;
+  load.keep_alive = false;
+  LoadResult result = RunClosedLoop(
+      &network, "web:443", client_tls,
+      [](int, uint64_t) { return services::MakeContentRequest(1024); }, load);
+  std::printf("%14d %14.0f %12.2f %12.2f\n", lthread_tasks, result.throughput_rps,
+              result.mean_latency_ms, result.p95_latency_ms);
+  server.Stop();
+  runtime.Shutdown();
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main() {
+  using namespace seal::bench;
+  std::printf("=== Table 4: varying lthread tasks per thread (S = 3 SGX threads) ===\n");
+  std::printf("%14s %14s %12s %12s\n", "lthread tasks", "req/s", "mean ms", "p95 ms");
+  for (int t : {12, 24, 36, 48}) {
+    RunConfig(t);
+  }
+  std::printf("\npaper: throughput flat (~1700 req/s); too few tasks raise client latency\n");
+  return 0;
+}

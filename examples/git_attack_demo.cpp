@@ -1,0 +1,100 @@
+// Git attack demo: walks through the three Git metadata attacks from
+// Torres-Arias et al. (teleport, rollback, reference deletion) that Git's
+// own hash chain does NOT prevent, and shows LibSEAL detecting each one
+// while legitimate operations (including branch deletion) stay clean.
+//
+// Build: cmake --build build && ./build/examples/git_attack_demo
+#include <cstdio>
+#include <memory>
+
+#include "src/core/logger.h"
+#include "src/services/git_service.h"
+#include "src/ssm/git_ssm.h"
+
+using namespace seal;
+
+namespace {
+
+std::unique_ptr<core::AuditLogger> MakeLogger() {
+  core::AuditLogOptions log_options;
+  log_options.counter_options.inject_latency = false;
+  core::LoggerOptions logger_options;
+  logger_options.check_interval = 0;
+  auto logger = std::make_unique<core::AuditLogger>(
+      std::make_unique<ssm::GitModule>(), log_options, logger_options,
+      crypto::EcdsaPrivateKey::FromSeed(ToBytes("demo")));
+  (void)logger->Init();
+  return logger;
+}
+
+void Pump(services::GitBackend& backend, core::AuditLogger& logger,
+          const http::HttpRequest& request) {
+  http::HttpResponse response = backend.Handle(request);
+  (void)logger.OnPair(request.Serialize(), response.Serialize(), false);
+}
+
+void Report(core::AuditLogger& logger, const char* scenario) {
+  auto report = logger.CheckInvariants();
+  if (!report.ok()) {
+    std::printf("%-38s CHECK ERROR: %s\n", scenario, report.status().ToString().c_str());
+    return;
+  }
+  if (report->clean()) {
+    std::printf("%-38s clean (%zu invariants hold)\n", scenario, report->invariants_checked);
+  } else {
+    std::printf("%-38s *** %s\n", scenario, report->Summary().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Git metadata attacks vs LibSEAL invariants ==\n\n");
+
+  {
+    // Baseline: honest history with a legitimate branch deletion.
+    services::GitBackend backend;
+    auto logger = MakeLogger();
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c1"}, {"dev", "d1"}}));
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c2"}}));
+    Pump(backend, *logger, services::MakeGitPush("repo", {}, {"dev"}));  // delete dev
+    Pump(backend, *logger, services::MakeGitFetch("repo"));
+    Report(*logger, "honest history + legit deletion:");
+  }
+  {
+    // Rollback: the server advertises an OLD commit for main. Clients that
+    // never saw c2 cannot tell -- but the audit log can.
+    services::GitBackend backend;
+    auto logger = MakeLogger();
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c1"}}));
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c2"}}));
+    backend.set_attack(services::GitBackend::Attack::kRollback);
+    Pump(backend, *logger, services::MakeGitFetch("repo"));
+    Report(*logger, "rollback attack:");
+  }
+  {
+    // Teleport: a branch pointer is moved to a commit from ANOTHER branch
+    // (e.g. pointing a release branch at unreviewed code).
+    services::GitBackend backend;
+    auto logger = MakeLogger();
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c1"}}));
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"evil", "e1"}}));
+    backend.set_attack(services::GitBackend::Attack::kTeleport);
+    Pump(backend, *logger, services::MakeGitFetch("repo"));
+    Report(*logger, "teleport attack:");
+  }
+  {
+    // Reference deletion: a whole branch silently vanishes from the
+    // advertisement although nobody deleted it.
+    services::GitBackend backend;
+    auto logger = MakeLogger();
+    Pump(backend, *logger, services::MakeGitPush("repo", {{"main", "c1"}, {"feature", "f1"}}));
+    backend.set_attack(services::GitBackend::Attack::kRefDeletion);
+    Pump(backend, *logger, services::MakeGitFetch("repo"));
+    Report(*logger, "reference deletion attack:");
+  }
+
+  std::printf("\nGit's commit hash chain protects file contents; these attacks forge the\n"
+              "branch/tag METADATA, which only the LibSEAL audit log can prove wrong.\n");
+  return 0;
+}

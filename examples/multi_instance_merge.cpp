@@ -1,0 +1,104 @@
+// Scale-out auditing (paper §3.2): a load balancer spreads one client's
+// traffic across two LibSEAL instances, so neither partial audit log can
+// check the invariants alone -- the pushes are in one log and the
+// (rolled-back) advertisement in the other. Merging the verified partial
+// logs reveals the violation.
+//
+// Build: cmake --build build && ./build/examples/multi_instance_merge
+#include <cstdio>
+#include <memory>
+
+#include "src/core/log_merge.h"
+#include "src/core/logger.h"
+#include "src/services/git_service.h"
+#include "src/ssm/git_ssm.h"
+
+using namespace seal;
+
+namespace {
+
+struct Instance {
+  Instance(const char* name)
+      : key(crypto::EcdsaPrivateKey::FromSeed(ToBytes(std::string("inst-") + name))),
+        path(std::string("/tmp/libseal_example_") + name + ".log") {
+    core::AuditLogOptions log_options;
+    log_options.mode = core::PersistenceMode::kDisk;
+    log_options.path = path;
+    log_options.counter_options.inject_latency = false;
+    core::LoggerOptions logger_options;
+    logger_options.check_interval = 0;
+    logger = std::make_unique<core::AuditLogger>(std::make_unique<ssm::GitModule>(),
+                                                 log_options, logger_options, key);
+    (void)logger->Init();
+  }
+
+  void Observe(services::GitBackend& backend, const http::HttpRequest& request) {
+    http::HttpResponse response = backend.Handle(request);
+    (void)logger->OnPair(request.Serialize(), response.Serialize(), false);
+  }
+
+  core::PartialLog Partial() const {
+    core::PartialLog partial;
+    partial.path = path;
+    partial.log_public_key = key.public_key();
+    partial.counter = &logger->log().counter();
+    return partial;
+  }
+
+  crypto::EcdsaPrivateKey key;
+  std::string path;
+  std::unique_ptr<core::AuditLogger> logger;
+};
+
+size_t Violations(db::Database& db) {
+  ssm::GitModule module;
+  size_t total = 0;
+  for (const core::Invariant& invariant : module.Invariants()) {
+    auto r = db.Execute(invariant.query);
+    if (r.ok()) {
+      total += r->rows.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Scale-out: merging partial audit logs from two instances ==\n\n");
+
+  services::GitBackend backend;  // the shared service state
+  Instance a("lb_a");
+  Instance b("lb_b");
+
+  // The load balancer sends the pushes to instance A...
+  a.Observe(backend, services::MakeGitPush("repo", {{"main", "c1"}}));
+  a.Observe(backend, services::MakeGitPush("repo", {{"main", "c2"}}));
+  std::printf("instance A observed 2 pushes (main -> c1, c2)\n");
+
+  // ...then the service rolls back, and the fetch lands on instance B.
+  backend.set_attack(services::GitBackend::Attack::kRollback);
+  b.Observe(backend, services::MakeGitFetch("repo"));
+  std::printf("instance B observed 1 fetch (server advertised the OLD commit)\n\n");
+
+  // Each partial log alone is blind.
+  auto local_a = a.logger->CheckInvariants();
+  auto local_b = b.logger->CheckInvariants();
+  std::printf("instance A alone: %s\n",
+              local_a.ok() && local_a->clean() ? "clean (no advertisements to check)" : "?!");
+  std::printf("instance B alone: %s\n",
+              local_b.ok() && local_b->clean() ? "clean (no updates to compare against)" : "?!");
+
+  // The merged, verified view is not.
+  ssm::GitModule module;
+  auto merged = core::MergeVerifiedLogs({a.Partial(), b.Partial()}, module);
+  if (!merged.ok()) {
+    std::printf("merge failed: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nmerged %zu entries from %zu instances (both logs verified)\n",
+              merged->total_entries, merged->instances);
+  std::printf("merged view: %zu violation(s) -- the rollback is exposed\n",
+              Violations(merged->database));
+  return 0;
+}

@@ -1,0 +1,275 @@
+#include "src/asyncall/asyncall.h"
+
+#include "src/lthread/lthread.h"
+
+namespace seal::asyncall {
+
+namespace {
+
+// Light backoff for spin loops: stay hot briefly, then yield the CPU so
+// oversubscribed configurations (Table 3, S=4) degrade instead of livelock.
+class SpinBackoff {
+ public:
+  void Pause() {
+    if (++spins_ % 64 == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  uint64_t spins_ = 0;
+};
+
+// Per-application-thread slot binding.
+thread_local const void* t_bound_runtime = nullptr;
+thread_local int t_bound_slot = -1;
+
+}  // namespace
+
+// Binds an lthread task to the slot it is serving plus the enclave whose
+// handlers it invokes.
+struct TaskBinding {
+  CallSlot* slot = nullptr;
+  sgx::Enclave* enclave = nullptr;
+  AsyncCallRuntime* runtime = nullptr;
+  lthread::Task* task = nullptr;
+};
+
+struct AsyncCallRuntime::Worker {
+  lthread::Scheduler scheduler;
+  std::vector<std::unique_ptr<TaskBinding>> bindings;
+};
+
+AsyncCallRuntime::AsyncCallRuntime(sgx::Enclave* enclave, Options options)
+    : enclave_(enclave), options_(options) {
+  slots_.reserve(static_cast<size_t>(options_.max_app_threads));
+  for (int i = 0; i < options_.max_app_threads; ++i) {
+    slots_.push_back(std::make_unique<CallSlot>());
+  }
+  // The single long-running ecall each worker thread uses to enter the
+  // enclave (this is the only hardware transition on the async path).
+  worker_ecall_id_ = enclave_->RegisterEcall(
+      "asyncall_worker_loop", [this](void* data) { WorkerLoop(static_cast<Worker*>(data)); },
+      /*charge_execution=*/false);  // per-handler work is charged in the task body
+}
+
+AsyncCallRuntime::~AsyncCallRuntime() { Stop(); }
+
+void AsyncCallRuntime::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  stop_.store(false, std::memory_order_release);
+  for (int i = 0; i < options_.enclave_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* worker = workers_.back().get();
+    threads_.emplace_back([this, worker] {
+      // One transition in, one out, for the whole worker lifetime.
+      (void)enclave_->Ecall(worker_ecall_id_, worker);
+    });
+  }
+}
+
+void AsyncCallRuntime::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  workers_.clear();
+}
+
+void AsyncCallRuntime::WorkerLoop(Worker* worker) {
+  // Spawn the T persistent lthread tasks.
+  for (int i = 0; i < options_.tasks_per_thread; ++i) {
+    auto binding = std::make_unique<TaskBinding>();
+    binding->enclave = enclave_;
+    binding->runtime = this;
+    TaskBinding* b = binding.get();
+    b->task = worker->scheduler.Spawn([this, b] {
+      b->task->set_user_data(b);
+      for (;;) {
+        while (b->slot == nullptr) {
+          if (stop_.load(std::memory_order_acquire)) {
+            return;
+          }
+          lthread::Scheduler::Block();
+        }
+        CallSlot* slot = b->slot;
+        const sgx::Enclave::CallFn* fn = enclave_->ecall_handler(slot->ecall_id);
+        if (fn != nullptr) {
+          // In-enclave execution overhead applies to the handler exactly as
+          // it would on a synchronous ecall. CPU is attributed per TASK:
+          // thread CPU time would include other tasks interleaved on this
+          // worker while the handler waits for async-ocalls.
+          int64_t cpu0 = b->task->cpu_nanos();
+          (*fn)(slot->ecall_data);
+          enclave_->ChargeExecution(b->task->cpu_nanos() - cpu0);
+        }
+        b->slot = nullptr;
+        slot->state.store(CallSlot::kResultReady, std::memory_order_release);
+        slot->Signal();  // wake the waiting application thread
+      }
+    });
+    worker->bindings.push_back(std::move(binding));
+  }
+
+  int idle_rounds = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Snapshot the work signal BEFORE scanning: anything posted after this
+    // point keeps us awake through the wait predicate below.
+    uint64_t seen_seq = work_seq_.load(std::memory_order_acquire);
+    // Resume tasks whose async-ocall has completed.
+    for (const std::unique_ptr<TaskBinding>& b : worker->bindings) {
+      if (b->slot != nullptr && b->task->state() == lthread::Task::State::kBlocked &&
+          b->slot->state.load(std::memory_order_acquire) == CallSlot::kOcallDone) {
+        worker->scheduler.MakeRunnable(b->task);
+      }
+    }
+    bool progressed = worker->scheduler.RunOnce();
+    // Claim pending async-ecalls for idle tasks.
+    bool dispatched = false;
+    for (const std::unique_ptr<CallSlot>& slot : slots_) {
+      if (slot->state.load(std::memory_order_acquire) != CallSlot::kEcallPending) {
+        continue;
+      }
+      TaskBinding* idle = nullptr;
+      for (const std::unique_ptr<TaskBinding>& b : worker->bindings) {
+        if (b->slot == nullptr && b->task->state() == lthread::Task::State::kBlocked) {
+          idle = b.get();
+          break;
+        }
+      }
+      if (idle == nullptr) {
+        break;  // all tasks busy; other workers may pick this up
+      }
+      int expected = CallSlot::kEcallPending;
+      if (slot->state.compare_exchange_strong(expected, CallSlot::kEcallRunning,
+                                              std::memory_order_acq_rel)) {
+        idle->slot = slot.get();
+        worker->scheduler.MakeRunnable(idle->task);
+        dispatched = true;
+      }
+    }
+    if (progressed || dispatched) {
+      idle_rounds = 0;
+      continue;
+    }
+    // No runnable task and nothing to claim: yield first (another thread
+    // may be about to post work on this core), then block on the work
+    // signal instead of burning the CPU.
+    if (++idle_rounds < 4) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(work_mutex_);
+    work_cv_.wait_for(lock, std::chrono::microseconds(500), [&] {
+      return work_seq_.load(std::memory_order_acquire) != seen_seq ||
+             stop_.load(std::memory_order_acquire);
+    });
+  }
+  // Wake blocked tasks so they observe stop_ and finish cleanly.
+  for (const std::unique_ptr<TaskBinding>& b : worker->bindings) {
+    worker->scheduler.MakeRunnable(b->task);
+  }
+  worker->scheduler.Run();
+}
+
+int AsyncCallRuntime::AcquireSlotIndex() {
+  if (t_bound_runtime != this || t_bound_slot < 0) {
+    int index = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    t_bound_slot = index % options_.max_app_threads;
+    t_bound_runtime = this;
+  }
+  return t_bound_slot;
+}
+
+Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
+  if (!running()) {
+    return FailedPrecondition("async-call runtime not started");
+  }
+  if (enclave_->ecall_handler(id) == nullptr) {
+    return InvalidArgument("unknown ecall id " + std::to_string(id));
+  }
+  CallSlot* slot = slots_[static_cast<size_t>(AcquireSlotIndex())].get();
+  // Take ownership of the slot (only contended if more application threads
+  // than slots share an index), write the payload, then publish it.
+  SpinBackoff acquire_backoff;
+  int expected = CallSlot::kEmpty;
+  while (!slot->state.compare_exchange_weak(expected, CallSlot::kPreparing,
+                                            std::memory_order_acq_rel)) {
+    expected = CallSlot::kEmpty;
+    acquire_backoff.Pause();
+  }
+  slot->ecall_id = id;
+  slot->ecall_data = data;
+  slot->state.store(CallSlot::kEcallPending, std::memory_order_release);
+  SignalWorkers();
+
+  int idle_spins = 0;
+  for (;;) {
+    int s = slot->state.load(std::memory_order_acquire);
+    if (s == CallSlot::kOcallPending) {
+      idle_spins = 0;
+      int want = CallSlot::kOcallPending;
+      if (slot->state.compare_exchange_strong(want, CallSlot::kOcallRunning,
+                                              std::memory_order_acq_rel)) {
+        const sgx::Enclave::CallFn* fn = enclave_->ocall_handler(slot->ocall_id);
+        if (fn != nullptr) {
+          (*fn)(slot->ocall_data);
+        }
+        slot->state.store(CallSlot::kOcallDone, std::memory_order_release);
+        SignalWorkers();
+      }
+      continue;
+    }
+    if (s == CallSlot::kResultReady) {
+      slot->state.store(CallSlot::kEmpty, std::memory_order_release);
+      slot->Signal();  // another app thread may share this slot index
+      return Status::Ok();
+    }
+    // Spin briefly, then block until the enclave side signals the slot.
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    slot->cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+      int now = slot->state.load(std::memory_order_acquire);
+      return now == CallSlot::kOcallPending || now == CallSlot::kResultReady;
+    });
+  }
+}
+
+Status AsyncCallRuntime::AsyncOcall(int id, void* data) {
+  lthread::Task* current = lthread::Scheduler::Current();
+  if (current == nullptr || current->user_data() == nullptr) {
+    return FailedPrecondition("AsyncOcall outside an async-ecall handler");
+  }
+  auto* binding = static_cast<TaskBinding*>(current->user_data());
+  CallSlot* slot = binding->slot;
+  if (slot == nullptr) {
+    return FailedPrecondition("task has no bound slot");
+  }
+  if (binding->enclave->ocall_handler(id) == nullptr) {
+    return InvalidArgument("unknown ocall id " + std::to_string(id));
+  }
+  slot->ocall_id = id;
+  slot->ocall_data = data;
+  slot->state.store(CallSlot::kOcallPending, std::memory_order_release);
+  slot->Signal();  // wake the bound application thread
+  // Block this task until the application thread posts the result; the
+  // worker's scheduler loop re-runs it when it observes kOcallDone. Other
+  // tasks on this worker keep running meanwhile, and a worker whose tasks
+  // are ALL waiting goes to sleep instead of starving the ocall executor.
+  while (slot->state.load(std::memory_order_acquire) != CallSlot::kOcallDone) {
+    lthread::Scheduler::Block();
+  }
+  slot->state.store(CallSlot::kEcallRunning, std::memory_order_release);
+  return Status::Ok();
+}
+
+}  // namespace seal::asyncall

@@ -1,0 +1,135 @@
+// Asynchronous enclave calls (paper §4.3, Figs. 3 and 4).
+//
+// Instead of paying a hardware transition per ecall/ocall, S enclave worker
+// threads enter the enclave once and stay inside, each running T user-level
+// lthread tasks. Application threads communicate with them through an array
+// of per-thread call slots shared across the boundary:
+//
+//   1. the application thread writes the async-ecall into its slot;
+//   2. a worker's lthread scheduler claims it and resumes an idle task;
+//   3. if the handler needs outside functionality it posts an async-ocall
+//      into the same slot (the task yields while waiting);
+//   4. the application thread executes the ocall and posts the result;
+//   5. the task resumes and eventually publishes the ecall result;
+//   6. the application thread observes the result and continues.
+//
+// The binding invariants from the paper hold: a slot belongs to exactly one
+// application thread, that thread executes all async-ocalls its ecall
+// generates, and the lthread task resuming after an ocall is the one that
+// started the ecall.
+#ifndef SRC_ASYNCALL_ASYNCALL_H_
+#define SRC_ASYNCALL_ASYNCALL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sgx/enclave.h"
+
+namespace seal::asyncall {
+
+// One request slot, shared between an application thread and the enclave
+// workers. State machine:
+//   kEmpty -> kEcallPending -> kEcallRunning
+//       -> (kOcallPending -> kOcallRunning -> kOcallDone)*  -> kResultReady -> kEmpty
+struct CallSlot {
+  enum State : int {
+    kEmpty = 0,
+    kPreparing,  // application thread owns the slot, payload not yet visible
+    kEcallPending,
+    kEcallRunning,
+    kOcallPending,
+    kOcallRunning,
+    kOcallDone,
+    kResultReady,
+  };
+
+  std::atomic<int> state{kEmpty};
+  int ecall_id = 0;
+  void* ecall_data = nullptr;
+  int ocall_id = 0;
+  void* ocall_data = nullptr;
+
+  // Application threads spin briefly then block here; the enclave side
+  // signals when the slot needs attention (async-ocall posted or result
+  // ready). This is the blocking refinement of §4.3 -- the paper found
+  // that having every application thread busy-wait does not pay off, and
+  // neither does it on this machine.
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  void Signal() {
+    std::lock_guard<std::mutex> lock(mutex);
+    cv.notify_all();
+  }
+};
+
+class AsyncCallRuntime {
+ public:
+  struct Options {
+    int enclave_threads = 3;    // S (Table 3 sweeps this)
+    int tasks_per_thread = 48;  // T (Table 4 sweeps this)
+    int max_app_threads = 64;   // A: size of the slot array
+  };
+
+  AsyncCallRuntime(sgx::Enclave* enclave, Options options);
+  ~AsyncCallRuntime();
+
+  AsyncCallRuntime(const AsyncCallRuntime&) = delete;
+  AsyncCallRuntime& operator=(const AsyncCallRuntime&) = delete;
+
+  // Launches the S worker threads (each enters the enclave once).
+  void Start();
+  // Stops and joins the workers.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Issues ecall `id` asynchronously from an application thread and waits
+  // for its completion, servicing any async-ocalls it generates.
+  Status AsyncEcall(int id, void* data);
+
+  // Issues ocall `id` from inside a handler running on an lthread task; the
+  // bound application thread executes it. Must only be called from handler
+  // code reached via AsyncEcall.
+  static Status AsyncOcall(int id, void* data);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Worker;
+
+  void WorkerLoop(Worker* worker);
+  int AcquireSlotIndex();
+
+  sgx::Enclave* enclave_;
+  Options options_;
+  std::vector<std::unique_ptr<CallSlot>> slots_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> next_slot_{0};
+  int worker_ecall_id_ = -1;
+
+  // Wakes idle enclave workers when application threads post work. The
+  // sequence number closes the lost-wakeup window: workers snapshot it
+  // before scanning for work and only sleep if it has not moved since.
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::atomic<uint64_t> work_seq_{0};
+  void SignalWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_seq_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+  }
+};
+
+}  // namespace seal::asyncall
+
+#endif  // SRC_ASYNCALL_ASYNCALL_H_

@@ -1,0 +1,51 @@
+// Byte-buffer utilities shared across all LibSEAL modules.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seal {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+// Converts a string to its byte representation (no copy of semantics, just
+// reinterpretation of the character data).
+Bytes ToBytes(std::string_view s);
+
+// Converts raw bytes to a std::string (useful for text protocols).
+std::string ToString(BytesView b);
+
+// Lower-case hex encoding of `b`.
+std::string ToHex(BytesView b);
+
+// Parses a hex string; returns empty on malformed input (odd length or
+// non-hex characters).
+Bytes FromHex(std::string_view hex);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+void Append(Bytes& dst, std::string_view src);
+
+// Big-endian fixed-width loads/stores, used by the crypto and TLS record
+// code. `p` must point at enough valid bytes.
+uint32_t LoadBe32(const uint8_t* p);
+uint64_t LoadBe64(const uint8_t* p);
+void StoreBe32(uint8_t* p, uint32_t v);
+void StoreBe64(uint8_t* p, uint64_t v);
+void AppendBe16(Bytes& b, uint16_t v);
+void AppendBe24(Bytes& b, uint32_t v);
+void AppendBe32(Bytes& b, uint32_t v);
+void AppendBe64(Bytes& b, uint64_t v);
+
+// Constant-time equality; returns false when sizes differ.
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+}  // namespace seal
+
+#endif  // SRC_COMMON_BYTES_H_

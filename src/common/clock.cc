@@ -1,0 +1,47 @@
+#include "src/common/clock.h"
+
+#include <ctime>
+#include <thread>
+
+namespace seal {
+
+int64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SpinNanos(int64_t nanos) {
+  if (nanos <= 0) {
+    return;
+  }
+  const int64_t deadline = NowNanos() + nanos;
+  while (NowNanos() < deadline) {
+    // Busy wait: this models work that occupies the CPU.
+  }
+}
+
+void SpinCpuNanos(int64_t nanos) {
+  if (nanos <= 0) {
+    return;
+  }
+  const int64_t target = ThreadCpuNanos() + nanos;
+  while (ThreadCpuNanos() < target) {
+    // Busy work charged to this thread's CPU account.
+  }
+}
+
+void SleepNanos(int64_t nanos) {
+  if (nanos <= 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+}  // namespace seal

@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr. Intentionally tiny: the library is
+// quiet by default (kWarn) so benchmarks are not perturbed.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace seal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace seal
+
+#define SEAL_LOG(level) ::seal::internal::LogLine(::seal::LogLevel::level)
+
+#endif  // SRC_COMMON_LOG_H_

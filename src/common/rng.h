@@ -1,0 +1,50 @@
+// Deterministic PRNGs for workload generation and tests. Not used for
+// key material -- the crypto library has its own DRBG (src/crypto/drbg.h).
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seal {
+
+// SplitMix64: tiny, fast, good-enough generator for reproducible workloads.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Random lower-case alphanumeric identifier of length n.
+  std::string Ident(size_t n) {
+    static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s;
+    s.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      s.push_back(kAlphabet[Below(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace seal
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,112 @@
+// Minimal Status/Result vocabulary types (std::expected is C++23; we target
+// C++20, so we hand-roll a small equivalent).
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace seal {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnavailable,
+  kPermissionDenied,
+  kOutOfRange,
+  kDataLoss,
+};
+
+// A status code plus human-readable message. Cheap to copy, never throws.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return "error(" + std::to_string(static_cast<int>(code_)) + "): " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+
+// Result<T> is either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(v_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define SEAL_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::seal::Status _st = (expr);          \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+#define SEAL_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto lhs##_result = (expr);             \
+  if (!lhs##_result.ok()) {               \
+    return lhs##_result.status();         \
+  }                                       \
+  auto lhs = std::move(lhs##_result).value()
+
+}  // namespace seal
+
+#endif  // SRC_COMMON_STATUS_H_

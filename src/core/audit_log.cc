@@ -1,0 +1,393 @@
+#include "src/core/audit_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/common/clock.h"
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/gcm.h"
+
+namespace seal::core {
+
+namespace {
+
+// File helpers (plain stdio keeps this dependency-free).
+Status WriteFile(const std::string& path, BytesView data, bool append) {
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    return Unavailable("cannot open " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  // Synchronous flush: the paper persists the log after each pair.
+  std::fflush(f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return DataLoss("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFound("cannot open " + path);
+  }
+  Bytes data;
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+std::string SigPath(const std::string& path) { return path + ".sig"; }
+
+// Encrypts one framed record when a key is configured.
+Bytes MaybeEncrypt(const Bytes& key, BytesView plain) {
+  if (key.empty()) {
+    return Bytes(plain.begin(), plain.end());
+  }
+  crypto::Aes128Gcm gcm(key);
+  Bytes nonce = crypto::ProcessDrbg().Generate(crypto::kGcmNonceSize);
+  Bytes out = nonce;
+  Append(out, gcm.Seal(nonce, {}, plain));
+  return out;
+}
+
+Result<Bytes> MaybeDecrypt(const Bytes& key, BytesView wire) {
+  if (key.empty()) {
+    return Bytes(wire.begin(), wire.end());
+  }
+  if (wire.size() < crypto::kGcmNonceSize + crypto::kGcmTagSize) {
+    return DataLoss("encrypted log record too short");
+  }
+  crypto::Aes128Gcm gcm(key);
+  auto plain = gcm.Open(wire.subspan(0, crypto::kGcmNonceSize), {},
+                        wire.subspan(crypto::kGcmNonceSize));
+  if (!plain.has_value()) {
+    return PermissionDenied("log record decryption failed");
+  }
+  return *plain;
+}
+
+}  // namespace
+
+Bytes LogEntry::Serialize() const {
+  Bytes out;
+  AppendBe64(out, static_cast<uint64_t>(time));
+  AppendBe64(out, static_cast<uint64_t>(wall_nanos));
+  AppendBe32(out, static_cast<uint32_t>(table.size()));
+  Append(out, table);
+  AppendBe32(out, static_cast<uint32_t>(values.size()));
+  for (const db::Value& v : values) {
+    std::string s = v.Serialize();
+    AppendBe32(out, static_cast<uint32_t>(s.size()));
+    Append(out, s);
+  }
+  return out;
+}
+
+Result<LogEntry> LogEntry::Deserialize(BytesView in, size_t& off) {
+  LogEntry entry;
+  if (off + 20 > in.size()) {
+    return DataLoss("log entry truncated");
+  }
+  entry.time = static_cast<int64_t>(LoadBe64(in.data() + off));
+  off += 8;
+  entry.wall_nanos = static_cast<int64_t>(LoadBe64(in.data() + off));
+  off += 8;
+  uint32_t table_len = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + table_len + 4 > in.size()) {
+    return DataLoss("log entry truncated in table name");
+  }
+  entry.table.assign(reinterpret_cast<const char*>(in.data() + off), table_len);
+  off += table_len;
+  uint32_t nvalues = LoadBe32(in.data() + off);
+  off += 4;
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    if (off + 4 > in.size()) {
+      return DataLoss("log entry truncated in value length");
+    }
+    uint32_t len = LoadBe32(in.data() + off);
+    off += 4;
+    if (off + len > in.size() || len == 0) {
+      return DataLoss("log entry truncated in value");
+    }
+    std::string s(reinterpret_cast<const char*>(in.data() + off), len);
+    off += len;
+    // Value::Serialize format: N | I<int> | R<real> | T<len>:<text>.
+    switch (s[0]) {
+      case 'N':
+        entry.values.push_back(db::Value::Null());
+        break;
+      case 'I':
+        entry.values.push_back(db::Value(static_cast<int64_t>(std::strtoll(s.c_str() + 1, nullptr, 10))));
+        break;
+      case 'R':
+        entry.values.push_back(db::Value(std::strtod(s.c_str() + 1, nullptr)));
+        break;
+      case 'T': {
+        size_t colon = s.find(':');
+        if (colon == std::string::npos) {
+          return DataLoss("malformed text value");
+        }
+        entry.values.push_back(db::Value(s.substr(colon + 1)));
+        break;
+      }
+      default:
+        return DataLoss("unknown value tag");
+    }
+  }
+  return entry;
+}
+
+AuditLog::AuditLog(AuditLogOptions options, crypto::EcdsaPrivateKey signing_key)
+    : options_(std::move(options)),
+      signing_key_(std::move(signing_key)),
+      counter_(std::make_unique<rote::RoteCounter>(options_.counter_options)),
+      chain_head_(crypto::kSha256DigestSize, 0) {
+  if (options_.mode == PersistenceMode::kDisk && !options_.path.empty()) {
+    // Truncate any stale log from a previous run.
+    (void)WriteFile(options_.path, {}, /*append=*/false);
+  }
+}
+
+AuditLog::~AuditLog() = default;
+
+Status AuditLog::ExecuteSchema(const std::vector<std::string>& statements) {
+  for (const std::string& sql : statements) {
+    auto r = db_.Execute(sql);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Bytes AuditLog::ExtendChain(const Bytes& head, const LogEntry& entry) const {
+  crypto::Sha256 h;
+  h.Update(head);
+  h.Update(entry.Serialize());
+  crypto::Sha256Digest d = h.Finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Status AuditLog::Append(const std::string& table, db::Row values, int64_t wall_nanos) {
+  if (values.empty() || !values[0].is_int()) {
+    return InvalidArgument("first column of every audit tuple must be the integer time");
+  }
+  LogEntry entry;
+  entry.time = values[0].AsInt();
+  entry.wall_nanos = wall_nanos != 0 ? wall_nanos : NowNanos();
+  entry.table = table;
+  entry.values = values;
+  SEAL_RETURN_IF_ERROR(db_.InsertRow(table, std::move(values)));
+  chain_head_ = ExtendChain(chain_head_, entry);
+  ++entries_logged_;
+  if (options_.mode == PersistenceMode::kDisk) {
+    SEAL_RETURN_IF_ERROR(PersistEntry(entry));
+  }
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status AuditLog::PersistEntry(const LogEntry& entry) {
+  Bytes framed;
+  Bytes record = MaybeEncrypt(options_.encryption_key, entry.Serialize());
+  AppendBe32(framed, static_cast<uint32_t>(record.size()));
+  seal::Append(framed, record);
+  persisted_bytes_ += framed.size();
+  return WriteFile(options_.path, framed, /*append=*/true);
+}
+
+Status AuditLog::CommitHead() {
+  if (options_.mode != PersistenceMode::kDisk) {
+    // Nothing persisted means nothing to roll back: the counter round is
+    // only needed when the log leaves the enclave.
+    return Status::Ok();
+  }
+  // One monotonic-counter round per commit binds this head to "now".
+  auto counter_value = counter_->Increment();
+  if (!counter_value.ok()) {
+    return counter_value.status();
+  }
+  Bytes head;
+  seal::Append(head, chain_head_);
+  AppendBe64(head, *counter_value);
+  AppendBe64(head, entries_logged_);
+  crypto::EcdsaSignature sig = signing_key_.Sign(head);
+  seal::Append(head, sig.Encode());
+  return WriteFile(SigPath(options_.path), head, /*append=*/false);
+}
+
+Result<db::QueryResult> AuditLog::Query(const std::string& sql) { return db_.Execute(sql); }
+
+Status AuditLog::Trim(const std::vector<std::string>& trimming_queries) {
+  for (const std::string& sql : trimming_queries) {
+    auto r = db_.Execute(sql);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  // Rebuild the entries and the hash chain from the surviving rows, in
+  // logical-time order across all tables (§5.1: "LibSEAL recomputes the
+  // hashes of the remaining log entries"). Wall clocks are recovered from
+  // the pre-trim entries via (table, time).
+  std::map<std::pair<std::string, int64_t>, int64_t> wall_by_key;
+  for (const LogEntry& entry : entries_) {
+    wall_by_key[{entry.table, entry.time}] = entry.wall_nanos;
+  }
+  std::vector<LogEntry> survivors;
+  for (const std::string& table : db_.TableNames()) {
+    const std::vector<db::Row>* rows = db_.TableRows(table);
+    for (const db::Row& row : *rows) {
+      LogEntry entry;
+      entry.time = row.empty() ? 0 : row[0].AsInt();
+      entry.table = table;
+      auto it = wall_by_key.find({table, entry.time});
+      if (it != wall_by_key.end()) {
+        entry.wall_nanos = it->second;
+      }
+      entry.values = row;
+      survivors.push_back(std::move(entry));
+    }
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const LogEntry& a, const LogEntry& b) { return a.time < b.time; });
+  entries_ = std::move(survivors);
+  chain_head_.assign(crypto::kSha256DigestSize, 0);
+  for (const LogEntry& entry : entries_) {
+    chain_head_ = ExtendChain(chain_head_, entry);
+  }
+  entries_logged_ = entries_.size();
+  if (options_.mode == PersistenceMode::kDisk) {
+    SEAL_RETURN_IF_ERROR(RewritePersistedLog());
+    SEAL_RETURN_IF_ERROR(CommitHead());
+  }
+  return Status::Ok();
+}
+
+Status AuditLog::RewritePersistedLog() {
+  Bytes all;
+  for (const LogEntry& entry : entries_) {
+    Bytes record = MaybeEncrypt(options_.encryption_key, entry.Serialize());
+    AppendBe32(all, static_cast<uint32_t>(record.size()));
+    seal::Append(all, record);
+  }
+  persisted_bytes_ = all.size();
+  return WriteFile(options_.path, all, /*append=*/false);
+}
+
+Result<std::vector<LogEntry>> AuditLog::ReadVerifiedEntries(const std::string& path,
+                                                            const Bytes& encryption_key) {
+  auto data = ReadFile(path);
+  if (!data.ok()) {
+    return data.status();
+  }
+  std::vector<LogEntry> entries;
+  size_t off = 0;
+  while (off < data->size()) {
+    if (off + 4 > data->size()) {
+      return DataLoss("truncated record frame");
+    }
+    uint32_t len = LoadBe32(data->data() + off);
+    off += 4;
+    if (off + len > data->size()) {
+      return DataLoss("truncated record body");
+    }
+    auto plain = MaybeDecrypt(encryption_key, BytesView(*data).subspan(off, len));
+    if (!plain.ok()) {
+      return plain.status();
+    }
+    off += len;
+    size_t entry_off = 0;
+    auto entry = LogEntry::Deserialize(*plain, entry_off);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    entries.push_back(std::move(*entry));
+  }
+  return entries;
+}
+
+Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
+                                       const crypto::EcdsaPublicKey& log_public_key,
+                                       const rote::RoteCounter& counter,
+                                       const Bytes& encryption_key) {
+  auto data = ReadFile(path);
+  if (!data.ok()) {
+    return data.status();
+  }
+  Bytes head(crypto::kSha256DigestSize, 0);
+  size_t off = 0;
+  size_t count = 0;
+  while (off < data->size()) {
+    if (off + 4 > data->size()) {
+      return DataLoss("truncated record frame");
+    }
+    uint32_t len = LoadBe32(data->data() + off);
+    off += 4;
+    if (off + len > data->size()) {
+      return DataLoss("truncated record body");
+    }
+    auto plain = MaybeDecrypt(encryption_key, BytesView(*data).subspan(off, len));
+    if (!plain.ok()) {
+      return plain.status();
+    }
+    off += len;
+    size_t entry_off = 0;
+    auto entry = LogEntry::Deserialize(*plain, entry_off);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    crypto::Sha256 h;
+    h.Update(head);
+    h.Update(*plain);
+    crypto::Sha256Digest d = h.Finish();
+    head.assign(d.begin(), d.end());
+    ++count;
+  }
+
+  auto sig_data = ReadFile(SigPath(path));
+  if (!sig_data.ok()) {
+    return sig_data.status();
+  }
+  if (sig_data->size() != crypto::kSha256DigestSize + 16 + 64) {
+    return DataLoss("malformed log head file");
+  }
+  BytesView stored_head = BytesView(*sig_data).subspan(0, crypto::kSha256DigestSize);
+  uint64_t stored_counter = LoadBe64(sig_data->data() + crypto::kSha256DigestSize);
+  uint64_t stored_count = LoadBe64(sig_data->data() + crypto::kSha256DigestSize + 8);
+  auto sig = crypto::EcdsaSignature::Decode(
+      BytesView(*sig_data).subspan(crypto::kSha256DigestSize + 16, 64));
+  if (!sig.has_value()) {
+    return DataLoss("malformed head signature");
+  }
+  Bytes signed_blob(sig_data->begin(),
+                    sig_data->begin() + static_cast<ptrdiff_t>(crypto::kSha256DigestSize + 16));
+  if (!log_public_key.Verify(signed_blob, *sig)) {
+    return PermissionDenied("log head signature invalid: tampered or forged log");
+  }
+  if (!ConstantTimeEqual(stored_head, head)) {
+    return PermissionDenied("hash chain mismatch: log entries modified");
+  }
+  if (stored_count != count) {
+    return PermissionDenied("entry count mismatch");
+  }
+  auto current = counter.Read();
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (stored_counter != *current) {
+    return PermissionDenied("rollback detected: counter " + std::to_string(stored_counter) +
+                            " but cluster reports " + std::to_string(*current));
+  }
+  return count;
+}
+
+}  // namespace seal::core

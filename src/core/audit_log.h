@@ -1,0 +1,117 @@
+// The non-repudiable audit log (paper §5.1).
+//
+// Tuples live in the in-enclave relational database (seadb). Integrity is
+// protected by a hash chain over all tuples plus an ECDSA signature by the
+// enclave's log key; rollback of the persisted log is prevented by binding
+// each flush to a fresh value of the distributed monotonic counter (ROTE).
+// Trimming re-computes the hashes of the remaining entries.
+#ifndef SRC_CORE_AUDIT_LOG_H_
+#define SRC_CORE_AUDIT_LOG_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/sha256.h"
+#include "src/db/database.h"
+#include "src/rote/rote.h"
+
+namespace seal::core {
+
+enum class PersistenceMode {
+  kMemory,  // LibSEAL-mem: tuples only in the in-enclave database
+  kDisk,    // LibSEAL-disk: synchronous flush + counter round per pair
+};
+
+struct AuditLogOptions {
+  PersistenceMode mode = PersistenceMode::kMemory;
+  std::string path;  // file path for kDisk (entries file; ".sig" appended for the head)
+  // Encrypt the persisted log (log privacy, §6.3). The key is derived by
+  // the caller (sealing); empty = sign-only.
+  Bytes encryption_key;
+  rote::RoteCounter::Options counter_options;
+};
+
+// One serialised log entry, the hash-chain unit.
+struct LogEntry {
+  int64_t time = 0;       // per-instance logical timestamp (primary key)
+  int64_t wall_nanos = 0; // wall clock at append: orders entries ACROSS
+                          // instances when partial logs are merged (§3.2)
+  std::string table;
+  db::Row values;  // full row, including time
+
+  Bytes Serialize() const;
+  static Result<LogEntry> Deserialize(BytesView in, size_t& off);
+};
+
+class AuditLog {
+ public:
+  // `signing_key` is the enclave's log key (provisioned under attestation).
+  AuditLog(AuditLogOptions options, crypto::EcdsaPrivateKey signing_key);
+  ~AuditLog();
+
+  // Executes schema DDL against the in-enclave database.
+  Status ExecuteSchema(const std::vector<std::string>& statements);
+
+  // Appends one tuple: inserts into the database, extends the hash chain
+  // and (in kDisk mode) flushes the entry. `wall_nanos` (0 = sample now)
+  // orders entries across instances at merge time.
+  Status Append(const std::string& table, db::Row values, int64_t wall_nanos = 0);
+
+  // Synchronously commits the current chain head: signature + monotonic
+  // counter round + head-file write. In kDisk mode the logger calls this
+  // once per request/response pair.
+  Status CommitHead();
+
+  // Runs a read-only query (invariant checking).
+  Result<db::QueryResult> Query(const std::string& sql);
+
+  // Runs the trimming queries, then rebuilds the hash chain over the
+  // surviving entries and rewrites the persisted log.
+  Status Trim(const std::vector<std::string>& trimming_queries);
+
+  // Verifies a persisted log against tampering and rollback: recomputes
+  // the chain, checks the signature with `log_public_key`, and compares
+  // the embedded counter against the ROTE cluster. Returns the number of
+  // verified entries.
+  static Result<size_t> VerifyLogFile(const std::string& path,
+                                      const crypto::EcdsaPublicKey& log_public_key,
+                                      const rote::RoteCounter& counter,
+                                      const Bytes& encryption_key = {});
+
+  // Reads (and decrypts) the entries of a persisted log WITHOUT verifying
+  // the chain; callers that need evidence must run VerifyLogFile first
+  // (log merging does).
+  static Result<std::vector<LogEntry>> ReadVerifiedEntries(const std::string& path,
+                                                           const Bytes& encryption_key = {});
+
+  db::Database& database() { return db_; }
+  const Bytes& chain_head() const { return chain_head_; }
+  size_t entry_count() const { return entries_logged_; }
+  rote::RoteCounter& counter() { return *counter_; }
+  uint64_t persisted_bytes() const { return persisted_bytes_; }
+
+ private:
+  Status PersistEntry(const LogEntry& entry);
+  Status RewritePersistedLog();
+  Bytes ExtendChain(const Bytes& head, const LogEntry& entry) const;
+
+  AuditLogOptions options_;
+  crypto::EcdsaPrivateKey signing_key_;
+  db::Database db_;
+  std::unique_ptr<rote::RoteCounter> counter_;
+
+  Bytes chain_head_;  // SHA-256 of the chain so far
+  size_t entries_logged_ = 0;
+  uint64_t persisted_bytes_ = 0;
+  // Kept for chain recomputation on trim: the serialised entries in order.
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace seal::core
+
+#endif  // SRC_CORE_AUDIT_LOG_H_

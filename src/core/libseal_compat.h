@@ -1,0 +1,63 @@
+// OpenSSL/LibreSSL-compatible function-style API over LibSealRuntime
+// (paper §4.1: "LibSEAL provides the same API as OpenSSL and LibreSSL",
+// so services like Apache and Squid link against it unchanged).
+//
+// The SSL_CTX analogue carries the runtime; SSL is the outside shadow
+// structure. Names carry a Libseal prefix to avoid clashing with a real
+// OpenSSL in the same process; a deployment would alias them.
+#ifndef SRC_CORE_LIBSEAL_COMPAT_H_
+#define SRC_CORE_LIBSEAL_COMPAT_H_
+
+#include "src/core/libseal.h"
+
+namespace seal::core::compat {
+
+using SSL_CTX = LibSealRuntime;
+using SSL = LibSealSsl;
+
+// SSL_CTX_new / SSL_CTX_free: the runtime is the context. The caller owns
+// configuration; Init() must have been called.
+inline SSL* SSL_new(SSL_CTX* ctx, net::Stream* stream) {
+  return ctx->SslNew(stream, tls::Role::kServer);
+}
+
+inline int SSL_accept(SSL* ssl) { return ssl->runtime->SslHandshake(ssl); }
+
+inline int SSL_read(SSL* ssl, void* buf, int num) {
+  return ssl->runtime->SslRead(ssl, static_cast<uint8_t*>(buf), num);
+}
+
+inline int SSL_write(SSL* ssl, const void* buf, int num) {
+  return ssl->runtime->SslWrite(ssl, static_cast<const uint8_t*>(buf), num);
+}
+
+inline int SSL_shutdown(SSL* ssl) {
+  ssl->runtime->SslShutdown(ssl);
+  return 1;
+}
+
+inline void SSL_free(SSL* ssl) {
+  if (ssl != nullptr) {
+    ssl->runtime->SslFree(ssl);
+  }
+}
+
+inline int SSL_set_ex_data(SSL* ssl, int idx, void* data) {
+  return ssl->runtime->SslSetExData(ssl, idx, data);
+}
+
+inline void* SSL_get_ex_data(const SSL* ssl, int idx) {
+  return ssl->runtime->SslGetExData(const_cast<SSL*>(ssl), idx);
+}
+
+inline void SSL_CTX_set_info_callback(SSL_CTX* ctx, SslInfoCallback cb) {
+  ctx->SetInfoCallback(cb);
+}
+
+// Applications (Apache, Squid) read sanitised connection state straight
+// from the shadow structure, shadowing making that safe (§4.1).
+inline int SSL_is_init_finished(const SSL* ssl) { return ssl->handshake_done; }
+
+}  // namespace seal::core::compat
+
+#endif  // SRC_CORE_LIBSEAL_COMPAT_H_

@@ -1,0 +1,87 @@
+#include "src/core/log_merge.h"
+
+#include <algorithm>
+
+namespace seal::core {
+
+Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
+                                      ServiceModule& module) {
+  struct Tagged {
+    size_t instance;
+    LogEntry entry;
+  };
+  std::vector<Tagged> all;
+  for (size_t i = 0; i < partials.size(); ++i) {
+    const PartialLog& partial = partials[i];
+    if (partial.counter == nullptr) {
+      return InvalidArgument("partial log without counter for rollback verification");
+    }
+    // (a) Independently verify the partial log; a merge over unverified
+    // inputs would not constitute evidence.
+    auto verified = AuditLog::VerifyLogFile(partial.path, partial.log_public_key,
+                                            *partial.counter, partial.encryption_key);
+    if (!verified.ok()) {
+      return Status(verified.status().code(),
+                    "instance " + std::to_string(i) + ": " + verified.status().message());
+    }
+    auto entries =
+        AuditLog::ReadVerifiedEntries(partial.path, partial.encryption_key);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (LogEntry& entry : *entries) {
+      all.push_back(Tagged{i, std::move(entry)});
+    }
+  }
+
+  // (b) Interleave by wall clock (ties broken by instance, then logical
+  // time): per-instance logical clocks are NOT comparable across
+  // instances, but every entry carries the wall time of its append.
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.entry.wall_nanos != b.entry.wall_nanos) {
+      return a.entry.wall_nanos < b.entry.wall_nanos;
+    }
+    if (a.instance != b.instance) {
+      return a.instance < b.instance;
+    }
+    return a.entry.time < b.entry.time;
+  });
+
+  // (c) Materialise into a fresh database with re-assigned global times.
+  MergeResult result;
+  result.instances = partials.size();
+  for (const std::string& sql : module.Schema()) {
+    auto r = result.database.Execute(sql);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  for (const std::string& sql : module.Views()) {
+    auto r = result.database.Execute(sql);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  int64_t global_time = 0;
+  int64_t last_original = -1;
+  size_t last_instance = 0;
+  for (Tagged& tagged : all) {
+    // Entries from the same (instance, original time) share a pair and
+    // keep sharing a global timestamp.
+    if (tagged.entry.time != last_original || tagged.instance != last_instance) {
+      ++global_time;
+      last_original = tagged.entry.time;
+      last_instance = tagged.instance;
+    }
+    db::Row row = std::move(tagged.entry.values);
+    if (row.empty()) {
+      return DataLoss("log entry with no columns");
+    }
+    row[0] = db::Value(global_time);
+    SEAL_RETURN_IF_ERROR(result.database.InsertRow(tagged.entry.table, std::move(row)));
+    ++result.total_entries;
+  }
+  return result;
+}
+
+}  // namespace seal::core

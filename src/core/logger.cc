@@ -1,0 +1,111 @@
+#include "src/core/logger.h"
+
+#include "src/common/clock.h"
+
+namespace seal::core {
+
+std::string CheckReport::Summary() const {
+  if (violations.empty()) {
+    return "ok " + std::to_string(invariants_checked) + " invariants";
+  }
+  std::string s = "VIOLATION";
+  for (const Violation& v : violations) {
+    s += " " + v.invariant + "(" + std::to_string(v.rows.rows.size()) + ")";
+  }
+  return s;
+}
+
+AuditLogger::AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions log_options,
+                         LoggerOptions logger_options, crypto::EcdsaPrivateKey signing_key)
+    : module_(std::move(module)),
+      log_(std::move(log_options), std::move(signing_key)),
+      options_(logger_options) {}
+
+Status AuditLogger::Init() {
+  SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Schema()));
+  return log_.ExecuteSchema(module_->Views());
+}
+
+Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
+                                                       std::string_view response,
+                                                       bool force_check) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t time = next_time_++;
+  std::vector<LogTuple> tuples;
+  module_->Log(request, response, time, &tuples);
+  for (LogTuple& tuple : tuples) {
+    db::Row row;
+    row.push_back(db::Value(time));
+    for (db::Value& v : tuple.values) {
+      row.push_back(std::move(v));
+    }
+    SEAL_RETURN_IF_ERROR(log_.Append(tuple.table, std::move(row)));
+  }
+  ++pairs_logged_;
+  ++pairs_since_check_;
+  if (!tuples.empty()) {
+    SEAL_RETURN_IF_ERROR(log_.CommitHead());
+  }
+
+  bool interval_check =
+      options_.check_interval > 0 && pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
+  if (force_check && options_.forced_check_min_gap > 0) {
+    // Rate-limit client-triggered checks (§6.3).
+    if (pairs_since_forced_check_ >= 0 &&
+        pairs_logged_ - pairs_since_forced_check_ < static_cast<int64_t>(options_.forced_check_min_gap)) {
+      force_check = false;
+    }
+  }
+  if (!interval_check && !force_check) {
+    return std::optional<CheckReport>();
+  }
+  if (force_check) {
+    pairs_since_forced_check_ = pairs_logged_;
+  }
+  pairs_since_check_ = 0;
+
+  CheckReport report;
+  int64_t check_start = NowNanos();
+  for (const Invariant& invariant : module_->Invariants()) {
+    auto result = log_.Query(invariant.query);
+    if (!result.ok()) {
+      return result.status();
+    }
+    ++report.invariants_checked;
+    if (!result->rows.empty()) {
+      report.violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
+    }
+  }
+  report.check_nanos = NowNanos() - check_start;
+  int64_t trim_start = NowNanos();
+  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries()));
+  report.trim_nanos = NowNanos() - trim_start;
+  last_report_ = report;
+  return std::optional<CheckReport>(std::move(report));
+}
+
+Result<CheckReport> AuditLogger::CheckInvariants() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CheckReport report;
+  int64_t start = NowNanos();
+  for (const Invariant& invariant : module_->Invariants()) {
+    auto result = log_.Query(invariant.query);
+    if (!result.ok()) {
+      return result.status();
+    }
+    ++report.invariants_checked;
+    if (!result->rows.empty()) {
+      report.violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
+    }
+  }
+  report.check_nanos = NowNanos() - start;
+  last_report_ = report;
+  return report;
+}
+
+Status AuditLogger::Trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.Trim(module_->TrimmingQueries());
+}
+
+}  // namespace seal::core

@@ -1,0 +1,84 @@
+// The LibSEAL logger: feeds request/response pairs through the service-
+// specific module into the audit log, runs invariant checks (periodically
+// or on client demand via the Libseal-Check header) and trims the log.
+#ifndef SRC_CORE_LOGGER_H_
+#define SRC_CORE_LOGGER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/audit_log.h"
+#include "src/core/service_module.h"
+
+namespace seal::core {
+
+// Outcome of one invariant-checking round.
+struct CheckReport {
+  struct Violation {
+    std::string invariant;
+    db::QueryResult rows;  // the offending log entries
+  };
+  std::vector<Violation> violations;
+  size_t invariants_checked = 0;
+  int64_t check_nanos = 0;
+  int64_t trim_nanos = 0;
+
+  bool clean() const { return violations.empty(); }
+  // Compact form for the Libseal-Check-Result response header.
+  std::string Summary() const;
+};
+
+struct LoggerOptions {
+  // Run checking + trimming automatically every N request/response pairs
+  // (Fig. 6 sweeps this; the paper finds 25 optimal for Git, 75 for
+  // ownCloud, 100 for Dropbox). 0 disables automatic checks.
+  size_t check_interval = 25;
+  // Rate limit for client-triggered checks (§6.3 denial-of-service): at
+  // most one forced check per this many pairs. 0 = no limit.
+  size_t forced_check_min_gap = 0;
+};
+
+class AuditLogger {
+ public:
+  AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions log_options,
+              LoggerOptions logger_options, crypto::EcdsaPrivateKey signing_key);
+
+  // Creates the SSM's schema. Must be called once before pairs flow.
+  Status Init();
+
+  // Processes one request/response pair: parse, log, persist, and --- when
+  // the interval elapses or `force_check` is set --- check and trim.
+  // Returns the check report if a check ran this round.
+  Result<std::optional<CheckReport>> OnPair(std::string_view request, std::string_view response,
+                                            bool force_check);
+
+  // Runs all invariants immediately (no trim).
+  Result<CheckReport> CheckInvariants();
+
+  // Runs the SSM's trimming queries and rebuilds the hash chain.
+  Status Trim();
+
+  AuditLog& log() { return log_; }
+  ServiceModule& module() { return *module_; }
+  int64_t pairs_logged() const { return pairs_logged_; }
+  const std::optional<CheckReport>& last_report() const { return last_report_; }
+
+ private:
+  std::unique_ptr<ServiceModule> module_;
+  AuditLog log_;
+  LoggerOptions options_;
+
+  std::mutex mutex_;
+  int64_t next_time_ = 1;
+  int64_t pairs_logged_ = 0;
+  int64_t pairs_since_check_ = 0;
+  int64_t pairs_since_forced_check_ = -1;
+  std::optional<CheckReport> last_report_;
+};
+
+}  // namespace seal::core
+
+#endif  // SRC_CORE_LOGGER_H_

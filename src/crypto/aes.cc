@@ -1,0 +1,123 @@
+#include "src/crypto/aes.h"
+
+#include <cstring>
+
+namespace seal::crypto {
+
+namespace {
+
+// The S-box and the four T-tables are derived programmatically at static
+// initialisation time from the GF(2^8) arithmetic definition in FIPS 197,
+// which avoids transcription errors in 256-entry constant tables.
+struct AesTables {
+  uint8_t sbox[256];
+  uint32_t t0[256], t1[256], t2[256], t3[256];
+
+  AesTables() {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    uint8_t pow[256], log[256];
+    uint8_t x = 1;
+    for (int i = 0; i < 256; ++i) {
+      pow[i] = x;
+      log[x] = static_cast<uint8_t>(i);
+      // multiply x by 3 = x ^ (x<<1 mod poly)
+      uint8_t xt = static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+      x = static_cast<uint8_t>(xt ^ x);
+    }
+    auto inv = [&](uint8_t a) -> uint8_t {
+      if (a == 0) {
+        return 0;
+      }
+      return pow[(255 - log[a]) % 255];
+    };
+    for (int i = 0; i < 256; ++i) {
+      uint8_t q = inv(static_cast<uint8_t>(i));
+      // Affine transform.
+      uint8_t s = static_cast<uint8_t>(q ^ RotL8(q, 1) ^ RotL8(q, 2) ^ RotL8(q, 3) ^ RotL8(q, 4) ^
+                                       0x63);
+      sbox[i] = s;
+      uint8_t s2 = Mul2(s);
+      uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+      // T0 row = [s*2, s, s, s*3] packed big-endian.
+      t0[i] = (uint32_t{s2} << 24) | (uint32_t{s} << 16) | (uint32_t{s} << 8) | uint32_t{s3};
+      t1[i] = (uint32_t{s3} << 24) | (uint32_t{s2} << 16) | (uint32_t{s} << 8) | uint32_t{s};
+      t2[i] = (uint32_t{s} << 24) | (uint32_t{s3} << 16) | (uint32_t{s2} << 8) | uint32_t{s};
+      t3[i] = (uint32_t{s} << 24) | (uint32_t{s} << 16) | (uint32_t{s3} << 8) | uint32_t{s2};
+    }
+  }
+
+  static uint8_t RotL8(uint8_t v, int n) {
+    return static_cast<uint8_t>((v << n) | (v >> (8 - n)));
+  }
+  static uint8_t Mul2(uint8_t v) {
+    return static_cast<uint8_t>((v << 1) ^ ((v & 0x80) ? 0x1b : 0));
+  }
+};
+
+const AesTables& Tables() {
+  static const AesTables tables;
+  return tables;
+}
+
+constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36};
+
+}  // namespace
+
+Aes128::Aes128(BytesView key) {
+  const AesTables& t = Tables();
+  // Key expansion for AES-128: 44 32-bit round-key words.
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[i] = seal::LoadBe32(key.data() + 4 * i);
+  }
+  for (int i = 4; i < 44; ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      temp = (temp << 8) | (temp >> 24);
+      temp = (uint32_t{t.sbox[(temp >> 24) & 0xff]} << 24) |
+             (uint32_t{t.sbox[(temp >> 16) & 0xff]} << 16) |
+             (uint32_t{t.sbox[(temp >> 8) & 0xff]} << 8) | uint32_t{t.sbox[temp & 0xff]};
+      temp ^= uint32_t{kRcon[i / 4 - 1]} << 24;
+    }
+    round_keys_[i] = round_keys_[i - 4] ^ temp;
+  }
+}
+
+void Aes128::EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const {
+  const AesTables& t = Tables();
+  uint32_t s0 = seal::LoadBe32(in) ^ round_keys_[0];
+  uint32_t s1 = seal::LoadBe32(in + 4) ^ round_keys_[1];
+  uint32_t s2 = seal::LoadBe32(in + 8) ^ round_keys_[2];
+  uint32_t s3 = seal::LoadBe32(in + 12) ^ round_keys_[3];
+
+  for (int round = 1; round < 10; ++round) {
+    uint32_t n0 = t.t0[(s0 >> 24) & 0xff] ^ t.t1[(s1 >> 16) & 0xff] ^ t.t2[(s2 >> 8) & 0xff] ^
+                  t.t3[s3 & 0xff] ^ round_keys_[4 * round];
+    uint32_t n1 = t.t0[(s1 >> 24) & 0xff] ^ t.t1[(s2 >> 16) & 0xff] ^ t.t2[(s3 >> 8) & 0xff] ^
+                  t.t3[s0 & 0xff] ^ round_keys_[4 * round + 1];
+    uint32_t n2 = t.t0[(s2 >> 24) & 0xff] ^ t.t1[(s3 >> 16) & 0xff] ^ t.t2[(s0 >> 8) & 0xff] ^
+                  t.t3[s1 & 0xff] ^ round_keys_[4 * round + 2];
+    uint32_t n3 = t.t0[(s3 >> 24) & 0xff] ^ t.t1[(s0 >> 16) & 0xff] ^ t.t2[(s1 >> 8) & 0xff] ^
+                  t.t3[s2 & 0xff] ^ round_keys_[4 * round + 3];
+    s0 = n0;
+    s1 = n1;
+    s2 = n2;
+    s3 = n3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  auto sub_shift = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) -> uint32_t {
+    return (uint32_t{t.sbox[(a >> 24) & 0xff]} << 24) | (uint32_t{t.sbox[(b >> 16) & 0xff]} << 16) |
+           (uint32_t{t.sbox[(c >> 8) & 0xff]} << 8) | uint32_t{t.sbox[d & 0xff]};
+  };
+  uint32_t o0 = sub_shift(s0, s1, s2, s3) ^ round_keys_[40];
+  uint32_t o1 = sub_shift(s1, s2, s3, s0) ^ round_keys_[41];
+  uint32_t o2 = sub_shift(s2, s3, s0, s1) ^ round_keys_[42];
+  uint32_t o3 = sub_shift(s3, s0, s1, s2) ^ round_keys_[43];
+  seal::StoreBe32(out, o0);
+  seal::StoreBe32(out + 4, o1);
+  seal::StoreBe32(out + 8, o2);
+  seal::StoreBe32(out + 12, o3);
+}
+
+}  // namespace seal::crypto

@@ -1,0 +1,30 @@
+// AES-128 block cipher (FIPS 197), table-based implementation.
+#ifndef SRC_CRYPTO_AES_H_
+#define SRC_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace seal::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAes128KeySize = 16;
+
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+// AES-128 encryption-only context (GCM needs only the forward direction).
+class Aes128 {
+ public:
+  explicit Aes128(BytesView key);  // key must be exactly 16 bytes.
+
+  void EncryptBlock(const uint8_t in[kAesBlockSize], uint8_t out[kAesBlockSize]) const;
+
+ private:
+  uint32_t round_keys_[44];
+};
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_AES_H_

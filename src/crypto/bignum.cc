@@ -1,0 +1,250 @@
+#include "src/crypto/bignum.h"
+
+#include <algorithm>
+
+namespace seal::crypto {
+
+using uint128_t = unsigned __int128;
+
+U256 U256::FromBytes(BytesView be) {
+  uint8_t buf[32] = {0};
+  size_t n = std::min<size_t>(32, be.size());
+  // Right-align: the last n bytes of buf receive the last n bytes of input.
+  std::copy(be.end() - static_cast<ptrdiff_t>(n), be.end(), buf + (32 - n));
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[3 - i] = seal::LoadBe64(buf + 8 * i);
+  }
+  return r;
+}
+
+U256 U256::FromHexString(std::string_view hex) {
+  std::string padded(64 - std::min<size_t>(64, hex.size()), '0');
+  padded.append(hex);
+  Bytes b = seal::FromHex(padded);
+  return FromBytes(b);
+}
+
+Bytes U256::ToBytes() const {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    seal::StoreBe64(out.data() + 8 * i, limb[3 - i]);
+  }
+  return out;
+}
+
+std::string U256::ToHexString() const { return seal::ToHex(ToBytes()); }
+
+int U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return 64 * i + (63 - __builtin_clzll(limb[i]));
+    }
+  }
+  return -1;
+}
+
+U256 Add(const U256& a, const U256& b, uint64_t* carry) {
+  U256 r;
+  uint128_t c = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128_t s = static_cast<uint128_t>(a.limb[i]) + b.limb[i] + c;
+    r.limb[i] = static_cast<uint64_t>(s);
+    c = s >> 64;
+  }
+  if (carry != nullptr) {
+    *carry = static_cast<uint64_t>(c);
+  }
+  return r;
+}
+
+U256 Sub(const U256& a, const U256& b, uint64_t* borrow) {
+  U256 r;
+  uint128_t bor = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint128_t d = static_cast<uint128_t>(a.limb[i]) - b.limb[i] - bor;
+    r.limb[i] = static_cast<uint64_t>(d);
+    bor = (d >> 64) & 1;  // two's complement wrap indicates borrow
+  }
+  if (borrow != nullptr) {
+    *borrow = static_cast<uint64_t>(bor);
+  }
+  return r;
+}
+
+int Cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) {
+      return -1;
+    }
+    if (a.limb[i] > b.limb[i]) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+U512 Mul(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      uint128_t cur = static_cast<uint128_t>(a.limb[i]) * b.limb[j] + r.limb[i + j] + carry;
+      r.limb[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    r.limb[i + 4] += carry;
+  }
+  return r;
+}
+
+U256 Shl1(const U256& a, uint64_t* carry) {
+  U256 r;
+  uint64_t c = 0;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[i] = (a.limb[i] << 1) | c;
+    c = a.limb[i] >> 63;
+  }
+  if (carry != nullptr) {
+    *carry = c;
+  }
+  return r;
+}
+
+U256 Shr1(const U256& a) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[i] = a.limb[i] >> 1;
+    if (i < 3) {
+      r.limb[i] |= a.limb[i + 1] << 63;
+    }
+  }
+  return r;
+}
+
+namespace {
+
+// Binary long division remainder: processes `a` bit-by-bit from the top.
+U256 ModBits(const uint64_t* limbs, int nlimbs, const U256& m) {
+  U256 rem;
+  for (int bit = nlimbs * 64 - 1; bit >= 0; --bit) {
+    uint64_t carry = 0;
+    rem = Shl1(rem, &carry);
+    if ((limbs[bit / 64] >> (bit % 64)) & 1) {
+      rem.limb[0] |= 1;
+    }
+    // rem is at most 2m - 1 + high carry; subtract m if rem >= m or the
+    // shift overflowed 256 bits (carry means rem >= 2^256 > m).
+    if (carry != 0 || Cmp(rem, m) >= 0) {
+      uint64_t borrow = 0;
+      rem = Sub(rem, m, &borrow);
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+U256 Mod(const U512& a, const U256& m) { return ModBits(a.limb, 8, m); }
+
+U256 Mod(const U256& a, const U256& m) {
+  if (Cmp(a, m) < 0) {
+    return a;
+  }
+  return ModBits(a.limb, 4, m);
+}
+
+U256 ModMul(const U256& a, const U256& b, const U256& m) { return Mod(Mul(a, b), m); }
+
+U256 ModAdd(const U256& a, const U256& b, const U256& m) {
+  uint64_t carry = 0;
+  U256 s = Add(a, b, &carry);
+  if (carry != 0 || Cmp(s, m) >= 0) {
+    uint64_t borrow = 0;
+    s = Sub(s, m, &borrow);
+  }
+  return s;
+}
+
+U256 ModSub(const U256& a, const U256& b, const U256& m) {
+  uint64_t borrow = 0;
+  U256 d = Sub(a, b, &borrow);
+  if (borrow != 0) {
+    uint64_t carry = 0;
+    d = Add(d, m, &carry);
+  }
+  return d;
+}
+
+U256 ModExp(const U256& a, const U256& e, const U256& m) {
+  U256 result = U256::One();
+  U256 base = Mod(a, m);
+  int bits = e.BitLength();
+  for (int i = bits; i >= 0; --i) {
+    result = ModMul(result, result, m);
+    if (e.GetBit(i)) {
+      result = ModMul(result, base, m);
+    }
+  }
+  return result;
+}
+
+U256 ModInvPrime(const U256& a, const U256& m) {
+  // a^(m-2) mod m.
+  uint64_t borrow = 0;
+  U256 e = Sub(m, U256::FromUint64(2), &borrow);
+  return ModExp(a, e, m);
+}
+
+namespace {
+
+// Returns x/2 mod m for odd m: if x is even, shift; otherwise (x + m) / 2,
+// keeping the carry bit that the addition may produce.
+U256 HalveMod(const U256& x, const U256& m) {
+  if (!x.IsOdd()) {
+    return Shr1(x);
+  }
+  uint64_t carry = 0;
+  U256 s = Add(x, m, &carry);
+  U256 r = Shr1(s);
+  if (carry != 0) {
+    r.limb[3] |= 1ULL << 63;
+  }
+  return r;
+}
+
+}  // namespace
+
+U256 ModInv(const U256& a, const U256& m) {
+  // Binary extended Euclid (HAC 14.61 variant) for odd modulus m.
+  U256 u = Mod(a, m);
+  U256 v = m;
+  U256 x1 = U256::One();
+  U256 x2 = U256::Zero();
+  const U256 one = U256::One();
+  while (!(u == one) && !(v == one)) {
+    while (!u.IsOdd() && !u.IsZero()) {
+      u = Shr1(u);
+      x1 = HalveMod(x1, m);
+    }
+    while (!v.IsOdd() && !v.IsZero()) {
+      v = Shr1(v);
+      x2 = HalveMod(x2, m);
+    }
+    if (u.IsZero() || v.IsZero()) {
+      break;  // not invertible; caller violated the contract
+    }
+    if (Cmp(u, v) >= 0) {
+      uint64_t borrow = 0;
+      u = Sub(u, v, &borrow);
+      x1 = ModSub(x1, x2, m);
+    } else {
+      uint64_t borrow = 0;
+      v = Sub(v, u, &borrow);
+      x2 = ModSub(x2, x1, m);
+    }
+  }
+  return (u == one) ? x1 : x2;
+}
+
+}  // namespace seal::crypto

@@ -1,0 +1,86 @@
+// Fixed-width 256/512-bit unsigned integer arithmetic for the P-256 curve.
+//
+// U256 is little-endian limbed (limb[0] = least significant 64 bits).
+// The generic (slow) modular routines are used for scalar arithmetic mod the
+// group order n, where only a handful of operations happen per signature;
+// field arithmetic mod p uses the fast Solinas reduction in p256.cc.
+#ifndef SRC_CRYPTO_BIGNUM_H_
+#define SRC_CRYPTO_BIGNUM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace seal::crypto {
+
+struct U256 {
+  uint64_t limb[4] = {0, 0, 0, 0};
+
+  static U256 Zero() { return U256{}; }
+  static U256 One() {
+    U256 r;
+    r.limb[0] = 1;
+    return r;
+  }
+  static U256 FromUint64(uint64_t v) {
+    U256 r;
+    r.limb[0] = v;
+    return r;
+  }
+  // Parses a 32-byte big-endian value (shorter inputs are left-padded).
+  static U256 FromBytes(BytesView be);
+  static U256 FromHexString(std::string_view hex);
+
+  Bytes ToBytes() const;  // 32 bytes, big-endian.
+  std::string ToHexString() const;
+
+  bool IsZero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  bool IsOdd() const { return (limb[0] & 1) != 0; }
+  bool GetBit(int i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+  // Index of highest set bit, or -1 if zero.
+  int BitLength() const;
+
+  bool operator==(const U256& o) const {
+    return limb[0] == o.limb[0] && limb[1] == o.limb[1] && limb[2] == o.limb[2] &&
+           limb[3] == o.limb[3];
+  }
+};
+
+struct U512 {
+  uint64_t limb[8] = {0};
+};
+
+// a + b; *carry receives the out-going carry bit.
+U256 Add(const U256& a, const U256& b, uint64_t* carry);
+// a - b; *borrow receives the out-going borrow bit.
+U256 Sub(const U256& a, const U256& b, uint64_t* borrow);
+// -1, 0, +1 for a<b, a==b, a>b.
+int Cmp(const U256& a, const U256& b);
+// Full 256x256 -> 512 product.
+U512 Mul(const U256& a, const U256& b);
+// Left shift by 1 bit (bit 255 is discarded into *carry if non-null).
+U256 Shl1(const U256& a, uint64_t* carry);
+U256 Shr1(const U256& a);
+
+// Generic (slow, binary) reduction of a 512-bit value modulo m (m != 0).
+U256 Mod(const U512& a, const U256& m);
+U256 Mod(const U256& a, const U256& m);
+
+// (a * b) mod m and (a + b) mod m using the slow path; a, b must be < m.
+U256 ModMul(const U256& a, const U256& b, const U256& m);
+U256 ModAdd(const U256& a, const U256& b, const U256& m);
+U256 ModSub(const U256& a, const U256& b, const U256& m);
+// a^e mod m (square and multiply).
+U256 ModExp(const U256& a, const U256& e, const U256& m);
+// Modular inverse via Fermat for prime m: a^(m-2) mod m. a must be non-zero.
+U256 ModInvPrime(const U256& a, const U256& m);
+// Fast modular inverse via binary extended Euclid; m must be odd and
+// gcd(a, m) == 1. This is the routine used on hot paths (ECDSA, point
+// conversion); ModInvPrime is retained as a cross-check oracle for tests.
+U256 ModInv(const U256& a, const U256& m);
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_BIGNUM_H_

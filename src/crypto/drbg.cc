@@ -1,0 +1,82 @@
+#include "src/crypto/drbg.h"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <random>
+
+#include "src/crypto/hmac.h"
+
+namespace seal::crypto {
+
+HmacDrbg::HmacDrbg() {
+  std::random_device rd;
+  Bytes seed;
+  for (int i = 0; i < 12; ++i) {
+    AppendBe32(seed, rd());
+  }
+  AppendBe64(seed, static_cast<uint64_t>(
+                       std::chrono::steady_clock::now().time_since_epoch().count()));
+  std::memset(k_, 0, sizeof(k_));
+  std::memset(v_, 1, sizeof(v_));
+  Update(seed);
+}
+
+HmacDrbg::HmacDrbg(BytesView seed) {
+  std::memset(k_, 0, sizeof(k_));
+  std::memset(v_, 1, sizeof(v_));
+  Update(seed);
+}
+
+void HmacDrbg::Update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  HmacSha256 h1(BytesView(k_, 32));
+  h1.Update(BytesView(v_, 32));
+  uint8_t zero = 0;
+  h1.Update(BytesView(&zero, 1));
+  h1.Update(provided);
+  Sha256Digest nk = h1.Finish();
+  std::memcpy(k_, nk.data(), 32);
+  Sha256Digest nv = HmacSha256::Mac(BytesView(k_, 32), BytesView(v_, 32));
+  std::memcpy(v_, nv.data(), 32);
+  if (!provided.empty()) {
+    HmacSha256 h2(BytesView(k_, 32));
+    h2.Update(BytesView(v_, 32));
+    uint8_t one = 1;
+    h2.Update(BytesView(&one, 1));
+    h2.Update(provided);
+    Sha256Digest nk2 = h2.Finish();
+    std::memcpy(k_, nk2.data(), 32);
+    Sha256Digest nv2 = HmacSha256::Mac(BytesView(k_, 32), BytesView(v_, 32));
+    std::memcpy(v_, nv2.data(), 32);
+  }
+}
+
+Bytes HmacDrbg::Generate(size_t n) {
+  Bytes out;
+  while (out.size() < n) {
+    Sha256Digest nv = HmacSha256::Mac(BytesView(k_, 32), BytesView(v_, 32));
+    std::memcpy(v_, nv.data(), 32);
+    out.insert(out.end(), v_, v_ + 32);
+  }
+  out.resize(n);
+  Update({});
+  return out;
+}
+
+void HmacDrbg::Reseed(BytesView extra) { Update(extra); }
+
+namespace {
+std::mutex g_drbg_mutex;
+HmacDrbg& GlobalDrbg() {
+  static HmacDrbg drbg;
+  return drbg;
+}
+}  // namespace
+
+Bytes ProcessDrbg::Generate(size_t n) {
+  std::lock_guard<std::mutex> lock(g_drbg_mutex);
+  return GlobalDrbg().Generate(n);
+}
+
+}  // namespace seal::crypto

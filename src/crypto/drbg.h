@@ -1,0 +1,39 @@
+// HMAC-DRBG (SP 800-90A, HMAC-SHA256 variant).
+#ifndef SRC_CRYPTO_DRBG_H_
+#define SRC_CRYPTO_DRBG_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace seal::crypto {
+
+// Deterministic random bit generator. Instances are NOT thread-safe; the
+// process-wide instance returned by ProcessDrbg() is internally locked.
+class HmacDrbg {
+ public:
+  // Seeds from entropy (std::random_device + clock).
+  HmacDrbg();
+  // Deterministic instantiation for tests and for the SGX simulator's
+  // in-enclave RNG (seeded from the enclave identity).
+  explicit HmacDrbg(BytesView seed);
+
+  Bytes Generate(size_t n);
+  void Reseed(BytesView extra);
+
+ private:
+  void Update(BytesView provided);
+
+  uint8_t k_[32];
+  uint8_t v_[32];
+};
+
+// Process-wide, mutex-protected DRBG handle.
+class ProcessDrbg {
+ public:
+  Bytes Generate(size_t n);
+};
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_DRBG_H_

@@ -1,0 +1,137 @@
+#include "src/crypto/ecdsa.h"
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+
+namespace seal::crypto {
+
+namespace {
+
+// Reduces a digest to a scalar mod n (simple interpretation of the left-most
+// 256 bits, as P-256's order is 256 bits).
+U256 DigestToScalar(const Sha256Digest& digest) {
+  U256 z = U256::FromBytes(BytesView(digest.data(), digest.size()));
+  return Mod(z, P256Order());
+}
+
+// Deterministic nonce: HMAC(key_bytes, digest || counter) mod n, retried on
+// the (cryptographically negligible) zero case.
+U256 DeterministicNonce(const U256& d, const Sha256Digest& digest) {
+  Bytes key = d.ToBytes();
+  for (uint32_t counter = 0;; ++counter) {
+    HmacSha256 h(key);
+    h.Update(BytesView(digest.data(), digest.size()));
+    uint8_t c[4];
+    seal::StoreBe32(c, counter);
+    h.Update(BytesView(c, 4));
+    Sha256Digest out = h.Finish();
+    U256 k = Mod(U256::FromBytes(BytesView(out.data(), out.size())), P256Order());
+    if (!k.IsZero()) {
+      return k;
+    }
+  }
+}
+
+}  // namespace
+
+Bytes EcdsaSignature::Encode() const {
+  Bytes out = r.ToBytes();
+  Append(out, s.ToBytes());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::Decode(BytesView in) {
+  if (in.size() != 64) {
+    return std::nullopt;
+  }
+  EcdsaSignature sig;
+  sig.r = U256::FromBytes(in.subspan(0, 32));
+  sig.s = U256::FromBytes(in.subspan(32, 32));
+  return sig;
+}
+
+std::optional<EcdsaPublicKey> EcdsaPublicKey::Decode(BytesView in) {
+  std::optional<AffinePoint> p = AffinePoint::Decode(in);
+  if (!p.has_value()) {
+    return std::nullopt;
+  }
+  return EcdsaPublicKey(*p);
+}
+
+bool EcdsaPublicKey::VerifyDigest(const Sha256Digest& digest, const EcdsaSignature& sig) const {
+  const U256& n = P256Order();
+  if (q_.infinity || sig.r.IsZero() || sig.s.IsZero() || Cmp(sig.r, n) >= 0 ||
+      Cmp(sig.s, n) >= 0) {
+    return false;
+  }
+  U256 z = DigestToScalar(digest);
+  U256 s_inv = ModInv(sig.s, n);
+  U256 u1 = ModMul(z, s_inv, n);
+  U256 u2 = ModMul(sig.r, s_inv, n);
+  AffinePoint point = DoubleScalarMult(u1, u2, q_);
+  if (point.infinity) {
+    return false;
+  }
+  return Mod(point.x, n) == sig.r;
+}
+
+bool EcdsaPublicKey::Verify(BytesView message, const EcdsaSignature& sig) const {
+  return VerifyDigest(Sha256::Hash(message), sig);
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::FromSeed(BytesView seed) {
+  // Expand the seed and reduce; retry on the (negligible) zero case.
+  Bytes material(seed.begin(), seed.end());
+  for (;;) {
+    Sha256Digest d = Sha256::Hash(material);
+    U256 scalar = Mod(U256::FromBytes(BytesView(d.data(), d.size())), P256Order());
+    if (!scalar.IsZero()) {
+      EcdsaPrivateKey key;
+      key.d_ = scalar;
+      key.public_key_ = EcdsaPublicKey(ScalarBaseMult(scalar));
+      return key;
+    }
+    material.push_back(0x42);
+  }
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::Generate() {
+  Bytes seed = ProcessDrbg().Generate(48);
+  return FromSeed(seed);
+}
+
+EcdsaSignature EcdsaPrivateKey::SignDigest(const Sha256Digest& digest) const {
+  const U256& n = P256Order();
+  U256 z = DigestToScalar(digest);
+  for (uint32_t attempt = 0;; ++attempt) {
+    Sha256Digest tweaked = digest;
+    tweaked[0] ^= static_cast<uint8_t>(attempt);
+    U256 k = DeterministicNonce(d_, tweaked);
+    AffinePoint kg = ScalarBaseMult(k);
+    U256 r = Mod(kg.x, n);
+    if (r.IsZero()) {
+      continue;
+    }
+    U256 k_inv = ModInv(k, n);
+    U256 rd = ModMul(r, d_, n);
+    U256 s = ModMul(k_inv, ModAdd(z, rd, n), n);
+    if (s.IsZero()) {
+      continue;
+    }
+    return EcdsaSignature{r, s};
+  }
+}
+
+EcdsaSignature EcdsaPrivateKey::Sign(BytesView message) const {
+  return SignDigest(Sha256::Hash(message));
+}
+
+std::optional<Bytes> EcdhSharedSecret(const U256& private_scalar, const AffinePoint& peer_point) {
+  AffinePoint shared = ScalarMult(private_scalar, peer_point);
+  if (shared.infinity) {
+    return std::nullopt;
+  }
+  return shared.x.ToBytes();
+}
+
+}  // namespace seal::crypto

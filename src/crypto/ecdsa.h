@@ -1,0 +1,71 @@
+// ECDSA over P-256 with SHA-256, plus ECDH key agreement.
+// Signing uses deterministic nonces in the spirit of RFC 6979 (HMAC over
+// key and digest), so no entropy source is needed on the signing path.
+#ifndef SRC_CRYPTO_ECDSA_H_
+#define SRC_CRYPTO_ECDSA_H_
+
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+
+namespace seal::crypto {
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  Bytes Encode() const;  // 64 bytes: r || s, both big-endian.
+  static std::optional<EcdsaSignature> Decode(BytesView in);
+};
+
+class EcdsaPrivateKey;
+
+class EcdsaPublicKey {
+ public:
+  EcdsaPublicKey() = default;
+  explicit EcdsaPublicKey(AffinePoint q) : q_(q) {}
+
+  bool Verify(BytesView message, const EcdsaSignature& sig) const;
+  bool VerifyDigest(const Sha256Digest& digest, const EcdsaSignature& sig) const;
+
+  Bytes Encode() const { return q_.Encode(); }
+  static std::optional<EcdsaPublicKey> Decode(BytesView in);
+  const AffinePoint& point() const { return q_; }
+  bool valid() const { return !q_.infinity; }
+
+ private:
+  AffinePoint q_;
+};
+
+class EcdsaPrivateKey {
+ public:
+  EcdsaPrivateKey() = default;
+
+  // Derives a key pair deterministically from a seed (any length). Used by
+  // the SGX simulator to derive per-enclave signing keys from the sealed
+  // root; also convenient for reproducible tests.
+  static EcdsaPrivateKey FromSeed(BytesView seed);
+  // Generates a fresh key from the process DRBG.
+  static EcdsaPrivateKey Generate();
+
+  EcdsaSignature Sign(BytesView message) const;
+  EcdsaSignature SignDigest(const Sha256Digest& digest) const;
+
+  const EcdsaPublicKey& public_key() const { return public_key_; }
+  const U256& scalar() const { return d_; }
+  bool valid() const { return !d_.IsZero(); }
+
+ private:
+  U256 d_;
+  EcdsaPublicKey public_key_;
+};
+
+// ECDH: returns the 32-byte x-coordinate of private * peer_point, or nullopt
+// if the result is the point at infinity (invalid peer key).
+std::optional<Bytes> EcdhSharedSecret(const U256& private_scalar, const AffinePoint& peer_point);
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_ECDSA_H_

@@ -1,0 +1,179 @@
+#include "src/crypto/gcm.h"
+
+#include <cstring>
+
+namespace seal::crypto {
+
+namespace {
+
+// GCM interprets blocks as polynomials over GF(2) where the most significant
+// bit of the 128-bit big-endian integer is the coefficient of x^0.
+// Multiplying by x is therefore a right shift with conditional reduction by
+// R = 0xE1 << 120 (x^128 = x^7 + x^2 + x + 1).
+
+// Reduction values for shifting right by 8 bits: the shifted-out byte
+// represents coefficients of x^128..x^135, which reduce to
+// b(x) * (x^7 + x^2 + x + 1), a polynomial of degree <= 14 that lands in
+// the top 16 bits of `hi`.
+struct ReduceTable {
+  uint16_t r[256];
+  ReduceTable() {
+    for (int b = 0; b < 256; ++b) {
+      // After a right shift by 8, bit k (LSB = 0) of the out-going byte was
+      // the coefficient of x^(127 - k); multiplied by x^8 it is x^(135 - k),
+      // which reduces to x^(7 - k) * (x^7 + x^2 + x + 1).
+      uint16_t acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        if ((b >> k) & 1) {
+          for (int d : {7, 2, 1, 0}) {
+            int deg = (7 - k) + d;  // 0..14
+            // Degree `deg` maps to bit (15 - deg) of the top 16 bits
+            // (MSB of hi = x^0).
+            acc ^= static_cast<uint16_t>(1u << (15 - deg));
+          }
+        }
+      }
+      r[b] = acc;
+    }
+  }
+};
+
+const ReduceTable& Reduce() {
+  static const ReduceTable table;
+  return table;
+}
+
+}  // namespace
+
+Aes128Gcm::Aes128Gcm(BytesView key) : aes_(key) {
+  uint8_t zero[16] = {0};
+  uint8_t h[16];
+  aes_.EncryptBlock(zero, h);
+
+  byte_table_[0] = U128{};
+  byte_table_[0x80] = U128{seal::LoadBe64(h), seal::LoadBe64(h + 8)};
+  // Byte value 0x80 is the polynomial x^0 (within the byte); halving the
+  // byte value shifts the coefficient up by one power of x.
+  for (int i = 0x40; i >= 1; i >>= 1) {
+    const U128& prev = byte_table_[i << 1];
+    U128 next;
+    bool carry = (prev.lo & 1) != 0;
+    next.lo = (prev.lo >> 1) | (prev.hi << 63);
+    next.hi = prev.hi >> 1;
+    if (carry) {
+      next.hi ^= 0xe100000000000000ULL;
+    }
+    byte_table_[i] = next;
+  }
+  for (int b = 2; b < 256; ++b) {
+    if ((b & (b - 1)) == 0) {
+      continue;  // powers of two already filled in
+    }
+    int low = b & (-b);
+    byte_table_[b].hi = byte_table_[b ^ low].hi ^ byte_table_[low].hi;
+    byte_table_[b].lo = byte_table_[b ^ low].lo ^ byte_table_[low].lo;
+  }
+}
+
+void Aes128Gcm::GhashBlocks(U128& acc, BytesView data) const {
+  const ReduceTable& red = Reduce();
+  size_t off = 0;
+  while (off < data.size()) {
+    uint8_t block[16] = {0};
+    size_t take = std::min<size_t>(16, data.size() - off);
+    std::memcpy(block, data.data() + off, take);
+    acc.hi ^= seal::LoadBe64(block);
+    acc.lo ^= seal::LoadBe64(block + 8);
+
+    // acc *= H, one byte at a time, starting from the byte holding the
+    // highest powers of x (byte 15).
+    uint8_t x[16];
+    seal::StoreBe64(x, acc.hi);
+    seal::StoreBe64(x + 8, acc.lo);
+    U128 z;
+    for (int j = 15; j >= 0; --j) {
+      if (j != 15) {
+        // z *= x^8: shift right by 8 and fold the out-going byte back in.
+        uint8_t out_byte = static_cast<uint8_t>(z.lo & 0xff);
+        z.lo = (z.lo >> 8) | (z.hi << 56);
+        z.hi >>= 8;
+        z.hi ^= static_cast<uint64_t>(red.r[out_byte]) << 48;
+      }
+      z.hi ^= byte_table_[x[j]].hi;
+      z.lo ^= byte_table_[x[j]].lo;
+    }
+    acc = z;
+    off += take;
+  }
+}
+
+Bytes Aes128Gcm::CtrCrypt(BytesView nonce, BytesView in, uint32_t initial_counter) const {
+  Bytes out(in.size());
+  uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), kGcmNonceSize);
+  uint32_t counter = initial_counter;
+  size_t off = 0;
+  uint8_t keystream[16];
+  while (off < in.size()) {
+    seal::StoreBe32(counter_block + 12, counter++);
+    aes_.EncryptBlock(counter_block, keystream);
+    size_t take = std::min<size_t>(16, in.size() - off);
+    for (size_t i = 0; i < take; ++i) {
+      out[off + i] = in[off + i] ^ keystream[i];
+    }
+    off += take;
+  }
+  return out;
+}
+
+Aes128Gcm::U128 Aes128Gcm::ComputeGhash(BytesView aad, BytesView ciphertext) const {
+  U128 acc;
+  GhashBlocks(acc, aad);
+  GhashBlocks(acc, ciphertext);
+  uint8_t lengths[16];
+  seal::StoreBe64(lengths, static_cast<uint64_t>(aad.size()) * 8);
+  seal::StoreBe64(lengths + 8, static_cast<uint64_t>(ciphertext.size()) * 8);
+  GhashBlocks(acc, BytesView(lengths, 16));
+  return acc;
+}
+
+void Aes128Gcm::ComputeTag(BytesView nonce, BytesView aad, BytesView ciphertext,
+                           uint8_t tag[16]) const {
+  U128 ghash = ComputeGhash(aad, ciphertext);
+  uint8_t s[16];
+  seal::StoreBe64(s, ghash.hi);
+  seal::StoreBe64(s + 8, ghash.lo);
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kGcmNonceSize);
+  seal::StoreBe32(j0 + 12, 1);
+  uint8_t ek[16];
+  aes_.EncryptBlock(j0, ek);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] = s[i] ^ ek[i];
+  }
+}
+
+Bytes Aes128Gcm::Seal(BytesView nonce, BytesView aad, BytesView plaintext) const {
+  Bytes out = CtrCrypt(nonce, plaintext, 2);
+  uint8_t tag[16];
+  ComputeTag(nonce, aad, out, tag);
+  out.insert(out.end(), tag, tag + 16);
+  return out;
+}
+
+std::optional<Bytes> Aes128Gcm::Open(BytesView nonce, BytesView aad,
+                                     BytesView ciphertext_and_tag) const {
+  if (ciphertext_and_tag.size() < kGcmTagSize) {
+    return std::nullopt;
+  }
+  BytesView ciphertext = ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kGcmTagSize);
+  BytesView tag = ciphertext_and_tag.subspan(ciphertext_and_tag.size() - kGcmTagSize);
+  uint8_t expected[16];
+  ComputeTag(nonce, aad, ciphertext, expected);
+  if (!ConstantTimeEqual(BytesView(expected, 16), tag)) {
+    return std::nullopt;
+  }
+  return CtrCrypt(nonce, ciphertext, 2);
+}
+
+}  // namespace seal::crypto

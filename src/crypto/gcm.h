@@ -1,0 +1,49 @@
+// AES-128-GCM authenticated encryption (NIST SP 800-38D).
+#ifndef SRC_CRYPTO_GCM_H_
+#define SRC_CRYPTO_GCM_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/crypto/aes.h"
+
+namespace seal::crypto {
+
+inline constexpr size_t kGcmTagSize = 16;
+inline constexpr size_t kGcmNonceSize = 12;
+
+// AES-128-GCM AEAD. One context per key; nonces must be unique per key
+// (the TLS record layer derives them from the sequence number).
+class Aes128Gcm {
+ public:
+  explicit Aes128Gcm(BytesView key);
+
+  // Returns ciphertext || 16-byte tag. `nonce` must be 12 bytes.
+  Bytes Seal(BytesView nonce, BytesView aad, BytesView plaintext) const;
+
+  // Input is ciphertext || tag. Returns nullopt on authentication failure.
+  std::optional<Bytes> Open(BytesView nonce, BytesView aad, BytesView ciphertext_and_tag) const;
+
+ private:
+  struct U128 {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+  };
+
+  // GHASH accumulation: acc = (acc ^ block) * H per 16-byte block of `data`
+  // (zero-padded at the tail).
+  void GhashBlocks(U128& acc, BytesView data) const;
+  Bytes CtrCrypt(BytesView nonce, BytesView in, uint32_t initial_counter) const;
+  U128 ComputeGhash(BytesView aad, BytesView ciphertext) const;
+  void ComputeTag(BytesView nonce, BytesView aad, BytesView ciphertext, uint8_t tag[16]) const;
+
+  Aes128 aes_;
+  // byte_table_[b] = (polynomial of byte b) * H, bit 7 of b = coefficient
+  // of x^0 within the byte (GCM's reflected bit order).
+  U128 byte_table_[256];
+};
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_GCM_H_

@@ -1,0 +1,82 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace seal::crypto {
+
+HmacSha256::HmacSha256(BytesView key) {
+  uint8_t block_key[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest d = Sha256::Hash(key);
+    std::memcpy(block_key, d.data(), d.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+  uint8_t ipad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+  inner_.Update(BytesView(ipad, kSha256BlockSize));
+}
+
+void HmacSha256::Update(BytesView data) { inner_.Update(data); }
+
+Sha256Digest HmacSha256::Finish() {
+  Sha256Digest inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(BytesView(opad_key_, kSha256BlockSize));
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256::Mac(BytesView key, BytesView data) {
+  HmacSha256 h(key);
+  h.Update(data);
+  return h.Finish();
+}
+
+Bytes HkdfExtract(BytesView salt, BytesView ikm) {
+  Sha256Digest d = HmacSha256::Mac(salt, ikm);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes HkdfExpand(BytesView prk, BytesView info, size_t length) {
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.Update(t);
+    h.Update(info);
+    h.Update(BytesView(&counter, 1));
+    Sha256Digest d = h.Finish();
+    t.assign(d.begin(), d.end());
+    Append(out, t);
+    ++counter;
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes Tls12Prf(BytesView secret, std::string_view label, BytesView seed, size_t length) {
+  Bytes label_seed = ToBytes(label);
+  Append(label_seed, seed);
+  // P_SHA256: A(0) = label_seed; A(i) = HMAC(secret, A(i-1));
+  // output = HMAC(secret, A(1) || label_seed) || HMAC(secret, A(2) || ...) ...
+  Bytes out;
+  Bytes a = label_seed;
+  while (out.size() < length) {
+    Sha256Digest ad = HmacSha256::Mac(secret, a);
+    a.assign(ad.begin(), ad.end());
+    HmacSha256 h(secret);
+    h.Update(a);
+    h.Update(label_seed);
+    Sha256Digest block = h.Finish();
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(length);
+  return out;
+}
+
+}  // namespace seal::crypto

@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104), HKDF (RFC 5869) and the TLS 1.2 PRF (RFC 5246).
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/common/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace seal::crypto {
+
+// Incremental HMAC-SHA256.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(BytesView key);
+
+  void Update(BytesView data);
+  Sha256Digest Finish();
+
+  static Sha256Digest Mac(BytesView key, BytesView data);
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_key_[kSha256BlockSize];
+};
+
+// HKDF-Extract and HKDF-Expand with SHA-256.
+Bytes HkdfExtract(BytesView salt, BytesView ikm);
+Bytes HkdfExpand(BytesView prk, BytesView info, size_t length);
+
+// TLS 1.2 PRF: P_SHA256(secret, label || seed) truncated to `length` bytes.
+Bytes Tls12Prf(BytesView secret, std::string_view label, BytesView seed, size_t length);
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_HMAC_H_

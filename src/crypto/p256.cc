@@ -1,0 +1,379 @@
+#include "src/crypto/p256.h"
+
+#include <vector>
+
+namespace seal::crypto {
+
+namespace {
+
+const U256 kP = U256::FromHexString(
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+const U256 kN = U256::FromHexString(
+    "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+const U256 kB = U256::FromHexString(
+    "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+const U256 kGx = U256::FromHexString(
+    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+const U256 kGy = U256::FromHexString(
+    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+
+}  // namespace
+
+const U256& P256Prime() { return kP; }
+const U256& P256Order() { return kN; }
+const U256& P256B() { return kB; }
+const U256& P256Gx() { return kGx; }
+const U256& P256Gy() { return kGy; }
+
+U256 FeAdd(const U256& a, const U256& b) { return ModAdd(a, b, kP); }
+U256 FeSub(const U256& a, const U256& b) { return ModSub(a, b, kP); }
+
+U256 FeReduce512(const U512& v) {
+  // Solinas fast reduction for p = 2^256 - 2^224 + 2^192 + 2^96 - 1
+  // (FIPS 186-4 D.2.3). The 512-bit input is viewed as sixteen 32-bit
+  // words c0 (least significant) .. c15.
+  uint32_t c[16];
+  for (int i = 0; i < 8; ++i) {
+    c[2 * i] = static_cast<uint32_t>(v.limb[i]);
+    c[2 * i + 1] = static_cast<uint32_t>(v.limb[i] >> 32);
+  }
+  // Each row lists the word for positions 7..0 (most significant first);
+  // the multiplier is +1, +2 or -1.
+  struct Term {
+    int mult;
+    int w[8];  // indices into c, -1 means zero
+  };
+  static constexpr Term kTerms[] = {
+      {+1, {7, 6, 5, 4, 3, 2, 1, 0}},           // s1
+      {+2, {15, 14, 13, 12, 11, -1, -1, -1}},   // s2
+      {+2, {-1, 15, 14, 13, 12, -1, -1, -1}},   // s3
+      {+1, {15, 14, -1, -1, -1, 10, 9, 8}},     // s4
+      {+1, {8, 13, 15, 14, 13, 11, 10, 9}},     // s5
+      {-1, {10, 8, -1, -1, -1, 13, 12, 11}},    // s6 (d1)
+      {-1, {11, 9, -1, -1, 15, 14, 13, 12}},    // s7 (d2)
+      {-1, {12, -1, 10, 9, 8, 15, 14, 13}},     // s8 (d3)
+      {-1, {13, -1, 11, 10, 9, -1, 15, 14}},    // s9 (d4)
+  };
+  int64_t acc[8] = {0};
+  for (const Term& t : kTerms) {
+    for (int pos = 0; pos < 8; ++pos) {
+      int idx = t.w[7 - pos];  // t.w[0] is the most significant position
+      if (idx >= 0) {
+        acc[pos] += static_cast<int64_t>(t.mult) * static_cast<int64_t>(c[idx]);
+      }
+    }
+  }
+  // Carry-propagate into a 256-bit value plus a small signed overflow t.
+  __int128 carry = 0;
+  uint32_t words[8];
+  for (int i = 0; i < 8; ++i) {
+    carry += acc[i];
+    words[i] = static_cast<uint32_t>(carry & 0xffffffff);
+    carry >>= 32;  // arithmetic shift keeps the sign
+  }
+  int64_t overflow = static_cast<int64_t>(carry);
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    r.limb[i] = uint64_t{words[2 * i]} | (uint64_t{words[2 * i + 1]} << 32);
+  }
+  while (overflow > 0) {
+    uint64_t borrow = 0;
+    r = Sub(r, kP, &borrow);
+    overflow -= static_cast<int64_t>(borrow);
+  }
+  while (overflow < 0) {
+    uint64_t c2 = 0;
+    r = Add(r, kP, &c2);
+    overflow += static_cast<int64_t>(c2);
+  }
+  while (Cmp(r, kP) >= 0) {
+    uint64_t borrow = 0;
+    r = Sub(r, kP, &borrow);
+  }
+  return r;
+}
+
+U256 FeMul(const U256& a, const U256& b) { return FeReduce512(Mul(a, b)); }
+U256 FeSqr(const U256& a) { return FeReduce512(Mul(a, a)); }
+U256 FeInv(const U256& a) { return ModInv(a, kP); }
+
+AffinePoint AffinePoint::Generator() { return AffinePoint{kGx, kGy, false}; }
+
+bool AffinePoint::OnCurve() const {
+  if (infinity) {
+    return true;
+  }
+  // y^2 == x^3 - 3x + b.
+  U256 y2 = FeSqr(y);
+  U256 x3 = FeMul(FeSqr(x), x);
+  U256 three_x = FeAdd(FeAdd(x, x), x);
+  U256 rhs = FeAdd(FeSub(x3, three_x), kB);
+  return y2 == rhs;
+}
+
+Bytes AffinePoint::Encode() const {
+  Bytes out;
+  out.push_back(0x04);
+  Append(out, x.ToBytes());
+  Append(out, y.ToBytes());
+  return out;
+}
+
+std::optional<AffinePoint> AffinePoint::Decode(BytesView in) {
+  if (in.size() != 65 || in[0] != 0x04) {
+    return std::nullopt;
+  }
+  AffinePoint p;
+  p.x = U256::FromBytes(in.subspan(1, 32));
+  p.y = U256::FromBytes(in.subspan(33, 32));
+  p.infinity = false;
+  if (Cmp(p.x, kP) >= 0 || Cmp(p.y, kP) >= 0 || !p.OnCurve()) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+bool AffinePoint::operator==(const AffinePoint& o) const {
+  if (infinity || o.infinity) {
+    return infinity == o.infinity;
+  }
+  return x == o.x && y == o.y;
+}
+
+namespace {
+
+// Jacobian coordinates: (X, Y, Z) represents (X/Z^2, Y/Z^3).
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+  bool infinity = true;
+
+  static JacobianPoint FromAffine(const AffinePoint& p) {
+    if (p.infinity) {
+      return JacobianPoint{};
+    }
+    return JacobianPoint{p.x, p.y, U256::One(), false};
+  }
+
+  AffinePoint ToAffine() const {
+    if (infinity) {
+      return AffinePoint::Infinity();
+    }
+    U256 zinv = FeInv(z);
+    U256 zinv2 = FeSqr(zinv);
+    U256 zinv3 = FeMul(zinv2, zinv);
+    return AffinePoint{FeMul(x, zinv2), FeMul(y, zinv3), false};
+  }
+};
+
+// Point doubling, dbl-2001-b formulas (a = -3).
+JacobianPoint Double(const JacobianPoint& p) {
+  if (p.infinity || p.y.IsZero()) {
+    return JacobianPoint{};
+  }
+  U256 delta = FeSqr(p.z);
+  U256 gamma = FeSqr(p.y);
+  U256 beta = FeMul(p.x, gamma);
+  U256 t1 = FeSub(p.x, delta);
+  U256 t2 = FeAdd(p.x, delta);
+  U256 t3 = FeMul(t1, t2);
+  U256 alpha = FeAdd(FeAdd(t3, t3), t3);
+  U256 beta8 = FeAdd(beta, beta);   // 2b
+  beta8 = FeAdd(beta8, beta8);      // 4b
+  U256 x3 = FeSub(FeSqr(alpha), FeAdd(beta8, beta8));
+  U256 z3 = FeSub(FeSub(FeSqr(FeAdd(p.y, p.z)), gamma), delta);
+  U256 gamma2 = FeSqr(gamma);
+  U256 gamma8 = FeAdd(gamma2, gamma2);
+  gamma8 = FeAdd(gamma8, gamma8);
+  gamma8 = FeAdd(gamma8, gamma8);
+  U256 y3 = FeSub(FeMul(alpha, FeSub(beta8, x3)), gamma8);
+  return JacobianPoint{x3, y3, z3, false};
+}
+
+// Mixed addition: p (Jacobian) + q (affine, not infinity).
+JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (p.infinity) {
+    return JacobianPoint::FromAffine(q);
+  }
+  U256 z1z1 = FeSqr(p.z);
+  U256 u2 = FeMul(q.x, z1z1);
+  U256 s2 = FeMul(FeMul(q.y, p.z), z1z1);
+  U256 h = FeSub(u2, p.x);
+  U256 r = FeSub(s2, p.y);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      return Double(p);
+    }
+    return JacobianPoint{};  // P + (-P) = infinity
+  }
+  U256 hh = FeSqr(h);
+  U256 hhh = FeMul(h, hh);
+  U256 v = FeMul(p.x, hh);
+  U256 x3 = FeSub(FeSub(FeSqr(r), hhh), FeAdd(v, v));
+  U256 y3 = FeSub(FeMul(r, FeSub(v, x3)), FeMul(p.y, hhh));
+  U256 z3 = FeMul(p.z, h);
+  return JacobianPoint{x3, y3, z3, false};
+}
+
+JacobianPoint ScalarMultJacobian(const U256& scalar, const AffinePoint& point) {
+  if (scalar.IsZero() || point.infinity) {
+    return JacobianPoint{};
+  }
+  JacobianPoint acc;
+  int top = scalar.BitLength();
+  for (int i = top; i >= 0; --i) {
+    acc = Double(acc);
+    if (scalar.GetBit(i)) {
+      acc = AddMixed(acc, point);
+    }
+  }
+  return acc;
+}
+
+// Fixed-base precomputation for the generator: table[i][j-1] = j * 16^i * G
+// for i in 0..63, j in 1..15. Built once (Jacobian, then batch-normalised
+// to affine with a single field inversion); cuts a base-point multiply to
+// at most 64 mixed additions. ECDSA signing and the server side of every
+// TLS handshake are dominated by base multiplies, so this matters for the
+// throughput benchmarks.
+class BaseTable {
+ public:
+  BaseTable() {
+    std::vector<JacobianPoint> jac;
+    jac.reserve(64 * 15);
+    JacobianPoint row_base = JacobianPoint::FromAffine(AffinePoint::Generator());
+    for (int i = 0; i < 64; ++i) {
+      // row: 1x .. 15x of row_base.
+      JacobianPoint current = row_base;
+      std::vector<JacobianPoint> row;
+      row.push_back(current);
+      for (int j = 2; j <= 15; ++j) {
+        if (j % 2 == 0) {
+          current = Double(row[static_cast<size_t>(j / 2 - 1)]);
+        } else {
+          current = AddJacobian(row[static_cast<size_t>(j - 2)], row_base);
+        }
+        row.push_back(current);
+      }
+      for (const JacobianPoint& p : row) {
+        jac.push_back(p);
+      }
+      row_base = Double(Double(Double(Double(row_base))));  // *16
+    }
+    // Batch inversion (Montgomery's trick) to normalise all z coordinates.
+    std::vector<U256> zs;
+    zs.reserve(jac.size());
+    for (const JacobianPoint& p : jac) {
+      zs.push_back(p.z);
+    }
+    std::vector<U256> prefix(zs.size());
+    U256 acc = U256::One();
+    for (size_t k = 0; k < zs.size(); ++k) {
+      prefix[k] = acc;
+      acc = FeMul(acc, zs[k]);
+    }
+    U256 inv = FeInv(acc);
+    std::vector<U256> zinv(zs.size());
+    for (size_t k = zs.size(); k-- > 0;) {
+      zinv[k] = FeMul(inv, prefix[k]);
+      inv = FeMul(inv, zs[k]);
+    }
+    points_.resize(jac.size());
+    for (size_t k = 0; k < jac.size(); ++k) {
+      U256 zi2 = FeSqr(zinv[k]);
+      U256 zi3 = FeMul(zi2, zinv[k]);
+      points_[k] = AffinePoint{FeMul(jac[k].x, zi2), FeMul(jac[k].y, zi3), false};
+    }
+  }
+
+  const AffinePoint& At(int window, int value) const {
+    return points_[static_cast<size_t>(window * 15 + value - 1)];
+  }
+
+ private:
+  // General Jacobian + Jacobian addition (add-2007-bl, simplified), only
+  // used during table construction.
+  static JacobianPoint AddJacobian(const JacobianPoint& p, const JacobianPoint& q) {
+    if (p.infinity) {
+      return q;
+    }
+    if (q.infinity) {
+      return p;
+    }
+    U256 z1z1 = FeSqr(p.z);
+    U256 z2z2 = FeSqr(q.z);
+    U256 u1 = FeMul(p.x, z2z2);
+    U256 u2 = FeMul(q.x, z1z1);
+    U256 s1 = FeMul(FeMul(p.y, q.z), z2z2);
+    U256 s2 = FeMul(FeMul(q.y, p.z), z1z1);
+    U256 h = FeSub(u2, u1);
+    U256 r = FeSub(s2, s1);
+    if (h.IsZero()) {
+      if (r.IsZero()) {
+        return Double(p);
+      }
+      return JacobianPoint{};
+    }
+    U256 hh = FeSqr(h);
+    U256 hhh = FeMul(h, hh);
+    U256 v = FeMul(u1, hh);
+    U256 x3 = FeSub(FeSub(FeSqr(r), hhh), FeAdd(v, v));
+    U256 y3 = FeSub(FeMul(r, FeSub(v, x3)), FeMul(s1, hhh));
+    U256 z3 = FeMul(FeMul(p.z, q.z), h);
+    return JacobianPoint{x3, y3, z3, false};
+  }
+
+  std::vector<AffinePoint> points_;
+};
+
+const BaseTable& GetBaseTable() {
+  static const BaseTable table;
+  return table;
+}
+
+JacobianPoint ScalarBaseMultJacobian(const U256& scalar) {
+  if (scalar.IsZero()) {
+    return JacobianPoint{};
+  }
+  const BaseTable& table = GetBaseTable();
+  JacobianPoint acc;
+  for (int i = 0; i < 64; ++i) {
+    int nibble = static_cast<int>((scalar.limb[i / 16] >> (4 * (i % 16))) & 0xf);
+    if (nibble != 0) {
+      acc = AddMixed(acc, table.At(i, nibble));
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+AffinePoint ScalarMult(const U256& scalar, const AffinePoint& point) {
+  return ScalarMultJacobian(scalar, point).ToAffine();
+}
+
+AffinePoint ScalarBaseMult(const U256& scalar) {
+  return ScalarBaseMultJacobian(scalar).ToAffine();
+}
+
+AffinePoint PointAdd(const AffinePoint& p, const AffinePoint& q) {
+  if (p.infinity) {
+    return q;
+  }
+  if (q.infinity) {
+    return p;
+  }
+  return AddMixed(JacobianPoint::FromAffine(p), q).ToAffine();
+}
+
+AffinePoint DoubleScalarMult(const U256& a, const U256& b, const AffinePoint& q) {
+  JacobianPoint ag = ScalarBaseMultJacobian(a);
+  AffinePoint bq = ScalarMult(b, q);
+  if (bq.infinity) {
+    return ag.ToAffine();
+  }
+  return AddMixed(ag, bq).ToAffine();
+}
+
+}  // namespace seal::crypto

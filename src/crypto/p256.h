@@ -1,0 +1,60 @@
+// NIST P-256 (secp256r1) elliptic-curve arithmetic: field ops with fast
+// Solinas reduction, Jacobian-coordinate point arithmetic, and windowed
+// scalar multiplication.
+#ifndef SRC_CRYPTO_P256_H_
+#define SRC_CRYPTO_P256_H_
+
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/crypto/bignum.h"
+
+namespace seal::crypto {
+
+// Curve parameters (y^2 = x^3 - 3x + b over GF(p)).
+const U256& P256Prime();   // p
+const U256& P256Order();   // n (order of the base point)
+const U256& P256B();       // b
+const U256& P256Gx();      // base point x
+const U256& P256Gy();      // base point y
+
+// Field arithmetic mod p with Solinas reduction (fast path).
+U256 FeAdd(const U256& a, const U256& b);
+U256 FeSub(const U256& a, const U256& b);
+U256 FeMul(const U256& a, const U256& b);
+U256 FeSqr(const U256& a);
+U256 FeInv(const U256& a);
+// Reduces a 512-bit product modulo p (exposed for testing against the
+// generic slow reduction).
+U256 FeReduce512(const U512& a);
+
+// Affine point; infinity is represented by `infinity == true`.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static AffinePoint Infinity() { return AffinePoint{}; }
+  static AffinePoint Generator();
+
+  bool OnCurve() const;
+  // SEC1 uncompressed encoding: 0x04 || X || Y (65 bytes).
+  Bytes Encode() const;
+  static std::optional<AffinePoint> Decode(BytesView in);
+
+  bool operator==(const AffinePoint& o) const;
+};
+
+// scalar * point. Scalar is taken mod n implicitly by callers; zero scalar
+// or infinity input yields infinity.
+AffinePoint ScalarMult(const U256& scalar, const AffinePoint& point);
+// scalar * G, using the generator.
+AffinePoint ScalarBaseMult(const U256& scalar);
+// a*G + b*Q (used by ECDSA verification).
+AffinePoint DoubleScalarMult(const U256& a, const U256& b, const AffinePoint& q);
+// Point addition in affine terms (handles doubling and infinity).
+AffinePoint PointAdd(const AffinePoint& p, const AffinePoint& q);
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_P256_H_

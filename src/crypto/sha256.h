@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace seal::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+inline constexpr size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256. Typical use:
+//   Sha256 h; h.Update(a); h.Update(b); Sha256Digest d = h.Finish();
+// Finish() may only be called once; the object is then exhausted.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(BytesView data);
+  void Update(std::string_view data);
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(BytesView data);
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void Compress(const uint8_t block[kSha256BlockSize]);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffered_ = 0;
+};
+
+// Digest as a Bytes vector (handy for log/hash-chain code).
+Bytes Sha256Bytes(BytesView data);
+
+}  // namespace seal::crypto
+
+#endif  // SRC_CRYPTO_SHA256_H_

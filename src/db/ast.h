@@ -1,0 +1,131 @@
+// Abstract syntax tree for the seadb SQL dialect.
+//
+// Supported statements: SELECT (joins incl. NATURAL, WHERE, GROUP BY,
+// HAVING, ORDER BY, LIMIT/OFFSET, DISTINCT, scalar/IN/EXISTS subqueries
+// with correlation), INSERT, DELETE, UPDATE, CREATE TABLE, CREATE VIEW,
+// DROP TABLE/VIEW.
+#ifndef SRC_DB_AST_H_
+#define SRC_DB_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace seal::db {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+struct SelectStmt;
+
+enum class ExprKind {
+  kLiteral,   // literal Value
+  kColumn,    // [table.]column reference
+  kUnary,     // op in {"-", "NOT"}; operand in args[0]
+  kBinary,    // op in {=, !=, <, <=, >, >=, +, -, *, /, %, AND, OR, ||, LIKE}
+  kFunction,  // name in `name`, arguments in args; COUNT(*) has star=true
+  kSubquery,  // scalar subquery
+  kInList,    // args[0] IN (args[1..]) -- or IN subquery when `subquery` set
+  kExists,    // EXISTS (subquery)
+  kIsNull,    // args[0] IS [NOT] NULL (negated => IS NOT NULL)
+};
+
+struct Expr {
+  ExprKind kind;
+  Value literal;                         // kLiteral
+  std::string table;                     // kColumn qualifier, may be empty
+  std::string name;                      // kColumn column name / kFunction name (upper)
+  std::string op;                        // kUnary / kBinary operator (upper-cased keywords)
+  std::vector<ExprPtr> args;
+  std::unique_ptr<SelectStmt> subquery;  // kSubquery / kExists / kInList (subquery form)
+  bool negated = false;                  // NOT IN / NOT EXISTS / IS NOT NULL
+  bool star = false;                     // COUNT(*)
+  bool distinct = false;                 // COUNT(DISTINCT expr)
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+struct SelectItem {
+  ExprPtr expr;            // null when star == true
+  std::string alias;       // AS alias, may be empty
+  bool star = false;       // '*' or 'alias.*'
+  std::string star_table;  // qualifier for 'alias.*', empty for bare '*'
+};
+
+// A table source in FROM: a named table/view or a parenthesised subquery.
+struct TableRef {
+  std::string table_name;                // empty when subquery is set
+  std::string alias;                     // may be empty
+  std::unique_ptr<SelectStmt> subquery;  // derived table
+};
+
+struct JoinClause {
+  enum class Kind { kInner, kCross, kNatural, kLeft };
+  Kind kind = Kind::kInner;
+  TableRef table;
+  ExprPtr on;  // null for CROSS / NATURAL
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  ExprPtr limit;
+  ExprPtr offset;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::string> columns;
+  bool if_not_exists = false;
+};
+
+struct CreateViewStmt {
+  std::string name;
+  std::shared_ptr<SelectStmt> select;  // shared: the catalog keeps it alive
+  bool if_not_exists = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;         // empty = positional
+  std::vector<std::vector<ExprPtr>> rows;   // VALUES (...), (...)
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // null = delete all
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DropStmt {
+  std::string name;
+  bool is_view = false;
+  bool if_exists = false;
+};
+
+using Statement = std::variant<std::unique_ptr<SelectStmt>, CreateTableStmt, CreateViewStmt,
+                               InsertStmt, DeleteStmt, UpdateStmt, DropStmt>;
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_AST_H_

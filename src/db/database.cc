@@ -1,0 +1,396 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+
+#include "src/db/executor.h"
+#include "src/db/parser.h"
+
+namespace seal::db {
+
+namespace {
+
+// Binary serialisation helpers (length-prefixed).
+void PutString(Bytes& out, const std::string& s) {
+  AppendBe32(out, static_cast<uint32_t>(s.size()));
+  Append(out, s);
+}
+
+bool GetString(BytesView in, size_t& off, std::string* s) {
+  if (off + 4 > in.size()) {
+    return false;
+  }
+  uint32_t n = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + n > in.size()) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(in.data() + off), n);
+  off += n;
+  return true;
+}
+
+void PutValue(Bytes& out, const Value& v) {
+  if (v.is_null()) {
+    out.push_back(0);
+  } else if (v.is_int()) {
+    out.push_back(1);
+    AppendBe64(out, static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_real()) {
+    out.push_back(2);
+    double d = v.AsReal();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    AppendBe64(out, bits);
+  } else {
+    out.push_back(3);
+    PutString(out, v.text());
+  }
+}
+
+bool GetValue(BytesView in, size_t& off, Value* v) {
+  if (off >= in.size()) {
+    return false;
+  }
+  uint8_t tag = in[off++];
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return true;
+    case 1: {
+      if (off + 8 > in.size()) {
+        return false;
+      }
+      *v = Value(static_cast<int64_t>(LoadBe64(in.data() + off)));
+      off += 8;
+      return true;
+    }
+    case 2: {
+      if (off + 8 > in.size()) {
+        return false;
+      }
+      uint64_t bits = LoadBe64(in.data() + off);
+      off += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!GetString(in, off, &s)) {
+        return false;
+      }
+      *v = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  auto parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Statement& stmt = *parsed;
+
+  if (auto* select = std::get_if<std::unique_ptr<SelectStmt>>(&stmt)) {
+    Executor executor(*this);
+    return executor.ExecuteSelect(**select);
+  }
+
+  if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    if (tables_.count(create->name) > 0 || views_.count(create->name) > 0) {
+      if (create->if_not_exists) {
+        return QueryResult{};
+      }
+      return AlreadyExists("table " + create->name + " already exists");
+    }
+    tables_[create->name] = TableData{create->columns, {}};
+    return QueryResult{};
+  }
+
+  if (auto* view = std::get_if<CreateViewStmt>(&stmt)) {
+    if (tables_.count(view->name) > 0 || views_.count(view->name) > 0) {
+      if (view->if_not_exists) {
+        return QueryResult{};
+      }
+      return AlreadyExists("view " + view->name + " already exists");
+    }
+    views_[view->name] = ViewData{view->select, std::string(sql)};
+    return QueryResult{};
+  }
+
+  if (auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    auto it = tables_.find(insert->table);
+    if (it == tables_.end()) {
+      return NotFound("no such table: " + insert->table);
+    }
+    TableData& table = it->second;
+    // Resolve column positions.
+    std::vector<size_t> positions;
+    if (insert->columns.empty()) {
+      for (size_t i = 0; i < table.columns.size(); ++i) {
+        positions.push_back(i);
+      }
+    } else {
+      for (const std::string& col : insert->columns) {
+        auto cit = std::find(table.columns.begin(), table.columns.end(), col);
+        if (cit == table.columns.end()) {
+          return NotFound("no such column: " + col);
+        }
+        positions.push_back(static_cast<size_t>(cit - table.columns.begin()));
+      }
+    }
+    Executor executor(*this);
+    QueryResult result;
+    for (const std::vector<ExprPtr>& exprs : insert->rows) {
+      if (exprs.size() != positions.size()) {
+        return InvalidArgument("value count does not match column count");
+      }
+      Row row(table.columns.size(), Value::Null());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        auto v = executor.Eval(*exprs[i], {});
+        if (!v.ok()) {
+          return v.status();
+        }
+        row[positions[i]] = std::move(*v);
+      }
+      table.rows.push_back(std::move(row));
+      ++result.affected;
+    }
+    return result;
+  }
+
+  if (auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    auto it = tables_.find(del->table);
+    if (it == tables_.end()) {
+      return NotFound("no such table: " + del->table);
+    }
+    TableData& table = it->second;
+    QueryResult result;
+    if (del->where == nullptr) {
+      result.affected = table.rows.size();
+      table.rows.clear();
+      return result;
+    }
+    // Evaluate all predicates against the pre-delete snapshot so that
+    // subqueries over the same table observe consistent state.
+    Executor executor(*this);
+    Relation rel;
+    rel.columns = table.columns;
+    rel.aliases.assign(rel.columns.size(), del->table);
+    // All predicates are evaluated before any mutation, so the relation can
+    // borrow the live table rows.
+    rel.BorrowRows(&table.rows);
+    std::vector<bool> doomed(table.rows.size(), false);
+    for (size_t i = 0; i < rel.Rows().size(); ++i) {
+      std::vector<RowScope> scopes = {RowScope{&rel, &rel.Rows()[i]}};
+      auto cond = executor.Eval(*del->where, scopes);
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      doomed[i] = cond->Truthy();
+    }
+    std::vector<Row> kept;
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+      if (doomed[i]) {
+        ++result.affected;
+      } else {
+        kept.push_back(std::move(table.rows[i]));
+      }
+    }
+    table.rows = std::move(kept);
+    return result;
+  }
+
+  if (auto* update = std::get_if<UpdateStmt>(&stmt)) {
+    auto it = tables_.find(update->table);
+    if (it == tables_.end()) {
+      return NotFound("no such table: " + update->table);
+    }
+    TableData& table = it->second;
+    std::vector<size_t> positions;
+    for (const auto& [col, expr] : update->assignments) {
+      auto cit = std::find(table.columns.begin(), table.columns.end(), col);
+      if (cit == table.columns.end()) {
+        return NotFound("no such column: " + col);
+      }
+      positions.push_back(static_cast<size_t>(cit - table.columns.begin()));
+    }
+    Executor executor(*this);
+    Relation rel;
+    rel.columns = table.columns;
+    rel.aliases.assign(rel.columns.size(), update->table);
+    rel.SetOwnedRows(std::vector<Row>(table.rows));  // snapshot: assignments
+    // to earlier rows must not change predicate evaluation for later rows.
+    QueryResult result;
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+      std::vector<RowScope> scopes = {RowScope{&rel, &rel.Rows()[i]}};
+      if (update->where != nullptr) {
+        auto cond = executor.Eval(*update->where, scopes);
+        if (!cond.ok()) {
+          return cond.status();
+        }
+        if (!cond->Truthy()) {
+          continue;
+        }
+      }
+      for (size_t a = 0; a < update->assignments.size(); ++a) {
+        auto v = executor.Eval(*update->assignments[a].second, scopes);
+        if (!v.ok()) {
+          return v.status();
+        }
+        table.rows[i][positions[a]] = std::move(*v);
+      }
+      ++result.affected;
+    }
+    return result;
+  }
+
+  if (auto* drop = std::get_if<DropStmt>(&stmt)) {
+    size_t erased = drop->is_view ? views_.erase(drop->name) : tables_.erase(drop->name);
+    if (erased == 0 && !drop->if_exists) {
+      return NotFound("no such " + std::string(drop->is_view ? "view" : "table") + ": " +
+                      drop->name);
+    }
+    return QueryResult{};
+  }
+
+  return Internal("unhandled statement type");
+}
+
+Status Database::CreateTable(const std::string& name, std::vector<std::string> columns) {
+  if (tables_.count(name) > 0) {
+    return AlreadyExists("table " + name + " already exists");
+  }
+  tables_[name] = TableData{std::move(columns), {}};
+  return Status::Ok();
+}
+
+Status Database::InsertRow(const std::string& name, Row row) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound("no such table: " + name);
+  }
+  if (row.size() != it->second.columns.size()) {
+    return InvalidArgument("row arity mismatch for table " + name);
+  }
+  it->second.rows.push_back(std::move(row));
+  return Status::Ok();
+}
+
+size_t Database::TableSize(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.rows.size();
+}
+
+const std::vector<Row>* Database::TableRows(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.rows;
+}
+
+const std::vector<std::string>* Database::TableColumns(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.columns;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Bytes Database::Serialize() const {
+  Bytes out;
+  AppendBe32(out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, table] : tables_) {
+    PutString(out, name);
+    AppendBe32(out, static_cast<uint32_t>(table.columns.size()));
+    for (const std::string& col : table.columns) {
+      PutString(out, col);
+    }
+    AppendBe32(out, static_cast<uint32_t>(table.rows.size()));
+    for (const Row& row : table.rows) {
+      for (const Value& v : row) {
+        PutValue(out, v);
+      }
+    }
+  }
+  AppendBe32(out, static_cast<uint32_t>(views_.size()));
+  for (const auto& [name, view] : views_) {
+    PutString(out, view.sql);
+  }
+  return out;
+}
+
+Result<Database> Database::Deserialize(BytesView in) {
+  Database db;
+  size_t off = 0;
+  if (off + 4 > in.size()) {
+    return DataLoss("truncated database image");
+  }
+  uint32_t ntables = LoadBe32(in.data() + off);
+  off += 4;
+  for (uint32_t t = 0; t < ntables; ++t) {
+    std::string name;
+    if (!GetString(in, off, &name)) {
+      return DataLoss("truncated table name");
+    }
+    if (off + 4 > in.size()) {
+      return DataLoss("truncated column count");
+    }
+    uint32_t ncols = LoadBe32(in.data() + off);
+    off += 4;
+    TableData table;
+    for (uint32_t c = 0; c < ncols; ++c) {
+      std::string col;
+      if (!GetString(in, off, &col)) {
+        return DataLoss("truncated column name");
+      }
+      table.columns.push_back(std::move(col));
+    }
+    if (off + 4 > in.size()) {
+      return DataLoss("truncated row count");
+    }
+    uint32_t nrows = LoadBe32(in.data() + off);
+    off += 4;
+    for (uint32_t r = 0; r < nrows; ++r) {
+      Row row;
+      for (uint32_t c = 0; c < ncols; ++c) {
+        Value v;
+        if (!GetValue(in, off, &v)) {
+          return DataLoss("truncated value");
+        }
+        row.push_back(std::move(v));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    db.tables_[name] = std::move(table);
+  }
+  if (off + 4 > in.size()) {
+    return DataLoss("truncated view count");
+  }
+  uint32_t nviews = LoadBe32(in.data() + off);
+  off += 4;
+  for (uint32_t v = 0; v < nviews; ++v) {
+    std::string sql;
+    if (!GetString(in, off, &sql)) {
+      return DataLoss("truncated view SQL");
+    }
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  return db;
+}
+
+}  // namespace seal::db

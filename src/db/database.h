@@ -1,0 +1,76 @@
+// seadb: an embedded in-memory relational database with a SQL front end.
+//
+// This plays the role SQLite plays in the LibSEAL paper: it executes the
+// audit-log schema DDL, the logger's INSERTs, the invariant SELECT queries
+// and the trimming DELETEs, entirely inside the (simulated) enclave.
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/db/ast.h"
+#include "src/db/value.h"
+
+namespace seal::db {
+
+// Result of Execute(): column names and rows for SELECT; `affected` for DML.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected = 0;
+
+  bool empty() const { return rows.empty(); }
+};
+
+class Database {
+ public:
+  Database() = default;
+  // Movable, not copyable (views hold parsed ASTs).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Parses and executes one SQL statement.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  // Programmatic fast paths used by the audit logger (no SQL parsing).
+  Status CreateTable(const std::string& name, std::vector<std::string> columns);
+  Status InsertRow(const std::string& name, Row row);
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+  // Number of rows in `name`, or 0 if absent.
+  size_t TableSize(const std::string& name) const;
+  // Direct read access for the audit log's hash-chain maintenance.
+  const std::vector<Row>* TableRows(const std::string& name) const;
+  const std::vector<std::string>* TableColumns(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // Whole-database serialisation (used for enclave sealing). Views are
+  // persisted as their original CREATE VIEW SQL and re-executed on load.
+  Bytes Serialize() const;
+  static Result<Database> Deserialize(BytesView in);
+
+ private:
+  friend class Executor;
+
+  struct TableData {
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+  };
+
+  struct ViewData {
+    std::shared_ptr<SelectStmt> select;
+    std::string sql;  // original CREATE VIEW statement, for serialisation
+  };
+
+  std::map<std::string, TableData> tables_;
+  std::map<std::string, ViewData> views_;
+};
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_DATABASE_H_

@@ -1,0 +1,883 @@
+#include "src/db/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace seal::db {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool NameEq(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsAggregateName(const std::string& name) {
+  return name == "COUNT" || name == "MAX" || name == "MIN" || name == "SUM" || name == "AVG";
+}
+
+std::string SerializeRow(const Row& row) {
+  std::string s;
+  for (const Value& v : row) {
+    s += v.Serialize();
+    s.push_back('|');
+  }
+  return s;
+}
+
+// SQL LIKE with % and _ wildcards (case-insensitive, SQLite default).
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Simple backtracking matcher.
+  size_t ti = 0;
+  size_t pi = 0;
+  size_t star_ti = std::string_view::npos;
+  size_t star_pi = std::string_view::npos;
+  auto lc = [](char c) { return std::tolower(static_cast<unsigned char>(c)); };
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || lc(pattern[pi]) == lc(text[ti]))) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_ti = ti;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') {
+    ++pi;
+  }
+  return pi == pattern.size();
+}
+
+Value CompareOp(const std::string& op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Value::Null();
+  }
+  int c = Value::Compare(a, b);
+  bool r = false;
+  if (op == "=") {
+    r = c == 0;
+  } else if (op == "!=") {
+    r = c != 0;
+  } else if (op == "<") {
+    r = c < 0;
+  } else if (op == "<=") {
+    r = c <= 0;
+  } else if (op == ">") {
+    r = c > 0;
+  } else if (op == ">=") {
+    r = c >= 0;
+  }
+  return Value(static_cast<int64_t>(r ? 1 : 0));
+}
+
+Value Arith(const std::string& op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Value::Null();
+  }
+  if (op == "||") {
+    return Value(a.AsText() + b.AsText());
+  }
+  bool ints = a.is_int() && b.is_int();
+  if (ints) {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    if (op == "+") {
+      return Value(x + y);
+    }
+    if (op == "-") {
+      return Value(x - y);
+    }
+    if (op == "*") {
+      return Value(x * y);
+    }
+    if (op == "/") {
+      return y == 0 ? Value::Null() : Value(x / y);
+    }
+    if (op == "%") {
+      return y == 0 ? Value::Null() : Value(x % y);
+    }
+  } else {
+    double x = a.AsReal();
+    double y = b.AsReal();
+    if (op == "+") {
+      return Value(x + y);
+    }
+    if (op == "-") {
+      return Value(x - y);
+    }
+    if (op == "*") {
+      return Value(x * y);
+    }
+    if (op == "/") {
+      return y == 0.0 ? Value::Null() : Value(x / y);
+    }
+    if (op == "%") {
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunction && IsAggregateName(expr.name)) {
+    return true;
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (ContainsAggregate(*a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal.AsText();
+    case ExprKind::kColumn:
+      return expr.table.empty() ? expr.name : expr.table + "." + expr.name;
+    case ExprKind::kFunction: {
+      std::string s = expr.name + "(";
+      if (expr.star) {
+        s += "*";
+      }
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) {
+          s += ",";
+        }
+        s += ExprToString(*expr.args[i]);
+      }
+      return s + ")";
+    }
+    case ExprKind::kBinary:
+      return ExprToString(*expr.args[0]) + expr.op + ExprToString(*expr.args[1]);
+    case ExprKind::kUnary:
+      return expr.op + ExprToString(*expr.args[0]);
+    default:
+      return "expr";
+  }
+}
+
+Result<Value> Executor::LookupColumn(const Expr& expr, const std::vector<RowScope>& scopes) {
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    const Relation* rel = it->relation;
+    if (rel == nullptr || it->row == nullptr) {
+      continue;
+    }
+    for (size_t i = 0; i < rel->columns.size(); ++i) {
+      if (!NameEq(rel->columns[i], expr.name)) {
+        continue;
+      }
+      if (!expr.table.empty() && !NameEq(rel->aliases[i], expr.table)) {
+        continue;
+      }
+      return (*it->row)[i];
+    }
+  }
+  return InvalidArgument("unknown column " +
+                         (expr.table.empty() ? expr.name : expr.table + "." + expr.name));
+}
+
+Result<Value> Executor::EvalAggregate(const Expr& expr, const std::vector<RowScope>& scopes,
+                                      const GroupContext& group) {
+  // Evaluate the argument for each row of the group with the group's
+  // relation as the innermost scope.
+  std::vector<Value> samples;
+  samples.reserve(group.row_indices->size());
+  for (size_t idx : *group.row_indices) {
+    if (expr.star) {
+      samples.push_back(Value(static_cast<int64_t>(1)));
+      continue;
+    }
+    std::vector<RowScope> row_scopes = scopes;
+    // Replace the innermost scope's row with this group member.
+    row_scopes.back() = RowScope{group.relation, &group.relation->Rows()[idx]};
+    auto v = EvalInternal(*expr.args[0], row_scopes, nullptr);
+    if (!v.ok()) {
+      return v;
+    }
+    samples.push_back(std::move(*v));
+  }
+  const std::string& f = expr.name;
+  if (f == "COUNT") {
+    if (expr.star) {
+      return Value(static_cast<int64_t>(samples.size()));
+    }
+    if (expr.distinct) {
+      std::set<std::string> seen;
+      for (const Value& v : samples) {
+        if (!v.is_null()) {
+          seen.insert(v.Serialize());
+        }
+      }
+      return Value(static_cast<int64_t>(seen.size()));
+    }
+    int64_t n = 0;
+    for (const Value& v : samples) {
+      if (!v.is_null()) {
+        ++n;
+      }
+    }
+    return Value(n);
+  }
+  if (f == "MAX" || f == "MIN") {
+    Value best;
+    for (const Value& v : samples) {
+      if (v.is_null()) {
+        continue;
+      }
+      if (best.is_null() || (f == "MAX" ? Value::Compare(v, best) > 0
+                                        : Value::Compare(v, best) < 0)) {
+        best = v;
+      }
+    }
+    return best;
+  }
+  if (f == "SUM" || f == "AVG") {
+    bool any = false;
+    bool all_int = true;
+    int64_t isum = 0;
+    double rsum = 0;
+    for (const Value& v : samples) {
+      if (v.is_null()) {
+        continue;
+      }
+      any = true;
+      if (!v.is_int()) {
+        all_int = false;
+      }
+      isum += v.AsInt();
+      rsum += v.AsReal();
+    }
+    if (!any) {
+      return Value::Null();
+    }
+    if (f == "SUM") {
+      return all_int ? Value(isum) : Value(rsum);
+    }
+    int64_t n = 0;
+    for (const Value& v : samples) {
+      if (!v.is_null()) {
+        ++n;
+      }
+    }
+    return Value(rsum / static_cast<double>(n));
+  }
+  return InvalidArgument("unknown aggregate " + f);
+}
+
+Result<Value> Executor::EvalFunction(const Expr& expr, const std::vector<RowScope>& scopes,
+                                     const GroupContext* group) {
+  if (IsAggregateName(expr.name)) {
+    if (group == nullptr) {
+      return InvalidArgument("aggregate " + expr.name + " used outside GROUP BY context");
+    }
+    return EvalAggregate(expr, scopes, *group);
+  }
+  std::vector<Value> args;
+  for (const ExprPtr& a : expr.args) {
+    auto v = EvalInternal(*a, scopes, group);
+    if (!v.ok()) {
+      return v;
+    }
+    args.push_back(std::move(*v));
+  }
+  const std::string& f = expr.name;
+  if (f == "LENGTH") {
+    if (args.size() != 1 || args[0].is_null()) {
+      return Value::Null();
+    }
+    return Value(static_cast<int64_t>(args[0].AsText().size()));
+  }
+  if (f == "ABS") {
+    if (args.size() != 1 || args[0].is_null()) {
+      return Value::Null();
+    }
+    if (args[0].is_int()) {
+      int64_t v = args[0].AsInt();
+      return Value(v < 0 ? -v : v);
+    }
+    double v = args[0].AsReal();
+    return Value(v < 0 ? -v : v);
+  }
+  if (f == "SUBSTR") {
+    if (args.size() < 2 || args[0].is_null()) {
+      return Value::Null();
+    }
+    std::string s = args[0].AsText();
+    int64_t start = args[1].AsInt();  // 1-based
+    int64_t len = args.size() > 2 ? args[2].AsInt() : static_cast<int64_t>(s.size());
+    if (start < 1) {
+      start = 1;
+    }
+    if (start > static_cast<int64_t>(s.size())) {
+      return Value(std::string());
+    }
+    return Value(s.substr(static_cast<size_t>(start - 1), static_cast<size_t>(len)));
+  }
+  if (f == "COALESCE") {
+    for (const Value& v : args) {
+      if (!v.is_null()) {
+        return v;
+      }
+    }
+    return Value::Null();
+  }
+  return InvalidArgument("unknown function " + f);
+}
+
+Result<Value> Executor::EvalInternal(const Expr& expr, const std::vector<RowScope>& scopes,
+                                     const GroupContext* group) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumn:
+      return LookupColumn(expr, scopes);
+    case ExprKind::kUnary: {
+      auto v = EvalInternal(*expr.args[0], scopes, group);
+      if (!v.ok()) {
+        return v;
+      }
+      if (expr.op == "NOT") {
+        if (v->is_null()) {
+          return Value::Null();
+        }
+        return Value(static_cast<int64_t>(v->Truthy() ? 0 : 1));
+      }
+      if (expr.op == "-") {
+        if (v->is_null()) {
+          return Value::Null();
+        }
+        if (v->is_int()) {
+          return Value(-v->AsInt());
+        }
+        return Value(-v->AsReal());
+      }
+      return InvalidArgument("unknown unary operator " + expr.op);
+    }
+    case ExprKind::kBinary: {
+      if (expr.op == "AND" || expr.op == "OR") {
+        auto l = EvalInternal(*expr.args[0], scopes, group);
+        if (!l.ok()) {
+          return l;
+        }
+        bool lt = l->Truthy();
+        if (expr.op == "AND" && !lt && !l->is_null()) {
+          return Value(static_cast<int64_t>(0));
+        }
+        if (expr.op == "OR" && lt) {
+          return Value(static_cast<int64_t>(1));
+        }
+        auto r = EvalInternal(*expr.args[1], scopes, group);
+        if (!r.ok()) {
+          return r;
+        }
+        bool rt = r->Truthy();
+        if (expr.op == "AND") {
+          return Value(static_cast<int64_t>(lt && rt ? 1 : 0));
+        }
+        return Value(static_cast<int64_t>(lt || rt ? 1 : 0));
+      }
+      if (expr.op == "BETWEEN") {
+        auto v = EvalInternal(*expr.args[0], scopes, group);
+        auto lo = EvalInternal(*expr.args[1], scopes, group);
+        auto hi = EvalInternal(*expr.args[2], scopes, group);
+        if (!v.ok()) {
+          return v;
+        }
+        if (!lo.ok()) {
+          return lo;
+        }
+        if (!hi.ok()) {
+          return hi;
+        }
+        Value ge = CompareOp(">=", *v, *lo);
+        Value le = CompareOp("<=", *v, *hi);
+        bool in = ge.Truthy() && le.Truthy();
+        if (expr.negated) {
+          in = !in;
+        }
+        return Value(static_cast<int64_t>(in ? 1 : 0));
+      }
+      auto l = EvalInternal(*expr.args[0], scopes, group);
+      if (!l.ok()) {
+        return l;
+      }
+      auto r = EvalInternal(*expr.args[1], scopes, group);
+      if (!r.ok()) {
+        return r;
+      }
+      if (expr.op == "LIKE") {
+        if (l->is_null() || r->is_null()) {
+          return Value::Null();
+        }
+        bool m = LikeMatch(l->AsText(), r->AsText());
+        if (expr.negated) {
+          m = !m;
+        }
+        return Value(static_cast<int64_t>(m ? 1 : 0));
+      }
+      if (expr.op == "=" || expr.op == "!=" || expr.op == "<" || expr.op == "<=" ||
+          expr.op == ">" || expr.op == ">=") {
+        return CompareOp(expr.op, *l, *r);
+      }
+      return Arith(expr.op, *l, *r);
+    }
+    case ExprKind::kFunction:
+      return EvalFunction(expr, scopes, group);
+    case ExprKind::kSubquery: {
+      auto sub = ExecuteSelect(*expr.subquery, scopes);
+      if (!sub.ok()) {
+        return sub.status();
+      }
+      if (sub->rows.empty() || sub->columns.empty()) {
+        return Value::Null();
+      }
+      return sub->rows[0][0];
+    }
+    case ExprKind::kExists: {
+      auto sub = ExecuteSelect(*expr.subquery, scopes);
+      if (!sub.ok()) {
+        return sub.status();
+      }
+      bool exists = !sub->rows.empty();
+      if (expr.negated) {
+        exists = !exists;
+      }
+      return Value(static_cast<int64_t>(exists ? 1 : 0));
+    }
+    case ExprKind::kInList: {
+      auto needle = EvalInternal(*expr.args[0], scopes, group);
+      if (!needle.ok()) {
+        return needle;
+      }
+      if (needle->is_null()) {
+        return Value::Null();
+      }
+      bool found = false;
+      if (expr.subquery != nullptr) {
+        auto sub = ExecuteSelect(*expr.subquery, scopes);
+        if (!sub.ok()) {
+          return sub.status();
+        }
+        for (const Row& row : sub->rows) {
+          if (!row.empty() && !row[0].is_null() && Value::Compare(row[0], *needle) == 0) {
+            found = true;
+            break;
+          }
+        }
+      } else {
+        for (size_t i = 1; i < expr.args.size(); ++i) {
+          auto v = EvalInternal(*expr.args[i], scopes, group);
+          if (!v.ok()) {
+            return v;
+          }
+          if (!v->is_null() && Value::Compare(*v, *needle) == 0) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (expr.negated) {
+        found = !found;
+      }
+      return Value(static_cast<int64_t>(found ? 1 : 0));
+    }
+    case ExprKind::kIsNull: {
+      auto v = EvalInternal(*expr.args[0], scopes, group);
+      if (!v.ok()) {
+        return v;
+      }
+      bool is_null = v->is_null();
+      if (expr.negated) {
+        is_null = !is_null;
+      }
+      return Value(static_cast<int64_t>(is_null ? 1 : 0));
+    }
+  }
+  return Internal("unhandled expression kind");
+}
+
+Result<Value> Executor::Eval(const Expr& expr, const std::vector<RowScope>& scopes) {
+  return EvalInternal(expr, scopes, nullptr);
+}
+
+Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
+                                             const std::vector<RowScope>& outer) {
+  Relation rel;
+  std::string alias = ref.alias;
+  if (ref.subquery != nullptr) {
+    auto sub = ExecuteSelect(*ref.subquery, outer);
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    rel.columns = sub->columns;
+    rel.SetOwnedRows(std::move(sub->rows));
+    rel.aliases.assign(rel.columns.size(), alias);
+    return rel;
+  }
+  // Named table or view.
+  auto table_it = db_.tables_.find(ref.table_name);
+  if (table_it != db_.tables_.end()) {
+    rel.columns = table_it->second.columns;
+    rel.BorrowRows(&table_it->second.rows);
+    if (alias.empty()) {
+      alias = ref.table_name;
+    }
+    rel.aliases.assign(rel.columns.size(), alias);
+    return rel;
+  }
+  auto view_it = db_.views_.find(ref.table_name);
+  if (view_it != db_.views_.end()) {
+    auto sub = ExecuteSelect(*view_it->second.select, {});
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    rel.columns = sub->columns;
+    rel.SetOwnedRows(std::move(sub->rows));
+    if (alias.empty()) {
+      alias = ref.table_name;
+    }
+    rel.aliases.assign(rel.columns.size(), alias);
+    return rel;
+  }
+  return NotFound("no such table or view: " + ref.table_name);
+}
+
+Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
+                                            const std::vector<RowScope>& outer) {
+  // 1. FROM: materialise and join.
+  Relation rel;
+  if (stmt.from.has_value()) {
+    auto base = MaterialiseSource(*stmt.from, outer);
+    if (!base.ok()) {
+      return base.status();
+    }
+    rel = std::move(*base);
+    for (const JoinClause& join : stmt.joins) {
+      auto right = MaterialiseSource(join.table, outer);
+      if (!right.ok()) {
+        return right.status();
+      }
+      Relation combined;
+      combined.aliases = rel.aliases;
+      combined.columns = rel.columns;
+      std::vector<Row> combined_rows;
+
+      std::vector<std::pair<size_t, size_t>> natural_pairs;  // (left idx, right idx)
+      std::vector<bool> right_kept(right->columns.size(), true);
+      if (join.kind == JoinClause::Kind::kNatural) {
+        for (size_t rc = 0; rc < right->columns.size(); ++rc) {
+          for (size_t lc = 0; lc < rel.columns.size(); ++lc) {
+            if (NameEq(rel.columns[lc], right->columns[rc])) {
+              natural_pairs.emplace_back(lc, rc);
+              right_kept[rc] = false;
+              break;
+            }
+          }
+        }
+      }
+      for (size_t rc = 0; rc < right->columns.size(); ++rc) {
+        if (right_kept[rc]) {
+          combined.aliases.push_back(right->aliases[rc]);
+          combined.columns.push_back(right->columns[rc]);
+        }
+      }
+
+      for (const Row& lrow : rel.Rows()) {
+        bool matched = false;
+        for (const Row& rrow : right->Rows()) {
+          bool keep = true;
+          if (join.kind == JoinClause::Kind::kNatural) {
+            for (const auto& [lc, rc] : natural_pairs) {
+              if (lrow[lc].is_null() || rrow[rc].is_null() ||
+                  Value::Compare(lrow[lc], rrow[rc]) != 0) {
+                keep = false;
+                break;
+              }
+            }
+          }
+          Row joined = lrow;
+          for (size_t rc = 0; rc < rrow.size(); ++rc) {
+            if (right_kept[rc]) {
+              joined.push_back(rrow[rc]);
+            }
+          }
+          if (keep && join.on != nullptr) {
+            // Evaluate ON against a temporary combined relation scope.
+            std::vector<RowScope> scopes = outer;
+            scopes.push_back(RowScope{&combined, &joined});
+            auto cond = Eval(*join.on, scopes);
+            if (!cond.ok()) {
+              return cond.status();
+            }
+            keep = cond->Truthy();
+          }
+          if (keep) {
+            combined_rows.push_back(std::move(joined));
+            matched = true;
+          }
+        }
+        if (!matched && join.kind == JoinClause::Kind::kLeft) {
+          Row joined = lrow;
+          size_t kept = 0;
+          for (bool k : right_kept) {
+            if (k) {
+              ++kept;
+            }
+          }
+          for (size_t i = 0; i < kept; ++i) {
+            joined.push_back(Value::Null());
+          }
+          combined_rows.push_back(std::move(joined));
+        }
+      }
+      combined.SetOwnedRows(std::move(combined_rows));
+      rel = std::move(combined);
+    }
+  } else {
+    rel.SetOwnedRows(std::vector<Row>{Row{}});  // SELECT without FROM: one empty row
+  }
+
+  // 2. WHERE.
+  if (stmt.where != nullptr) {
+    std::vector<Row> kept;
+    for (const Row& row : rel.Rows()) {
+      std::vector<RowScope> scopes = outer;
+      scopes.push_back(RowScope{&rel, &row});
+      auto cond = Eval(*stmt.where, scopes);
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      if (cond->Truthy()) {
+        kept.push_back(row);
+      }
+    }
+    rel.SetOwnedRows(std::move(kept));
+  }
+
+  // 3. Determine grouping.
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
+      has_aggregates = true;
+    }
+  }
+  if (stmt.having != nullptr && ContainsAggregate(*stmt.having)) {
+    has_aggregates = true;
+  }
+  const bool grouped = has_aggregates || !stmt.group_by.empty();
+
+  // 4. Build output column names.
+  QueryResult result;
+  std::vector<const Expr*> item_exprs;  // null for star expansions
+  std::vector<size_t> star_columns;     // relation indices for stars
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < rel.columns.size(); ++i) {
+        if (!item.star_table.empty() && !NameEq(rel.aliases[i], item.star_table)) {
+          continue;
+        }
+        result.columns.push_back(rel.columns[i]);
+        item_exprs.push_back(nullptr);
+        star_columns.push_back(i);
+      }
+    } else {
+      if (!item.alias.empty()) {
+        result.columns.push_back(item.alias);
+      } else if (item.expr->kind == ExprKind::kColumn) {
+        result.columns.push_back(item.expr->name);
+      } else {
+        result.columns.push_back(ExprToString(*item.expr));
+      }
+      item_exprs.push_back(item.expr.get());
+      star_columns.push_back(0);  // unused
+    }
+  }
+
+  // Emit a projected row for the scope (row or group representative).
+  struct OutputRow {
+    Row row;
+    Row order_keys;
+  };
+  std::vector<OutputRow> outputs;
+
+  auto project = [&](const Row& representative, const GroupContext* group) -> Status {
+    std::vector<RowScope> scopes = outer;
+    scopes.push_back(RowScope{&rel, &representative});
+    OutputRow out;
+    size_t star_i = 0;
+    for (size_t i = 0; i < item_exprs.size(); ++i) {
+      if (item_exprs[i] == nullptr) {
+        out.row.push_back(representative[star_columns[i]]);
+        ++star_i;
+        continue;
+      }
+      auto v = EvalInternal(*item_exprs[i], scopes, group);
+      if (!v.ok()) {
+        return v.status();
+      }
+      out.row.push_back(std::move(*v));
+    }
+    for (const OrderItem& oi : stmt.order_by) {
+      // ORDER BY <n> refers to the n-th output column.
+      if (oi.expr->kind == ExprKind::kLiteral && oi.expr->literal.is_int()) {
+        int64_t pos = oi.expr->literal.AsInt();
+        if (pos >= 1 && pos <= static_cast<int64_t>(out.row.size())) {
+          out.order_keys.push_back(out.row[static_cast<size_t>(pos - 1)]);
+          continue;
+        }
+      }
+      // ORDER BY <output alias>.
+      bool matched_alias = false;
+      if (oi.expr->kind == ExprKind::kColumn && oi.expr->table.empty()) {
+        for (size_t i = 0; i < result.columns.size(); ++i) {
+          if (NameEq(result.columns[i], oi.expr->name) && item_exprs[i] != nullptr &&
+              !NameEq(ExprToString(*item_exprs[i]), oi.expr->name)) {
+            out.order_keys.push_back(out.row[i]);
+            matched_alias = true;
+            break;
+          }
+        }
+      }
+      if (matched_alias) {
+        continue;
+      }
+      auto v = EvalInternal(*oi.expr, scopes, group);
+      if (!v.ok()) {
+        return v.status();
+      }
+      out.order_keys.push_back(std::move(*v));
+    }
+    outputs.push_back(std::move(out));
+    return Status::Ok();
+  };
+
+  if (grouped) {
+    // 5a. Group rows.
+    std::map<std::string, std::vector<size_t>> groups;
+    std::vector<std::string> group_order;
+    for (size_t r = 0; r < rel.Rows().size(); ++r) {
+      std::string key;
+      std::vector<RowScope> scopes = outer;
+      scopes.push_back(RowScope{&rel, &rel.Rows()[r]});
+      for (const ExprPtr& g : stmt.group_by) {
+        auto v = Eval(*g, scopes);
+        if (!v.ok()) {
+          return v.status();
+        }
+        key += v->Serialize();
+        key.push_back('|');
+      }
+      auto [it, inserted] = groups.emplace(key, std::vector<size_t>{});
+      if (inserted) {
+        group_order.push_back(key);
+      }
+      it->second.push_back(r);
+    }
+    if (stmt.group_by.empty() && groups.empty()) {
+      // Aggregates over an empty relation still produce one row.
+      groups.emplace("", std::vector<size_t>{});
+      group_order.push_back("");
+    }
+    for (const std::string& key : group_order) {
+      const std::vector<size_t>& indices = groups[key];
+      static const Row kEmptyRow;
+      const Row& representative = indices.empty() ? kEmptyRow : rel.Rows()[indices[0]];
+      GroupContext group{&rel, &indices};
+      if (stmt.having != nullptr) {
+        std::vector<RowScope> scopes = outer;
+        scopes.push_back(RowScope{&rel, &representative});
+        auto cond = EvalInternal(*stmt.having, scopes, &group);
+        if (!cond.ok()) {
+          return cond.status();
+        }
+        if (!cond->Truthy()) {
+          continue;
+        }
+      }
+      SEAL_RETURN_IF_ERROR(project(representative, &group));
+    }
+  } else {
+    for (const Row& row : rel.Rows()) {
+      SEAL_RETURN_IF_ERROR(project(row, nullptr));
+    }
+  }
+
+  // 6. DISTINCT.
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<OutputRow> unique;
+    for (OutputRow& out : outputs) {
+      std::string key = SerializeRow(out.row);
+      if (seen.insert(key).second) {
+        unique.push_back(std::move(out));
+      }
+    }
+    outputs = std::move(unique);
+  }
+
+  // 7. ORDER BY.
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(outputs.begin(), outputs.end(),
+                     [&](const OutputRow& a, const OutputRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         int c = Value::Compare(a.order_keys[i], b.order_keys[i]);
+                         if (c != 0) {
+                           return stmt.order_by[i].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  // 8. LIMIT / OFFSET.
+  size_t offset = 0;
+  size_t limit = outputs.size();
+  if (stmt.offset != nullptr) {
+    auto v = Eval(*stmt.offset, outer);
+    if (!v.ok()) {
+      return v.status();
+    }
+    offset = static_cast<size_t>(std::max<int64_t>(0, v->AsInt()));
+  }
+  if (stmt.limit != nullptr) {
+    auto v = Eval(*stmt.limit, outer);
+    if (!v.ok()) {
+      return v.status();
+    }
+    int64_t l = v->AsInt();
+    limit = l < 0 ? outputs.size() : static_cast<size_t>(l);
+  }
+  for (size_t i = offset; i < outputs.size() && result.rows.size() < limit; ++i) {
+    result.rows.push_back(std::move(outputs[i].row));
+  }
+  return result;
+}
+
+}  // namespace seal::db

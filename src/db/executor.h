@@ -1,0 +1,89 @@
+// SELECT execution engine for seadb (internal to the db module).
+#ifndef SRC_DB_EXECUTOR_H_
+#define SRC_DB_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/ast.h"
+#include "src/db/database.h"
+#include "src/db/value.h"
+
+namespace seal::db {
+
+// A materialised relation flowing through the executor: per-column source
+// alias (for qualified-name resolution) plus column names and rows. Row
+// storage is shared so that scanning a base table (especially inside a
+// correlated subquery evaluated once per outer row) borrows the table's
+// rows instead of copying them.
+struct Relation {
+  std::vector<std::string> aliases;  // parallel to columns
+  std::vector<std::string> columns;
+
+  const std::vector<Row>& Rows() const { return *rows_; }
+
+  void SetOwnedRows(std::vector<Row> rows) {
+    rows_ = std::make_shared<const std::vector<Row>>(std::move(rows));
+  }
+  // Borrow rows owned elsewhere; `rows` must outlive the query execution.
+  void BorrowRows(const std::vector<Row>* rows) {
+    rows_ = std::shared_ptr<const std::vector<Row>>(std::shared_ptr<void>(), rows);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Row>> rows_ =
+      std::make_shared<const std::vector<Row>>();
+};
+
+// One level of name-resolution scope: a relation and the current row in it.
+struct RowScope {
+  const Relation* relation = nullptr;
+  const Row* row = nullptr;
+};
+
+// Executes SELECT statements against a Database. `outer` is the scope chain
+// of enclosing queries (innermost last) for correlated subqueries.
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    const std::vector<RowScope>& outer = {});
+
+  // Evaluates an expression given a scope chain (innermost last). Exposed
+  // for DELETE/UPDATE predicate evaluation.
+  Result<Value> Eval(const Expr& expr, const std::vector<RowScope>& scopes);
+
+ private:
+  // Group context used while evaluating aggregate expressions.
+  struct GroupContext {
+    const Relation* relation = nullptr;
+    const std::vector<size_t>* row_indices = nullptr;
+  };
+
+  Result<Value> EvalInternal(const Expr& expr, const std::vector<RowScope>& scopes,
+                             const GroupContext* group);
+  Result<Value> EvalFunction(const Expr& expr, const std::vector<RowScope>& scopes,
+                             const GroupContext* group);
+  Result<Value> EvalAggregate(const Expr& expr, const std::vector<RowScope>& scopes,
+                              const GroupContext& group);
+  Result<Value> LookupColumn(const Expr& expr, const std::vector<RowScope>& scopes);
+
+  // Materialises a FROM source (table, view, or derived table).
+  Result<Relation> MaterialiseSource(const TableRef& ref, const std::vector<RowScope>& outer);
+
+  const Database& db_;
+};
+
+// True if the expression (recursively, not descending into subqueries)
+// contains an aggregate function call.
+bool ContainsAggregate(const Expr& expr);
+
+// Human-readable rendition of an expression, used to synthesise output
+// column names ("COUNT(branch)").
+std::string ExprToString(const Expr& expr);
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_EXECUTOR_H_

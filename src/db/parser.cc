@@ -1,0 +1,794 @@
+#include "src/db/parser.h"
+
+#include <algorithm>
+
+#include "src/db/tokenizer.h"
+
+namespace seal::db {
+
+namespace {
+
+// Aggregate and scalar function names recognised by the executor.
+bool IsKnownFunction(const std::string& upper) {
+  return upper == "COUNT" || upper == "MAX" || upper == "MIN" || upper == "SUM" ||
+         upper == "AVG" || upper == "LENGTH" || upper == "ABS" || upper == "SUBSTR" ||
+         upper == "COALESCE";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    const Token& t = Peek();
+    Result<Statement> result = [&]() -> Result<Statement> {
+      if (t.IsKeyword("SELECT")) {
+        auto sel = ParseSelect();
+        if (!sel.ok()) {
+          return sel.status();
+        }
+        return Statement(std::move(*sel));
+      }
+      if (t.IsKeyword("CREATE")) {
+        return ParseCreate();
+      }
+      if (t.IsKeyword("INSERT")) {
+        return ParseInsert();
+      }
+      if (t.IsKeyword("DELETE")) {
+        return ParseDelete();
+      }
+      if (t.IsKeyword("UPDATE")) {
+        return ParseUpdate();
+      }
+      if (t.IsKeyword("DROP")) {
+        return ParseDrop();
+      }
+      return Err("expected statement keyword");
+    }();
+    if (!result.ok()) {
+      return result;
+    }
+    if (Peek().IsOperator(";")) {
+      Advance();
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Err("trailing tokens after statement");
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOp(std::string_view op) {
+    if (Peek().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view kw) {
+    if (!Accept(kw)) {
+      return InvalidArgument("expected " + std::string(kw) + " near offset " +
+                             std::to_string(Peek().position));
+    }
+    return Status::Ok();
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!AcceptOp(op)) {
+      return InvalidArgument("expected '" + std::string(op) + "' near offset " +
+                             std::to_string(Peek().position));
+    }
+    return Status::Ok();
+  }
+  Status Err(std::string msg) const {
+    return InvalidArgument(msg + " near offset " + std::to_string(Peek().position));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return InvalidArgument("expected identifier near offset " +
+                             std::to_string(Peek().position));
+    }
+    return Advance().text;
+  }
+
+  // --- statements ---
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    SEAL_RETURN_IF_ERROR(Expect("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (Accept("DISTINCT")) {
+      stmt->distinct = true;
+    } else {
+      Accept("ALL");
+    }
+    // Select list.
+    do {
+      SelectItem item;
+      if (Peek().IsOperator("*")) {
+        Advance();
+        item.star = true;
+      } else if (Peek().type == TokenType::kIdentifier && Peek(1).IsOperator(".") &&
+                 Peek(2).IsOperator("*")) {
+        item.star = true;
+        item.star_table = Advance().text;
+        Advance();  // '.'
+        Advance();  // '*'
+      } else {
+        auto e = ParseExpr();
+        if (!e.ok()) {
+          return e.status();
+        }
+        item.expr = std::move(*e);
+        if (Accept("AS")) {
+          auto alias = ExpectIdentifier();
+          if (!alias.ok()) {
+            return alias.status();
+          }
+          item.alias = *alias;
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Advance().text;  // implicit alias
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptOp(","));
+
+    if (Accept("FROM")) {
+      auto tr = ParseTableRef();
+      if (!tr.ok()) {
+        return tr.status();
+      }
+      stmt->from = std::move(*tr);
+      // Joins.
+      for (;;) {
+        JoinClause join;
+        if (Accept("NATURAL")) {
+          Accept("INNER");
+          SEAL_RETURN_IF_ERROR(Expect("JOIN"));
+          join.kind = JoinClause::Kind::kNatural;
+        } else if (Accept("CROSS")) {
+          SEAL_RETURN_IF_ERROR(Expect("JOIN"));
+          join.kind = JoinClause::Kind::kCross;
+        } else if (Accept("LEFT")) {
+          Accept("OUTER");
+          SEAL_RETURN_IF_ERROR(Expect("JOIN"));
+          join.kind = JoinClause::Kind::kLeft;
+        } else if (Accept("INNER")) {
+          SEAL_RETURN_IF_ERROR(Expect("JOIN"));
+          join.kind = JoinClause::Kind::kInner;
+        } else if (Accept("JOIN")) {
+          join.kind = JoinClause::Kind::kInner;
+        } else if (AcceptOp(",")) {
+          join.kind = JoinClause::Kind::kCross;
+        } else {
+          break;
+        }
+        auto jt = ParseTableRef();
+        if (!jt.ok()) {
+          return jt.status();
+        }
+        join.table = std::move(*jt);
+        if (join.kind == JoinClause::Kind::kInner || join.kind == JoinClause::Kind::kLeft) {
+          SEAL_RETURN_IF_ERROR(Expect("ON"));
+          auto on = ParseExpr();
+          if (!on.ok()) {
+            return on.status();
+          }
+          join.on = std::move(*on);
+        }
+        stmt->joins.push_back(std::move(join));
+      }
+    }
+    if (Accept("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt->where = std::move(*e);
+    }
+    if (Accept("GROUP")) {
+      SEAL_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        auto e = ParseExpr();
+        if (!e.ok()) {
+          return e.status();
+        }
+        stmt->group_by.push_back(std::move(*e));
+      } while (AcceptOp(","));
+    }
+    if (Accept("HAVING")) {
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt->having = std::move(*e);
+    }
+    if (Accept("ORDER")) {
+      SEAL_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        OrderItem oi;
+        auto e = ParseExpr();
+        if (!e.ok()) {
+          return e.status();
+        }
+        oi.expr = std::move(*e);
+        if (Accept("DESC")) {
+          oi.desc = true;
+        } else {
+          Accept("ASC");
+        }
+        stmt->order_by.push_back(std::move(oi));
+      } while (AcceptOp(","));
+    }
+    if (Accept("LIMIT")) {
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt->limit = std::move(*e);
+      if (Accept("OFFSET")) {
+        auto o = ParseExpr();
+        if (!o.ok()) {
+          return o.status();
+        }
+        stmt->offset = std::move(*o);
+      }
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef tr;
+    if (AcceptOp("(")) {
+      auto sub = ParseSelect();
+      if (!sub.ok()) {
+        return sub.status();
+      }
+      tr.subquery = std::move(*sub);
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+    } else {
+      auto name = ExpectIdentifier();
+      if (!name.ok()) {
+        return name.status();
+      }
+      tr.table_name = *name;
+    }
+    if (Accept("AS")) {
+      auto alias = ExpectIdentifier();
+      if (!alias.ok()) {
+        return alias.status();
+      }
+      tr.alias = *alias;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      tr.alias = Advance().text;
+    }
+    return tr;
+  }
+
+  Result<Statement> ParseCreate() {
+    SEAL_RETURN_IF_ERROR(Expect("CREATE"));
+    if (Accept("TABLE")) {
+      CreateTableStmt stmt;
+      if (Accept("IF")) {
+        SEAL_RETURN_IF_ERROR(Expect("NOT"));
+        SEAL_RETURN_IF_ERROR(Expect("EXISTS"));
+        stmt.if_not_exists = true;
+      }
+      auto name = ExpectIdentifier();
+      if (!name.ok()) {
+        return name.status();
+      }
+      stmt.name = *name;
+      SEAL_RETURN_IF_ERROR(ExpectOp("("));
+      do {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) {
+          return col.status();
+        }
+        stmt.columns.push_back(*col);
+        // Optional type annotation and PRIMARY KEY are accepted and ignored
+        // (seadb values are dynamically typed).
+        while (Peek().IsKeyword("INTEGER") || Peek().IsKeyword("TEXT") ||
+               Peek().IsKeyword("REAL")) {
+          Advance();
+        }
+        if (Accept("PRIMARY")) {
+          SEAL_RETURN_IF_ERROR(Expect("KEY"));
+        }
+      } while (AcceptOp(","));
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+      return Statement(std::move(stmt));
+    }
+    if (Accept("VIEW")) {
+      CreateViewStmt stmt;
+      if (Accept("IF")) {
+        SEAL_RETURN_IF_ERROR(Expect("NOT"));
+        SEAL_RETURN_IF_ERROR(Expect("EXISTS"));
+        stmt.if_not_exists = true;
+      }
+      auto name = ExpectIdentifier();
+      if (!name.ok()) {
+        return name.status();
+      }
+      stmt.name = *name;
+      SEAL_RETURN_IF_ERROR(Expect("AS"));
+      auto sel = ParseSelect();
+      if (!sel.ok()) {
+        return sel.status();
+      }
+      stmt.select = std::shared_ptr<SelectStmt>(std::move(*sel));
+      return Statement(std::move(stmt));
+    }
+    return Err("expected TABLE or VIEW after CREATE");
+  }
+
+  Result<Statement> ParseInsert() {
+    SEAL_RETURN_IF_ERROR(Expect("INSERT"));
+    SEAL_RETURN_IF_ERROR(Expect("INTO"));
+    InsertStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) {
+      return name.status();
+    }
+    stmt.table = *name;
+    if (Peek().IsOperator("(")) {
+      Advance();
+      do {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) {
+          return col.status();
+        }
+        stmt.columns.push_back(*col);
+      } while (AcceptOp(","));
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    SEAL_RETURN_IF_ERROR(Expect("VALUES"));
+    do {
+      SEAL_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      do {
+        auto e = ParseExpr();
+        if (!e.ok()) {
+          return e.status();
+        }
+        row.push_back(std::move(*e));
+      } while (AcceptOp(","));
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (AcceptOp(","));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    SEAL_RETURN_IF_ERROR(Expect("DELETE"));
+    SEAL_RETURN_IF_ERROR(Expect("FROM"));
+    DeleteStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) {
+      return name.status();
+    }
+    stmt.table = *name;
+    if (Accept("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt.where = std::move(*e);
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    SEAL_RETURN_IF_ERROR(Expect("UPDATE"));
+    UpdateStmt stmt;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) {
+      return name.status();
+    }
+    stmt.table = *name;
+    SEAL_RETURN_IF_ERROR(Expect("SET"));
+    do {
+      auto col = ExpectIdentifier();
+      if (!col.ok()) {
+        return col.status();
+      }
+      SEAL_RETURN_IF_ERROR(ExpectOp("="));
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt.assignments.emplace_back(*col, std::move(*e));
+    } while (AcceptOp(","));
+    if (Accept("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt.where = std::move(*e);
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDrop() {
+    SEAL_RETURN_IF_ERROR(Expect("DROP"));
+    DropStmt stmt;
+    if (Accept("VIEW")) {
+      stmt.is_view = true;
+    } else {
+      SEAL_RETURN_IF_ERROR(Expect("TABLE"));
+    }
+    if (Accept("IF")) {
+      SEAL_RETURN_IF_ERROR(Expect("EXISTS"));
+      stmt.if_exists = true;
+    }
+    auto name = ExpectIdentifier();
+    if (!name.ok()) {
+      return name.status();
+    }
+    stmt.name = *name;
+    return Statement(std::move(stmt));
+  }
+
+  // --- expressions, precedence climbing ---
+  // OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < add < mul < unary.
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr e = std::move(*lhs);
+    while (Accept("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      auto node = std::make_unique<Expr>(ExprKind::kBinary);
+      node->op = "OR";
+      node->args.push_back(std::move(e));
+      node->args.push_back(std::move(*rhs));
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr e = std::move(*lhs);
+    while (Accept("AND")) {
+      auto rhs = ParseNot();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      auto node = std::make_unique<Expr>(ExprKind::kBinary);
+      node->op = "AND";
+      node->args.push_back(std::move(e));
+      node->args.push_back(std::move(*rhs));
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      // NOT EXISTS (...) folds into the kExists node.
+      if (Peek().IsKeyword("EXISTS")) {
+        auto e = ParseComparison();
+        if (!e.ok()) {
+          return e;
+        }
+        (*e)->negated = !(*e)->negated;
+        return e;
+      }
+      auto operand = ParseNot();
+      if (!operand.ok()) {
+        return operand;
+      }
+      auto node = std::make_unique<Expr>(ExprKind::kUnary);
+      node->op = "NOT";
+      node->args.push_back(std::move(*operand));
+      return ExprPtr(std::move(node));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    if (Peek().IsKeyword("EXISTS")) {
+      Advance();
+      SEAL_RETURN_IF_ERROR(ExpectOp("("));
+      auto sub = ParseSelect();
+      if (!sub.ok()) {
+        return sub.status();
+      }
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+      auto node = std::make_unique<Expr>(ExprKind::kExists);
+      node->subquery = std::move(*sub);
+      return ExprPtr(std::move(node));
+    }
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr e = std::move(*lhs);
+    for (;;) {
+      bool negated = false;
+      if (Peek().IsKeyword("NOT") &&
+          (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("BETWEEN"))) {
+        Advance();
+        negated = true;
+      }
+      if (Accept("IN")) {
+        SEAL_RETURN_IF_ERROR(ExpectOp("("));
+        auto node = std::make_unique<Expr>(ExprKind::kInList);
+        node->negated = negated;
+        node->args.push_back(std::move(e));
+        if (Peek().IsKeyword("SELECT")) {
+          auto sub = ParseSelect();
+          if (!sub.ok()) {
+            return sub.status();
+          }
+          node->subquery = std::move(*sub);
+        } else {
+          do {
+            auto item = ParseExpr();
+            if (!item.ok()) {
+              return item;
+            }
+            node->args.push_back(std::move(*item));
+          } while (AcceptOp(","));
+        }
+        SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+        e = std::move(node);
+        continue;
+      }
+      if (Accept("LIKE")) {
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) {
+          return rhs;
+        }
+        auto node = std::make_unique<Expr>(ExprKind::kBinary);
+        node->op = "LIKE";
+        node->negated = negated;
+        node->args.push_back(std::move(e));
+        node->args.push_back(std::move(*rhs));
+        e = std::move(node);
+        continue;
+      }
+      if (Accept("BETWEEN")) {
+        auto lo = ParseAdditive();
+        if (!lo.ok()) {
+          return lo;
+        }
+        SEAL_RETURN_IF_ERROR(Expect("AND"));
+        auto hi = ParseAdditive();
+        if (!hi.ok()) {
+          return hi;
+        }
+        // Desugar: e BETWEEN lo AND hi -> (e >= lo AND e <= hi).
+        auto node = std::make_unique<Expr>(ExprKind::kBinary);
+        node->op = "BETWEEN";
+        node->negated = negated;
+        node->args.push_back(std::move(e));
+        node->args.push_back(std::move(*lo));
+        node->args.push_back(std::move(*hi));
+        e = std::move(node);
+        continue;
+      }
+      if (Accept("IS")) {
+        bool not_null = Accept("NOT");
+        SEAL_RETURN_IF_ERROR(Expect("NULL"));
+        auto node = std::make_unique<Expr>(ExprKind::kIsNull);
+        node->negated = not_null;
+        node->args.push_back(std::move(e));
+        e = std::move(node);
+        continue;
+      }
+      const Token& t = Peek();
+      if (t.type == TokenType::kOperator &&
+          (t.text == "=" || t.text == "!=" || t.text == "<" || t.text == "<=" || t.text == ">" ||
+           t.text == ">=")) {
+        std::string op = Advance().text;
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) {
+          return rhs;
+        }
+        auto node = std::make_unique<Expr>(ExprKind::kBinary);
+        node->op = op;
+        node->args.push_back(std::move(e));
+        node->args.push_back(std::move(*rhs));
+        e = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr e = std::move(*lhs);
+    for (;;) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kOperator &&
+          (t.text == "+" || t.text == "-" || t.text == "||")) {
+        std::string op = Advance().text;
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) {
+          return rhs;
+        }
+        auto node = std::make_unique<Expr>(ExprKind::kBinary);
+        node->op = op;
+        node->args.push_back(std::move(e));
+        node->args.push_back(std::move(*rhs));
+        e = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr e = std::move(*lhs);
+    for (;;) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kOperator && (t.text == "*" || t.text == "/" || t.text == "%")) {
+        std::string op = Advance().text;
+        auto rhs = ParseUnary();
+        if (!rhs.ok()) {
+          return rhs;
+        }
+        auto node = std::make_unique<Expr>(ExprKind::kBinary);
+        node->op = op;
+        node->args.push_back(std::move(e));
+        node->args.push_back(std::move(*rhs));
+        e = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptOp("-")) {
+      auto operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      auto node = std::make_unique<Expr>(ExprKind::kUnary);
+      node->op = "-";
+      node->args.push_back(std::move(*operand));
+      return ExprPtr(std::move(node));
+    }
+    AcceptOp("+");
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kInteger) {
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      node->literal = Value(Advance().int_value);
+      return ExprPtr(std::move(node));
+    }
+    if (t.type == TokenType::kReal) {
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      node->literal = Value(Advance().real_value);
+      return ExprPtr(std::move(node));
+    }
+    if (t.type == TokenType::kString) {
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      node->literal = Value(Advance().text);
+      return ExprPtr(std::move(node));
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      auto node = std::make_unique<Expr>(ExprKind::kLiteral);
+      return ExprPtr(std::move(node));
+    }
+    if (t.IsOperator("(")) {
+      Advance();
+      if (Peek().IsKeyword("SELECT")) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) {
+          return sub.status();
+        }
+        SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+        auto node = std::make_unique<Expr>(ExprKind::kSubquery);
+        node->subquery = std::move(*sub);
+        return ExprPtr(std::move(node));
+      }
+      auto inner = ParseExpr();
+      if (!inner.ok()) {
+        return inner;
+      }
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    // COUNT is tokenized as a keyword; treat it like a function name.
+    if (t.IsKeyword("COUNT") ||
+        (t.type == TokenType::kIdentifier && Peek(1).IsOperator("("))) {
+      std::string fname = Advance().text;
+      std::transform(fname.begin(), fname.end(), fname.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      if (!IsKnownFunction(fname)) {
+        return Err("unknown function " + fname);
+      }
+      SEAL_RETURN_IF_ERROR(ExpectOp("("));
+      auto node = std::make_unique<Expr>(ExprKind::kFunction);
+      node->name = fname;
+      if (AcceptOp("*")) {
+        node->star = true;
+      } else if (!Peek().IsOperator(")")) {
+        if (Accept("DISTINCT")) {
+          node->distinct = true;
+        }
+        do {
+          auto arg = ParseExpr();
+          if (!arg.ok()) {
+            return arg;
+          }
+          node->args.push_back(std::move(*arg));
+        } while (AcceptOp(","));
+      }
+      SEAL_RETURN_IF_ERROR(ExpectOp(")"));
+      return ExprPtr(std::move(node));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      auto node = std::make_unique<Expr>(ExprKind::kColumn);
+      node->name = Advance().text;
+      if (Peek().IsOperator(".")) {
+        Advance();
+        node->table = node->name;
+        auto col = ExpectIdentifier();
+        if (!col.ok()) {
+          return col.status();
+        }
+        node->name = *col;
+      }
+      return ExprPtr(std::move(node));
+    }
+    return Err("unexpected token '" + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace seal::db

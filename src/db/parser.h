@@ -1,0 +1,17 @@
+// Recursive-descent SQL parser for seadb.
+#ifndef SRC_DB_PARSER_H_
+#define SRC_DB_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/db/ast.h"
+
+namespace seal::db {
+
+// Parses a single SQL statement (a trailing ';' is permitted).
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_PARSER_H_

@@ -1,0 +1,163 @@
+#include "src/db/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace seal::db {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",     "HAVING", "ORDER",  "LIMIT",
+      "OFFSET", "AS",     "AND",    "OR",       "NOT",    "IN",     "EXISTS", "IS",
+      "NULL",   "JOIN",   "ON",     "NATURAL",  "INNER",  "LEFT",   "OUTER",  "CROSS",
+      "INSERT", "INTO",   "VALUES", "DELETE",   "UPDATE", "SET",    "CREATE", "TABLE",
+      "VIEW",   "DROP",   "IF",     "DISTINCT", "ALL",    "ASC",    "DESC",   "COUNT",
+      "LIKE",   "BETWEEN", "CASE",  "WHEN",     "THEN",   "ELSE",   "END",    "UNION",
+      "INTEGER", "TEXT",  "REAL",   "PRIMARY",  "KEY",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) {
+        ++i;
+      }
+      std::string word(sql.substr(start, i - start));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+      if (Keywords().count(upper) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_real = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) || sql[i] == '.')) {
+        if (sql[i] == '.') {
+          is_real = true;
+        }
+        ++i;
+      }
+      std::string num(sql.substr(start, i - start));
+      if (is_real) {
+        t.type = TokenType::kReal;
+        t.real_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      t.text = std::move(num);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        s.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgument("unterminated string literal at offset " +
+                               std::to_string(t.position));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {  // quoted identifier
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        s.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return InvalidArgument("unterminated quoted identifier at offset " +
+                               std::to_string(t.position));
+      }
+      t.type = TokenType::kIdentifier;
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string_view();
+    if (two == "!=" || two == "<=" || two == ">=" || two == "<>" || two == "||") {
+      t.type = TokenType::kOperator;
+      t.text = std::string(two == "<>" ? "!=" : two);
+      out.push_back(std::move(t));
+      i += 2;
+      continue;
+    }
+    if (std::string_view("=<>+-*/(),.;%").find(c) != std::string_view::npos) {
+      t.type = TokenType::kOperator;
+      t.text = std::string(1, c);
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return InvalidArgument(std::string("unexpected character '") + c + "' at offset " +
+                           std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace seal::db

@@ -1,0 +1,40 @@
+// SQL tokenizer for seadb.
+#ifndef SRC_DB_TOKENIZER_H_
+#define SRC_DB_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace seal::db {
+
+enum class TokenType {
+  kKeyword,     // normalised upper-case SQL keyword
+  kIdentifier,  // table/column name (case preserved; possibly "quoted")
+  kInteger,
+  kReal,
+  kString,      // 'single quoted', quotes stripped, '' unescaped
+  kOperator,    // = != < > <= >= <> + - * / ( ) , . ; ||
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keyword/operator text (keywords upper-cased)
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const { return type == TokenType::kKeyword && text == kw; }
+  bool IsOperator(std::string_view op) const { return type == TokenType::kOperator && text == op; }
+};
+
+// Tokenizes `sql`; the final token is always kEnd. Returns an error status
+// for unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_TOKENIZER_H_

@@ -1,0 +1,103 @@
+#include "src/db/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace seal::db {
+
+int64_t Value::AsInt() const {
+  if (is_int()) {
+    return std::get<int64_t>(v_);
+  }
+  if (is_real()) {
+    return static_cast<int64_t>(std::get<double>(v_));
+  }
+  if (is_text()) {
+    return std::strtoll(std::get<std::string>(v_).c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+double Value::AsReal() const {
+  if (is_real()) {
+    return std::get<double>(v_);
+  }
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  if (is_text()) {
+    return std::strtod(std::get<std::string>(v_).c_str(), nullptr);
+  }
+  return 0.0;
+}
+
+std::string Value::AsText() const {
+  if (is_text()) {
+    return std::get<std::string>(v_);
+  }
+  if (is_int()) {
+    return std::to_string(std::get<int64_t>(v_));
+  }
+  if (is_real()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+    return buf;
+  }
+  return "";
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  // Type classes: null < numeric < text.
+  auto cls = [](const Value& v) { return v.is_null() ? 0 : (v.is_numeric() ? 1 : 2); };
+  int ca = cls(a);
+  int cb = cls(b);
+  if (ca != cb) {
+    return ca < cb ? -1 : 1;
+  }
+  if (ca == 0) {
+    return 0;
+  }
+  if (ca == 1) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.AsInt();
+      int64_t y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.AsReal();
+    double y = b.AsReal();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const std::string& x = a.text();
+  const std::string& y = b.text();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+bool Value::Truthy() const {
+  if (is_null()) {
+    return false;
+  }
+  if (is_int()) {
+    return AsInt() != 0;
+  }
+  if (is_real()) {
+    return AsReal() != 0.0;
+  }
+  return !text().empty();
+}
+
+std::string Value::Serialize() const {
+  if (is_null()) {
+    return "N";
+  }
+  if (is_int()) {
+    return "I" + std::to_string(AsInt());
+  }
+  if (is_real()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "R%.17g", AsReal());
+    return buf;
+  }
+  return "T" + std::to_string(text().size()) + ":" + text();
+}
+
+}  // namespace seal::db

@@ -1,0 +1,56 @@
+// Dynamically-typed SQL values (SQLite-style type affinity).
+#ifndef SRC_DB_VALUE_H_
+#define SRC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace seal::db {
+
+// A SQL value: NULL, 64-bit integer, double, or text.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  int64_t AsInt() const;     // best-effort coercion (NULL -> 0)
+  double AsReal() const;     // best-effort coercion
+  std::string AsText() const;
+
+  const std::string& text() const { return std::get<std::string>(v_); }
+
+  // SQL three-valued comparison is handled by the evaluator; this is a total
+  // order used for ORDER BY / GROUP BY / DISTINCT, with NULL first, then
+  // numerics, then text.
+  static int Compare(const Value& a, const Value& b);
+
+  // Strict equality of type + content (used for grouping keys).
+  bool operator==(const Value& o) const { return Compare(*this, o) == 0; }
+
+  // Truthiness for WHERE clauses: NULL and 0 are false.
+  bool Truthy() const;
+
+  // Stable serialisation used by the audit-log hash chain.
+  std::string Serialize() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_VALUE_H_

@@ -1,0 +1,255 @@
+#include "src/http/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace seal::http {
+
+namespace {
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses "Header: value" lines between `start` and the blank line; returns
+// the offset just past the blank line, or npos on malformed input.
+size_t ParseHeaderBlock(std::string_view raw, size_t start, Headers* headers) {
+  size_t pos = start;
+  for (;;) {
+    size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string_view::npos) {
+      return std::string_view::npos;
+    }
+    if (eol == pos) {
+      return pos + 2;  // blank line
+    }
+    std::string_view line = raw.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return std::string_view::npos;
+    }
+    headers->emplace_back(std::string(Trim(line.substr(0, colon))),
+                          std::string(Trim(line.substr(colon + 1))));
+    pos = eol + 2;
+  }
+}
+
+void SerializeHeaders(const Headers& headers, size_t body_size, std::string& out) {
+  bool have_length = false;
+  for (const auto& [name, value] : headers) {
+    if (IEquals(name, "Content-Length") || IEquals(name, "Transfer-Encoding")) {
+      have_length = true;
+    }
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!have_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+const std::string* FindHeader(const Headers& headers, std::string_view name) {
+  for (const auto& [n, v] : headers) {
+    if (IEquals(n, name)) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void HttpRequest::SetHeader(std::string name, std::string value) {
+  for (auto& [n, v] : headers) {
+    if (IEquals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+void HttpResponse::SetHeader(std::string name, std::string value) {
+  for (auto& [n, v] : headers) {
+    if (IEquals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  SerializeHeaders(headers, body.size(), out);
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  SerializeHeaders(headers, body.size(), out);
+  out += body;
+  return out;
+}
+
+Result<HttpRequest> ParseRequest(std::string_view raw) {
+  size_t eol = raw.find("\r\n");
+  if (eol == std::string_view::npos) {
+    return InvalidArgument("no request line");
+  }
+  std::string_view line = raw.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return InvalidArgument("malformed request line");
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(Trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  req.version = std::string(line.substr(sp2 + 1));
+  size_t body_start = ParseHeaderBlock(raw, eol + 2, &req.headers);
+  if (body_start == std::string_view::npos) {
+    return InvalidArgument("malformed headers");
+  }
+  req.body = std::string(raw.substr(body_start));
+  return req;
+}
+
+Result<HttpResponse> ParseResponse(std::string_view raw) {
+  size_t eol = raw.find("\r\n");
+  if (eol == std::string_view::npos) {
+    return InvalidArgument("no status line");
+  }
+  std::string_view line = raw.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return InvalidArgument("malformed status line");
+  }
+  HttpResponse rsp;
+  rsp.version = std::string(line.substr(0, sp1));
+  size_t sp2 = line.find(' ', sp1 + 1);
+  std::string_view code =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? line.size() : sp2 - sp1 - 1);
+  rsp.status = std::atoi(std::string(code).c_str());
+  if (rsp.status < 100 || rsp.status > 599) {
+    return InvalidArgument("bad status code");
+  }
+  rsp.reason = sp2 == std::string_view::npos ? "" : std::string(line.substr(sp2 + 1));
+  size_t body_start = ParseHeaderBlock(raw, eol + 2, &rsp.headers);
+  if (body_start == std::string_view::npos) {
+    return InvalidArgument("malformed headers");
+  }
+  rsp.body = std::string(raw.substr(body_start));
+  return rsp;
+}
+
+Result<std::string> ReadHttpMessage(const ReadFn& read) {
+  std::string buffer;
+  // 1. Read until the end of the header block.
+  size_t header_end = std::string::npos;
+  uint8_t chunk[4096];
+  while (header_end == std::string::npos) {
+    size_t n = read(chunk, sizeof(chunk));
+    if (n == 0) {
+      if (buffer.empty()) {
+        return DataLoss("connection closed before message");
+      }
+      return DataLoss("connection closed inside headers");
+    }
+    buffer.append(reinterpret_cast<char*>(chunk), n);
+    header_end = buffer.find("\r\n\r\n");
+  }
+  size_t body_start = header_end + 4;
+
+  // 2. Work out the body length.
+  Headers headers;
+  size_t first_line_end = buffer.find("\r\n");
+  if (ParseHeaderBlock(buffer, first_line_end + 2, &headers) == std::string_view::npos) {
+    return InvalidArgument("malformed headers");
+  }
+  const std::string* te = FindHeader(headers, "Transfer-Encoding");
+  if (te != nullptr && IEquals(*te, "chunked")) {
+    // 3a. Chunked: read until the terminating 0-length chunk, then
+    // re-assemble as an identity body for the caller.
+    std::string dechunked_head = buffer.substr(0, body_start);
+    std::string tail = buffer.substr(body_start);
+    std::string body;
+    size_t pos = 0;
+    for (;;) {
+      size_t line_end;
+      while ((line_end = tail.find("\r\n", pos)) == std::string::npos) {
+        size_t n = read(chunk, sizeof(chunk));
+        if (n == 0) {
+          return DataLoss("EOF inside chunked body");
+        }
+        tail.append(reinterpret_cast<char*>(chunk), n);
+      }
+      size_t chunk_size = std::strtoul(tail.c_str() + pos, nullptr, 16);
+      size_t data_start = line_end + 2;
+      while (tail.size() < data_start + chunk_size + 2) {
+        size_t n = read(chunk, sizeof(chunk));
+        if (n == 0) {
+          return DataLoss("EOF inside chunk data");
+        }
+        tail.append(reinterpret_cast<char*>(chunk), n);
+      }
+      if (chunk_size == 0) {
+        break;
+      }
+      body.append(tail, data_start, chunk_size);
+      pos = data_start + chunk_size + 2;
+    }
+    // Rewrite the header block with a Content-Length for the caller.
+    std::string result;
+    size_t te_line = dechunked_head.find("Transfer-Encoding");
+    if (te_line != std::string::npos) {
+      size_t te_end = dechunked_head.find("\r\n", te_line);
+      dechunked_head.erase(te_line, te_end + 2 - te_line);
+    }
+    result = dechunked_head;
+    result.insert(result.size() - 2, "Content-Length: " + std::to_string(body.size()) + "\r\n");
+    result += body;
+    return result;
+  }
+
+  size_t content_length = 0;
+  const std::string* cl = FindHeader(headers, "Content-Length");
+  if (cl != nullptr) {
+    content_length = std::strtoul(cl->c_str(), nullptr, 10);
+  }
+  // 3b. Identity body: read the remaining bytes.
+  while (buffer.size() < body_start + content_length) {
+    size_t n = read(chunk, sizeof(chunk));
+    if (n == 0) {
+      return DataLoss("EOF inside body");
+    }
+    buffer.append(reinterpret_cast<char*>(chunk), n);
+  }
+  buffer.resize(body_start + content_length);
+  return buffer;
+}
+
+}  // namespace seal::http

@@ -1,0 +1,63 @@
+// HTTP/1.1 message parsing and serialisation. The service-specific modules
+// use this to extract audited fields from requests and responses; the
+// HttpServer/ProxyServer in src/services use it to speak the protocol.
+#ifndef SRC_HTTP_HTTP_H_
+#define SRC_HTTP_HTTP_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace seal::http {
+
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
+// Case-insensitive header lookup; returns nullptr when absent.
+const std::string* FindHeader(const Headers& headers, std::string_view name);
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  // request-target (path + query)
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  const std::string* GetHeader(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+  void SetHeader(std::string name, std::string value);
+  std::string Serialize() const;  // sets Content-Length automatically
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  const std::string* GetHeader(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+  void SetHeader(std::string name, std::string value);
+  std::string Serialize() const;
+};
+
+// Parses a complete message held in memory.
+Result<HttpRequest> ParseRequest(std::string_view raw);
+Result<HttpResponse> ParseResponse(std::string_view raw);
+
+// Reads one full HTTP message from a byte source. `read` must behave like a
+// socket read: fill up to n bytes, return the count, 0 on EOF. Handles
+// Content-Length and chunked transfer-coding bodies. Returns the raw bytes
+// of exactly one message.
+using ReadFn = std::function<size_t(uint8_t* buf, size_t max)>;
+Result<std::string> ReadHttpMessage(const ReadFn& read);
+
+}  // namespace seal::http
+
+#endif  // SRC_HTTP_HTTP_H_

@@ -1,0 +1,356 @@
+#include "src/json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace seal::json {
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  static const JsonValue kNull;
+  if (!is_object()) {
+    return kNull;
+  }
+  for (const auto& [k, v] : std::get<JsonObject>(v_)) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return kNull;
+}
+
+bool JsonValue::Has(std::string_view key) const {
+  if (!is_object()) {
+    return false;
+  }
+  for (const auto& [k, v] : std::get<JsonObject>(v_)) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JsonValue::operator==(const JsonValue& o) const { return Dump() == o.Dump(); }
+
+namespace {
+
+void DumpString(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void DumpValue(const JsonValue& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.AsBool() ? "true" : "false";
+  } else if (v.is_number()) {
+    double d = v.AsNumber();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      out += std::to_string(static_cast<int64_t>(d));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+    }
+  } else if (v.is_string()) {
+    DumpString(v.AsString(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const JsonValue& e : v.AsArray()) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      DumpValue(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.AsObject()) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      DumpString(k, out);
+      out.push_back(':');
+      DumpValue(e, out);
+    }
+    out.push_back('}');
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto v = ParseValue();
+    if (!v.ok()) {
+      return v;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(std::string msg) {
+    return InvalidArgument("JSON: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Err("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) {
+        return s.status();
+      }
+      return JsonValue(std::move(*s));
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue(false);
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      if (c == '-') {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+      std::string num(text_.substr(start, pos_ - start));
+      char* end = nullptr;
+      double d = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) {
+        return Err("malformed number");
+      }
+      return JsonValue(d);
+    }
+    return Err("unexpected character");
+  }
+
+  Result<std::string> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Err("expected string");
+    }
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return s;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            s.push_back('"');
+            break;
+          case '\\':
+            s.push_back('\\');
+            break;
+          case '/':
+            s.push_back('/');
+            break;
+          case 'n':
+            s.push_back('\n');
+            break;
+          case 't':
+            s.push_back('\t');
+            break;
+          case 'r':
+            s.push_back('\r');
+            break;
+          case 'b':
+            s.push_back('\b');
+            break;
+          case 'f':
+            s.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Err("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad \\u escape");
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              s.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              s.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              s.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+        continue;
+      }
+      s.push_back(c);
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      auto key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (!Consume(':')) {
+        return Err("expected ':'");
+      }
+      auto value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      obj.emplace_back(std::move(*key), std::move(*value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue(std::move(obj));
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonArray arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      auto value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      arr.push_back(std::move(*value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue(std::move(arr));
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpValue(*this, out);
+  return out;
+}
+
+Result<JsonValue> Parse(std::string_view text) { return JsonParser(text).Parse(); }
+
+}  // namespace seal::json

@@ -1,0 +1,79 @@
+// Minimal JSON parser/serializer. Used by the ownCloud and Dropbox
+// service-specific modules to parse document-sync and metadata messages.
+#ifndef SRC_JSON_JSON_H_
+#define SRC_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace seal::json {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+// Object preserves insertion order (services care about readable output).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  JsonValue() : v_(nullptr) {}                                  // null
+  JsonValue(bool b) : v_(b) {}                                  // NOLINT
+  JsonValue(double d) : v_(d) {}                                // NOLINT
+  JsonValue(int64_t i) : v_(static_cast<double>(i)) {}          // NOLINT
+  JsonValue(int i) : v_(static_cast<double>(i)) {}              // NOLINT
+  JsonValue(const char* s) : v_(std::string(s)) {}              // NOLINT
+  JsonValue(std::string s) : v_(std::move(s)) {}                // NOLINT
+  JsonValue(JsonArray a) : v_(std::move(a)) {}                  // NOLINT
+  JsonValue(JsonObject o) : v_(std::move(o)) {}                 // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool AsBool() const { return is_bool() && std::get<bool>(v_); }
+  double AsNumber() const { return is_number() ? std::get<double>(v_) : 0.0; }
+  int64_t AsInt() const { return static_cast<int64_t>(AsNumber()); }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? std::get<std::string>(v_) : kEmpty;
+  }
+  const JsonArray& AsArray() const {
+    static const JsonArray kEmpty;
+    return is_array() ? std::get<JsonArray>(v_) : kEmpty;
+  }
+  const JsonObject& AsObject() const {
+    static const JsonObject kEmpty;
+    return is_object() ? std::get<JsonObject>(v_) : kEmpty;
+  }
+
+  // Object field lookup; returns null value when absent or not an object.
+  const JsonValue& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+
+  // Compact serialisation.
+  std::string Dump() const;
+
+  bool operator==(const JsonValue& o) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v_;
+};
+
+// Parses a complete JSON document.
+Result<JsonValue> Parse(std::string_view text);
+
+// Convenience builder: Obj({{"k", v}, ...}).
+inline JsonValue Obj(JsonObject o) { return JsonValue(std::move(o)); }
+inline JsonValue Arr(JsonArray a) { return JsonValue(std::move(a)); }
+
+}  // namespace seal::json
+
+#endif  // SRC_JSON_JSON_H_

@@ -1,0 +1,127 @@
+#include "src/lthread/lthread.h"
+
+#include <cassert>
+
+#include "src/common/clock.h"
+
+namespace seal::lthread {
+
+namespace {
+thread_local Scheduler* t_scheduler = nullptr;
+thread_local Task* t_current = nullptr;
+}  // namespace
+
+Task::Task(Scheduler* scheduler, uint64_t id, std::function<void()> fn, size_t stack_size)
+    : scheduler_(scheduler), id_(id), fn_(std::move(fn)), stack_(stack_size) {
+  getcontext(&context_);
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // we always swap back explicitly
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Task::Trampoline), 0);
+}
+
+void Task::Trampoline() {
+  Task* self = t_current;
+  self->fn_();
+  self->state_ = State::kFinished;
+  // Return to the scheduler.
+  swapcontext(&self->context_, &self->scheduler_->main_context_);
+}
+
+Task* Scheduler::Spawn(std::function<void()> fn, size_t stack_size) {
+  tasks_.push_back(std::unique_ptr<Task>(new Task(this, next_id_++, std::move(fn), stack_size)));
+  ++live_;
+  return tasks_.back().get();
+}
+
+void Scheduler::SwitchTo(Task* task) {
+  Scheduler* prev_sched = t_scheduler;
+  Task* prev_task = t_current;
+  t_scheduler = this;
+  t_current = task;
+  task->state_ = Task::State::kRunning;
+  task->slice_cpu_start_ = ThreadCpuNanos();
+  swapcontext(&main_context_, &task->context_);
+  task->cpu_nanos_ += ThreadCpuNanos() - task->slice_cpu_start_;
+  t_current = prev_task;
+  t_scheduler = prev_sched;
+  if (task->state_ == Task::State::kFinished) {
+    --live_;
+  } else if (task->state_ == Task::State::kRunning) {
+    task->state_ = Task::State::kRunnable;
+  }
+}
+
+bool Scheduler::RunOnce() {
+  bool progressed = false;
+  // Snapshot: tasks spawned during the round run next round.
+  size_t count = tasks_.size();
+  for (size_t i = 0; i < count; ++i) {
+    Task* task = tasks_[i].get();
+    if (task->state_ == Task::State::kRunnable) {
+      SwitchTo(task);
+      progressed = true;
+    }
+  }
+  // Compact finished tasks occasionally to bound memory.
+  if (tasks_.size() > 64) {
+    size_t alive = 0;
+    for (const auto& t : tasks_) {
+      if (t->state_ != Task::State::kFinished) {
+        ++alive;
+      }
+    }
+    if (alive * 2 < tasks_.size()) {
+      std::vector<std::unique_ptr<Task>> keep;
+      keep.reserve(alive);
+      for (auto& t : tasks_) {
+        if (t->state_ != Task::State::kFinished) {
+          keep.push_back(std::move(t));
+        }
+      }
+      tasks_ = std::move(keep);
+    }
+  }
+  return progressed;
+}
+
+void Scheduler::Run() {
+  while (live_ > 0) {
+    if (!RunOnce()) {
+      // All remaining tasks are blocked: nothing can make progress from
+      // here without an external MakeRunnable, so bail to the caller.
+      break;
+    }
+  }
+}
+
+void Scheduler::Yield() {
+  Task* self = t_current;
+  assert(self != nullptr && "Yield outside a task");
+  self->state_ = Task::State::kRunnable;
+  swapcontext(&self->context_, &self->scheduler_->main_context_);
+}
+
+void Scheduler::Block() {
+  Task* self = t_current;
+  assert(self != nullptr && "Block outside a task");
+  self->state_ = Task::State::kBlocked;
+  swapcontext(&self->context_, &self->scheduler_->main_context_);
+}
+
+void Scheduler::MakeRunnable(Task* task) {
+  if (task->state_ == Task::State::kBlocked) {
+    task->state_ = Task::State::kRunnable;
+  }
+}
+
+Task* Scheduler::Current() { return t_current; }
+
+int64_t Task::cpu_nanos() const {
+  if (t_current == this && state_ == State::kRunning) {
+    return cpu_nanos_ + (ThreadCpuNanos() - slice_cpu_start_);
+  }
+  return cpu_nanos_;
+}
+
+}  // namespace seal::lthread

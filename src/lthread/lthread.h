@@ -1,0 +1,106 @@
+// User-level cooperative threading, modelled after the lthread library the
+// paper uses inside the enclave (§4.3). Tasks run on a scheduler owned by
+// one OS thread; Yield() returns control to the scheduler, which resumes
+// the next runnable task. There is no preemption.
+#ifndef SRC_LTHREAD_LTHREAD_H_
+#define SRC_LTHREAD_LTHREAD_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace seal::lthread {
+
+class Scheduler;
+
+// One coroutine task. Created by Scheduler::Spawn.
+class Task {
+ public:
+  enum class State { kRunnable, kRunning, kBlocked, kFinished };
+
+  State state() const { return state_; }
+  uint64_t id() const { return id_; }
+
+  // Task-local pointer for the embedding layer (the async-call runtime binds
+  // each task to the call slot it is currently serving).
+  void set_user_data(void* p) { user_data_ = p; }
+  void* user_data() const { return user_data_; }
+
+  // CPU nanoseconds consumed by THIS task's slices only (other tasks
+  // interleaved on the same OS thread are excluded), including the current
+  // slice when called from inside the running task. The SGX simulator uses
+  // this to charge in-enclave execution overhead per handler.
+  int64_t cpu_nanos() const;
+
+ private:
+  friend class Scheduler;
+
+  Task(Scheduler* scheduler, uint64_t id, std::function<void()> fn, size_t stack_size);
+
+  static void Trampoline();
+
+  Scheduler* scheduler_;
+  uint64_t id_;
+  std::function<void()> fn_;
+  State state_ = State::kRunnable;
+  void* user_data_ = nullptr;
+  int64_t cpu_nanos_ = 0;
+  int64_t slice_cpu_start_ = 0;  // thread CPU stamp at the current resume
+  std::vector<uint8_t> stack_;
+  ucontext_t context_;
+};
+
+// A cooperative scheduler. Not thread-safe: one Scheduler per OS thread
+// (the async-call layer runs S schedulers on S enclave threads).
+class Scheduler {
+ public:
+  static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+  Scheduler() = default;
+  ~Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a task; it will first run on the next Run()/RunOnce().
+  Task* Spawn(std::function<void()> fn, size_t stack_size = kDefaultStackSize);
+
+  // Runs runnable tasks until all have finished.
+  void Run();
+
+  // Runs at most one scheduling round (each runnable task gets one slice).
+  // Returns true if any task made progress.
+  bool RunOnce();
+
+  // --- called from inside a running task ---
+
+  // Yields back to the scheduler; the task stays runnable.
+  static void Yield();
+  // Marks the current task blocked and yields; another context must call
+  // MakeRunnable to resume it.
+  static void Block();
+
+  // Wakes a blocked task (callable from the scheduler's thread).
+  void MakeRunnable(Task* task);
+
+  // The currently running task on this thread, or nullptr.
+  static Task* Current();
+
+  size_t live_tasks() const { return live_; }
+
+ private:
+  friend class Task;
+
+  void SwitchTo(Task* task);
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  size_t live_ = 0;
+  uint64_t next_id_ = 1;
+  ucontext_t main_context_;
+};
+
+}  // namespace seal::lthread
+
+#endif  // SRC_LTHREAD_LTHREAD_H_

@@ -1,0 +1,151 @@
+#include "src/net/net.h"
+
+#include <chrono>
+
+#include "src/common/clock.h"
+
+namespace seal::net {
+
+void Pipe::Write(BytesView data) {
+  if (data.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    return;  // writes after close are dropped, like a reset connection
+  }
+  int64_t now = NowNanos();
+  int64_t transmit_end = now;
+  if (bandwidth_bytes_per_sec_ > 0) {
+    int64_t serialisation =
+        static_cast<int64_t>(static_cast<double>(data.size()) * 1e9 /
+                             static_cast<double>(bandwidth_bytes_per_sec_));
+    transmit_end = std::max(now, link_free_at_) + serialisation;
+    link_free_at_ = transmit_end;
+  }
+  chunks_.push_back(Chunk{transmit_end + latency_nanos_, Bytes(data.begin(), data.end())});
+  cv_.notify_all();
+}
+
+void Pipe::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool Pipe::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+size_t Pipe::Read(uint8_t* buf, size_t max) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!chunks_.empty()) {
+      int64_t now = NowNanos();
+      Chunk& front = chunks_.front();
+      if (front.ready_at <= now) {
+        size_t available = front.data.size() - front.offset;
+        size_t take = std::min(available, max);
+        std::copy(front.data.begin() + static_cast<ptrdiff_t>(front.offset),
+                  front.data.begin() + static_cast<ptrdiff_t>(front.offset + take), buf);
+        front.offset += take;
+        if (front.offset == front.data.size()) {
+          chunks_.pop_front();
+        }
+        return take;
+      }
+      // Data exists but is still "in flight": wait out the latency.
+      cv_.wait_for(lock, std::chrono::nanoseconds(front.ready_at - now));
+      continue;
+    }
+    if (closed_) {
+      return 0;  // EOF
+    }
+    cv_.wait(lock);
+  }
+}
+
+Status Stream::ReadFull(uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    size_t r = Read(buf + got, n - got);
+    if (r == 0) {
+      return DataLoss("connection closed mid-read (" + std::to_string(got) + "/" +
+                      std::to_string(n) + " bytes)");
+    }
+    got += r;
+  }
+  return Status::Ok();
+}
+
+std::pair<StreamPtr, StreamPtr> CreateStreamPair(int64_t latency_nanos,
+                                                 int64_t bandwidth_bytes_per_sec) {
+  auto a_to_b = std::make_shared<Pipe>(latency_nanos, bandwidth_bytes_per_sec);
+  auto b_to_a = std::make_shared<Pipe>(latency_nanos, bandwidth_bytes_per_sec);
+  auto a = std::make_unique<Stream>(b_to_a, a_to_b);
+  auto b = std::make_unique<Stream>(a_to_b, b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+StreamPtr Listener::Accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !pending_.empty() || shutdown_; });
+  if (pending_.empty()) {
+    return nullptr;
+  }
+  StreamPtr stream = std::move(pending_.front());
+  pending_.pop_front();
+  return stream;
+}
+
+void Listener::Shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+void Listener::Push(StreamPtr stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return;
+  }
+  pending_.push_back(std::move(stream));
+  cv_.notify_all();
+}
+
+Result<std::shared_ptr<Listener>> Network::Listen(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = listeners_.emplace(address, std::make_shared<Listener>());
+  if (!inserted) {
+    return AlreadyExists("address in use: " + address);
+  }
+  return it->second;
+}
+
+Result<StreamPtr> Network::Dial(const std::string& address, int64_t latency_nanos,
+                                int64_t bandwidth_bytes_per_sec) {
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return Unavailable("connection refused: " + address);
+    }
+    listener = it->second;
+  }
+  auto [client_end, server_end] = CreateStreamPair(latency_nanos, bandwidth_bytes_per_sec);
+  listener->Push(std::move(server_end));
+  return std::move(client_end);
+}
+
+void Network::Unlisten(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = listeners_.find(address);
+  if (it != listeners_.end()) {
+    it->second->Shutdown();
+    listeners_.erase(it);
+  }
+}
+
+}  // namespace seal::net

@@ -1,0 +1,130 @@
+// In-memory network: duplex byte streams with configurable one-way latency,
+// listeners, and an address registry. Stands in for the TCP sockets between
+// clients, proxies and services in the paper's testbed (including the 76 ms
+// WAN link between the Squid proxy and Dropbox, §6.4).
+#ifndef SRC_NET_NET_H_
+#define SRC_NET_NET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace seal::net {
+
+// One direction of a connection. Writers append chunks stamped with a
+// delivery time (now + latency); readers block until stamped data is due.
+class Pipe {
+ public:
+  // `bandwidth_bytes_per_sec` of 0 means unlimited; otherwise chunk
+  // delivery is additionally delayed by the link's serialisation time
+  // (back-to-back writes queue behind each other, like a real NIC).
+  explicit Pipe(int64_t latency_nanos, int64_t bandwidth_bytes_per_sec = 0)
+      : latency_nanos_(latency_nanos), bandwidth_bytes_per_sec_(bandwidth_bytes_per_sec) {}
+
+  void Write(BytesView data);
+  void Close();
+
+  // Blocks until at least one byte is available (TCP semantics) or the pipe
+  // is closed and drained. Returns the number of bytes read; 0 means EOF.
+  size_t Read(uint8_t* buf, size_t max);
+
+  bool closed() const;
+
+ private:
+  struct Chunk {
+    int64_t ready_at;
+    Bytes data;
+    size_t offset = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Chunk> chunks_;
+  bool closed_ = false;
+  int64_t latency_nanos_;
+  int64_t bandwidth_bytes_per_sec_;
+  int64_t link_free_at_ = 0;  // when the link finishes its current chunk
+};
+
+// A duplex stream endpoint. Create connected pairs with CreateStreamPair.
+class Stream {
+ public:
+  Stream(std::shared_ptr<Pipe> read_pipe, std::shared_ptr<Pipe> write_pipe)
+      : read_pipe_(std::move(read_pipe)), write_pipe_(std::move(write_pipe)) {}
+  ~Stream() { Close(); }
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Writes all of `data` (never blocks: buffers are unbounded).
+  void Write(BytesView data) { write_pipe_->Write(data); }
+  void Write(std::string_view data) {
+    write_pipe_->Write(BytesView(reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+  }
+
+  // Reads up to `max` bytes; blocks for at least one. 0 = EOF.
+  size_t Read(uint8_t* buf, size_t max) { return read_pipe_->Read(buf, max); }
+
+  // Reads exactly n bytes or fails at EOF.
+  Status ReadFull(uint8_t* buf, size_t n);
+
+  // Half-close of our outgoing direction; reading continues until the peer
+  // closes too.
+  void Close() { write_pipe_->Close(); }
+
+ private:
+  std::shared_ptr<Pipe> read_pipe_;
+  std::shared_ptr<Pipe> write_pipe_;
+};
+
+using StreamPtr = std::unique_ptr<Stream>;
+
+// Creates a connected pair of endpoints with the given one-way latency and
+// per-direction bandwidth (0 = unlimited).
+std::pair<StreamPtr, StreamPtr> CreateStreamPair(int64_t latency_nanos = 0,
+                                                 int64_t bandwidth_bytes_per_sec = 0);
+
+// Accept queue for a listening address.
+class Listener {
+ public:
+  // Blocks until a connection arrives or the listener is shut down
+  // (nullptr).
+  StreamPtr Accept();
+  void Shutdown();
+
+ private:
+  friend class Network;
+  void Push(StreamPtr stream);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<StreamPtr> pending_;
+  bool shutdown_ = false;
+};
+
+// Address registry: services Listen on names, clients Dial them.
+class Network {
+ public:
+  // Registers a listener on `address`; fails if taken.
+  Result<std::shared_ptr<Listener>> Listen(const std::string& address);
+  // Connects to `address`; the link gets `latency_nanos` one-way latency
+  // and, when non-zero, a per-direction bandwidth cap.
+  Result<StreamPtr> Dial(const std::string& address, int64_t latency_nanos = 0,
+                         int64_t bandwidth_bytes_per_sec = 0);
+  void Unlisten(const std::string& address);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Listener>> listeners_;
+};
+
+}  // namespace seal::net
+
+#endif  // SRC_NET_NET_H_

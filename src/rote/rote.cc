@@ -1,0 +1,90 @@
+#include "src/rote/rote.h"
+
+#include "src/common/clock.h"
+
+namespace seal::rote {
+
+Result<uint64_t> RoteNode::ProposeAndAck(uint64_t proposed) {
+  Mode m = mode();
+  if (m == Mode::kDown) {
+    return Unavailable("node down");
+  }
+  SpinNanos(processing_latency_nanos_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m == Mode::kMalicious) {
+    // Answers, but refuses to advance and reports a stale value.
+    return value_ > 0 ? value_ - 1 : 0;
+  }
+  if (proposed > value_) {
+    value_ = proposed;
+  }
+  return value_;
+}
+
+Result<uint64_t> RoteNode::Read() const {
+  Mode m = mode();
+  if (m == Mode::kDown) {
+    return Unavailable("node down");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m == Mode::kMalicious) {
+    return value_ > 0 ? value_ - 1 : 0;
+  }
+  return value_;
+}
+
+RoteCounter::RoteCounter(Options options) : options_(options) {
+  int n = 3 * options_.f + 1;
+  for (int i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<RoteNode>());
+  }
+}
+
+Result<uint64_t> RoteCounter::Increment() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t proposed = local_value_ + 1;
+  // One parallel fan-out: a single round trip of latency regardless of n.
+  if (options_.inject_latency) {
+    SleepNanos(options_.network_rtt_nanos);
+  }
+  int acks = 0;
+  for (const std::unique_ptr<RoteNode>& node : nodes_) {
+    auto reply = node->ProposeAndAck(proposed);
+    if (reply.ok() && *reply >= proposed) {
+      ++acks;
+    }
+  }
+  if (acks < quorum()) {
+    return Unavailable("quorum not reached: " + std::to_string(acks) + "/" +
+                       std::to_string(quorum()) + " acks");
+  }
+  local_value_ = proposed;
+  return proposed;
+}
+
+Result<uint64_t> RoteCounter::Read() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.inject_latency) {
+    SleepNanos(options_.network_rtt_nanos);
+  }
+  // Take the highest value reported by any quorum-sized set: with at most f
+  // faulty nodes, the maximum over 2f+1 answers from distinct nodes is at
+  // least the last committed value.
+  std::vector<uint64_t> answers;
+  for (const std::unique_ptr<RoteNode>& node : nodes_) {
+    auto reply = node->Read();
+    if (reply.ok()) {
+      answers.push_back(*reply);
+    }
+  }
+  if (static_cast<int>(answers.size()) < quorum()) {
+    return Unavailable("quorum not reached on read");
+  }
+  uint64_t best = 0;
+  for (uint64_t v : answers) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+}  // namespace seal::rote

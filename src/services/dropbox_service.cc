@@ -1,0 +1,142 @@
+#include "src/services/dropbox_service.h"
+
+#include "src/json/json.h"
+
+namespace seal::services {
+
+namespace {
+
+http::HttpResponse JsonResponse(const json::JsonValue& value, int status = 200) {
+  http::HttpResponse rsp;
+  rsp.status = status;
+  rsp.reason = status == 200 ? "OK" : "Bad Request";
+  rsp.SetHeader("Content-Type", "application/json");
+  rsp.body = value.Dump();
+  return rsp;
+}
+
+std::string QueryParam(const std::string& target, const std::string& key) {
+  std::string needle = key + "=";
+  size_t pos = target.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = target.find('&', start);
+  return target.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace
+
+http::HttpResponse DropboxService::Handle(const http::HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (request.method == "POST" && request.target == "/commit_batch") {
+    auto body = json::Parse(request.body);
+    if (!body.ok()) {
+      return JsonResponse(json::Obj({{"error", "bad json"}}), 400);
+    }
+    std::string account = body->Get("account").AsString();
+    auto& files = accounts_[account];
+    for (const json::JsonValue& commit : body->Get("commits").AsArray()) {
+      std::string file = commit.Get("file").AsString();
+      int64_t size = commit.Get("size").AsInt();
+      if (size < 0) {
+        files.erase(file);
+      } else {
+        files[file] = FileMeta{commit.Get("blocklist").AsString(), size};
+      }
+    }
+    return JsonResponse(json::Obj({{"ok", true}}));
+  }
+
+  if (request.method == "GET" && request.target.rfind("/list", 0) == 0) {
+    std::string account = QueryParam(request.target, "account");
+    auto& files = accounts_[account];
+    json::JsonArray listed;
+    bool omitted = false;
+    bool corrupted = false;
+    for (const auto& [file, meta] : files) {
+      if (attack_ == Attack::kOmitFile && !omitted) {
+        omitted = true;  // silently drop the first live file
+        continue;
+      }
+      std::string blocklist = meta.blocklist;
+      if (attack_ == Attack::kCorruptBlocklist && !corrupted) {
+        blocklist = "deadbeef" + blocklist;  // metadata corruption
+        corrupted = true;
+      }
+      listed.push_back(json::Obj(
+          {{"file", file}, {"blocklist", blocklist}, {"size", meta.size}}));
+    }
+    return JsonResponse(
+        json::Obj({{"host", "dropbox-sim"}, {"files", json::JsonValue(std::move(listed))}}));
+  }
+
+  http::HttpResponse rsp;
+  rsp.status = 404;
+  rsp.reason = "Not Found";
+  return rsp;
+}
+
+http::HttpRequest MakeCommitBatch(const std::string& account, const std::string& host,
+                                  const std::vector<DropboxCommit>& commits) {
+  json::JsonArray commit_array;
+  for (const DropboxCommit& commit : commits) {
+    commit_array.push_back(json::Obj(
+        {{"file", commit.file}, {"blocklist", commit.blocklist}, {"size", commit.size}}));
+  }
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/commit_batch";
+  req.SetHeader("Content-Type", "application/json");
+  req.body = json::Obj({{"account", account},
+                        {"host", host},
+                        {"commits", json::JsonValue(std::move(commit_array))}})
+                 .Dump();
+  return req;
+}
+
+http::HttpRequest MakeListRequest(const std::string& account, bool libseal_check) {
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/list?account=" + account;
+  if (libseal_check) {
+    req.SetHeader("Libseal-Check", "1");
+  }
+  return req;
+}
+
+DropboxWorkload::DropboxWorkload(std::string account, uint64_t seed)
+    : account_(std::move(account)), rng_(seed) {}
+
+http::HttpRequest DropboxWorkload::Next() {
+  ++op_counter_;
+  if (op_counter_ % 4 == 0) {
+    return MakeListRequest(account_);
+  }
+  uint64_t kind = rng_.Below(100);
+  if (kind < 70 || live_files_.empty()) {
+    // Create or update a file: blocklist of 1-4 "4 MB block" hashes.
+    std::string file = (kind < 50 || live_files_.empty())
+                           ? "file-" + std::to_string(++file_counter_) + ".bin"
+                           : live_files_[rng_.Below(live_files_.size())];
+    int blocks = 1 + static_cast<int>(rng_.Below(4));
+    std::string blocklist;
+    for (int i = 0; i < blocks; ++i) {
+      blocklist += rng_.Ident(16);
+    }
+    if (std::find(live_files_.begin(), live_files_.end(), file) == live_files_.end()) {
+      live_files_.push_back(file);
+    }
+    return MakeCommitBatch(account_, "host-1",
+                           {DropboxCommit{file, blocklist, blocks * 4 * 1024 * 1024}});
+  }
+  // Delete a live file.
+  size_t index = rng_.Below(live_files_.size());
+  std::string file = live_files_[index];
+  live_files_.erase(live_files_.begin() + static_cast<ptrdiff_t>(index));
+  return MakeCommitBatch(account_, "host-1", {DropboxCommit{file, "", -1}});
+}
+
+}  // namespace seal::services

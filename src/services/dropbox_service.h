@@ -1,0 +1,73 @@
+// Simulated Dropbox metadata service plus the attack injector for
+// blocklist corruption and file-list omission (§6.1, §6.2). The real
+// Dropbox servers are unreachable from the testbed, so this re-implements
+// the metadata protocol the paper audits through the Squid proxy.
+//
+// Protocol:
+//   POST /commit_batch {"account","host","commits":[{file,blocklist,size}]}
+//        size = -1 deletes the file.
+//   GET  /list?account=A -> {"files":[{file,blocklist,size}]}
+#ifndef SRC_SERVICES_DROPBOX_SERVICE_H_
+#define SRC_SERVICES_DROPBOX_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/http/http.h"
+
+namespace seal::services {
+
+class DropboxService {
+ public:
+  enum class Attack {
+    kNone,
+    kCorruptBlocklist,  // list responses carry a wrong blocklist
+    kOmitFile,          // list responses silently drop one live file
+  };
+
+  http::HttpResponse Handle(const http::HttpRequest& request);
+  void set_attack(Attack attack) { attack_ = attack; }
+
+ private:
+  struct FileMeta {
+    std::string blocklist;
+    int64_t size = 0;
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, std::map<std::string, FileMeta>> accounts_;
+  Attack attack_ = Attack::kNone;
+};
+
+// Client-side message builders (the Drago et al. benchmark shape: create
+// and delete text/binary files, §6.4).
+struct DropboxCommit {
+  std::string file;
+  std::string blocklist;  // hex digest list
+  int64_t size = 0;       // -1 = delete
+};
+http::HttpRequest MakeCommitBatch(const std::string& account, const std::string& host,
+                                  const std::vector<DropboxCommit>& commits);
+http::HttpRequest MakeListRequest(const std::string& account, bool libseal_check = false);
+
+// File-churn workload: creates, updates and deletes files with 4 MB-block
+// blocklists, interleaving list polls.
+class DropboxWorkload {
+ public:
+  DropboxWorkload(std::string account, uint64_t seed);
+  http::HttpRequest Next();
+
+ private:
+  std::string account_;
+  SplitMix64 rng_;
+  uint64_t file_counter_ = 0;
+  std::vector<std::string> live_files_;
+  uint64_t op_counter_ = 0;
+};
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_DROPBOX_SERVICE_H_

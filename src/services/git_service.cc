@@ -1,0 +1,173 @@
+#include "src/services/git_service.h"
+
+#include <sstream>
+
+namespace seal::services {
+
+namespace {
+
+std::string RepoFromTarget(const std::string& target) {
+  size_t start = target.find('/');
+  if (start == std::string::npos) {
+    return "";
+  }
+  size_t end = target.find('/', start + 1);
+  if (end == std::string::npos) {
+    end = target.find('?', start + 1);
+  }
+  if (end == std::string::npos) {
+    end = target.size();
+  }
+  return target.substr(start + 1, end - start - 1);
+}
+
+http::HttpResponse NotFoundResponse() {
+  http::HttpResponse rsp;
+  rsp.status = 404;
+  rsp.reason = "Not Found";
+  return rsp;
+}
+
+}  // namespace
+
+http::HttpResponse GitBackend::Handle(const http::HttpRequest& request) {
+  std::string repo_name = RepoFromTarget(request.target);
+  if (repo_name.empty()) {
+    return NotFoundResponse();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (request.method == "POST" &&
+      request.target.find("git-receive-pack") != std::string::npos) {
+    Repo& repo = repos_[repo_name];
+    std::istringstream body(request.body);
+    std::string op, branch, cid;
+    while (body >> op) {
+      if (op == "UPDATE" && body >> branch >> cid) {
+        auto it = repo.refs.find(branch);
+        if (it != repo.refs.end()) {
+          repo.previous_refs[branch] = it->second;
+        }
+        repo.refs[branch] = cid;
+      } else if (op == "DELETE" && body >> branch) {
+        auto it = repo.refs.find(branch);
+        if (it != repo.refs.end()) {
+          repo.previous_refs[branch] = it->second;
+          repo.refs.erase(it);
+        }
+      } else {
+        break;
+      }
+    }
+    http::HttpResponse rsp;
+    rsp.body = "ok";
+    return rsp;
+  }
+
+  if (request.method == "GET" && request.target.find("info/refs") != std::string::npos) {
+    auto it = repos_.find(repo_name);
+    if (it == repos_.end()) {
+      return NotFoundResponse();
+    }
+    // Build the advertisement, applying any configured attack.
+    std::map<std::string, std::string> advertised = it->second.refs;
+    switch (attack_) {
+      case Attack::kNone:
+        break;
+      case Attack::kRollback: {
+        // Serve the previous commit for the first branch that has one.
+        for (auto& [branch, cid] : advertised) {
+          auto prev = it->second.previous_refs.find(branch);
+          if (prev != it->second.previous_refs.end() && prev->second != cid) {
+            cid = prev->second;
+            break;
+          }
+        }
+        break;
+      }
+      case Attack::kTeleport: {
+        // Point the first branch at a commit from a DIFFERENT branch.
+        if (advertised.size() >= 2) {
+          auto first = advertised.begin();
+          auto second = std::next(first);
+          first->second = second->second;
+        }
+        break;
+      }
+      case Attack::kRefDeletion: {
+        if (!advertised.empty()) {
+          advertised.erase(advertised.begin());
+        }
+        break;
+      }
+    }
+    http::HttpResponse rsp;
+    std::string body;
+    for (const auto& [branch, cid] : advertised) {
+      body += "REF " + branch + " " + cid + "\n";
+    }
+    rsp.body = std::move(body);
+    return rsp;
+  }
+  return NotFoundResponse();
+}
+
+std::map<std::string, std::string> GitBackend::Refs(const std::string& repo) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = repos_.find(repo);
+  return it == repos_.end() ? std::map<std::string, std::string>{} : it->second.refs;
+}
+
+http::HttpRequest MakeGitPush(const std::string& repo,
+                              const std::map<std::string, std::string>& updates,
+                              const std::vector<std::string>& deletions) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/" + repo + "/git-receive-pack";
+  std::string body;
+  for (const auto& [branch, cid] : updates) {
+    body += "UPDATE " + branch + " " + cid + "\n";
+  }
+  for (const std::string& branch : deletions) {
+    body += "DELETE " + branch + "\n";
+  }
+  req.body = std::move(body);
+  return req;
+}
+
+http::HttpRequest MakeGitFetch(const std::string& repo, bool libseal_check) {
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/" + repo + "/info/refs?service=git-upload-pack";
+  if (libseal_check) {
+    req.SetHeader("Libseal-Check", "1");
+  }
+  return req;
+}
+
+std::map<std::string, std::string> ParseAdvertisement(const std::string& body) {
+  std::map<std::string, std::string> refs;
+  std::istringstream in(body);
+  std::string tag, branch, cid;
+  while (in >> tag >> branch >> cid) {
+    if (tag == "REF") {
+      refs[branch] = cid;
+    }
+  }
+  return refs;
+}
+
+GitWorkload::GitWorkload(std::string repo, int branches, uint64_t seed)
+    : repo_(std::move(repo)), branches_(branches), rng_(seed) {}
+
+http::HttpRequest GitWorkload::Next() {
+  ++op_counter_;
+  if (op_counter_ % 5 == 0) {
+    return MakeGitFetch(repo_);
+  }
+  std::string branch = "branch-" + std::to_string(rng_.Below(static_cast<uint64_t>(branches_)));
+  std::string cid = "c" + std::to_string(++commit_counter_) + "-" + rng_.Ident(8);
+  return MakeGitPush(repo_, {{branch, cid}});
+}
+
+}  // namespace seal::services

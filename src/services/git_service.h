@@ -1,0 +1,80 @@
+// Simulated Git hosting service (smart-HTTP shape) plus a client/workload
+// generator and the attack injector for the §6.2 experiments.
+//
+// Protocol:
+//   POST /<repo>/git-receive-pack   body: "UPDATE <branch> <cid>\n" |
+//                                         "DELETE <branch>\n" lines
+//   GET  /<repo>/info/refs          response body: "REF <branch> <cid>\n"
+#ifndef SRC_SERVICES_GIT_SERVICE_H_
+#define SRC_SERVICES_GIT_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/http/http.h"
+
+namespace seal::services {
+
+// The Git backend: authoritative ref store with injectable misbehaviour
+// (the integrity violations of Torres-Arias et al. the paper detects).
+class GitBackend {
+ public:
+  enum class Attack {
+    kNone,
+    kRollback,       // advertise a previous commit for one branch
+    kTeleport,       // advertise a commit belonging to another branch
+    kRefDeletion,    // silently omit a branch from advertisements
+  };
+
+  http::HttpResponse Handle(const http::HttpRequest& request);
+
+  void set_attack(Attack attack) { attack_ = attack; }
+
+  // Direct inspection for tests.
+  std::map<std::string, std::string> Refs(const std::string& repo);
+
+ private:
+  struct Repo {
+    std::map<std::string, std::string> refs;              // branch -> cid
+    std::map<std::string, std::string> previous_refs;     // branch -> prior cid
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, Repo> repos_;
+  Attack attack_ = Attack::kNone;
+};
+
+// Client-side helpers producing protocol messages.
+http::HttpRequest MakeGitPush(const std::string& repo,
+                              const std::map<std::string, std::string>& updates,
+                              const std::vector<std::string>& deletions = {});
+http::HttpRequest MakeGitFetch(const std::string& repo, bool libseal_check = false);
+
+// Parses an advertisement body into branch -> cid.
+std::map<std::string, std::string> ParseAdvertisement(const std::string& body);
+
+// Deterministic commit-history replay workload (the §6.4 experiment
+// replays the first few hundred commits of real repositories; we generate
+// an equivalent synthetic history: a stream of pushes with periodic
+// fetches across a configurable number of branches).
+class GitWorkload {
+ public:
+  GitWorkload(std::string repo, int branches, uint64_t seed);
+
+  // Returns the i-th request of the replay (pushes with a fetch every
+  // `fetch_every` operations).
+  http::HttpRequest Next();
+
+ private:
+  std::string repo_;
+  int branches_;
+  SplitMix64 rng_;
+  uint64_t commit_counter_ = 0;
+  uint64_t op_counter_ = 0;
+};
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_GIT_SERVICE_H_

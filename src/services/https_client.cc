@@ -1,0 +1,57 @@
+#include "src/services/https_client.h"
+
+namespace seal::services {
+
+Result<std::unique_ptr<HttpsClient>> HttpsClient::Connect(net::Network* network,
+                                                          const std::string& address,
+                                                          const tls::TlsConfig& config,
+                                                          int64_t latency_nanos,
+                                                          int64_t bandwidth_bytes_per_sec) {
+  auto stream = network->Dial(address, latency_nanos, bandwidth_bytes_per_sec);
+  if (!stream.ok()) {
+    return stream.status();
+  }
+  auto client = std::unique_ptr<HttpsClient>(new HttpsClient());
+  client->stream_ = std::move(*stream);
+  client->bio_ = std::make_unique<tls::StreamBio>(client->stream_.get());
+  client->tls_ =
+      std::make_unique<tls::TlsConnection>(client->bio_.get(), &config, tls::Role::kClient);
+  SEAL_RETURN_IF_ERROR(client->tls_->Handshake());
+  return client;
+}
+
+Result<http::HttpResponse> HttpsClient::RoundTrip(const http::HttpRequest& request) {
+  std::string wire = request.Serialize();
+  SEAL_RETURN_IF_ERROR(tls_->Write(wire));
+  auto raw = http::ReadHttpMessage([&](uint8_t* buf, size_t max) {
+    auto n = tls_->Read(buf, max);
+    return n.ok() ? *n : size_t{0};
+  });
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  return http::ParseResponse(*raw);
+}
+
+void HttpsClient::Close() {
+  if (tls_ != nullptr) {
+    tls_->Close();
+  }
+}
+
+Result<http::HttpResponse> OneShotRequest(net::Network* network, const std::string& address,
+                                          const tls::TlsConfig& config,
+                                          const http::HttpRequest& request,
+                                          int64_t latency_nanos,
+                                          int64_t bandwidth_bytes_per_sec) {
+  auto client =
+      HttpsClient::Connect(network, address, config, latency_nanos, bandwidth_bytes_per_sec);
+  if (!client.ok()) {
+    return client.status();
+  }
+  auto response = (*client)->RoundTrip(request);
+  (*client)->Close();
+  return response;
+}
+
+}  // namespace seal::services

@@ -1,0 +1,52 @@
+// A simple HTTPS client (the libcurl stand-in used by all workloads).
+#ifndef SRC_SERVICES_HTTPS_CLIENT_H_
+#define SRC_SERVICES_HTTPS_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/http/http.h"
+#include "src/net/net.h"
+#include "src/tls/tls.h"
+
+namespace seal::services {
+
+class HttpsClient {
+ public:
+  // Connects and performs the TLS handshake. `latency_nanos` sets the
+  // one-way link latency (76 ms to "Dropbox" in §6.4).
+  // NOTE: `config` must outlive the client (the TLS engine keeps a
+  // pointer to it).
+  static Result<std::unique_ptr<HttpsClient>> Connect(net::Network* network,
+                                                      const std::string& address,
+                                                      const tls::TlsConfig& config,
+                                                      int64_t latency_nanos = 0,
+                                                      int64_t bandwidth_bytes_per_sec = 0);
+
+  // Sends one request and reads the full response (keep-alive).
+  Result<http::HttpResponse> RoundTrip(const http::HttpRequest& request);
+
+  void Close();
+
+  const tls::TlsConnection& tls() const { return *tls_; }
+
+ private:
+  HttpsClient() = default;
+
+  net::StreamPtr stream_;
+  std::unique_ptr<tls::StreamBio> bio_;
+  std::unique_ptr<tls::TlsConnection> tls_;
+};
+
+// Convenience: one-shot request over a fresh connection (the
+// "non-persistent connections" mode of §6.6).
+Result<http::HttpResponse> OneShotRequest(net::Network* network, const std::string& address,
+                                          const tls::TlsConfig& config,
+                                          const http::HttpRequest& request,
+                                          int64_t latency_nanos = 0,
+                                          int64_t bandwidth_bytes_per_sec = 0);
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_HTTPS_CLIENT_H_

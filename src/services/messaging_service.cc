@@ -1,0 +1,95 @@
+#include "src/services/messaging_service.h"
+
+#include "src/json/json.h"
+
+namespace seal::services {
+
+namespace {
+
+http::HttpResponse JsonResponse(const json::JsonValue& value, int status = 200) {
+  http::HttpResponse rsp;
+  rsp.status = status;
+  rsp.reason = status == 200 ? "OK" : "Bad Request";
+  rsp.SetHeader("Content-Type", "application/json");
+  rsp.body = value.Dump();
+  return rsp;
+}
+
+}  // namespace
+
+http::HttpResponse MessagingService::Handle(const http::HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (request.method == "POST" && request.target == "/msg/send") {
+    auto body = json::Parse(request.body);
+    if (!body.ok()) {
+      return JsonResponse(json::Obj({{"error", "bad json"}}), 400);
+    }
+    Message message;
+    message.from = body->Get("from").AsString();
+    message.id = body->Get("id").AsString();
+    message.body = body->Get("body").AsString();
+    queues_[body->Get("to").AsString()].push_back(std::move(message));
+    return JsonResponse(json::Obj({{"ok", true}}));
+  }
+
+  if (request.method == "GET" && request.target.rfind("/msg/inbox", 0) == 0) {
+    std::string user;
+    size_t q = request.target.find("user=");
+    if (q != std::string::npos) {
+      size_t end = request.target.find('&', q);
+      user = request.target.substr(q + 5,
+                                   end == std::string::npos ? std::string::npos : end - q - 5);
+    }
+    std::deque<Message>& queue = queues_[user];
+    json::JsonArray delivered;
+    bool attacked = false;
+    for (const Message& message : queue) {
+      std::string body = message.body;
+      if (attack_ == Attack::kDropMessage && !attacked) {
+        attacked = true;  // this message is silently lost
+        continue;
+      }
+      if (attack_ == Attack::kModifyMessage && !attacked) {
+        body += " [rewritten]";
+        attacked = true;
+      }
+      delivered.push_back(
+          json::Obj({{"from", message.from}, {"id", message.id}, {"body", body}}));
+      if (attack_ == Attack::kDuplicate && !attacked) {
+        delivered.push_back(
+            json::Obj({{"from", message.from}, {"id", message.id}, {"body", body}}));
+        attacked = true;
+      }
+    }
+    queue.clear();
+    return JsonResponse(json::Obj({{"messages", json::JsonValue(std::move(delivered))}}));
+  }
+
+  http::HttpResponse rsp;
+  rsp.status = 404;
+  rsp.reason = "Not Found";
+  return rsp;
+}
+
+http::HttpRequest MakeSendMessage(const std::string& from, const std::string& to,
+                                  const std::string& id, const std::string& body) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/msg/send";
+  req.SetHeader("Content-Type", "application/json");
+  req.body = json::Obj({{"from", from}, {"to", to}, {"id", id}, {"body", body}}).Dump();
+  return req;
+}
+
+http::HttpRequest MakeInboxPoll(const std::string& user, bool libseal_check) {
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/msg/inbox?user=" + user;
+  if (libseal_check) {
+    req.SetHeader("Libseal-Check", "1");
+  }
+  return req;
+}
+
+}  // namespace seal::services

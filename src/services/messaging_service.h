@@ -1,0 +1,51 @@
+// Simulated instant-messaging service (the XMPP-style scenario of §2.2:
+// "Faults or bugs may compromise message integrity, e.g. causing messages
+// to be dropped, modified or delivered to the wrong recipients").
+//
+// Protocol:
+//   POST /msg/send {"from","to","id","body"}     queue a message
+//   GET  /msg/inbox?user=U ->
+//        {"messages":[{"from","id","body"},...]} deliver & drain U's queue
+#ifndef SRC_SERVICES_MESSAGING_SERVICE_H_
+#define SRC_SERVICES_MESSAGING_SERVICE_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/http/http.h"
+
+namespace seal::services {
+
+class MessagingService {
+ public:
+  enum class Attack {
+    kNone,
+    kDropMessage,    // silently lose one queued message
+    kModifyMessage,  // alter a message body before delivery
+    kDuplicate,      // deliver one message twice
+  };
+
+  http::HttpResponse Handle(const http::HttpRequest& request);
+  void set_attack(Attack attack) { attack_ = attack; }
+
+ private:
+  struct Message {
+    std::string from;
+    std::string id;
+    std::string body;
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, std::deque<Message>> queues_;
+  Attack attack_ = Attack::kNone;
+};
+
+http::HttpRequest MakeSendMessage(const std::string& from, const std::string& to,
+                                  const std::string& id, const std::string& body);
+http::HttpRequest MakeInboxPoll(const std::string& user, bool libseal_check = false);
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_MESSAGING_SERVICE_H_

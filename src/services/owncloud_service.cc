@@ -1,0 +1,161 @@
+#include "src/services/owncloud_service.h"
+
+#include "src/json/json.h"
+
+namespace seal::services {
+
+namespace {
+
+http::HttpResponse JsonResponse(const json::JsonValue& value, int status = 200) {
+  http::HttpResponse rsp;
+  rsp.status = status;
+  rsp.reason = status == 200 ? "OK" : "Bad Request";
+  rsp.SetHeader("Content-Type", "application/json");
+  rsp.body = value.Dump();
+  return rsp;
+}
+
+std::string QueryParam(const std::string& target, const std::string& key) {
+  std::string needle = key + "=";
+  size_t pos = target.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = target.find('&', start);
+  return target.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace
+
+http::HttpResponse OwnCloudService::Handle(const http::HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (request.method == "POST" && request.target == "/docs/sync") {
+    auto body = json::Parse(request.body);
+    if (!body.ok()) {
+      return JsonResponse(json::Obj({{"error", "bad json"}}), 400);
+    }
+    std::string doc_name = body->Get("doc").AsString();
+    Document& doc = docs_[doc_name];
+    if (doc.session == 0) {
+      doc.session = next_session_++;
+    }
+    Update update;
+    update.client = body->Get("client").AsString();
+    update.seq = body->Get("seq").AsInt();
+    update.text = body->Get("text").AsString();
+    doc.updates.push_back(update);
+    // The response confirms the session the update was applied to; the SSM
+    // logs this value.
+    return JsonResponse(json::Obj({{"ok", true}, {"session", doc.session}}));
+  }
+
+  if (request.method == "POST" && request.target == "/docs/snapshot") {
+    auto body = json::Parse(request.body);
+    if (!body.ok()) {
+      return JsonResponse(json::Obj({{"error", "bad json"}}), 400);
+    }
+    std::string doc_name = body->Get("doc").AsString();
+    Document& doc = docs_[doc_name];
+    if (doc.session == 0) {
+      doc.session = next_session_++;
+    }
+    doc.previous_snapshot = doc.snapshot;
+    doc.snapshot = body->Get("content").AsString();
+    return JsonResponse(json::Obj({{"ok", true}, {"session", doc.session}}));
+  }
+
+  if (request.method == "GET" && request.target.rfind("/docs/join", 0) == 0) {
+    std::string doc_name = QueryParam(request.target, "doc");
+    Document& doc = docs_[doc_name];
+    if (doc.session == 0) {
+      doc.session = next_session_++;
+    }
+    std::string snapshot = doc.snapshot;
+    std::vector<Update> updates = doc.updates;
+    switch (attack_) {
+      case Attack::kNone:
+        break;
+      case Attack::kDropUpdate:
+        if (!updates.empty()) {
+          updates.erase(updates.begin());  // a lost edit
+        }
+        break;
+      case Attack::kStaleSnapshot:
+        snapshot = doc.previous_snapshot;
+        break;
+    }
+    json::JsonArray served;
+    for (const Update& u : updates) {
+      served.push_back(json::Obj({{"client", u.client}, {"seq", u.seq}, {"text", u.text}}));
+    }
+    return JsonResponse(json::Obj({{"session", doc.session},
+                                   {"snapshot", snapshot},
+                                   {"updates", json::JsonValue(std::move(served))}}));
+  }
+
+  http::HttpResponse rsp;
+  rsp.status = 404;
+  rsp.reason = "Not Found";
+  return rsp;
+}
+
+http::HttpRequest MakeOwnCloudSync(const std::string& doc, int64_t session,
+                                   const std::string& client, int64_t seq,
+                                   const std::string& text) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/docs/sync";
+  req.SetHeader("Content-Type", "application/json");
+  req.body = json::Obj({{"doc", doc}, {"session", session}, {"client", client}, {"seq", seq},
+                        {"text", text}})
+                 .Dump();
+  return req;
+}
+
+http::HttpRequest MakeOwnCloudSnapshot(const std::string& doc, int64_t session,
+                                       const std::string& client, const std::string& content) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/docs/snapshot";
+  req.SetHeader("Content-Type", "application/json");
+  req.body =
+      json::Obj({{"doc", doc}, {"session", session}, {"client", client}, {"content", content}})
+          .Dump();
+  return req;
+}
+
+http::HttpRequest MakeOwnCloudJoin(const std::string& doc, const std::string& client,
+                                   bool libseal_check) {
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/docs/join?doc=" + doc + "&client=" + client;
+  if (libseal_check) {
+    req.SetHeader("Libseal-Check", "1");
+  }
+  return req;
+}
+
+OwnCloudWorkload::OwnCloudWorkload(int documents, int clients, uint64_t seed)
+    : documents_(documents), clients_(clients), rng_(seed) {}
+
+http::HttpRequest OwnCloudWorkload::Next() {
+  std::string doc = "doc-" + std::to_string(rng_.Below(static_cast<uint64_t>(documents_)));
+  std::string client = "client-" + std::to_string(rng_.Below(static_cast<uint64_t>(clients_)));
+  uint64_t kind = rng_.Below(100);
+  if (kind < 70) {
+    // Single-character edit (the common case in §6.4).
+    return MakeOwnCloudSync(doc, 0, client, ++seq_, std::string(1, 'a' + char(rng_.Below(26))));
+  }
+  if (kind < 85) {
+    // Whole-paragraph edit.
+    return MakeOwnCloudSync(doc, 0, client, ++seq_, rng_.Ident(200));
+  }
+  if (kind < 95) {
+    return MakeOwnCloudJoin(doc, client);
+  }
+  return MakeOwnCloudSnapshot(doc, 0, client, rng_.Ident(100));
+}
+
+}  // namespace seal::services

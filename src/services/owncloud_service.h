@@ -1,0 +1,82 @@
+// Simulated ownCloud Documents service: collaborative document sessions
+// with JSON synchronisation messages, plus the attack injector for lost
+// edits and stale snapshots (§6.1, §6.2).
+//
+// Protocol:
+//   POST /docs/sync      {"doc","session","client","seq","text"}
+//   POST /docs/snapshot  {"doc","session","client","content"}
+//   GET  /docs/join?doc=D&client=C ->
+//        {"session":N,"snapshot":S,"updates":[{"client","seq","text"},...]}
+#ifndef SRC_SERVICES_OWNCLOUD_SERVICE_H_
+#define SRC_SERVICES_OWNCLOUD_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/http/http.h"
+
+namespace seal::services {
+
+class OwnCloudService {
+ public:
+  enum class Attack {
+    kNone,
+    kDropUpdate,     // serve joins with one update missing (lost edit)
+    kStaleSnapshot,  // serve an outdated snapshot
+  };
+
+  http::HttpResponse Handle(const http::HttpRequest& request);
+  void set_attack(Attack attack) { attack_ = attack; }
+
+  // Allocates a fresh globally-unique session for a document (clients call
+  // this implicitly by joining a doc with no live session).
+  struct Update {
+    std::string client;
+    int64_t seq;
+    std::string text;
+  };
+
+ private:
+  struct Document {
+    int64_t session = 0;
+    std::string snapshot;
+    std::string previous_snapshot;
+    std::vector<Update> updates;  // of the current session
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, Document> docs_;
+  int64_t next_session_ = 1;
+  Attack attack_ = Attack::kNone;
+};
+
+// Client-side message builders.
+http::HttpRequest MakeOwnCloudSync(const std::string& doc, int64_t session,
+                                   const std::string& client, int64_t seq,
+                                   const std::string& text);
+http::HttpRequest MakeOwnCloudSnapshot(const std::string& doc, int64_t session,
+                                       const std::string& client, const std::string& content);
+http::HttpRequest MakeOwnCloudJoin(const std::string& doc, const std::string& client,
+                                   bool libseal_check = false);
+
+// Workload: a population of clients editing documents (single characters
+// and whole paragraphs, per §6.4), with periodic joins and snapshots.
+class OwnCloudWorkload {
+ public:
+  OwnCloudWorkload(int documents, int clients, uint64_t seed);
+  http::HttpRequest Next();
+
+ private:
+  int documents_;
+  int clients_;
+  SplitMix64 rng_;
+  int64_t seq_ = 0;
+  std::map<std::string, int64_t> session_by_doc_;
+};
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_OWNCLOUD_SERVICE_H_

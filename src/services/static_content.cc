@@ -1,0 +1,27 @@
+#include "src/services/static_content.h"
+
+namespace seal::services {
+
+http::HttpResponse ServeStaticContent(const http::HttpRequest& request) {
+  size_t size = 0;
+  size_t pos = request.target.find("size=");
+  if (pos != std::string::npos) {
+    size = std::strtoul(request.target.c_str() + pos + 5, nullptr, 10);
+  }
+  http::HttpResponse rsp;
+  rsp.SetHeader("Content-Type", "application/octet-stream");
+  rsp.body.assign(size, 'x');
+  return rsp;
+}
+
+http::HttpRequest MakeContentRequest(size_t size, bool keep_alive) {
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/content?size=" + std::to_string(size);
+  if (!keep_alive) {
+    req.SetHeader("Connection", "close");
+  }
+  return req;
+}
+
+}  // namespace seal::services

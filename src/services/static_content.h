@@ -1,0 +1,18 @@
+// Static-content handler for the Apache throughput experiments (§6.6):
+// GET /content?size=N returns N bytes.
+#ifndef SRC_SERVICES_STATIC_CONTENT_H_
+#define SRC_SERVICES_STATIC_CONTENT_H_
+
+#include "src/http/http.h"
+
+namespace seal::services {
+
+// Parses "?size=N" from the target; defaults to 0.
+http::HttpResponse ServeStaticContent(const http::HttpRequest& request);
+
+// Builds the matching request.
+http::HttpRequest MakeContentRequest(size_t size, bool keep_alive = false);
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_STATIC_CONTENT_H_

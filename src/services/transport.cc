@@ -1,0 +1,80 @@
+#include "src/services/transport.h"
+
+namespace seal::services {
+
+namespace {
+
+class PlainConnection : public ServerConnection {
+ public:
+  PlainConnection(net::StreamPtr stream, const tls::TlsConfig* config)
+      : stream_(std::move(stream)),
+        bio_(stream_.get()),
+        tls_(&bio_, config, tls::Role::kServer) {}
+
+  int Handshake() override { return tls_.Handshake().ok() ? 1 : -1; }
+
+  int Read(uint8_t* buf, int len) override {
+    auto n = tls_.Read(buf, static_cast<size_t>(len));
+    return n.ok() ? static_cast<int>(*n) : -1;
+  }
+
+  int Write(const uint8_t* buf, int len) override {
+    return tls_.Write(BytesView(buf, static_cast<size_t>(len))).ok() ? len : -1;
+  }
+
+  void Close() override { tls_.Close(); }
+
+ private:
+  net::StreamPtr stream_;
+  tls::StreamBio bio_;
+  tls::TlsConnection tls_;
+};
+
+class LibSealConnection : public ServerConnection {
+ public:
+  LibSealConnection(net::StreamPtr stream, core::LibSealRuntime* runtime)
+      : stream_(std::move(stream)), runtime_(runtime) {
+    ssl_ = runtime_->SslNew(stream_.get(), tls::Role::kServer);
+  }
+
+  ~LibSealConnection() override {
+    if (ssl_ != nullptr) {
+      runtime_->SslFree(ssl_);
+    }
+  }
+
+  int Handshake() override {
+    return ssl_ == nullptr ? -1 : runtime_->SslHandshake(ssl_);
+  }
+
+  int Read(uint8_t* buf, int len) override {
+    return ssl_ == nullptr ? -1 : runtime_->SslRead(ssl_, buf, len);
+  }
+
+  int Write(const uint8_t* buf, int len) override {
+    return ssl_ == nullptr ? -1 : runtime_->SslWrite(ssl_, buf, len);
+  }
+
+  void Close() override {
+    if (ssl_ != nullptr) {
+      runtime_->SslShutdown(ssl_);
+    }
+  }
+
+ private:
+  net::StreamPtr stream_;
+  core::LibSealRuntime* runtime_;
+  core::LibSealSsl* ssl_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServerConnection> PlainTransport::Wrap(net::StreamPtr stream) {
+  return std::make_unique<PlainConnection>(std::move(stream), &config_);
+}
+
+std::unique_ptr<ServerConnection> LibSealTransport::Wrap(net::StreamPtr stream) {
+  return std::make_unique<LibSealConnection>(std::move(stream), runtime_);
+}
+
+}  // namespace seal::services

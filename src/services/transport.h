@@ -1,0 +1,54 @@
+// TLS transport abstraction for the simulated servers: the same HttpServer
+// binary links against either a plain TLS stack ("LibreSSL", the paper's
+// native baseline) or LibSEAL, mirroring how Apache/Squid pick their TLS
+// library at link time.
+#ifndef SRC_SERVICES_TRANSPORT_H_
+#define SRC_SERVICES_TRANSPORT_H_
+
+#include <memory>
+
+#include "src/core/libseal.h"
+#include "src/net/net.h"
+#include "src/tls/tls.h"
+
+namespace seal::services {
+
+// One accepted TLS connection, server side.
+class ServerConnection {
+ public:
+  virtual ~ServerConnection() = default;
+  virtual int Handshake() = 0;                       // 1 ok, -1 error
+  virtual int Read(uint8_t* buf, int len) = 0;       // >0, 0 eof, -1 error
+  virtual int Write(const uint8_t* buf, int len) = 0;
+  virtual void Close() = 0;
+};
+
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+  virtual std::unique_ptr<ServerConnection> Wrap(net::StreamPtr stream) = 0;
+};
+
+// Plain TLS (the native baseline).
+class PlainTransport : public ServerTransport {
+ public:
+  explicit PlainTransport(tls::TlsConfig config) : config_(std::move(config)) {}
+  std::unique_ptr<ServerConnection> Wrap(net::StreamPtr stream) override;
+
+ private:
+  tls::TlsConfig config_;
+};
+
+// LibSEAL (TLS in the enclave, optionally with auditing).
+class LibSealTransport : public ServerTransport {
+ public:
+  explicit LibSealTransport(core::LibSealRuntime* runtime) : runtime_(runtime) {}
+  std::unique_ptr<ServerConnection> Wrap(net::StreamPtr stream) override;
+
+ private:
+  core::LibSealRuntime* runtime_;
+};
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_TRANSPORT_H_

@@ -1,0 +1,84 @@
+#include "src/sgx/attestation.h"
+
+namespace seal::sgx {
+
+Bytes Quote::SignedPayload() const {
+  Bytes payload;
+  Append(payload, BytesView(measurement.data(), measurement.size()));
+  AppendBe32(payload, static_cast<uint32_t>(signer.size()));
+  Append(payload, signer);
+  AppendBe32(payload, static_cast<uint32_t>(report_data.size()));
+  Append(payload, report_data);
+  return payload;
+}
+
+Bytes Quote::Encode() const {
+  Bytes out = SignedPayload();
+  Append(out, signature.Encode());
+  return out;
+}
+
+Result<Quote> Quote::Decode(BytesView in) {
+  Quote q;
+  size_t off = 0;
+  if (in.size() < q.measurement.size() + 4) {
+    return DataLoss("quote too short");
+  }
+  std::copy(in.begin(), in.begin() + static_cast<ptrdiff_t>(q.measurement.size()),
+            q.measurement.begin());
+  off += q.measurement.size();
+  uint32_t signer_len = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + signer_len + 4 > in.size()) {
+    return DataLoss("quote truncated in signer");
+  }
+  q.signer.assign(reinterpret_cast<const char*>(in.data() + off), signer_len);
+  off += signer_len;
+  uint32_t data_len = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + data_len + 64 > in.size()) {
+    return DataLoss("quote truncated in report data");
+  }
+  q.report_data.assign(in.begin() + static_cast<ptrdiff_t>(off),
+                       in.begin() + static_cast<ptrdiff_t>(off + data_len));
+  off += data_len;
+  auto sig = crypto::EcdsaSignature::Decode(in.subspan(off, 64));
+  if (!sig.has_value()) {
+    return DataLoss("quote signature malformed");
+  }
+  q.signature = *sig;
+  return q;
+}
+
+QuotingEnclave::QuotingEnclave()
+    : key_(crypto::EcdsaPrivateKey::FromSeed(ToBytes("sgx-simulated-quoting-key"))) {}
+
+Quote QuotingEnclave::GenerateQuote(const Enclave& enclave, BytesView report_data) const {
+  Quote q;
+  q.measurement = enclave.measurement();
+  q.signer = enclave.signer();
+  q.report_data.assign(report_data.begin(), report_data.end());
+  q.signature = key_.Sign(q.SignedPayload());
+  return q;
+}
+
+Status AttestationService::VerifyQuote(const Quote& quote,
+                                       const crypto::Sha256Digest* expected_measurement) const {
+  Bytes payload = quote.SignedPayload();
+  bool signature_ok = false;
+  for (const crypto::EcdsaPublicKey& key : keys_) {
+    if (key.Verify(payload, quote.signature)) {
+      signature_ok = true;
+      break;
+    }
+  }
+  if (!signature_ok) {
+    return PermissionDenied("quote not signed by a trusted platform");
+  }
+  if (expected_measurement != nullptr && !(quote.measurement == *expected_measurement)) {
+    return PermissionDenied("enclave measurement mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace seal::sgx

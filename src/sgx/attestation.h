@@ -1,0 +1,58 @@
+// SGX remote attestation simulation: quoting enclave + attestation service.
+//
+// A quote binds REPORT_DATA (e.g. the hash of a TLS certificate LibSEAL
+// provisions, §6.3 "Bypassing logging") to the enclave measurement, signed
+// by the platform's quoting key. The attestation service validates quotes
+// against known platform keys, playing the role of Intel's IAS.
+#ifndef SRC_SGX_ATTESTATION_H_
+#define SRC_SGX_ATTESTATION_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/ecdsa.h"
+#include "src/sgx/enclave.h"
+
+namespace seal::sgx {
+
+struct Quote {
+  crypto::Sha256Digest measurement;
+  std::string signer;
+  Bytes report_data;  // up to 64 bytes, chosen by the enclave
+  crypto::EcdsaSignature signature;
+
+  Bytes SignedPayload() const;  // the bytes covered by the signature
+  Bytes Encode() const;
+  static Result<Quote> Decode(BytesView in);
+};
+
+// Produces quotes for enclaves on "this platform".
+class QuotingEnclave {
+ public:
+  QuotingEnclave();
+
+  Quote GenerateQuote(const Enclave& enclave, BytesView report_data) const;
+  const crypto::EcdsaPublicKey& platform_key() const { return key_.public_key(); }
+
+ private:
+  crypto::EcdsaPrivateKey key_;
+};
+
+// Verifies quotes (the IAS stand-in). Trusts a set of platform keys.
+class AttestationService {
+ public:
+  void TrustPlatform(const crypto::EcdsaPublicKey& key) { keys_.push_back(key); }
+
+  // Checks the quote signature against the trusted platforms and, when
+  // `expected_measurement` is non-null, the enclave identity too.
+  Status VerifyQuote(const Quote& quote,
+                     const crypto::Sha256Digest* expected_measurement = nullptr) const;
+
+ private:
+  std::vector<crypto::EcdsaPublicKey> keys_;
+};
+
+}  // namespace seal::sgx
+
+#endif  // SRC_SGX_ATTESTATION_H_

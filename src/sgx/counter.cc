@@ -1,0 +1,18 @@
+#include "src/sgx/counter.h"
+
+#include "src/common/clock.h"
+
+namespace seal::sgx {
+
+Result<uint64_t> HardwareMonotonicCounter::Increment() {
+  uint64_t writes = writes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (writes > options_.max_increments) {
+    return Unavailable("monotonic counter wear budget exhausted");
+  }
+  if (options_.inject_latency) {
+    SleepNanos(options_.increment_latency_nanos);
+  }
+  return value_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+}  // namespace seal::sgx

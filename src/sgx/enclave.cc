@@ -1,0 +1,139 @@
+#include "src/sgx/enclave.h"
+
+#include "src/common/clock.h"
+
+namespace seal::sgx {
+
+namespace {
+// Tracks, per thread, whether execution is currently inside an ecall
+// handler (and therefore allowed to issue ocalls).
+thread_local int t_enclave_depth = 0;
+}  // namespace
+
+Enclave::Enclave(EnclaveConfig config, BytesView code_identity, std::string signer)
+    : config_(config),
+      measurement_(crypto::Sha256::Hash(code_identity)),
+      signer_(std::move(signer)) {}
+
+Enclave::~Enclave() = default;
+
+int Enclave::RegisterEcall(std::string name, CallFn fn, bool charge_execution) {
+  ecalls_.push_back(EcallEntry{std::move(name), std::move(fn), charge_execution});
+  return static_cast<int>(ecalls_.size()) - 1;
+}
+
+int Enclave::RegisterOcall(std::string name, CallFn fn) {
+  ocalls_.emplace_back(std::move(name), std::move(fn));
+  return static_cast<int>(ocalls_.size()) - 1;
+}
+
+void Enclave::ChargeTransition() {
+  int threads = std::max(1, threads_inside_.load(std::memory_order_relaxed));
+  double factor = 1.0 + config_.transition_thread_growth * static_cast<double>(threads - 1);
+  auto cycles =
+      static_cast<uint64_t>(static_cast<double>(config_.transition_base_cycles) * factor);
+  stat_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  if (config_.inject_costs) {
+    CycleSpinner::Spin(cycles);
+  }
+}
+
+Status Enclave::Ecall(int id, void* data) {
+  if (id < 0 || static_cast<size_t>(id) >= ecalls_.size()) {
+    return InvalidArgument("unknown ecall id " + std::to_string(id));
+  }
+  stat_ecalls_.fetch_add(1, std::memory_order_relaxed);
+  threads_inside_.fetch_add(1, std::memory_order_relaxed);
+  ChargeTransition();  // entry: CPU checks + TLB flush
+  ++t_enclave_depth;
+  const EcallEntry& entry = ecalls_[static_cast<size_t>(id)];
+  if (entry.charge_execution) {
+    RunInside(entry.fn, data);
+  } else {
+    entry.fn(data);
+  }
+  --t_enclave_depth;
+  ChargeTransition();  // exit
+  threads_inside_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Enclave::RunInside(const CallFn& fn, void* data) {
+  if (!config_.inject_costs || config_.execution_slowdown <= 0) {
+    fn(data);
+    return;
+  }
+  int64_t cpu0 = ThreadCpuNanos();
+  fn(data);
+  ChargeExecution(ThreadCpuNanos() - cpu0);
+}
+
+void Enclave::ChargeExecution(int64_t consumed_cpu_nanos) {
+  if (!config_.inject_costs || config_.execution_slowdown <= 0 || consumed_cpu_nanos <= 0) {
+    return;
+  }
+  SpinCpuNanos(static_cast<int64_t>(static_cast<double>(consumed_cpu_nanos) *
+                                    config_.execution_slowdown));
+}
+
+Status Enclave::Ocall(int id, void* data) {
+  if (t_enclave_depth == 0) {
+    return FailedPrecondition("ocall issued from outside the enclave");
+  }
+  if (id < 0 || static_cast<size_t>(id) >= ocalls_.size()) {
+    return InvalidArgument("unknown ocall id " + std::to_string(id));
+  }
+  stat_ocalls_.fetch_add(1, std::memory_order_relaxed);
+  // Leaving the enclave for the ocall and re-entering afterwards are both
+  // transitions.
+  ChargeTransition();
+  int saved_depth = t_enclave_depth;
+  t_enclave_depth = 0;
+  threads_inside_.fetch_sub(1, std::memory_order_relaxed);
+  ocalls_[static_cast<size_t>(id)].second(data);
+  threads_inside_.fetch_add(1, std::memory_order_relaxed);
+  t_enclave_depth = saved_depth;
+  ChargeTransition();
+  return Status::Ok();
+}
+
+bool Enclave::InsideEnclave() { return t_enclave_depth > 0; }
+
+void Enclave::TrackAlloc(size_t bytes) {
+  size_t now = epc_in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = epc_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !epc_peak_.compare_exchange_weak(peak, now)) {
+  }
+  if (now > config_.epc_limit_bytes) {
+    size_t over = now - config_.epc_limit_bytes;
+    size_t pages = std::min(over, bytes) / 4096 + 1;
+    stat_pages_.fetch_add(pages, std::memory_order_relaxed);
+    uint64_t cycles = config_.epc_paging_cycles * pages;
+    stat_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+    if (config_.inject_costs) {
+      CycleSpinner::Spin(cycles);
+    }
+  }
+}
+
+void Enclave::TrackFree(size_t bytes) {
+  epc_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+TransitionStats Enclave::stats() const {
+  TransitionStats s;
+  s.ecalls = stat_ecalls_.load(std::memory_order_relaxed);
+  s.ocalls = stat_ocalls_.load(std::memory_order_relaxed);
+  s.simulated_cycles = stat_cycles_.load(std::memory_order_relaxed);
+  s.epc_pages_swapped = stat_pages_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Enclave::ResetStats() {
+  stat_ecalls_.store(0, std::memory_order_relaxed);
+  stat_ocalls_.store(0, std::memory_order_relaxed);
+  stat_cycles_.store(0, std::memory_order_relaxed);
+  stat_pages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace seal::sgx

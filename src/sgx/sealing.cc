@@ -1,0 +1,60 @@
+#include "src/sgx/sealing.h"
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/hmac.h"
+
+namespace seal::sgx {
+
+namespace {
+
+// Simulated fused CPU secret. Constant within a process ("platform").
+const Bytes& RootKey() {
+  static const Bytes kRoot = ToBytes("sgx-simulated-platform-root-key-v1");
+  return kRoot;
+}
+
+Bytes DeriveSealKey(const Enclave& enclave, SealPolicy policy) {
+  crypto::HmacSha256 h(RootKey());
+  if (policy == SealPolicy::kMrEnclave) {
+    h.Update(ToBytes("MRENCLAVE"));
+    h.Update(BytesView(enclave.measurement().data(), enclave.measurement().size()));
+  } else {
+    h.Update(ToBytes("MRSIGNER"));
+    h.Update(ToBytes(enclave.signer()));
+  }
+  crypto::Sha256Digest d = h.Finish();
+  return Bytes(d.begin(), d.begin() + 16);  // AES-128 key
+}
+
+}  // namespace
+
+Bytes SealData(const Enclave& enclave, SealPolicy policy, BytesView plaintext, BytesView aad) {
+  Bytes key = DeriveSealKey(enclave, policy);
+  crypto::Aes128Gcm gcm(key);
+  Bytes nonce = crypto::ProcessDrbg().Generate(crypto::kGcmNonceSize);
+  Bytes out = nonce;
+  Bytes sealed = gcm.Seal(nonce, aad, plaintext);
+  Append(out, sealed);
+  return out;
+}
+
+Result<Bytes> UnsealData(const Enclave& enclave, SealPolicy policy, BytesView sealed,
+                         BytesView aad) {
+  if (sealed.size() < crypto::kGcmNonceSize + crypto::kGcmTagSize) {
+    return DataLoss("sealed blob too short");
+  }
+  Bytes key = DeriveSealKey(enclave, policy);
+  crypto::Aes128Gcm gcm(key);
+  BytesView nonce = sealed.subspan(0, crypto::kGcmNonceSize);
+  BytesView body = sealed.subspan(crypto::kGcmNonceSize);
+  auto opened = gcm.Open(nonce, aad, body);
+  if (!opened.has_value()) {
+    return PermissionDenied("unseal failed: wrong enclave identity or tampered data");
+  }
+  return *opened;
+}
+
+BytesView PlatformRootKeyForTesting() { return RootKey(); }
+
+}  // namespace seal::sgx

@@ -1,0 +1,38 @@
+// SGX sealing simulation: authenticated encryption of enclave data for
+// untrusted persistent storage, keyed by the enclave identity.
+//
+// As in real SGX, sealing can bind to the enclave measurement (MRENCLAVE)
+// or to the signing authority (MRSIGNER). The paper relies on the MRSIGNER
+// policy so that sealed logs can be shared across machines (§6.3 "the
+// sealing mechanism is not tied to a specific CPU but to a signing
+// authority").
+#ifndef SRC_SGX_SEALING_H_
+#define SRC_SGX_SEALING_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sgx/enclave.h"
+
+namespace seal::sgx {
+
+enum class SealPolicy {
+  kMrEnclave,  // key bound to the exact enclave measurement
+  kMrSigner,   // key bound to the signing authority
+};
+
+// Seals `plaintext` with optional authenticated-but-clear `aad`.
+// Output layout: 12-byte nonce || ciphertext || 16-byte tag.
+Bytes SealData(const Enclave& enclave, SealPolicy policy, BytesView plaintext, BytesView aad);
+
+// Unseals; fails if the blob was produced under a different identity/policy
+// or has been tampered with.
+Result<Bytes> UnsealData(const Enclave& enclave, SealPolicy policy, BytesView sealed,
+                         BytesView aad);
+
+// The (simulated) per-platform root sealing secret. Exposed so tests can
+// check cross-enclave behaviour; a real CPU never reveals it.
+BytesView PlatformRootKeyForTesting();
+
+}  // namespace seal::sgx
+
+#endif  // SRC_SGX_SEALING_H_

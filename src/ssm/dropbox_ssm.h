@@ -1,0 +1,34 @@
+// Dropbox service-specific module (paper §6.1, §6.2).
+//
+// Audited protocol (src/services/dropbox_service.h): metadata messages in
+// the shape of the Dropbox client protocol.
+//   * POST /commit_batch {"account","host","commits":[{file,blocklist,size}]}
+//       -> commit_batch() rows (size = -1 marks deletion)
+//   * GET  /list?account=A, response {"files":[{file,blocklist,size}]}
+//       -> list() rows
+//
+// Invariants: blocklist soundness and file-list completeness. Block
+// CONTENT integrity is the client's job (it hashes blocks); LibSEAL's log
+// of the original blocklists is what lets the client prove a metadata
+// mismatch afterwards.
+#ifndef SRC_SSM_DROPBOX_SSM_H_
+#define SRC_SSM_DROPBOX_SSM_H_
+
+#include "src/core/service_module.h"
+
+namespace seal::ssm {
+
+class DropboxModule : public core::ServiceModule {
+ public:
+  std::string name() const override { return "dropbox"; }
+  std::vector<std::string> Schema() const override;
+  std::vector<std::string> Views() const override;
+  std::vector<core::Invariant> Invariants() const override;
+  std::vector<std::string> TrimmingQueries() const override;
+  void Log(std::string_view request, std::string_view response, int64_t time,
+           std::vector<core::LogTuple>* out) override;
+};
+
+}  // namespace seal::ssm
+
+#endif  // SRC_SSM_DROPBOX_SSM_H_

@@ -1,0 +1,31 @@
+// Git service-specific module (paper §3.1, §6.2).
+//
+// Audited protocol (the smart-HTTP shape of src/services/git_service.h):
+//   * POST /<repo>/git-receive-pack with body lines
+//       "UPDATE <branch> <cid>" / "DELETE <branch>"      -> updates()
+//   * GET /<repo>/info/refs, response body lines
+//       "REF <branch> <cid>"                             -> advertisements()
+//
+// Detects teleport, rollback and reference-deletion attacks via the
+// soundness and completeness invariants from the paper.
+#ifndef SRC_SSM_GIT_SSM_H_
+#define SRC_SSM_GIT_SSM_H_
+
+#include "src/core/service_module.h"
+
+namespace seal::ssm {
+
+class GitModule : public core::ServiceModule {
+ public:
+  std::string name() const override { return "git"; }
+  std::vector<std::string> Schema() const override;
+  std::vector<std::string> Views() const override;
+  std::vector<core::Invariant> Invariants() const override;
+  std::vector<std::string> TrimmingQueries() const override;
+  void Log(std::string_view request, std::string_view response, int64_t time,
+           std::vector<core::LogTuple>* out) override;
+};
+
+}  // namespace seal::ssm
+
+#endif  // SRC_SSM_GIT_SSM_H_

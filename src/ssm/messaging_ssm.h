@@ -1,0 +1,31 @@
+// Messaging service-specific module: a fourth SSM demonstrating LibSEAL's
+// generality claim (R1) for the communication/IM scenario of §2.2.
+//
+// Audited protocol (src/services/messaging_service.h):
+//   POST /msg/send  {"from","to","id","body"}         -> msg_sent()
+//   GET  /msg/inbox?user=U, response {"messages":[..]} -> msg_delivered()
+//                                                        + one msg_polls() row
+//
+// Invariants: delivered messages were really sent and unmodified
+// (soundness), every poll drains exactly the pending messages
+// (completeness / no drops), and nothing is delivered twice.
+#ifndef SRC_SSM_MESSAGING_SSM_H_
+#define SRC_SSM_MESSAGING_SSM_H_
+
+#include "src/core/service_module.h"
+
+namespace seal::ssm {
+
+class MessagingModule : public core::ServiceModule {
+ public:
+  std::string name() const override { return "messaging"; }
+  std::vector<std::string> Schema() const override;
+  std::vector<core::Invariant> Invariants() const override;
+  std::vector<std::string> TrimmingQueries() const override;
+  void Log(std::string_view request, std::string_view response, int64_t time,
+           std::vector<core::LogTuple>* out) override;
+};
+
+}  // namespace seal::ssm
+
+#endif  // SRC_SSM_MESSAGING_SSM_H_

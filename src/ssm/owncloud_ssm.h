@@ -1,0 +1,33 @@
+// ownCloud Documents service-specific module (paper §6.1, §6.2).
+//
+// Audited protocol (src/services/owncloud_service.h): collaborative
+// document sessions synchronising JSON messages.
+//   * POST /docs/sync      {"doc","session","client","seq","text"}  -> oc_updates()
+//   * POST /docs/snapshot  {"doc","session","client","content"}     -> oc_snapshots()
+//   * GET  /docs/join?doc=D, response
+//          {"session",N,"snapshot":S,"updates":[...]}               -> oc_joins()
+//
+// Invariants: (i) the snapshot served to a joining client matches the
+// latest snapshot the service received; (ii) the aggregate history of
+// updates served corresponds to the full history received (lost-edit
+// detection).
+#ifndef SRC_SSM_OWNCLOUD_SSM_H_
+#define SRC_SSM_OWNCLOUD_SSM_H_
+
+#include "src/core/service_module.h"
+
+namespace seal::ssm {
+
+class OwnCloudModule : public core::ServiceModule {
+ public:
+  std::string name() const override { return "owncloud"; }
+  std::vector<std::string> Schema() const override;
+  std::vector<core::Invariant> Invariants() const override;
+  std::vector<std::string> TrimmingQueries() const override;
+  void Log(std::string_view request, std::string_view response, int64_t time,
+           std::vector<core::LogTuple>* out) override;
+};
+
+}  // namespace seal::ssm
+
+#endif  // SRC_SSM_OWNCLOUD_SSM_H_

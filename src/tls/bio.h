@@ -1,0 +1,44 @@
+// BIO: the byte-transport abstraction under the TLS protocol engine.
+// Mirrors OpenSSL's BIO in role: in LibSEAL the BIO lives OUTSIDE the
+// enclave (paper Fig. 2) while the protocol state lives inside; the
+// enclave reaches its BIO through ocalls.
+#ifndef SRC_TLS_BIO_H_
+#define SRC_TLS_BIO_H_
+
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/net/net.h"
+
+namespace seal::tls {
+
+class Bio {
+ public:
+  virtual ~Bio() = default;
+
+  // Reads up to `max` bytes, blocking for at least one; 0 = EOF.
+  virtual size_t Read(uint8_t* buf, size_t max) = 0;
+  // Writes all bytes; returns false on a broken transport.
+  virtual bool Write(BytesView data) = 0;
+  virtual void Close() = 0;
+};
+
+// BIO over an in-memory network stream.
+class StreamBio : public Bio {
+ public:
+  explicit StreamBio(net::Stream* stream) : stream_(stream) {}
+
+  size_t Read(uint8_t* buf, size_t max) override { return stream_->Read(buf, max); }
+  bool Write(BytesView data) override {
+    stream_->Write(data);
+    return true;
+  }
+  void Close() override { stream_->Close(); }
+
+ private:
+  net::Stream* stream_;
+};
+
+}  // namespace seal::tls
+
+#endif  // SRC_TLS_BIO_H_

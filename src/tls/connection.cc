@@ -1,0 +1,432 @@
+#include <cstring>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+#include "src/tls/tls.h"
+
+namespace seal::tls {
+
+namespace {
+constexpr size_t kRandomSize = 32;
+constexpr size_t kMasterSecretSize = 48;
+constexpr size_t kVerifyDataSize = 12;
+}  // namespace
+
+TlsConnection::TlsConnection(Bio* bio, const TlsConfig* config, Role role)
+    : config_(config), role_(role), record_layer_(bio) {}
+
+void TlsConnection::Notify(InfoEvent event, int bytes) {
+  if (info_callback_) {
+    info_callback_(event, bytes);
+  }
+}
+
+Status TlsConnection::SendHandshakeMessage(HsType type, BytesView body) {
+  Bytes msg;
+  msg.push_back(static_cast<uint8_t>(type));
+  AppendBe24(msg, static_cast<uint32_t>(body.size()));
+  Append(msg, body);
+  Append(handshake_transcript_bytes_, msg);
+  return record_layer_.WriteAll(RecordType::kHandshake, msg);
+}
+
+Result<std::pair<TlsConnection::HsType, Bytes>> TlsConnection::ReadHandshakeMessage() {
+  // Handshake messages may span records; accumulate until one full message
+  // is available.
+  while (true) {
+    if (pending_plaintext_.size() - pending_offset_ >= 4) {
+      const uint8_t* p = pending_plaintext_.data() + pending_offset_;
+      size_t body_len = (static_cast<size_t>(p[1]) << 16) | (static_cast<size_t>(p[2]) << 8) |
+                        static_cast<size_t>(p[3]);
+      if (pending_plaintext_.size() - pending_offset_ >= 4 + body_len) {
+        HsType type = static_cast<HsType>(p[0]);
+        Bytes msg(p, p + 4 + body_len);
+        Append(handshake_transcript_bytes_, msg);
+        pending_offset_ += 4 + body_len;
+        if (pending_offset_ == pending_plaintext_.size()) {
+          pending_plaintext_.clear();
+          pending_offset_ = 0;
+        }
+        return std::make_pair(type, Bytes(msg.begin() + 4, msg.end()));
+      }
+    }
+    auto record = record_layer_.ReadRecord();
+    if (!record.ok()) {
+      return record.status();
+    }
+    if (record->type == RecordType::kAlert) {
+      return DataLoss("peer sent alert during handshake");
+    }
+    if (record->type != RecordType::kHandshake) {
+      return InvalidArgument("unexpected record type during handshake");
+    }
+    Append(pending_plaintext_, record->payload);
+  }
+}
+
+void TlsConnection::DeriveKeys(BytesView pre_master_secret) {
+  Bytes randoms = client_random_;
+  Append(randoms, server_random_);
+  master_secret_ =
+      crypto::Tls12Prf(pre_master_secret, "master secret", randoms, kMasterSecretSize);
+  crypto::Sha256Digest sid = crypto::Sha256::Hash(master_secret_);
+  session_id_.assign(sid.begin(), sid.begin() + 16);
+}
+
+Bytes TlsConnection::FinishedPayload(std::string_view label) const {
+  crypto::Sha256Digest transcript_hash = crypto::Sha256::Hash(handshake_transcript_bytes_);
+  return crypto::Tls12Prf(master_secret_, label,
+                          BytesView(transcript_hash.data(), transcript_hash.size()),
+                          kVerifyDataSize);
+}
+
+Status TlsConnection::SendFinished(std::string_view label) {
+  Bytes verify_data = FinishedPayload(label);
+  return SendHandshakeMessage(HsType::kFinished, verify_data);
+}
+
+Status TlsConnection::CheckFinished(std::string_view label, BytesView received) {
+  // The expected value is computed over the transcript EXCLUDING the
+  // received Finished message itself, which ReadHandshakeMessage has
+  // already appended (4-byte header + body).
+  Bytes truncated = handshake_transcript_bytes_;
+  truncated.resize(truncated.size() - (4 + received.size()));
+  crypto::Sha256Digest transcript_hash = crypto::Sha256::Hash(truncated);
+  Bytes expected = crypto::Tls12Prf(master_secret_, label,
+                                    BytesView(transcript_hash.data(), transcript_hash.size()),
+                                    kVerifyDataSize);
+  if (!ConstantTimeEqual(expected, received)) {
+    return PermissionDenied("Finished verification failed");
+  }
+  return Status::Ok();
+}
+
+Status TlsConnection::Handshake() {
+  Notify(InfoEvent::kHandshakeStart, 0);
+  Status status = role_ == Role::kClient ? HandshakeClient() : HandshakeServer();
+  if (status.ok()) {
+    handshake_complete_ = true;
+    handshake_transcript_bytes_.clear();  // no renegotiation: free the memory
+    Notify(InfoEvent::kHandshakeDone, 0);
+  } else {
+    // Tear the transport down so the peer unblocks with EOF instead of
+    // waiting for a flight that will never come.
+    closed_ = true;
+    record_layer_.CloseBio();
+    Notify(InfoEvent::kClosed, 0);
+  }
+  return status;
+}
+
+Status TlsConnection::HandshakeClient() {
+  client_random_ = crypto::ProcessDrbg().Generate(kRandomSize);
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kClientHello, client_random_));
+
+  // ServerHello.
+  auto sh = ReadHandshakeMessage();
+  if (!sh.ok()) {
+    return sh.status();
+  }
+  if (sh->first != HsType::kServerHello || sh->second.size() != kRandomSize) {
+    return InvalidArgument("expected ServerHello");
+  }
+  server_random_ = sh->second;
+
+  // Certificate.
+  auto cert_msg = ReadHandshakeMessage();
+  if (!cert_msg.ok()) {
+    return cert_msg.status();
+  }
+  if (cert_msg->first != HsType::kCertificate) {
+    return InvalidArgument("expected Certificate");
+  }
+  auto server_cert = Certificate::Decode(cert_msg->second);
+  if (!server_cert.ok()) {
+    return server_cert.status();
+  }
+  if (config_->verify_peer) {
+    bool trusted = false;
+    for (const Certificate& root : config_->trusted_roots) {
+      if (VerifyCertificate(*server_cert, root).ok()) {
+        trusted = true;
+        break;
+      }
+    }
+    if (!trusted) {
+      return PermissionDenied("server certificate not trusted");
+    }
+  }
+  peer_certificate_ = *server_cert;
+  auto server_key = server_cert->Key();
+  if (!server_key.has_value()) {
+    return PermissionDenied("server certificate key malformed");
+  }
+
+  // ServerKeyExchange: ephemeral point + signature.
+  auto ske = ReadHandshakeMessage();
+  if (!ske.ok()) {
+    return ske.status();
+  }
+  if (ske->first != HsType::kServerKeyExchange || ske->second.size() != 65 + 64) {
+    return InvalidArgument("expected ServerKeyExchange");
+  }
+  BytesView server_point_bytes = BytesView(ske->second).subspan(0, 65);
+  auto sig = crypto::EcdsaSignature::Decode(BytesView(ske->second).subspan(65, 64));
+  if (!sig.has_value()) {
+    return InvalidArgument("malformed SKE signature");
+  }
+  Bytes signed_blob = client_random_;
+  Append(signed_blob, server_random_);
+  Append(signed_blob, server_point_bytes);
+  if (config_->verify_peer && !server_key->Verify(signed_blob, *sig)) {
+    return PermissionDenied("ServerKeyExchange signature invalid");
+  }
+  auto server_point = crypto::AffinePoint::Decode(server_point_bytes);
+  if (!server_point.has_value()) {
+    return InvalidArgument("invalid server ECDHE point");
+  }
+
+  // Optional CertificateRequest, then ServerHelloDone.
+  bool client_cert_requested = false;
+  auto next = ReadHandshakeMessage();
+  if (!next.ok()) {
+    return next.status();
+  }
+  if (next->first == HsType::kCertificateRequest) {
+    client_cert_requested = true;
+    next = ReadHandshakeMessage();
+    if (!next.ok()) {
+      return next.status();
+    }
+  }
+  if (next->first != HsType::kServerHelloDone) {
+    return InvalidArgument("expected ServerHelloDone");
+  }
+
+  // Client certificate if requested.
+  if (client_cert_requested) {
+    if (!config_->certificate.has_value() || !config_->private_key.has_value()) {
+      return FailedPrecondition("server requires a client certificate but none is configured");
+    }
+    SEAL_RETURN_IF_ERROR(
+        SendHandshakeMessage(HsType::kCertificate, config_->certificate->Encode()));
+  }
+
+  // ClientKeyExchange: our ephemeral point.
+  crypto::EcdsaPrivateKey ephemeral = crypto::EcdsaPrivateKey::Generate();
+  Bytes client_point = ephemeral.public_key().Encode();
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kClientKeyExchange, client_point));
+
+  // CertificateVerify: proves possession of the client key over the
+  // transcript so far.
+  if (client_cert_requested) {
+    crypto::EcdsaSignature cv = config_->private_key->Sign(handshake_transcript_bytes_);
+    SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kCertificateVerify, cv.Encode()));
+  }
+
+  auto shared = crypto::EcdhSharedSecret(ephemeral.scalar(), *server_point);
+  if (!shared.has_value()) {
+    return PermissionDenied("ECDH failed");
+  }
+  DeriveKeys(*shared);
+  Bytes randoms = server_random_;
+  Append(randoms, client_random_);
+  Bytes key_block = crypto::Tls12Prf(master_secret_, "key expansion", randoms, 40);
+  BytesView kb = key_block;
+  // client_write_key, server_write_key, client_iv, server_iv.
+  record_layer_.EnableWriteProtection(kb.subspan(0, 16), kb.subspan(32, 4));
+  SEAL_RETURN_IF_ERROR(SendFinished("client finished"));
+  record_layer_.EnableReadProtection(kb.subspan(16, 16), kb.subspan(36, 4));
+
+  auto fin = ReadHandshakeMessage();
+  if (!fin.ok()) {
+    return fin.status();
+  }
+  if (fin->first != HsType::kFinished) {
+    return InvalidArgument("expected Finished");
+  }
+  return CheckFinished("server finished", fin->second);
+}
+
+Status TlsConnection::HandshakeServer() {
+  if (!config_->certificate.has_value() || !config_->private_key.has_value()) {
+    return FailedPrecondition("server requires a certificate and key");
+  }
+
+  auto ch = ReadHandshakeMessage();
+  if (!ch.ok()) {
+    return ch.status();
+  }
+  if (ch->first != HsType::kClientHello || ch->second.size() != kRandomSize) {
+    return InvalidArgument("expected ClientHello");
+  }
+  client_random_ = ch->second;
+  server_random_ = crypto::ProcessDrbg().Generate(kRandomSize);
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kServerHello, server_random_));
+  SEAL_RETURN_IF_ERROR(
+      SendHandshakeMessage(HsType::kCertificate, config_->certificate->Encode()));
+
+  // ServerKeyExchange.
+  crypto::EcdsaPrivateKey ephemeral = crypto::EcdsaPrivateKey::Generate();
+  Bytes point = ephemeral.public_key().Encode();
+  Bytes signed_blob = client_random_;
+  Append(signed_blob, server_random_);
+  Append(signed_blob, point);
+  crypto::EcdsaSignature sig = config_->private_key->Sign(signed_blob);
+  Bytes ske = point;
+  Append(ske, sig.Encode());
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kServerKeyExchange, ske));
+
+  if (config_->require_client_certificate) {
+    SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kCertificateRequest, {}));
+  }
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kServerHelloDone, {}));
+
+  // Client certificate (if demanded).
+  std::optional<crypto::EcdsaPublicKey> client_key;
+  auto msg = ReadHandshakeMessage();
+  if (!msg.ok()) {
+    return msg.status();
+  }
+  if (config_->require_client_certificate) {
+    if (msg->first != HsType::kCertificate) {
+      return PermissionDenied("client did not present a certificate");
+    }
+    auto client_cert = Certificate::Decode(msg->second);
+    if (!client_cert.ok()) {
+      return client_cert.status();
+    }
+    bool trusted = false;
+    for (const Certificate& root : config_->trusted_roots) {
+      if (VerifyCertificate(*client_cert, root).ok()) {
+        trusted = true;
+        break;
+      }
+    }
+    if (!trusted) {
+      return PermissionDenied("client certificate not trusted");
+    }
+    peer_certificate_ = *client_cert;
+    client_key = client_cert->Key();
+    if (!client_key.has_value()) {
+      return PermissionDenied("client certificate key malformed");
+    }
+    msg = ReadHandshakeMessage();
+    if (!msg.ok()) {
+      return msg.status();
+    }
+  }
+
+  // ClientKeyExchange.
+  if (msg->first != HsType::kClientKeyExchange || msg->second.size() != 65) {
+    return InvalidArgument("expected ClientKeyExchange");
+  }
+  auto client_point = crypto::AffinePoint::Decode(msg->second);
+  if (!client_point.has_value()) {
+    return InvalidArgument("invalid client ECDHE point");
+  }
+
+  // CertificateVerify.
+  if (config_->require_client_certificate) {
+    // Signature covers the transcript up to (and including) CKE but not the
+    // CertificateVerify message itself.
+    Bytes covered = handshake_transcript_bytes_;
+    auto cv = ReadHandshakeMessage();
+    if (!cv.ok()) {
+      return cv.status();
+    }
+    if (cv->first != HsType::kCertificateVerify || cv->second.size() != 64) {
+      return InvalidArgument("expected CertificateVerify");
+    }
+    auto cv_sig = crypto::EcdsaSignature::Decode(cv->second);
+    if (!cv_sig.has_value() || !client_key->Verify(covered, *cv_sig)) {
+      return PermissionDenied("CertificateVerify failed: client key not proven");
+    }
+  }
+
+  auto shared = crypto::EcdhSharedSecret(ephemeral.scalar(), *client_point);
+  if (!shared.has_value()) {
+    return PermissionDenied("ECDH failed");
+  }
+  DeriveKeys(*shared);
+  Bytes randoms = server_random_;
+  Append(randoms, client_random_);
+  Bytes key_block = crypto::Tls12Prf(master_secret_, "key expansion", randoms, 40);
+  BytesView kb = key_block;
+  record_layer_.EnableReadProtection(kb.subspan(0, 16), kb.subspan(32, 4));
+
+  auto fin = ReadHandshakeMessage();
+  if (!fin.ok()) {
+    return fin.status();
+  }
+  if (fin->first != HsType::kFinished) {
+    return InvalidArgument("expected Finished");
+  }
+  SEAL_RETURN_IF_ERROR(CheckFinished("client finished", fin->second));
+
+  record_layer_.EnableWriteProtection(kb.subspan(16, 16), kb.subspan(36, 4));
+  return SendFinished("server finished");
+}
+
+Result<size_t> TlsConnection::Read(uint8_t* buf, size_t max) {
+  if (!handshake_complete_) {
+    return FailedPrecondition("handshake not complete");
+  }
+  while (pending_offset_ >= pending_plaintext_.size()) {
+    if (closed_) {
+      return size_t{0};
+    }
+    auto record = record_layer_.ReadRecord();
+    if (!record.ok()) {
+      // Treat transport EOF as close.
+      if (record.status().code() == StatusCode::kDataLoss) {
+        closed_ = true;
+        return size_t{0};
+      }
+      return record.status();
+    }
+    if (record->type == RecordType::kAlert) {
+      closed_ = true;
+      Notify(InfoEvent::kClosed, 0);
+      return size_t{0};
+    }
+    if (record->type != RecordType::kApplicationData) {
+      return InvalidArgument("unexpected record type after handshake");
+    }
+    pending_plaintext_ = std::move(record->payload);
+    pending_offset_ = 0;
+  }
+  size_t available = pending_plaintext_.size() - pending_offset_;
+  size_t take = std::min(available, max);
+  std::memcpy(buf, pending_plaintext_.data() + pending_offset_, take);
+  pending_offset_ += take;
+  if (pending_offset_ == pending_plaintext_.size()) {
+    pending_plaintext_.clear();
+    pending_offset_ = 0;
+  }
+  Notify(InfoEvent::kRead, static_cast<int>(take));
+  return take;
+}
+
+Status TlsConnection::Write(BytesView data) {
+  if (!handshake_complete_) {
+    return FailedPrecondition("handshake not complete");
+  }
+  if (closed_) {
+    return Unavailable("connection closed");
+  }
+  SEAL_RETURN_IF_ERROR(record_layer_.WriteAll(RecordType::kApplicationData, data));
+  Notify(InfoEvent::kWrite, static_cast<int>(data.size()));
+  return Status::Ok();
+}
+
+void TlsConnection::Close() {
+  if (!closed_ && handshake_complete_) {
+    uint8_t close_notify[2] = {1, 0};
+    (void)record_layer_.WriteRecord(RecordType::kAlert, BytesView(close_notify, 2));
+  }
+  closed_ = true;
+  Notify(InfoEvent::kClosed, 0);
+}
+
+}  // namespace seal::tls

@@ -1,0 +1,144 @@
+#include "src/tls/record.h"
+
+#include <cstring>
+
+namespace seal::tls {
+
+RecordCipher::RecordCipher(BytesView key, BytesView implicit_iv) : gcm_(key) {
+  std::memcpy(implicit_iv_, implicit_iv.data(), 4);
+}
+
+Bytes RecordCipher::Nonce(uint64_t seq) const {
+  Bytes nonce(12);
+  std::memcpy(nonce.data(), implicit_iv_, 4);
+  StoreBe64(nonce.data() + 4, seq);
+  return nonce;
+}
+
+Bytes RecordCipher::Aad(uint64_t seq, RecordType type, size_t length) const {
+  Bytes aad(13);
+  StoreBe64(aad.data(), seq);
+  aad[8] = static_cast<uint8_t>(type);
+  aad[9] = static_cast<uint8_t>(kTlsVersion >> 8);
+  aad[10] = static_cast<uint8_t>(kTlsVersion & 0xff);
+  aad[11] = static_cast<uint8_t>(length >> 8);
+  aad[12] = static_cast<uint8_t>(length & 0xff);
+  return aad;
+}
+
+Bytes RecordCipher::Protect(RecordType type, BytesView plaintext) {
+  uint64_t seq = seq_++;
+  Bytes nonce = Nonce(seq);
+  Bytes aad = Aad(seq, type, plaintext.size());
+  Bytes sealed = gcm_.Seal(nonce, aad, plaintext);
+  // Prepend the explicit nonce (the sequence number).
+  Bytes out(8);
+  StoreBe64(out.data(), seq);
+  Append(out, sealed);
+  return out;
+}
+
+Result<Bytes> RecordCipher::Unprotect(RecordType type, BytesView ciphertext) {
+  if (ciphertext.size() < 8 + crypto::kGcmTagSize) {
+    return DataLoss("protected record too short");
+  }
+  uint64_t explicit_seq = LoadBe64(ciphertext.data());
+  if (explicit_seq != seq_) {
+    return PermissionDenied("record sequence mismatch: replay or reorder");
+  }
+  ++seq_;
+  Bytes nonce = Nonce(explicit_seq);
+  size_t plain_len = ciphertext.size() - 8 - crypto::kGcmTagSize;
+  Bytes aad = Aad(explicit_seq, type, plain_len);
+  auto opened = gcm_.Open(nonce, aad, ciphertext.subspan(8));
+  if (!opened.has_value()) {
+    return PermissionDenied("record authentication failed");
+  }
+  return *opened;
+}
+
+void RecordLayer::EnableWriteProtection(BytesView key, BytesView implicit_iv) {
+  write_cipher_ = std::make_unique<RecordCipher>(key, implicit_iv);
+}
+
+void RecordLayer::EnableReadProtection(BytesView key, BytesView implicit_iv) {
+  read_cipher_ = std::make_unique<RecordCipher>(key, implicit_iv);
+}
+
+Status RecordLayer::WriteRecord(RecordType type, BytesView payload) {
+  Bytes wire_payload;
+  if (write_cipher_ != nullptr) {
+    wire_payload = write_cipher_->Protect(type, payload);
+  } else {
+    wire_payload.assign(payload.begin(), payload.end());
+  }
+  if (wire_payload.size() > 0xffff) {
+    return InvalidArgument("record too large");
+  }
+  Bytes header(5);
+  header[0] = static_cast<uint8_t>(type);
+  header[1] = static_cast<uint8_t>(kTlsVersion >> 8);
+  header[2] = static_cast<uint8_t>(kTlsVersion & 0xff);
+  header[3] = static_cast<uint8_t>(wire_payload.size() >> 8);
+  header[4] = static_cast<uint8_t>(wire_payload.size() & 0xff);
+  if (!bio_->Write(header) || !bio_->Write(wire_payload)) {
+    return Unavailable("transport write failed");
+  }
+  bytes_out_ += header.size() + wire_payload.size();
+  return Status::Ok();
+}
+
+Status RecordLayer::WriteAll(RecordType type, BytesView payload) {
+  size_t off = 0;
+  do {
+    size_t take = std::min(kMaxRecordPayload, payload.size() - off);
+    SEAL_RETURN_IF_ERROR(WriteRecord(type, payload.subspan(off, take)));
+    off += take;
+  } while (off < payload.size());
+  return Status::Ok();
+}
+
+Result<Record> RecordLayer::ReadRecord() {
+  uint8_t header[5];
+  size_t got = 0;
+  while (got < 5) {
+    size_t n = bio_->Read(header + got, 5 - got);
+    if (n == 0) {
+      return DataLoss("EOF before record header");
+    }
+    got += n;
+  }
+  uint16_t version = static_cast<uint16_t>((header[1] << 8) | header[2]);
+  if (version != kTlsVersion) {
+    return InvalidArgument("unsupported record version");
+  }
+  size_t length = static_cast<size_t>((header[3] << 8) | header[4]);
+  Bytes payload(length);
+  got = 0;
+  while (got < length) {
+    size_t n = bio_->Read(payload.data() + got, length - got);
+    if (n == 0) {
+      return DataLoss("EOF inside record body");
+    }
+    got += n;
+  }
+  bytes_in_ += 5 + length;
+  Record record;
+  record.type = static_cast<RecordType>(header[0]);
+  if (record.type != RecordType::kAlert && record.type != RecordType::kHandshake &&
+      record.type != RecordType::kApplicationData) {
+    return InvalidArgument("unknown record type");
+  }
+  if (read_cipher_ != nullptr) {
+    auto plain = read_cipher_->Unprotect(record.type, payload);
+    if (!plain.ok()) {
+      return plain.status();
+    }
+    record.payload = std::move(*plain);
+  } else {
+    record.payload = std::move(payload);
+  }
+  return record;
+}
+
+}  // namespace seal::tls

@@ -1,0 +1,134 @@
+// TLS protocol engine: ECDHE-ECDSA handshake with AES-128-GCM record
+// protection, mutual authentication support and a transcript-bound
+// Finished exchange. This is the code that LibSEAL runs INSIDE the enclave
+// (paper §4); src/core wraps it in the OpenSSL-compatible outside API.
+#ifndef SRC_TLS_TLS_H_
+#define SRC_TLS_TLS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/ecdsa.h"
+#include "src/tls/bio.h"
+#include "src/tls/record.h"
+#include "src/tls/x509.h"
+
+namespace seal::tls {
+
+enum class Role { kClient, kServer };
+
+// Shared configuration (the SSL_CTX analogue).
+struct TlsConfig {
+  // Local identity; required for servers, optional for clients unless the
+  // peer demands client authentication.
+  std::optional<Certificate> certificate;
+  std::optional<crypto::EcdsaPrivateKey> private_key;
+
+  // Trust anchors for peer verification.
+  std::vector<Certificate> trusted_roots;
+
+  // Clients: verify the server certificate chain (Dropbox §6.4 disables
+  // this on the proxied clients). Servers: always present a certificate.
+  bool verify_peer = true;
+
+  // Servers: demand and verify a client certificate (§6.3, defends against
+  // client impersonation by the provider).
+  bool require_client_certificate = false;
+};
+
+// Handshake/connection state change notifications (the analogue of
+// SSL_CTX_set_info_callback). `where` is a coarse phase tag.
+enum class InfoEvent {
+  kHandshakeStart,
+  kHandshakeDone,
+  kRead,
+  kWrite,
+  kClosed,
+};
+using InfoCallback = std::function<void(InfoEvent event, int bytes)>;
+
+// One TLS connection (the SSL analogue).
+class TlsConnection {
+ public:
+  TlsConnection(Bio* bio, const TlsConfig* config, Role role);
+
+  // Runs the handshake to completion.
+  Status Handshake();
+  bool handshake_complete() const { return handshake_complete_; }
+
+  // Plaintext I/O (post-handshake). Read blocks for at least one byte;
+  // returns 0 at clean close.
+  Result<size_t> Read(uint8_t* buf, size_t max);
+  Status Write(BytesView data);
+  Status Write(std::string_view data) {
+    return Write(BytesView(reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+  }
+
+  // Sends a close alert.
+  void Close();
+
+  const std::optional<Certificate>& peer_certificate() const { return peer_certificate_; }
+  void set_info_callback(InfoCallback cb) { info_callback_ = std::move(cb); }
+
+  // Session identity material: the master secret hash, used by LibSEAL for
+  // per-session log attribution.
+  const Bytes& session_id() const { return session_id_; }
+
+  uint64_t bytes_on_wire_in() const { return record_layer_.bytes_in(); }
+  uint64_t bytes_on_wire_out() const { return record_layer_.bytes_out(); }
+
+ private:
+  // Handshake message types.
+  enum class HsType : uint8_t {
+    kClientHello = 1,
+    kServerHello = 2,
+    kCertificate = 11,
+    kServerKeyExchange = 12,
+    kCertificateRequest = 13,
+    kServerHelloDone = 14,
+    kCertificateVerify = 15,
+    kClientKeyExchange = 16,
+    kFinished = 20,
+  };
+
+  Status HandshakeClient();
+  Status HandshakeServer();
+
+  Status SendHandshakeMessage(HsType type, BytesView body);
+  Result<std::pair<HsType, Bytes>> ReadHandshakeMessage();
+  void DeriveKeys(BytesView pre_master_secret);
+  Bytes FinishedPayload(std::string_view label) const;
+  Status SendFinished(std::string_view label);
+  Status CheckFinished(std::string_view label, BytesView received);
+  void Notify(InfoEvent event, int bytes);
+
+  const TlsConfig* config_;
+  Role role_;
+  RecordLayer record_layer_;
+  bool handshake_complete_ = false;
+  bool closed_ = false;
+
+  Bytes client_random_;
+  Bytes server_random_;
+  Bytes master_secret_;
+  Bytes session_id_;
+  // Raw concatenation of all handshake messages (headers included), hashed
+  // for CertificateVerify and Finished; cleared once the handshake is done.
+  Bytes handshake_transcript_bytes_;
+
+  std::optional<Certificate> peer_certificate_;
+  InfoCallback info_callback_;
+
+  // Buffered plaintext from a partially-consumed application record.
+  Bytes pending_plaintext_;
+  size_t pending_offset_ = 0;
+};
+
+}  // namespace seal::tls
+
+#endif  // SRC_TLS_TLS_H_

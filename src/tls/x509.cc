@@ -1,0 +1,110 @@
+#include "src/tls/x509.h"
+
+namespace seal::tls {
+
+namespace {
+
+void PutString(Bytes& out, const std::string& s) {
+  AppendBe32(out, static_cast<uint32_t>(s.size()));
+  Append(out, s);
+}
+
+bool GetString(BytesView in, size_t& off, std::string* s) {
+  if (off + 4 > in.size()) {
+    return false;
+  }
+  uint32_t n = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + n > in.size()) {
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(in.data() + off), n);
+  off += n;
+  return true;
+}
+
+}  // namespace
+
+Bytes Certificate::Tbs() const {
+  Bytes out;
+  PutString(out, subject);
+  PutString(out, issuer);
+  AppendBe64(out, serial);
+  AppendBe32(out, static_cast<uint32_t>(public_key.size()));
+  Append(out, public_key);
+  return out;
+}
+
+Bytes Certificate::Encode() const {
+  Bytes out = Tbs();
+  Append(out, signature.Encode());
+  return out;
+}
+
+Result<Certificate> Certificate::Decode(BytesView in) {
+  Certificate cert;
+  size_t off = 0;
+  if (!GetString(in, off, &cert.subject) || !GetString(in, off, &cert.issuer)) {
+    return DataLoss("certificate truncated in names");
+  }
+  if (off + 12 > in.size()) {
+    return DataLoss("certificate truncated in serial");
+  }
+  cert.serial = LoadBe64(in.data() + off);
+  off += 8;
+  uint32_t key_len = LoadBe32(in.data() + off);
+  off += 4;
+  if (off + key_len + 64 > in.size()) {
+    return DataLoss("certificate truncated in key");
+  }
+  cert.public_key.assign(in.begin() + static_cast<ptrdiff_t>(off),
+                         in.begin() + static_cast<ptrdiff_t>(off + key_len));
+  off += key_len;
+  auto sig = crypto::EcdsaSignature::Decode(in.subspan(off, 64));
+  if (!sig.has_value()) {
+    return DataLoss("certificate signature malformed");
+  }
+  cert.signature = *sig;
+  return cert;
+}
+
+std::optional<crypto::EcdsaPublicKey> Certificate::Key() const {
+  return crypto::EcdsaPublicKey::Decode(public_key);
+}
+
+CertifiedKey MakeSelfSignedCa(const std::string& subject, const crypto::EcdsaPrivateKey& key) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = subject;
+  cert.serial = 1;
+  cert.public_key = key.public_key().Encode();
+  cert.signature = key.Sign(cert.Tbs());
+  return CertifiedKey{cert, key};
+}
+
+Certificate IssueCertificate(const CertifiedKey& ca, const std::string& subject,
+                             const crypto::EcdsaPublicKey& subject_key, uint64_t serial) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = ca.cert.subject;
+  cert.serial = serial;
+  cert.public_key = subject_key.Encode();
+  cert.signature = ca.key.Sign(cert.Tbs());
+  return cert;
+}
+
+Status VerifyCertificate(const Certificate& cert, const Certificate& ca) {
+  if (cert.issuer != ca.subject) {
+    return PermissionDenied("issuer mismatch: " + cert.issuer + " vs " + ca.subject);
+  }
+  auto ca_key = ca.Key();
+  if (!ca_key.has_value()) {
+    return PermissionDenied("CA key malformed");
+  }
+  if (!ca_key->Verify(cert.Tbs(), cert.signature)) {
+    return PermissionDenied("certificate signature invalid");
+  }
+  return Status::Ok();
+}
+
+}  // namespace seal::tls

@@ -1,0 +1,54 @@
+// X.509-lite certificates: subject/issuer identities bound to P-256 public
+// keys with ECDSA signatures. Enough structure for CA issuance, server
+// authentication and TLS client authentication (§6.3 "Impersonating
+// clients"), without ASN.1.
+#ifndef SRC_TLS_X509_H_
+#define SRC_TLS_X509_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/ecdsa.h"
+
+namespace seal::tls {
+
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  Bytes public_key;  // SEC1 uncompressed P-256 point (65 bytes)
+  uint64_t serial = 0;
+  crypto::EcdsaSignature signature;
+
+  // The to-be-signed portion.
+  Bytes Tbs() const;
+  Bytes Encode() const;
+  static Result<Certificate> Decode(BytesView in);
+
+  // Parses the embedded public key.
+  std::optional<crypto::EcdsaPublicKey> Key() const;
+
+  bool self_signed() const { return subject == issuer; }
+};
+
+// A certificate plus its private key.
+struct CertifiedKey {
+  Certificate cert;
+  crypto::EcdsaPrivateKey key;
+};
+
+// Creates a self-signed CA.
+CertifiedKey MakeSelfSignedCa(const std::string& subject, const crypto::EcdsaPrivateKey& key);
+
+// Issues a leaf certificate for `subject_key`'s public key, signed by `ca`.
+Certificate IssueCertificate(const CertifiedKey& ca, const std::string& subject,
+                             const crypto::EcdsaPublicKey& subject_key, uint64_t serial);
+
+// Verifies that `cert` is correctly signed by `ca` (or self-signed by a key
+// equal to the CA's when cert == root).
+Status VerifyCertificate(const Certificate& cert, const Certificate& ca);
+
+}  // namespace seal::tls
+
+#endif  // SRC_TLS_X509_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/asyncall/asyncall.h"
+#include "src/sgx/enclave.h"
+
+namespace seal::asyncall {
+namespace {
+
+sgx::EnclaveConfig FastConfig() {
+  sgx::EnclaveConfig config;
+  config.inject_costs = false;
+  return config;
+}
+
+TEST(AsyncCall, BasicEcall) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int observed = 0;
+  int id = enclave.RegisterEcall("set", [&](void* d) { observed = *static_cast<int*>(d); });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 1;
+  options.tasks_per_thread = 4;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+  int value = 99;
+  ASSERT_TRUE(runtime.AsyncEcall(id, &value).ok());
+  EXPECT_EQ(observed, 99);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, NotStartedFails) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int id = enclave.RegisterEcall("nop", [](void*) {});
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  EXPECT_FALSE(runtime.AsyncEcall(id, nullptr).ok());
+}
+
+TEST(AsyncCall, UnknownEcallFails) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  runtime.Start();
+  EXPECT_FALSE(runtime.AsyncEcall(12345, nullptr).ok());
+  runtime.Stop();
+}
+
+TEST(AsyncCall, HandlerRunsInsideEnclave) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  bool inside = false;
+  int id = enclave.RegisterEcall("check", [&](void*) { inside = sgx::Enclave::InsideEnclave(); });
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  runtime.Start();
+  ASSERT_TRUE(runtime.AsyncEcall(id, nullptr).ok());
+  EXPECT_TRUE(inside);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, OnlyOneTransitionPairPerWorker) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int id = enclave.RegisterEcall("nop", [](void*) {});
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 2;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(runtime.AsyncEcall(id, nullptr).ok());
+  }
+  // 2 worker entries only; the 50 async-ecalls do not touch the gate.
+  EXPECT_EQ(enclave.stats().ecalls, 2u);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, AsyncOcallExecutedByAppThread) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::thread::id app_thread = std::this_thread::get_id();
+  std::thread::id ocall_thread;
+  int ocall_id = enclave.RegisterOcall("where", [&](void*) {
+    ocall_thread = std::this_thread::get_id();
+  });
+  Status ocall_status = Internal("unset");
+  int ecall_id = enclave.RegisterEcall("do", [&](void*) {
+    ocall_status = AsyncCallRuntime::AsyncOcall(ocall_id, nullptr);
+  });
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  runtime.Start();
+  ASSERT_TRUE(runtime.AsyncEcall(ecall_id, nullptr).ok());
+  EXPECT_TRUE(ocall_status.ok());
+  EXPECT_EQ(ocall_thread, app_thread);  // the binding invariant from §4.3
+  runtime.Stop();
+}
+
+TEST(AsyncCall, AsyncOcallOutsideHandlerFails) {
+  EXPECT_FALSE(AsyncCallRuntime::AsyncOcall(0, nullptr).ok());
+}
+
+TEST(AsyncCall, ManyConcurrentCallers) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<int> sum{0};
+  int ocall_id = enclave.RegisterOcall("bump", [&](void* d) {
+    sum.fetch_add(*static_cast<int*>(d));
+  });
+  int ecall_id = enclave.RegisterEcall("work", [&](void* d) {
+    // Each ecall performs an ocall, exercising the full Fig. 4 protocol.
+    (void)AsyncCallRuntime::AsyncOcall(ocall_id, d);
+  });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 2;
+  options.tasks_per_thread = 8;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int one = 1;
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        ASSERT_TRUE(runtime.AsyncEcall(ecall_id, &one).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sum.load(), kThreads * kCallsPerThread);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, MultipleOcallsWithinOneEcall) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int count = 0;
+  int ocall_id = enclave.RegisterOcall("tick", [&](void*) { ++count; });
+  int ecall_id = enclave.RegisterEcall("multi", [&](void*) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(AsyncCallRuntime::AsyncOcall(ocall_id, nullptr).ok());
+    }
+  });
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  runtime.Start();
+  ASSERT_TRUE(runtime.AsyncEcall(ecall_id, nullptr).ok());
+  EXPECT_EQ(count, 5);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, RestartWorks) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int runs = 0;
+  int id = enclave.RegisterEcall("inc", [&](void*) { ++runs; });
+  AsyncCallRuntime runtime(&enclave, AsyncCallRuntime::Options{});
+  runtime.Start();
+  ASSERT_TRUE(runtime.AsyncEcall(id, nullptr).ok());
+  runtime.Stop();
+  runtime.Start();
+  ASSERT_TRUE(runtime.AsyncEcall(id, nullptr).ok());
+  runtime.Stop();
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace
+}  // namespace seal::asyncall

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/audit_log.h"
+
+namespace seal::core {
+namespace {
+
+crypto::EcdsaPrivateKey TestKey() {
+  return crypto::EcdsaPrivateKey::FromSeed(ToBytes("audit-log-test-key"));
+}
+
+AuditLogOptions MemOptions() {
+  AuditLogOptions options;
+  options.mode = PersistenceMode::kMemory;
+  options.counter_options.inject_latency = false;
+  return options;
+}
+
+AuditLogOptions DiskOptions(const std::string& path) {
+  AuditLogOptions options;
+  options.mode = PersistenceMode::kDisk;
+  options.path = path;
+  options.counter_options.inject_latency = false;
+  return options;
+}
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+db::Row GitUpdateRow(int64_t time, const std::string& branch, const std::string& cid) {
+  return {db::Value(time), db::Value(std::string("r")), db::Value(branch), db::Value(cid),
+          db::Value(std::string("update"))};
+}
+
+class AuditLogTest : public ::testing::Test {
+ protected:
+  static std::vector<std::string> GitSchema() {
+    return {"CREATE TABLE updates(time, repo, branch, cid, type)",
+            "CREATE TABLE advertisements(time, repo, branch, cid)"};
+  }
+};
+
+TEST_F(AuditLogTest, AppendInsertsAndChains) {
+  AuditLog log(MemOptions(), TestKey());
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  Bytes head0 = log.chain_head();
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "c1")).ok());
+  EXPECT_NE(log.chain_head(), head0);
+  EXPECT_EQ(log.entry_count(), 1u);
+  auto rows = log.Query("SELECT * FROM updates");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST_F(AuditLogTest, AppendRequiresTimeColumn) {
+  AuditLog log(MemOptions(), TestKey());
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  EXPECT_FALSE(log.Append("updates", {db::Value(std::string("no-time"))}).ok());
+  EXPECT_FALSE(log.Append("updates", {}).ok());
+}
+
+TEST_F(AuditLogTest, ChainIsDeterministic) {
+  // The chain covers (time, wall clock, table, row); with identical
+  // inputs -- including explicit wall timestamps -- two logs agree.
+  AuditLog a(MemOptions(), TestKey());
+  AuditLog b(MemOptions(), TestKey());
+  ASSERT_TRUE(a.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(b.ExecuteSchema(GitSchema()).ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        a.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i)), 1000 + i).ok());
+    ASSERT_TRUE(
+        b.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i)), 1000 + i).ok());
+  }
+  EXPECT_EQ(a.chain_head(), b.chain_head());
+  // Divergence in content diverges the chain.
+  ASSERT_TRUE(a.Append("updates", GitUpdateRow(6, "main", "cX"), 2000).ok());
+  ASSERT_TRUE(b.Append("updates", GitUpdateRow(6, "main", "cY"), 2000).ok());
+  EXPECT_NE(a.chain_head(), b.chain_head());
+  // ... and so does divergence in the wall timestamp alone.
+  AuditLog c(MemOptions(), TestKey());
+  AuditLog d(MemOptions(), TestKey());
+  ASSERT_TRUE(c.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(d.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(c.Append("updates", GitUpdateRow(1, "main", "c1"), 1).ok());
+  ASSERT_TRUE(d.Append("updates", GitUpdateRow(1, "main", "c1"), 2).ok());
+  EXPECT_NE(c.chain_head(), d.chain_head());
+}
+
+TEST_F(AuditLogTest, PersistAndVerify) {
+  std::string path = TempPath("audit_persist.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLog log(DiskOptions(path), key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  auto verified = AuditLog::VerifyLogFile(path, key.public_key(), log.counter());
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(*verified, 10u);
+}
+
+TEST_F(AuditLogTest, TamperedEntryDetected) {
+  std::string path = TempPath("audit_tamper.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLog log(DiskOptions(path), key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  // The provider edits the stored log: flip one byte in the middle.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 40, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 40, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+  EXPECT_FALSE(AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok());
+}
+
+TEST_F(AuditLogTest, ForgedSignatureDetected) {
+  std::string path = TempPath("audit_forge.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  {
+    AuditLog log(DiskOptions(path), key);
+    ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "c1")).ok());
+    ASSERT_TRUE(log.CommitHead().ok());
+  }
+  // The provider re-signs a modified log with its OWN key: clients verify
+  // with the enclave's public key, so this must fail.
+  crypto::EcdsaPrivateKey provider_key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("provider"));
+  AuditLog forged(DiskOptions(path), provider_key);
+  ASSERT_TRUE(forged.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(forged.Append("updates", GitUpdateRow(1, "main", "cEVIL")).ok());
+  ASSERT_TRUE(forged.CommitHead().ok());
+  EXPECT_FALSE(AuditLog::VerifyLogFile(path, key.public_key(), forged.counter()).ok());
+}
+
+TEST_F(AuditLogTest, RollbackDetectedViaCounter) {
+  std::string path = TempPath("audit_rollback.log");
+  std::string backup = TempPath("audit_rollback.bak");
+  std::string backup_sig = TempPath("audit_rollback.bak.sig");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLog log(DiskOptions(path), key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "c1")).ok());
+  ASSERT_TRUE(log.CommitHead().ok());
+  // Snapshot the (validly signed!) old state.
+  auto copy = [](const std::string& from, const std::string& to) {
+    std::FILE* in = std::fopen(from.c_str(), "rb");
+    std::FILE* out = std::fopen(to.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+      std::fputc(c, out);
+    }
+    std::fclose(in);
+    std::fclose(out);
+  };
+  copy(path, backup);
+  copy(path + ".sig", backup_sig);
+  // More activity advances the counter.
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(2, "main", "c2")).ok());
+  ASSERT_TRUE(log.CommitHead().ok());
+  // The old state still verifies entry-wise... but the counter gives the
+  // rollback away.
+  copy(backup, path);
+  copy(backup_sig, path + ".sig");
+  auto verified = AuditLog::VerifyLogFile(path, key.public_key(), log.counter());
+  ASSERT_FALSE(verified.ok());
+  EXPECT_NE(verified.status().message().find("rollback"), std::string::npos);
+}
+
+TEST_F(AuditLogTest, TrimRecomputesChainAndStillVerifies) {
+  std::string path = TempPath("audit_trim.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLog log(DiskOptions(path), key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  uint64_t size_before = log.persisted_bytes();
+  ASSERT_TRUE(log.Trim({"DELETE FROM updates WHERE time NOT IN "
+                        "(SELECT MAX(time) FROM updates GROUP BY repo, branch)"})
+                  .ok());
+  EXPECT_EQ(log.entry_count(), 1u);
+  EXPECT_LT(log.persisted_bytes(), size_before);
+  auto verified = AuditLog::VerifyLogFile(path, key.public_key(), log.counter());
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(*verified, 1u);
+  // The surviving row is the latest one.
+  auto rows = log.Query("SELECT cid FROM updates");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsText(), "c6");
+}
+
+TEST_F(AuditLogTest, EncryptedLogRoundTrip) {
+  std::string path = TempPath("audit_encrypted.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLogOptions options = DiskOptions(path);
+  options.encryption_key = FromHex("000102030405060708090a0b0c0d0e0f");
+  AuditLog log(options, key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "secret-cid")).ok());
+  ASSERT_TRUE(log.CommitHead().ok());
+  // Ciphertext on disk: the payload must not appear in the clear.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    contents.push_back(static_cast<char>(c));
+  }
+  std::fclose(f);
+  EXPECT_EQ(contents.find("secret-cid"), std::string::npos);
+  // Verification succeeds with the key, fails without.
+  EXPECT_TRUE(
+      AuditLog::VerifyLogFile(path, key.public_key(), log.counter(), options.encryption_key)
+          .ok());
+  EXPECT_FALSE(AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok());
+}
+
+TEST_F(AuditLogTest, LogEntrySerializationRoundTrip) {
+  LogEntry entry;
+  entry.time = 42;
+  entry.table = "updates";
+  entry.values = {db::Value(static_cast<int64_t>(42)), db::Value(std::string("repo")),
+                  db::Value(2.5), db::Value::Null()};
+  Bytes wire = entry.Serialize();
+  size_t off = 0;
+  auto decoded = LogEntry::Deserialize(wire, off);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->time, 42);
+  EXPECT_EQ(decoded->table, "updates");
+  ASSERT_EQ(decoded->values.size(), 4u);
+  EXPECT_EQ(decoded->values[1].AsText(), "repo");
+  EXPECT_DOUBLE_EQ(decoded->values[2].AsReal(), 2.5);
+  EXPECT_TRUE(decoded->values[3].is_null());
+  EXPECT_EQ(off, wire.size());
+}
+
+}  // namespace
+}  // namespace seal::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace seal {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(ToHex(b), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), b);
+}
+
+TEST(Bytes, FromHexRejectsOddLength) { EXPECT_TRUE(FromHex("abc").empty()); }
+
+TEST(Bytes, FromHexRejectsNonHex) { EXPECT_TRUE(FromHex("zz").empty()); }
+
+TEST(Bytes, FromHexUppercase) { EXPECT_EQ(FromHex("AB"), Bytes{0xab}); }
+
+TEST(Bytes, ToBytesAndBack) {
+  std::string s = "hello";
+  EXPECT_EQ(ToString(ToBytes(s)), s);
+}
+
+TEST(Bytes, BigEndian32) {
+  uint8_t buf[4];
+  StoreBe32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(LoadBe32(buf), 0x01020304u);
+}
+
+TEST(Bytes, BigEndian64) {
+  uint8_t buf[8];
+  StoreBe64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(LoadBe64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, AppendBeWidths) {
+  Bytes b;
+  AppendBe16(b, 0x0102);
+  AppendBe24(b, 0x030405);
+  AppendBe32(b, 0x06070809);
+  Bytes expected = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  EXPECT_EQ(b, expected);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Clock, NowNanosMonotonic) {
+  int64_t a = NowNanos();
+  int64_t b = NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, SpinNanosTakesAtLeastThatLong) {
+  int64_t start = NowNanos();
+  SpinNanos(100000);  // 100 us
+  EXPECT_GE(NowNanos() - start, 100000);
+}
+
+TEST(Clock, CycleConversionUsesReferenceFrequency) {
+  // 3700 cycles at 3.7 GHz is 1000 ns.
+  EXPECT_EQ(CycleSpinner::CyclesToNanos(3700), 1000);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(Rng, IdentHasRequestedLength) {
+  SplitMix64 rng(2);
+  EXPECT_EQ(rng.Ident(12).size(), 12u);
+}
+
+}  // namespace
+}  // namespace seal

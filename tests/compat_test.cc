@@ -1,0 +1,113 @@
+// Exercises the OpenSSL-style compatibility shim exactly the way a ported
+// application (Apache/Squid) would use it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/libseal_compat.h"
+#include "src/tls/x509.h"
+
+namespace seal::core::compat {
+namespace {
+
+struct CompatPki {
+  CompatPki() {
+    ca = tls::MakeSelfSignedCa("Compat CA", crypto::EcdsaPrivateKey::FromSeed(ToBytes("ca")));
+    key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("srv"));
+    cert = tls::IssueCertificate(ca, "compat.example", key.public_key(), 2);
+  }
+  tls::CertifiedKey ca;
+  crypto::EcdsaPrivateKey key;
+  tls::Certificate cert;
+};
+
+CompatPki& Pki() {
+  static CompatPki pki;
+  return pki;
+}
+
+LibSealOptions Options() {
+  LibSealOptions options;
+  options.enclave.inject_costs = false;
+  options.use_async_calls = false;
+  options.audit_log.counter_options.inject_latency = false;
+  options.logger.check_interval = 0;
+  options.tls.certificate = Pki().cert;
+  options.tls.private_key = Pki().key;
+  return options;
+}
+
+// The classic OpenSSL server loop, verbatim in shape.
+void ServeOnce(SSL_CTX* ctx, net::Stream* stream) {
+  SSL* ssl = SSL_new(ctx, stream);
+  ASSERT_NE(ssl, nullptr);
+  ASSERT_EQ(SSL_accept(ssl), 1);
+  ASSERT_EQ(SSL_is_init_finished(ssl), 1);
+  char buf[128];
+  int n = SSL_read(ssl, buf, sizeof(buf));
+  ASSERT_GT(n, 0);
+  ASSERT_EQ(SSL_write(ssl, buf, n), n);
+  SSL_shutdown(ssl);
+  SSL_free(ssl);
+}
+
+TEST(Compat, OpenSslShapedServerLoop) {
+  LibSealRuntime runtime(Options(), nullptr);
+  ASSERT_TRUE(runtime.Init().ok());
+  auto [client_stream, server_stream] = net::CreateStreamPair();
+  std::thread server([&, &server_stream = server_stream] {
+    ServeOnce(&runtime, server_stream.get());
+  });
+  tls::TlsConfig client_config;
+  client_config.trusted_roots = {Pki().ca.cert};
+  tls::StreamBio bio(client_stream.get());
+  tls::TlsConnection client(&bio, &client_config, tls::Role::kClient);
+  ASSERT_TRUE(client.Handshake().ok());
+  ASSERT_TRUE(client.Write(std::string_view("echo me")).ok());
+  uint8_t buf[32];
+  auto n = client.Read(buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *n), "echo me");
+  server.join();
+}
+
+TEST(Compat, ExDataLikeApache) {
+  LibSealRuntime runtime(Options(), nullptr);
+  ASSERT_TRUE(runtime.Init().ok());
+  auto [client_stream, server_stream] = net::CreateStreamPair();
+  SSL* ssl = SSL_new(&runtime, server_stream.get());
+  ASSERT_NE(ssl, nullptr);
+  // Apache stores its request record in the TLS object (§4.2).
+  int request_rec = 123;
+  EXPECT_EQ(SSL_set_ex_data(ssl, 0, &request_rec), 1);
+  EXPECT_EQ(SSL_get_ex_data(ssl, 0), &request_rec);
+  SSL_free(ssl);
+}
+
+TEST(Compat, InfoCallbackLikeApache) {
+  static int callback_count = 0;
+  callback_count = 0;
+  LibSealRuntime runtime(Options(), nullptr);
+  SSL_CTX_set_info_callback(&runtime,
+                            [](const SSL* ssl, int, int) {
+                              EXPECT_NE(ssl, nullptr);
+                              ++callback_count;
+                            });
+  ASSERT_TRUE(runtime.Init().ok());
+  auto [client_stream, server_stream] = net::CreateStreamPair();
+  std::thread server([&, &server_stream = server_stream] {
+    SSL* ssl = SSL_new(&runtime, server_stream.get());
+    ASSERT_EQ(SSL_accept(ssl), 1);
+    SSL_free(ssl);
+  });
+  tls::TlsConfig client_config;
+  client_config.trusted_roots = {Pki().ca.cert};
+  tls::StreamBio bio(client_stream.get());
+  tls::TlsConnection client(&bio, &client_config, tls::Role::kClient);
+  ASSERT_TRUE(client.Handshake().ok());
+  server.join();
+  EXPECT_GE(callback_count, 2);
+}
+
+}  // namespace
+}  // namespace seal::core::compat

@@ -1,0 +1,493 @@
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/bignum.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+
+namespace seal::crypto {
+namespace {
+
+std::string HexDigest(const Sha256Digest& d) { return ToHex(BytesView(d.data(), d.size())); }
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) ---
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexDigest(Sha256::Hash(std::string_view("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  SplitMix64 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(rng.Below(300));
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    Sha256 h;
+    size_t off = 0;
+    while (off < data.size()) {
+      size_t take = std::min<size_t>(data.size() - off, rng.Below(64) + 1);
+      h.Update(BytesView(data.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding boundaries must all differ and
+  // be stable.
+  for (size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u}) {
+    std::string a(n, 'x');
+    std::string b(n, 'y');
+    EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b)) << n;
+    EXPECT_EQ(Sha256::Hash(a), Sha256::Hash(a)) << n;
+  }
+}
+
+// --- HMAC-SHA256 (RFC 4231) ---
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Sha256Digest mac = HmacSha256::Mac(key, ToBytes("Hi There"));
+  EXPECT_EQ(HexDigest(mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  Sha256Digest mac = HmacSha256::Mac(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(HexDigest(mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Sha256Digest mac = HmacSha256::Mac(key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HexDigest(mac), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- HKDF (RFC 5869) ---
+
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = FromHex("000102030405060708090a0b0c");
+  Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(ToHex(prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Tls12Prf, DeterministicAndLengthExact) {
+  Bytes secret = FromHex("0102030405060708");
+  Bytes seed = FromHex("a0a1a2a3");
+  Bytes a = Tls12Prf(secret, "key expansion", seed, 104);
+  Bytes b = Tls12Prf(secret, "key expansion", seed, 104);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 104u);
+  // Different label or seed must give different output.
+  EXPECT_NE(Tls12Prf(secret, "master secret", seed, 104), a);
+  Bytes seed2 = FromHex("a0a1a2a4");
+  EXPECT_NE(Tls12Prf(secret, "key expansion", seed2, 104), a);
+}
+
+TEST(Tls12Prf, PrefixConsistency) {
+  // A shorter request must be a prefix of a longer one (P_SHA256 streams).
+  Bytes secret = FromHex("deadbeef");
+  Bytes seed = FromHex("cafe");
+  Bytes small = Tls12Prf(secret, "test", seed, 16);
+  Bytes big = Tls12Prf(secret, "test", seed, 80);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), big.begin()));
+}
+
+// --- AES-128 (FIPS 197) ---
+
+TEST(Aes128, Fips197Vector) {
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Bytes pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(BytesView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, NistEcbVector) {
+  // NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, block 1.
+  Bytes key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes pt = FromHex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(BytesView(ct, 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// --- AES-128-GCM (NIST GCM spec test cases) ---
+
+TEST(Aes128Gcm, NistCase1EmptyEverything) {
+  Bytes key = FromHex("00000000000000000000000000000000");
+  Bytes nonce = FromHex("000000000000000000000000");
+  Aes128Gcm gcm(key);
+  Bytes sealed = gcm.Seal(nonce, {}, {});
+  EXPECT_EQ(ToHex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Aes128Gcm, NistCase3) {
+  Bytes key = FromHex("feffe9928665731c6d6a8f9467308308");
+  Bytes nonce = FromHex("cafebabefacedbaddecaf888");
+  Bytes pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  Aes128Gcm gcm(key);
+  Bytes sealed = gcm.Seal(nonce, {}, pt);
+  EXPECT_EQ(ToHex(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Aes128Gcm, NistCase4WithAad) {
+  Bytes key = FromHex("feffe9928665731c6d6a8f9467308308");
+  Bytes nonce = FromHex("cafebabefacedbaddecaf888");
+  Bytes pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  Bytes aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  Aes128Gcm gcm(key);
+  Bytes sealed = gcm.Seal(nonce, aad, pt);
+  ASSERT_EQ(sealed.size(), pt.size() + kGcmTagSize);
+  EXPECT_EQ(ToHex(BytesView(sealed.data() + pt.size(), kGcmTagSize)),
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(Aes128Gcm, RoundTripRandom) {
+  SplitMix64 rng(11);
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Aes128Gcm gcm(key);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes nonce(12), pt(rng.Below(200)), aad(rng.Below(40));
+    for (auto& b : nonce) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : pt) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : aad) b = static_cast<uint8_t>(rng.Next());
+    Bytes sealed = gcm.Seal(nonce, aad, pt);
+    auto opened = gcm.Open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(Aes128Gcm, TamperDetection) {
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Bytes nonce = FromHex("000102030405060708090a0b");
+  Aes128Gcm gcm(key);
+  Bytes sealed = gcm.Seal(nonce, ToBytes("aad"), ToBytes("secret message"));
+  // Flip each byte in turn: every mutation must be rejected.
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    Bytes mutated = sealed;
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(gcm.Open(nonce, ToBytes("aad"), mutated).has_value()) << i;
+  }
+  // Wrong AAD rejected.
+  EXPECT_FALSE(gcm.Open(nonce, ToBytes("axd"), sealed).has_value());
+  // Truncated input rejected.
+  EXPECT_FALSE(gcm.Open(nonce, ToBytes("aad"), BytesView(sealed.data(), 10)).has_value());
+}
+
+// --- Bignum ---
+
+TEST(Bignum, HexRoundTrip) {
+  U256 v = U256::FromHexString("00000000000000000000000000000000000000000000000000000000deadbeef");
+  EXPECT_EQ(v.limb[0], 0xdeadbeefULL);
+  EXPECT_EQ(v.ToHexString(),
+            "00000000000000000000000000000000000000000000000000000000deadbeef");
+}
+
+TEST(Bignum, AddCarry) {
+  U256 max;
+  max.limb[0] = max.limb[1] = max.limb[2] = max.limb[3] = ~0ULL;
+  uint64_t carry = 0;
+  U256 r = Add(max, U256::One(), &carry);
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(Bignum, SubBorrow) {
+  uint64_t borrow = 0;
+  U256 r = Sub(U256::Zero(), U256::One(), &borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r.limb[0], ~0ULL);
+}
+
+TEST(Bignum, MulSmall) {
+  U512 p = Mul(U256::FromUint64(0xffffffffffffffffULL), U256::FromUint64(2));
+  EXPECT_EQ(p.limb[0], 0xfffffffffffffffeULL);
+  EXPECT_EQ(p.limb[1], 1u);
+}
+
+TEST(Bignum, ModBasics) {
+  U256 m = U256::FromUint64(97);
+  EXPECT_EQ(Mod(U256::FromUint64(200), m).limb[0], 200u % 97u);
+  EXPECT_EQ(ModMul(U256::FromUint64(10), U256::FromUint64(50), m).limb[0], 500u % 97u);
+  EXPECT_EQ(ModAdd(U256::FromUint64(90), U256::FromUint64(20), m).limb[0], 110u % 97u);
+  EXPECT_EQ(ModSub(U256::FromUint64(3), U256::FromUint64(10), m).limb[0], 90u);
+}
+
+TEST(Bignum, ModExpFermat) {
+  // 2^96 mod 97 == 1 (Fermat's little theorem).
+  U256 m = U256::FromUint64(97);
+  EXPECT_EQ(ModExp(U256::FromUint64(2), U256::FromUint64(96), m).limb[0], 1u);
+}
+
+TEST(Bignum, ModInvMatchesFermat) {
+  SplitMix64 rng(5);
+  const U256& n = P256Order();
+  for (int trial = 0; trial < 10; ++trial) {
+    U256 a;
+    for (auto& l : a.limb) {
+      l = rng.Next();
+    }
+    a = Mod(a, n);
+    if (a.IsZero()) {
+      continue;
+    }
+    U256 inv_fast = ModInv(a, n);
+    U256 inv_fermat = ModInvPrime(a, n);
+    EXPECT_EQ(inv_fast.ToHexString(), inv_fermat.ToHexString());
+    EXPECT_EQ(ModMul(a, inv_fast, n).limb[0], 1u);
+  }
+}
+
+TEST(Bignum, BitLength) {
+  EXPECT_EQ(U256::Zero().BitLength(), -1);
+  EXPECT_EQ(U256::One().BitLength(), 0);
+  EXPECT_EQ(U256::FromUint64(0x100).BitLength(), 8);
+  U256 top;
+  top.limb[3] = 1ULL << 63;
+  EXPECT_EQ(top.BitLength(), 255);
+}
+
+// --- P-256 field arithmetic: fast reduction vs slow oracle ---
+
+TEST(P256, SolinasMatchesSlowReduction) {
+  SplitMix64 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    U256 a, b;
+    for (auto& l : a.limb) {
+      l = rng.Next();
+    }
+    for (auto& l : b.limb) {
+      l = rng.Next();
+    }
+    a = Mod(a, P256Prime());
+    b = Mod(b, P256Prime());
+    U256 fast = FeMul(a, b);
+    U256 slow = ModMul(a, b, P256Prime());
+    ASSERT_EQ(fast.ToHexString(), slow.ToHexString()) << "trial " << trial;
+  }
+}
+
+TEST(P256, GeneratorOnCurve) { EXPECT_TRUE(AffinePoint::Generator().OnCurve()); }
+
+TEST(P256, OrderTimesGeneratorIsInfinity) {
+  AffinePoint r = ScalarBaseMult(P256Order());
+  EXPECT_TRUE(r.infinity);
+}
+
+TEST(P256, KnownScalarMultVector) {
+  // NIST point-multiplication vector: k = 112233445566778899.
+  U256 k = U256::FromHexString("18ebbb95eed0e13");
+  AffinePoint r = ScalarBaseMult(k);
+  ASSERT_FALSE(r.infinity);
+  EXPECT_EQ(r.x.ToHexString(), "339150844ec15234807fe862a86be77977dbfb3ae3d96f4c22795513aeaab82f");
+  EXPECT_EQ(r.y.ToHexString(), "b1c14ddfdc8ec1b2583f51e85a5eb3a155840f2034730e9b5ada38b674336a21");
+}
+
+TEST(P256, ScalarMultDistributesOverAddition) {
+  // (a + b) * G == a*G + b*G for random small scalars.
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    U256 a = U256::FromUint64(rng.Next());
+    U256 b = U256::FromUint64(rng.Next());
+    uint64_t carry = 0;
+    U256 sum = Add(a, b, &carry);
+    AffinePoint lhs = ScalarBaseMult(sum);
+    AffinePoint rhs = PointAdd(ScalarBaseMult(a), ScalarBaseMult(b));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(P256, EncodeDecodeRoundTrip) {
+  AffinePoint g = AffinePoint::Generator();
+  Bytes enc = g.Encode();
+  ASSERT_EQ(enc.size(), 65u);
+  auto dec = AffinePoint::Decode(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, g);
+}
+
+TEST(P256, DecodeRejectsOffCurve) {
+  Bytes enc = AffinePoint::Generator().Encode();
+  enc[40] ^= 1;
+  EXPECT_FALSE(AffinePoint::Decode(enc).has_value());
+}
+
+TEST(P256, DecodeRejectsBadFormat) {
+  Bytes enc = AffinePoint::Generator().Encode();
+  enc[0] = 0x02;
+  EXPECT_FALSE(AffinePoint::Decode(enc).has_value());
+  EXPECT_FALSE(AffinePoint::Decode(BytesView(enc.data(), 64)).has_value());
+}
+
+// --- ECDSA ---
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("test seed"));
+  Bytes msg = ToBytes("the quick brown fox");
+  EcdsaSignature sig = key.Sign(msg);
+  EXPECT_TRUE(key.public_key().Verify(msg, sig));
+}
+
+TEST(Ecdsa, WrongMessageFails) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("test seed"));
+  EcdsaSignature sig = key.Sign(ToBytes("message A"));
+  EXPECT_FALSE(key.public_key().Verify(ToBytes("message B"), sig));
+}
+
+TEST(Ecdsa, WrongKeyFails) {
+  EcdsaPrivateKey key1 = EcdsaPrivateKey::FromSeed(ToBytes("seed 1"));
+  EcdsaPrivateKey key2 = EcdsaPrivateKey::FromSeed(ToBytes("seed 2"));
+  Bytes msg = ToBytes("message");
+  EcdsaSignature sig = key1.Sign(msg);
+  EXPECT_FALSE(key2.public_key().Verify(msg, sig));
+}
+
+TEST(Ecdsa, CorruptedSignatureFails) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("seed"));
+  Bytes msg = ToBytes("message");
+  EcdsaSignature sig = key.Sign(msg);
+  EcdsaSignature bad_r = sig;
+  bad_r.r = ModAdd(bad_r.r, U256::One(), P256Order());
+  EXPECT_FALSE(key.public_key().Verify(msg, bad_r));
+  EcdsaSignature bad_s = sig;
+  bad_s.s = ModAdd(bad_s.s, U256::One(), P256Order());
+  EXPECT_FALSE(key.public_key().Verify(msg, bad_s));
+}
+
+TEST(Ecdsa, ZeroComponentsRejected) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("seed"));
+  Bytes msg = ToBytes("message");
+  EcdsaSignature sig = key.Sign(msg);
+  sig.r = U256::Zero();
+  EXPECT_FALSE(key.public_key().Verify(msg, sig));
+}
+
+TEST(Ecdsa, SignatureEncodingRoundTrip) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("seed"));
+  EcdsaSignature sig = key.Sign(ToBytes("msg"));
+  Bytes enc = sig.Encode();
+  ASSERT_EQ(enc.size(), 64u);
+  auto dec = EcdsaSignature::Decode(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(key.public_key().Verify(ToBytes("msg"), *dec));
+}
+
+TEST(Ecdsa, DeterministicFromSeed) {
+  EcdsaPrivateKey a = EcdsaPrivateKey::FromSeed(ToBytes("same"));
+  EcdsaPrivateKey b = EcdsaPrivateKey::FromSeed(ToBytes("same"));
+  EXPECT_EQ(a.scalar().ToHexString(), b.scalar().ToHexString());
+}
+
+TEST(Ecdsa, GenerateProducesDistinctKeys) {
+  EcdsaPrivateKey a = EcdsaPrivateKey::Generate();
+  EcdsaPrivateKey b = EcdsaPrivateKey::Generate();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.scalar().ToHexString(), b.scalar().ToHexString());
+}
+
+TEST(Ecdsa, PublicKeyEncodingRoundTrip) {
+  EcdsaPrivateKey key = EcdsaPrivateKey::FromSeed(ToBytes("seed"));
+  Bytes enc = key.public_key().Encode();
+  auto dec = EcdsaPublicKey::Decode(enc);
+  ASSERT_TRUE(dec.has_value());
+  EcdsaSignature sig = key.Sign(ToBytes("hello"));
+  EXPECT_TRUE(dec->Verify(ToBytes("hello"), sig));
+}
+
+// --- ECDH ---
+
+TEST(Ecdh, SharedSecretAgrees) {
+  EcdsaPrivateKey alice = EcdsaPrivateKey::FromSeed(ToBytes("alice"));
+  EcdsaPrivateKey bob = EcdsaPrivateKey::FromSeed(ToBytes("bob"));
+  auto s1 = EcdhSharedSecret(alice.scalar(), bob.public_key().point());
+  auto s2 = EcdhSharedSecret(bob.scalar(), alice.public_key().point());
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(s1->size(), 32u);
+}
+
+TEST(Ecdh, DifferentPeersDifferentSecrets) {
+  EcdsaPrivateKey alice = EcdsaPrivateKey::FromSeed(ToBytes("alice"));
+  EcdsaPrivateKey bob = EcdsaPrivateKey::FromSeed(ToBytes("bob"));
+  EcdsaPrivateKey carol = EcdsaPrivateKey::FromSeed(ToBytes("carol"));
+  auto s1 = EcdhSharedSecret(alice.scalar(), bob.public_key().point());
+  auto s2 = EcdhSharedSecret(alice.scalar(), carol.public_key().point());
+  EXPECT_NE(*s1, *s2);
+}
+
+// --- DRBG ---
+
+TEST(Drbg, DeterministicWhenSeeded) {
+  HmacDrbg a(ToBytes("seed"));
+  HmacDrbg b(ToBytes("seed"));
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  HmacDrbg a(ToBytes("seed 1"));
+  HmacDrbg b(ToBytes("seed 2"));
+  EXPECT_NE(a.Generate(64), b.Generate(64));
+}
+
+TEST(Drbg, SequentialOutputsDiffer) {
+  HmacDrbg a(ToBytes("seed"));
+  EXPECT_NE(a.Generate(32), a.Generate(32));
+}
+
+TEST(Drbg, ExactLength) {
+  HmacDrbg a(ToBytes("seed"));
+  EXPECT_EQ(a.Generate(7).size(), 7u);
+  EXPECT_EQ(a.Generate(33).size(), 33u);
+  EXPECT_EQ(a.Generate(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace seal::crypto

@@ -1,0 +1,215 @@
+// Deeper seadb coverage: view composition, NULL propagation through joins
+// and aggregates, mixed-type ordering, DML with subqueries, and limits of
+// the dialect (documented error behaviour).
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+
+namespace seal::db {
+namespace {
+
+QueryResult Exec(Database& db, std::string_view sql) {
+  auto r = db.Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(*r) : QueryResult{};
+}
+
+class DbAdvancedTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(DbAdvancedTest, ViewOnView) {
+  Exec(db_, "CREATE TABLE t(a)");
+  Exec(db_, "INSERT INTO t VALUES (1), (2), (3), (4)");
+  Exec(db_, "CREATE VIEW evens AS SELECT a FROM t WHERE a % 2 = 0");
+  Exec(db_, "CREATE VIEW big_evens AS SELECT a FROM evens WHERE a > 2");
+  QueryResult r = Exec(db_, "SELECT a FROM big_evens");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(DbAdvancedTest, ViewJoinedWithTable) {
+  Exec(db_, "CREATE TABLE sales(region, amount)");
+  Exec(db_, "CREATE TABLE quota(region, target)");
+  Exec(db_, "INSERT INTO sales VALUES ('n', 5), ('n', 7), ('s', 4)");
+  Exec(db_, "INSERT INTO quota VALUES ('n', 10), ('s', 6)");
+  Exec(db_, "CREATE VIEW totals AS SELECT region, SUM(amount) AS total FROM sales GROUP BY region");
+  QueryResult r = Exec(db_,
+                       "SELECT q.region FROM quota q JOIN totals t ON t.region = q.region "
+                       "WHERE t.total >= q.target");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "n");
+}
+
+TEST_F(DbAdvancedTest, NullsInJoinKeysNeverMatch) {
+  Exec(db_, "CREATE TABLE a(k)");
+  Exec(db_, "CREATE TABLE b(k)");
+  Exec(db_, "INSERT INTO a VALUES (NULL), (1)");
+  Exec(db_, "INSERT INTO b VALUES (NULL), (1)");
+  EXPECT_EQ(Exec(db_, "SELECT * FROM a JOIN b ON a.k = b.k").rows.size(), 1u);
+  EXPECT_EQ(Exec(db_, "SELECT * FROM a NATURAL JOIN b").rows.size(), 1u);
+}
+
+TEST_F(DbAdvancedTest, NullsInGroupByFormOneGroup) {
+  Exec(db_, "CREATE TABLE t(k, v)");
+  Exec(db_, "INSERT INTO t VALUES (NULL, 1), (NULL, 2), ('x', 3)");
+  QueryResult r = Exec(db_, "SELECT k, SUM(v) FROM t GROUP BY k ORDER BY 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);  // NULL group summed 1+2
+  EXPECT_EQ(r.rows[1][1].AsInt(), 3);
+}
+
+TEST_F(DbAdvancedTest, MixedTypeOrderingIsStableClassOrder) {
+  Exec(db_, "CREATE TABLE t(v)");
+  Exec(db_, "INSERT INTO t VALUES ('text'), (2), (NULL), (1.5)");
+  QueryResult r = Exec(db_, "SELECT v FROM t ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_TRUE(r.rows[0][0].is_null());       // NULL first
+  EXPECT_DOUBLE_EQ(r.rows[1][0].AsReal(), 1.5);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[3][0].AsText(), "text");  // text last
+}
+
+TEST_F(DbAdvancedTest, UpdateWithSubqueryPredicate) {
+  Exec(db_, "CREATE TABLE t(id, v)");
+  Exec(db_, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  Exec(db_, "UPDATE t SET v = v + 100 WHERE v = (SELECT MAX(v) FROM t)");
+  QueryResult r = Exec(db_, "SELECT v FROM t ORDER BY v DESC LIMIT 1");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 130);
+}
+
+TEST_F(DbAdvancedTest, UpdateSnapshotSemantics) {
+  // Assignments to earlier rows must not affect later predicates.
+  Exec(db_, "CREATE TABLE t(v)");
+  Exec(db_, "INSERT INTO t VALUES (1), (2)");
+  QueryResult r = Exec(db_, "UPDATE t SET v = 2 WHERE v = 1");
+  EXPECT_EQ(r.affected, 1u);  // only the original 1, not the freshly-set 2
+}
+
+TEST_F(DbAdvancedTest, DeleteWithLikeAndBetween) {
+  Exec(db_, "CREATE TABLE files(name, size)");
+  Exec(db_, "INSERT INTO files VALUES ('a.txt', 5), ('b.log', 50), ('c.txt', 500)");
+  Exec(db_, "DELETE FROM files WHERE name LIKE '%.txt' AND size BETWEEN 1 AND 100");
+  QueryResult r = Exec(db_, "SELECT name FROM files ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "b.log");
+  EXPECT_EQ(r.rows[1][0].AsText(), "c.txt");
+}
+
+TEST_F(DbAdvancedTest, LimitZeroAndOffsetPastEnd) {
+  Exec(db_, "CREATE TABLE t(a)");
+  Exec(db_, "INSERT INTO t VALUES (1), (2)");
+  EXPECT_TRUE(Exec(db_, "SELECT a FROM t LIMIT 0").rows.empty());
+  EXPECT_TRUE(Exec(db_, "SELECT a FROM t LIMIT 5 OFFSET 10").rows.empty());
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t LIMIT 100").rows.size(), 2u);
+}
+
+TEST_F(DbAdvancedTest, QualifiedStarExpansion) {
+  Exec(db_, "CREATE TABLE a(x, y)");
+  Exec(db_, "CREATE TABLE b(z)");
+  Exec(db_, "INSERT INTO a VALUES (1, 2)");
+  Exec(db_, "INSERT INTO b VALUES (3)");
+  QueryResult r = Exec(db_, "SELECT a.*, b.z FROM a, b");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"x", "y", "z"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+}
+
+TEST_F(DbAdvancedTest, ExistsWithOuterAndInnerConditions) {
+  Exec(db_, "CREATE TABLE orders(customer, total)");
+  Exec(db_, "CREATE TABLE vips(customer)");
+  Exec(db_, "INSERT INTO orders VALUES ('ann', 500), ('bob', 20)");
+  Exec(db_, "INSERT INTO vips VALUES ('ann')");
+  QueryResult r = Exec(db_,
+                       "SELECT customer FROM orders o WHERE total > 100 AND "
+                       "EXISTS (SELECT * FROM vips v WHERE v.customer = o.customer)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "ann");
+}
+
+TEST_F(DbAdvancedTest, CoalesceInWherePredicates) {
+  Exec(db_, "CREATE TABLE t(a, fallback)");
+  Exec(db_, "INSERT INTO t VALUES (NULL, 7), (3, 9)");
+  QueryResult r = Exec(db_, "SELECT COALESCE(a, fallback) FROM t ORDER BY 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 7);
+}
+
+TEST_F(DbAdvancedTest, HavingWithoutGroupBy) {
+  Exec(db_, "CREATE TABLE t(a)");
+  Exec(db_, "INSERT INTO t VALUES (1), (2)");
+  // Aggregate-only query with HAVING: one group over the whole table.
+  EXPECT_EQ(Exec(db_, "SELECT SUM(a) FROM t HAVING COUNT(*) > 1").rows.size(), 1u);
+  EXPECT_EQ(Exec(db_, "SELECT SUM(a) FROM t HAVING COUNT(*) > 5").rows.size(), 0u);
+}
+
+TEST_F(DbAdvancedTest, StringQuotingRoundTrip) {
+  Exec(db_, "CREATE TABLE t(s)");
+  Exec(db_, "INSERT INTO t VALUES ('it''s a ''quoted'' string')");
+  QueryResult r = Exec(db_, "SELECT s FROM t");
+  EXPECT_EQ(r.rows[0][0].AsText(), "it's a 'quoted' string");
+  r = Exec(db_, "SELECT * FROM t WHERE s = 'it''s a ''quoted'' string'");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(DbAdvancedTest, SelfJoinThreeWay) {
+  Exec(db_, "CREATE TABLE n(v)");
+  Exec(db_, "INSERT INTO n VALUES (1), (2), (3)");
+  // Ordered triples a < b < c: exactly one from {1,2,3}.
+  QueryResult r = Exec(db_,
+                       "SELECT a.v, b.v, c.v FROM n a JOIN n b ON a.v < b.v "
+                       "JOIN n c ON b.v < c.v");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+}
+
+TEST_F(DbAdvancedTest, InSubqueryWithCorrelation) {
+  Exec(db_, "CREATE TABLE emp(name, dept)");
+  Exec(db_, "CREATE TABLE alumni(name, dept)");
+  Exec(db_, "INSERT INTO emp VALUES ('a', 'x'), ('b', 'y')");
+  Exec(db_, "INSERT INTO alumni VALUES ('a', 'x'), ('b', 'z')");
+  // Employees whose name appears among alumni OF THE SAME department.
+  QueryResult r = Exec(db_,
+                       "SELECT name FROM emp e WHERE name IN "
+                       "(SELECT name FROM alumni WHERE dept = e.dept)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "a");
+}
+
+TEST_F(DbAdvancedTest, AggregateOfExpression) {
+  Exec(db_, "CREATE TABLE t(a, b)");
+  Exec(db_, "INSERT INTO t VALUES (1, 2), (3, 4)");
+  QueryResult r = Exec(db_, "SELECT SUM(a * b), MAX(a + b) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 14);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+}
+
+TEST_F(DbAdvancedTest, OrderByAggregateInGroupedQuery) {
+  Exec(db_, "CREATE TABLE t(k, v)");
+  Exec(db_, "INSERT INTO t VALUES ('a', 1), ('b', 5), ('a', 2)");
+  QueryResult r = Exec(db_, "SELECT k FROM t GROUP BY k ORDER BY SUM(v) DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "b");
+}
+
+TEST_F(DbAdvancedTest, DuplicateTableNamesRejected) {
+  Exec(db_, "CREATE TABLE t(a)");
+  EXPECT_FALSE(db_.Execute("CREATE VIEW t AS SELECT 1").ok());
+  Exec(db_, "CREATE VIEW v AS SELECT a FROM t");
+  EXPECT_FALSE(db_.Execute("CREATE TABLE v(a)").ok());
+}
+
+TEST_F(DbAdvancedTest, ConcatBuildsKeysForComparison) {
+  Exec(db_, "CREATE TABLE t(a, b)");
+  Exec(db_, "INSERT INTO t VALUES ('x', 1), ('y', 2)");
+  QueryResult r = Exec(db_, "SELECT a || '-' || b FROM t ORDER BY 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "x-1");
+  EXPECT_EQ(r.rows[1][0].AsText(), "y-2");
+}
+
+}  // namespace
+}  // namespace seal::db

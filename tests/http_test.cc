@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/http/http.h"
+
+namespace seal::http {
+namespace {
+
+TEST(Http, ParseRequestBasic) {
+  auto req = ParseRequest(
+      "GET /repo/info/refs?service=git-upload-pack HTTP/1.1\r\n"
+      "Host: git.example\r\n"
+      "Libseal-Check: git\r\n"
+      "\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/repo/info/refs?service=git-upload-pack");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  ASSERT_NE(req->GetHeader("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*req->GetHeader("HOST"), "git.example");
+  EXPECT_EQ(*req->GetHeader("Libseal-Check"), "git");
+  EXPECT_TRUE(req->body.empty());
+}
+
+TEST(Http, ParseRequestWithBody) {
+  auto req = ParseRequest(
+      "POST /upload HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(Http, ParseRequestErrors) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("GET\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /x HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n").ok());
+}
+
+TEST(Http, ParseResponseBasic) {
+  auto rsp = ParseResponse(
+      "HTTP/1.1 404 Not Found\r\n"
+      "Content-Length: 0\r\n"
+      "\r\n");
+  ASSERT_TRUE(rsp.ok());
+  EXPECT_EQ(rsp->status, 404);
+  EXPECT_EQ(rsp->reason, "Not Found");
+}
+
+TEST(Http, ParseResponseErrors) {
+  EXPECT_FALSE(ParseResponse("").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 banana\r\n\r\n").ok());
+}
+
+TEST(Http, SerializeAddsContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/x";
+  req.body = "12345";
+  std::string raw = req.Serialize();
+  EXPECT_NE(raw.find("Content-Length: 5\r\n"), std::string::npos);
+  auto reparsed = ParseRequest(raw);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->body, "12345");
+}
+
+TEST(Http, SerializeResponseRoundTrip) {
+  HttpResponse rsp;
+  rsp.status = 200;
+  rsp.reason = "OK";
+  rsp.SetHeader("Libseal-Check-Result", "0 violations");
+  rsp.body = "content";
+  auto reparsed = ParseResponse(rsp.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed->GetHeader("libseal-check-result"), "0 violations");
+  EXPECT_EQ(reparsed->body, "content");
+}
+
+TEST(Http, SetHeaderReplaces) {
+  HttpRequest req;
+  req.SetHeader("X-A", "1");
+  req.SetHeader("x-a", "2");
+  EXPECT_EQ(req.headers.size(), 1u);
+  EXPECT_EQ(*req.GetHeader("X-A"), "2");
+}
+
+// Simulated socket: feeds the message in fixed-size slices.
+class SliceReader {
+ public:
+  SliceReader(std::string data, size_t slice) : data_(std::move(data)), slice_(slice) {}
+  size_t operator()(uint8_t* buf, size_t max) {
+    if (pos_ >= data_.size()) {
+      return 0;
+    }
+    size_t take = std::min({max, slice_, data_.size() - pos_});
+    std::memcpy(buf, data_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  std::string data_;
+  size_t slice_;
+  size_t pos_ = 0;
+};
+
+TEST(Http, ReadHttpMessageContentLength) {
+  std::string raw =
+      "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+  for (size_t slice : {1u, 3u, 7u, 100u}) {
+    SliceReader reader(raw, slice);
+    auto msg = ReadHttpMessage([&](uint8_t* b, size_t m) { return reader(b, m); });
+    ASSERT_TRUE(msg.ok()) << "slice " << slice;
+    EXPECT_EQ(*msg, raw);
+  }
+}
+
+TEST(Http, ReadHttpMessageNoBody) {
+  std::string raw = "GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+  SliceReader reader(raw, 5);
+  auto msg = ReadHttpMessage([&](uint8_t* b, size_t m) { return reader(b, m); });
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(*msg, raw);
+}
+
+TEST(Http, ReadHttpMessageChunked) {
+  std::string raw =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+  SliceReader reader(raw, 4);
+  auto msg = ReadHttpMessage([&](uint8_t* b, size_t m) { return reader(b, m); });
+  ASSERT_TRUE(msg.ok());
+  auto rsp = ParseResponse(*msg);
+  ASSERT_TRUE(rsp.ok());
+  EXPECT_EQ(rsp->body, "hello world");
+  EXPECT_EQ(*rsp->GetHeader("Content-Length"), "11");
+  EXPECT_EQ(rsp->GetHeader("Transfer-Encoding"), nullptr);
+}
+
+TEST(Http, ReadHttpMessageEofBeforeAnything) {
+  auto msg = ReadHttpMessage([](uint8_t*, size_t) { return size_t{0}; });
+  EXPECT_FALSE(msg.ok());
+}
+
+TEST(Http, ReadHttpMessageEofMidBody) {
+  std::string raw = "POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort";
+  SliceReader reader(raw, 100);
+  auto msg = ReadHttpMessage([&](uint8_t* b, size_t m) { return reader(b, m); });
+  EXPECT_FALSE(msg.ok());
+}
+
+}  // namespace
+}  // namespace seal::http

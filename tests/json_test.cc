@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/json/json.h"
+
+namespace seal::json {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.25")->AsNumber(), 3.25);
+  EXPECT_EQ(Parse("-17")->AsInt(), -17);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  auto v = Parse(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("a").AsArray().size(), 3u);
+  EXPECT_EQ(v->Get("a").AsArray()[2].Get("b").AsString(), "x");
+  EXPECT_TRUE(v->Get("c").is_null());
+  EXPECT_TRUE(v->Has("c"));
+  EXPECT_FALSE(v->Has("d"));
+  EXPECT_TRUE(v->Get("d").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  auto v = Parse(R"("line\nbreak \"quoted\" tab\t back\\slash A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nbreak \"quoted\" tab\t back\\slash A");
+}
+
+TEST(Json, DumpRoundTrip) {
+  JsonValue original = Obj({
+      {"name", "doc1"},
+      {"version", 3},
+      {"tags", Arr({JsonValue("a"), JsonValue("b")})},
+      {"meta", Obj({{"deleted", false}, {"score", 1.5}})},
+  });
+  std::string dumped = original.Dump();
+  auto reparsed = Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), dumped);
+  EXPECT_EQ(reparsed->Get("version").AsInt(), 3);
+  EXPECT_EQ(reparsed->Get("meta").Get("score").AsNumber(), 1.5);
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  JsonValue v("a\"b\\c\nd");
+  auto reparsed = Parse(v.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->AsString(), "a\"b\\c\nd");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(Parse("[]")->AsArray().empty());
+  EXPECT_TRUE(Parse("{}")->AsObject().empty());
+  EXPECT_EQ(Parse("[]")->Dump(), "[]");
+  EXPECT_EQ(Parse("{}")->Dump(), "{}");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  auto v = Parse("  {  \"a\" :\n[ 1 ,\t2 ]  }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("a").AsArray().size(), 2u);
+}
+
+TEST(Json, IntegerPreservedInDump) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(-1).Dump(), "-1");
+}
+
+}  // namespace
+}  // namespace seal::json

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/logger.h"
+#include "src/services/git_service.h"
+#include "src/ssm/git_ssm.h"
+
+namespace seal::core {
+namespace {
+
+std::unique_ptr<AuditLogger> MakeLogger(LoggerOptions logger_options,
+                                        PersistenceMode mode = PersistenceMode::kMemory,
+                                        const std::string& path = "") {
+  AuditLogOptions log_options;
+  log_options.mode = mode;
+  log_options.path = path;
+  log_options.counter_options.inject_latency = false;
+  auto logger = std::make_unique<AuditLogger>(std::make_unique<ssm::GitModule>(), log_options,
+                                              logger_options,
+                                              crypto::EcdsaPrivateKey::FromSeed(ToBytes("lt")));
+  EXPECT_TRUE(logger->Init().ok());
+  return logger;
+}
+
+Result<std::optional<CheckReport>> PumpPush(AuditLogger& logger, services::GitBackend& backend,
+                                            int commit, bool force = false) {
+  auto req = services::MakeGitPush("r", {{"main", "c" + std::to_string(commit)}});
+  auto rsp = backend.Handle(req);
+  return logger.OnPair(req.Serialize(), rsp.Serialize(), force);
+}
+
+TEST(Logger, LogicalTimeAdvancesPerPair) {
+  auto logger = MakeLogger({.check_interval = 0});
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
+  ASSERT_TRUE(PumpPush(*logger, backend, 2).ok());
+  auto rows = logger->log().Query("SELECT time FROM updates ORDER BY time");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows->rows[1][0].AsInt(), 2);
+  EXPECT_EQ(logger->pairs_logged(), 2);
+}
+
+TEST(Logger, NoCheckWhenIntervalDisabled) {
+  auto logger = MakeLogger({.check_interval = 0});
+  services::GitBackend backend;
+  for (int i = 1; i <= 50; ++i) {
+    auto r = PumpPush(*logger, backend, i);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->has_value());
+  }
+}
+
+TEST(Logger, IntervalTriggersCheckAndTrim) {
+  auto logger = MakeLogger({.check_interval = 10});
+  services::GitBackend backend;
+  int checks = 0;
+  for (int i = 1; i <= 30; ++i) {
+    auto r = PumpPush(*logger, backend, i);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) {
+      ++checks;
+      EXPECT_GT((*r)->invariants_checked, 0u);
+      EXPECT_GE((*r)->check_nanos, 0);
+    }
+  }
+  EXPECT_EQ(checks, 3);
+  // Trimming ran: only the latest update per branch survives.
+  EXPECT_EQ(logger->log().database().TableSize("updates"), 1u);
+}
+
+TEST(Logger, ForcedCheckRunsImmediately) {
+  auto logger = MakeLogger({.check_interval = 0});
+  services::GitBackend backend;
+  auto r = PumpPush(*logger, backend, 1, /*force=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_TRUE((*r)->clean());
+}
+
+TEST(Logger, ForcedChecksAreRateLimited) {
+  LoggerOptions options;
+  options.check_interval = 0;
+  options.forced_check_min_gap = 5;  // at most one forced check per 5 pairs
+  auto logger = MakeLogger(options);
+  services::GitBackend backend;
+  int granted = 0;
+  for (int i = 1; i <= 10; ++i) {
+    auto r = PumpPush(*logger, backend, i, /*force=*/true);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) {
+      ++granted;
+    }
+  }
+  // Pair 1 and pair 6: two grants in 10 back-to-back demands.
+  EXPECT_EQ(granted, 2);
+}
+
+TEST(Logger, LastReportRetained) {
+  auto logger = MakeLogger({.check_interval = 0});
+  services::GitBackend backend;
+  EXPECT_FALSE(logger->last_report().has_value());
+  ASSERT_TRUE(PumpPush(*logger, backend, 1, true).ok());
+  ASSERT_TRUE(logger->last_report().has_value());
+  EXPECT_TRUE(logger->last_report()->clean());
+}
+
+TEST(Logger, ReportSummaryFormats) {
+  CheckReport clean;
+  clean.invariants_checked = 2;
+  EXPECT_EQ(clean.Summary(), "ok 2 invariants");
+  CheckReport dirty;
+  dirty.invariants_checked = 2;
+  CheckReport::Violation v;
+  v.invariant = "git-soundness";
+  v.rows.rows.push_back({});
+  dirty.violations.push_back(std::move(v));
+  EXPECT_EQ(dirty.Summary(), "VIOLATION git-soundness(1)");
+}
+
+TEST(Logger, UnparseableTrafficIsIgnoredNotFatal) {
+  auto logger = MakeLogger({.check_interval = 0});
+  auto r = logger->OnPair("not http at all", "also not http", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(logger->log().entry_count(), 0u);
+  EXPECT_EQ(logger->pairs_logged(), 1);  // the pair still advances time
+}
+
+TEST(Logger, DiskModeCommitsPerPair) {
+  std::string path = std::string(::testing::TempDir()) + "/logger_disk.log";
+  auto logger = MakeLogger({.check_interval = 0}, PersistenceMode::kDisk, path);
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
+  uint64_t counter_after_one = logger->log().counter().Read().value();
+  ASSERT_TRUE(PumpPush(*logger, backend, 2).ok());
+  uint64_t counter_after_two = logger->log().counter().Read().value();
+  EXPECT_GT(counter_after_two, counter_after_one);  // one ROTE round per pair
+  EXPECT_GT(logger->log().persisted_bytes(), 0u);
+}
+
+TEST(Logger, MemModeSkipsCounterRounds) {
+  auto logger = MakeLogger({.check_interval = 0});
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
+  EXPECT_EQ(logger->log().counter().Read().value(), 0u);
+}
+
+}  // namespace
+}  // namespace seal::core

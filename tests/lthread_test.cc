@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/lthread/lthread.h"
+
+namespace seal::lthread {
+namespace {
+
+TEST(Lthread, RunsSingleTask) {
+  Scheduler sched;
+  bool ran = false;
+  sched.Spawn([&] { ran = true; });
+  sched.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.live_tasks(), 0u);
+}
+
+TEST(Lthread, TasksInterleaveOnYield) {
+  Scheduler sched;
+  std::string trace;
+  sched.Spawn([&] {
+    trace += "a1 ";
+    Scheduler::Yield();
+    trace += "a2 ";
+  });
+  sched.Spawn([&] {
+    trace += "b1 ";
+    Scheduler::Yield();
+    trace += "b2 ";
+  });
+  sched.Run();
+  EXPECT_EQ(trace, "a1 b1 a2 b2 ");
+}
+
+TEST(Lthread, ManyTasksAllComplete) {
+  Scheduler sched;
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    sched.Spawn([&] {
+      for (int j = 0; j < 5; ++j) {
+        Scheduler::Yield();
+      }
+      ++done;
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(done, 100);
+}
+
+TEST(Lthread, BlockAndWake) {
+  Scheduler sched;
+  bool finished = false;
+  Task* blocked = sched.Spawn([&] {
+    Scheduler::Block();
+    finished = true;
+  });
+  // One round: the task blocks and cannot finish.
+  sched.RunOnce();
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(blocked->state(), Task::State::kBlocked);
+  // Run() bails when everything is blocked.
+  sched.Run();
+  EXPECT_FALSE(finished);
+  // Wake it and it completes.
+  sched.MakeRunnable(blocked);
+  sched.Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(Lthread, CurrentVisibleInsideTask) {
+  Scheduler sched;
+  Task* self = nullptr;
+  Task* spawned = sched.Spawn([&] { self = Scheduler::Current(); });
+  sched.Run();
+  EXPECT_EQ(self, spawned);
+  EXPECT_EQ(Scheduler::Current(), nullptr);
+}
+
+TEST(Lthread, UserDataSurvivesYields) {
+  Scheduler sched;
+  int payload = 7;
+  int* observed = nullptr;
+  sched.Spawn([&] {
+    Scheduler::Current()->set_user_data(&payload);
+    Scheduler::Yield();
+    observed = static_cast<int*>(Scheduler::Current()->user_data());
+  });
+  sched.Spawn([&] {
+    // A second task must not see the first task's user data.
+    EXPECT_EQ(Scheduler::Current()->user_data(), nullptr);
+    Scheduler::Yield();
+  });
+  sched.Run();
+  ASSERT_NE(observed, nullptr);
+  EXPECT_EQ(*observed, 7);
+}
+
+TEST(Lthread, TasksSpawnedDuringRunExecute) {
+  Scheduler sched;
+  bool inner_ran = false;
+  sched.Spawn([&] { sched.Spawn([&] { inner_ran = true; }); });
+  sched.Run();
+  EXPECT_TRUE(inner_ran);
+}
+
+TEST(Lthread, DeepCallStacksWork) {
+  Scheduler sched;
+  // Recursion exercising a fair chunk of the coroutine stack.
+  std::function<int(int)> fib = [&](int n) -> int {
+    volatile char pad[256];  // consume stack
+    pad[0] = 0;
+    return n < 2 ? n : fib(n - 1) + fib(n - 2);
+  };
+  int result = 0;
+  sched.Spawn([&] { result = fib(15); });
+  sched.Run();
+  EXPECT_EQ(result, 610);
+}
+
+}  // namespace
+}  // namespace seal::lthread

@@ -1,0 +1,132 @@
+// Messaging service + SSM: drops, modifications and duplicate deliveries
+// are detected; honest exchange (including multi-user fan-out) is clean.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/logger.h"
+#include "src/json/json.h"
+#include "src/services/messaging_service.h"
+#include "src/ssm/messaging_ssm.h"
+
+namespace seal::ssm {
+namespace {
+
+using core::AuditLogger;
+using core::CheckReport;
+
+std::unique_ptr<AuditLogger> MakeLogger() {
+  core::AuditLogOptions log_options;
+  log_options.counter_options.inject_latency = false;
+  core::LoggerOptions logger_options;
+  logger_options.check_interval = 0;
+  auto logger = std::make_unique<AuditLogger>(std::make_unique<MessagingModule>(), log_options,
+                                              logger_options,
+                                              crypto::EcdsaPrivateKey::FromSeed(ToBytes("msg")));
+  EXPECT_TRUE(logger->Init().ok());
+  return logger;
+}
+
+class MessagingTest : public ::testing::Test {
+ protected:
+  void Pump(const http::HttpRequest& request) {
+    http::HttpResponse response = service_.Handle(request);
+    auto r = logger_->OnPair(request.Serialize(), response.Serialize(), false);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  CheckReport Check() {
+    auto report = logger_->CheckInvariants();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return *report;
+  }
+
+  services::MessagingService service_;
+  std::unique_ptr<AuditLogger> logger_ = MakeLogger();
+};
+
+TEST_F(MessagingTest, ServiceQueuesAndDrains) {
+  service_.Handle(services::MakeSendMessage("alice", "bob", "m1", "hi"));
+  auto rsp = service_.Handle(services::MakeInboxPoll("bob"));
+  auto body = json::Parse(rsp.body);
+  ASSERT_TRUE(body.ok());
+  ASSERT_EQ(body->Get("messages").AsArray().size(), 1u);
+  EXPECT_EQ(body->Get("messages").AsArray()[0].Get("body").AsString(), "hi");
+  // Queue drained.
+  auto again = json::Parse(service_.Handle(services::MakeInboxPoll("bob")).body);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->Get("messages").AsArray().empty());
+}
+
+TEST_F(MessagingTest, HonestExchangeIsClean) {
+  Pump(services::MakeSendMessage("alice", "bob", "m1", "hello bob"));
+  Pump(services::MakeSendMessage("carol", "bob", "m2", "hi from carol"));
+  Pump(services::MakeSendMessage("alice", "carol", "m3", "hello carol"));
+  Pump(services::MakeInboxPoll("bob"));
+  Pump(services::MakeInboxPoll("carol"));
+  Pump(services::MakeInboxPoll("bob"));  // empty poll is also fine
+  CheckReport report = Check();
+  EXPECT_TRUE(report.clean()) << report.Summary();
+}
+
+TEST_F(MessagingTest, DroppedMessageDetected) {
+  Pump(services::MakeSendMessage("alice", "bob", "m1", "one"));
+  Pump(services::MakeSendMessage("alice", "bob", "m2", "two"));
+  service_.set_attack(services::MessagingService::Attack::kDropMessage);
+  Pump(services::MakeInboxPoll("bob"));
+  CheckReport report = Check();
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].invariant, "messaging-completeness");
+}
+
+TEST_F(MessagingTest, ModifiedMessageDetected) {
+  Pump(services::MakeSendMessage("alice", "bob", "m1", "the original text"));
+  service_.set_attack(services::MessagingService::Attack::kModifyMessage);
+  Pump(services::MakeInboxPoll("bob"));
+  CheckReport report = Check();
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].invariant, "messaging-soundness");
+}
+
+TEST_F(MessagingTest, DuplicateDeliveryDetected) {
+  Pump(services::MakeSendMessage("alice", "bob", "m1", "once please"));
+  service_.set_attack(services::MessagingService::Attack::kDuplicate);
+  Pump(services::MakeInboxPoll("bob"));
+  CheckReport report = Check();
+  ASSERT_FALSE(report.clean());
+  bool found = false;
+  for (const auto& violation : report.violations) {
+    if (violation.invariant == "messaging-no-duplicates") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.Summary();
+}
+
+TEST_F(MessagingTest, TrimmingKeepsPendingMessages) {
+  Pump(services::MakeSendMessage("alice", "bob", "m1", "delivered"));
+  Pump(services::MakeInboxPoll("bob"));
+  Pump(services::MakeSendMessage("alice", "bob", "m2", "still pending"));
+  ASSERT_TRUE(logger_->Trim().ok());
+  // m1 (delivered) trimmed; m2 (pending) retained.
+  auto rows = logger_->log().Query("SELECT mid FROM msg_sent");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsText(), "m2");
+  // A post-trim poll that drops m2 is still detected.
+  service_.set_attack(services::MessagingService::Attack::kDropMessage);
+  Pump(services::MakeInboxPoll("bob"));
+  EXPECT_FALSE(Check().clean());
+}
+
+TEST_F(MessagingTest, CleanRunSurvivesTrimCycles) {
+  for (int round = 0; round < 5; ++round) {
+    Pump(services::MakeSendMessage("alice", "bob", "r" + std::to_string(round), "body"));
+    Pump(services::MakeInboxPoll("bob"));
+    EXPECT_TRUE(Check().clean());
+    ASSERT_TRUE(logger_->Trim().ok());
+  }
+}
+
+}  // namespace
+}  // namespace seal::ssm

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/net/net.h"
+
+namespace seal::net {
+namespace {
+
+TEST(Net, StreamPairRoundTrip) {
+  auto [a, b] = CreateStreamPair();
+  a->Write(std::string_view("hello"));
+  uint8_t buf[16];
+  size_t n = b->Read(buf, sizeof(buf));
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), n), "hello");
+}
+
+TEST(Net, BothDirections) {
+  auto [a, b] = CreateStreamPair();
+  a->Write(std::string_view("ping"));
+  b->Write(std::string_view("pong"));
+  uint8_t buf[4];
+  ASSERT_TRUE(b->ReadFull(buf, 4).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "ping");
+  ASSERT_TRUE(a->ReadFull(buf, 4).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "pong");
+}
+
+TEST(Net, ReadFullAcrossChunks) {
+  auto [a, b] = CreateStreamPair();
+  std::thread writer([&, &a = a] {
+    a->Write(std::string_view("abc"));
+    a->Write(std::string_view("defgh"));
+  });
+  uint8_t buf[8];
+  ASSERT_TRUE(b->ReadFull(buf, 8).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 8), "abcdefgh");
+  writer.join();
+}
+
+TEST(Net, EofOnClose) {
+  auto [a, b] = CreateStreamPair();
+  a->Write(std::string_view("bye"));
+  a->Close();
+  uint8_t buf[8];
+  size_t n = b->Read(buf, sizeof(buf));
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(b->Read(buf, sizeof(buf)), 0u);  // EOF
+  EXPECT_FALSE(b->ReadFull(buf, 1).ok());
+}
+
+TEST(Net, LatencyDelaysDelivery) {
+  constexpr int64_t kLatency = 30 * 1000 * 1000;  // 30 ms
+  auto [a, b] = CreateStreamPair(kLatency);
+  int64_t start = NowNanos();
+  a->Write(std::string_view("x"));
+  uint8_t buf[1];
+  ASSERT_TRUE(b->ReadFull(buf, 1).ok());
+  EXPECT_GE(NowNanos() - start, kLatency);
+}
+
+TEST(Net, ListenDialAccept) {
+  Network network;
+  auto listener = network.Listen("service:443");
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    StreamPtr conn = (*listener)->Accept();
+    ASSERT_NE(conn, nullptr);
+    uint8_t buf[5];
+    ASSERT_TRUE(conn->ReadFull(buf, 5).ok());
+    conn->Write(std::string_view("reply"));
+  });
+  auto client = network.Dial("service:443");
+  ASSERT_TRUE(client.ok());
+  (*client)->Write(std::string_view("query"));
+  uint8_t buf[5];
+  ASSERT_TRUE((*client)->ReadFull(buf, 5).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 5), "reply");
+  server.join();
+}
+
+TEST(Net, DialUnknownAddressFails) {
+  Network network;
+  EXPECT_FALSE(network.Dial("nobody:1").ok());
+}
+
+TEST(Net, DuplicateListenFails) {
+  Network network;
+  ASSERT_TRUE(network.Listen("addr").ok());
+  EXPECT_FALSE(network.Listen("addr").ok());
+}
+
+TEST(Net, UnlistenReleasesAddress) {
+  Network network;
+  auto listener = network.Listen("addr");
+  ASSERT_TRUE(listener.ok());
+  network.Unlisten("addr");
+  EXPECT_FALSE(network.Dial("addr").ok());
+  EXPECT_TRUE(network.Listen("addr").ok());
+}
+
+TEST(Net, ShutdownUnblocksAccept) {
+  Network network;
+  auto listener = network.Listen("addr");
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&] { EXPECT_EQ((*listener)->Accept(), nullptr); });
+  SleepNanos(10 * 1000 * 1000);
+  (*listener)->Shutdown();
+  acceptor.join();
+}
+
+TEST(Net, ManyConnections) {
+  Network network;
+  auto listener = network.Listen("addr");
+  ASSERT_TRUE(listener.ok());
+  constexpr int kConns = 20;
+  std::thread server([&] {
+    for (int i = 0; i < kConns; ++i) {
+      StreamPtr conn = (*listener)->Accept();
+      ASSERT_NE(conn, nullptr);
+      uint8_t buf[1];
+      ASSERT_TRUE(conn->ReadFull(buf, 1).ok());
+      conn->Write(BytesView(buf, 1));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.emplace_back([&, i] {
+      auto conn = network.Dial("addr");
+      ASSERT_TRUE(conn.ok());
+      uint8_t byte = static_cast<uint8_t>(i);
+      (*conn)->Write(BytesView(&byte, 1));
+      uint8_t echo;
+      ASSERT_TRUE((*conn)->ReadFull(&echo, 1).ok());
+      EXPECT_EQ(echo, byte);
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  server.join();
+}
+
+}  // namespace
+}  // namespace seal::net

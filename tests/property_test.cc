@@ -1,0 +1,320 @@
+// Parameterized property sweeps across modules: round-trip laws, metamorphic
+// SQL relations, chain tamper-evidence at every position, and async-call
+// correctness across the (S, T) configuration space.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "src/asyncall/asyncall.h"
+#include "src/common/rng.h"
+#include "src/core/audit_log.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+#include "src/db/database.h"
+#include "src/net/net.h"
+#include "src/tls/tls.h"
+#include "src/tls/x509.h"
+
+namespace seal {
+namespace {
+
+// --- AEAD round trip across payload sizes (block boundaries included) ---
+
+class GcmSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcmSizeSweep, SealOpenRoundTrip) {
+  size_t size = GetParam();
+  SplitMix64 rng(size + 1);
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  crypto::Aes128Gcm gcm(key);
+  Bytes pt(size);
+  for (auto& b : pt) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  Bytes nonce(12);
+  for (auto& b : nonce) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  Bytes aad = ToBytes("aad-" + std::to_string(size));
+  Bytes sealed = gcm.Seal(nonce, aad, pt);
+  EXPECT_EQ(sealed.size(), size + crypto::kGcmTagSize);
+  auto opened = gcm.Open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+  // A different nonce must not decrypt.
+  Bytes other_nonce = nonce;
+  other_nonce[11] ^= 1;
+  EXPECT_FALSE(gcm.Open(other_nonce, aad, sealed).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 100, 1000, 4096,
+                                           16384));
+
+// --- SHA-256: incremental == one-shot at every chunking ---
+
+class Sha256ChunkSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256ChunkSweep, IncrementalMatchesOneShot) {
+  size_t chunk = GetParam();
+  Bytes data(3000);
+  SplitMix64 rng(chunk);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  crypto::Sha256 h;
+  for (size_t off = 0; off < data.size(); off += chunk) {
+    size_t take = std::min(chunk, data.size() - off);
+    h.Update(BytesView(data.data() + off, take));
+  }
+  EXPECT_EQ(h.Finish(), crypto::Sha256::Hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, Sha256ChunkSweep,
+                         ::testing::Values(1, 7, 55, 56, 63, 64, 65, 128, 1000, 3000));
+
+// --- SQL metamorphic properties over random tables ---
+
+class SqlMetamorphic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlMetamorphic, PartitionAndAggregationLaws) {
+  uint64_t seed = GetParam();
+  SplitMix64 rng(seed);
+  db::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t(k, v)").ok());
+  int64_t n = rng.Range(0, 40);
+  int64_t total_v = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t k = rng.Range(0, 5);
+    int64_t v = rng.Range(-100, 100);
+    total_v += v;
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(k) + ", " +
+                           std::to_string(v) + ")")
+                    .ok());
+  }
+  // COUNT(*) equals the number of inserted rows.
+  auto count = db.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), n);
+  // WHERE p and WHERE NOT p partition the table.
+  auto pos = db.Execute("SELECT COUNT(*) FROM t WHERE v >= 0");
+  auto neg = db.Execute("SELECT COUNT(*) FROM t WHERE NOT (v >= 0)");
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(pos->rows[0][0].AsInt() + neg->rows[0][0].AsInt(), n);
+  // SUM over groups equals the global sum.
+  auto group_sums = db.Execute("SELECT SUM(v) FROM t GROUP BY k");
+  ASSERT_TRUE(group_sums.ok());
+  int64_t regrouped = 0;
+  for (const db::Row& row : group_sums->rows) {
+    regrouped += row[0].AsInt();
+  }
+  if (n > 0) {
+    EXPECT_EQ(regrouped, total_v);
+    auto sum = db.Execute("SELECT SUM(v) FROM t");
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(sum->rows[0][0].AsInt(), total_v);
+  }
+  // DISTINCT k count equals number of GROUP BY k groups.
+  auto distinct = db.Execute("SELECT DISTINCT k FROM t");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->rows.size(), group_sums->rows.size());
+  // ORDER BY returns the same multiset, sorted.
+  auto ordered = db.Execute("SELECT v FROM t ORDER BY v");
+  ASSERT_TRUE(ordered.ok());
+  ASSERT_EQ(ordered->rows.size(), static_cast<size_t>(n));
+  for (size_t i = 1; i < ordered->rows.size(); ++i) {
+    EXPECT_LE(ordered->rows[i - 1][0].AsInt(), ordered->rows[i][0].AsInt());
+  }
+  // LIMIT respects its bound and is a prefix of the ordered result.
+  auto limited = db.Execute("SELECT v FROM t ORDER BY v LIMIT 5");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_LE(limited->rows.size(), 5u);
+  for (size_t i = 0; i < limited->rows.size(); ++i) {
+    EXPECT_EQ(limited->rows[i][0].AsInt(), ordered->rows[i][0].AsInt());
+  }
+  // DELETE p removes exactly the WHERE p rows.
+  auto deleted = db.Execute("DELETE FROM t WHERE v >= 0");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(static_cast<int64_t>(deleted->affected), pos->rows[0][0].AsInt());
+  auto rest = db.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->rows[0][0].AsInt(), neg->rows[0][0].AsInt());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlMetamorphic, ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// --- hash chain: a flip at EVERY byte offset of the persisted log trips
+// verification ---
+
+class ChainTamperSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChainTamperSweep, FlipAtOffsetDetected) {
+  size_t offset_step = GetParam();
+  std::string path =
+      std::string(::testing::TempDir()) + "/chain_sweep_" + std::to_string(offset_step) + ".log";
+  crypto::EcdsaPrivateKey key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("sweep"));
+  core::AuditLogOptions options;
+  options.mode = core::PersistenceMode::kDisk;
+  options.path = path;
+  options.counter_options.inject_latency = false;
+  core::AuditLog log(options, key);
+  ASSERT_TRUE(log.ExecuteSchema({"CREATE TABLE updates(time, repo, branch, cid, type)"}).ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(log.Append("updates",
+                           {db::Value(static_cast<int64_t>(i)), db::Value(std::string("r")),
+                            db::Value(std::string("main")),
+                            db::Value(std::string("c") + std::to_string(i)),
+                            db::Value(std::string("update"))})
+                    .ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  ASSERT_TRUE(core::AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok());
+
+  // Flip one byte at every offset_step-th position.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  for (long pos = static_cast<long>(offset_step) % size; pos < size;
+       pos += static_cast<long>(offset_step) + 13) {
+    std::FILE* rw = std::fopen(path.c_str(), "rb+");
+    std::fseek(rw, pos, SEEK_SET);
+    int c = std::fgetc(rw);
+    std::fseek(rw, pos, SEEK_SET);
+    std::fputc(c ^ 0x01, rw);
+    std::fclose(rw);
+    EXPECT_FALSE(core::AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok())
+        << "flip at " << pos << " went undetected";
+    // Restore.
+    rw = std::fopen(path.c_str(), "rb+");
+    std::fseek(rw, pos, SEEK_SET);
+    std::fputc(c, rw);
+    std::fclose(rw);
+  }
+  EXPECT_TRUE(core::AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ChainTamperSweep, ::testing::Values(0, 1, 2, 3, 5, 7));
+
+// --- async-call correctness across the (S, T) configuration space ---
+
+struct AsyncConfig {
+  int workers;
+  int tasks;
+};
+
+class AsyncConfigSweep : public ::testing::TestWithParam<AsyncConfig> {};
+
+TEST_P(AsyncConfigSweep, AllCallsCompleteWithOcalls) {
+  AsyncConfig config = GetParam();
+  sgx::EnclaveConfig enclave_config;
+  enclave_config.inject_costs = false;
+  sgx::Enclave enclave(enclave_config, ToBytes("sweep"), "signer");
+  std::atomic<int> ocall_sum{0};
+  int ocall_id =
+      enclave.RegisterOcall("add", [&](void* d) { ocall_sum.fetch_add(*static_cast<int*>(d)); });
+  int ecall_id = enclave.RegisterEcall("work", [&](void* d) {
+    ASSERT_TRUE(asyncall::AsyncCallRuntime::AsyncOcall(ocall_id, d).ok());
+  });
+  asyncall::AsyncCallRuntime::Options options;
+  options.enclave_threads = config.workers;
+  options.tasks_per_thread = config.tasks;
+  asyncall::AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+  constexpr int kThreads = 6;
+  constexpr int kCalls = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int one = 1;
+      for (int i = 0; i < kCalls; ++i) {
+        ASSERT_TRUE(runtime.AsyncEcall(ecall_id, &one).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  runtime.Stop();
+  EXPECT_EQ(ocall_sum.load(), kThreads * kCalls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AsyncConfigSweep,
+                         ::testing::Values(AsyncConfig{1, 1}, AsyncConfig{1, 8},
+                                           AsyncConfig{2, 4}, AsyncConfig{3, 48},
+                                           AsyncConfig{4, 12}),
+                         [](const ::testing::TestParamInfo<AsyncConfig>& info) {
+                           return "S" + std::to_string(info.param.workers) + "T" +
+                                  std::to_string(info.param.tasks);
+                         });
+
+// --- TLS transfers across sizes and link conditions ---
+
+struct LinkCase {
+  size_t bytes;
+  int64_t latency_nanos;
+  int64_t bandwidth;
+};
+
+class TlsLinkSweep : public ::testing::TestWithParam<LinkCase> {};
+
+TEST_P(TlsLinkSweep, TransferIntactOverLink) {
+  LinkCase link = GetParam();
+  tls::CertifiedKey ca =
+      tls::MakeSelfSignedCa("Sweep CA", crypto::EcdsaPrivateKey::FromSeed(ToBytes("ca")));
+  crypto::EcdsaPrivateKey key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("srv"));
+  tls::Certificate cert = tls::IssueCertificate(ca, "sweep", key.public_key(), 2);
+  auto [client_stream, server_stream] =
+      net::CreateStreamPair(link.latency_nanos, link.bandwidth);
+  tls::StreamBio client_bio(client_stream.get());
+  tls::StreamBio server_bio(server_stream.get());
+  tls::TlsConfig server_config;
+  server_config.certificate = cert;
+  server_config.private_key = key;
+  tls::TlsConfig client_config;
+  client_config.trusted_roots = {ca.cert};
+  tls::TlsConnection client(&client_bio, &client_config, tls::Role::kClient);
+  tls::TlsConnection server(&server_bio, &server_config, tls::Role::kServer);
+  Status server_status = Internal("unset");
+  Bytes received;
+  std::thread server_thread([&] {
+    server_status = server.Handshake();
+    if (!server_status.ok()) {
+      return;
+    }
+    uint8_t buf[4096];
+    while (received.size() < link.bytes) {
+      auto n = server.Read(buf, sizeof(buf));
+      if (!n.ok() || *n == 0) {
+        break;
+      }
+      received.insert(received.end(), buf, buf + *n);
+    }
+  });
+  ASSERT_TRUE(client.Handshake().ok());
+  Bytes payload(link.bytes);
+  SplitMix64 rng(link.bytes);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(client.Write(payload).ok());
+  server_thread.join();
+  ASSERT_TRUE(server_status.ok());
+  EXPECT_EQ(received, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Links, TlsLinkSweep,
+    ::testing::Values(LinkCase{1, 0, 0}, LinkCase{100, 1'000'000, 0},
+                      LinkCase{16384, 0, 10'000'000}, LinkCase{16385, 500'000, 5'000'000},
+                      LinkCase{100'000, 0, 0}),
+    [](const ::testing::TestParamInfo<LinkCase>& info) {
+      return "B" + std::to_string(info.param.bytes) + "L" +
+             std::to_string(info.param.latency_nanos / 1000) + "us";
+    });
+
+}  // namespace
+}  // namespace seal

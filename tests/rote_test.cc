@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/rote/rote.h"
+
+namespace seal::rote {
+namespace {
+
+RoteCounter::Options FastOptions() {
+  RoteCounter::Options options;
+  options.inject_latency = false;
+  return options;
+}
+
+TEST(Rote, ClusterSizeIs3fPlus1) {
+  RoteCounter::Options options = FastOptions();
+  options.f = 1;
+  RoteCounter c1(options);
+  EXPECT_EQ(c1.cluster_size(), 4u);
+  EXPECT_EQ(c1.quorum(), 3);
+  options.f = 2;
+  RoteCounter c2(options);
+  EXPECT_EQ(c2.cluster_size(), 7u);
+  EXPECT_EQ(c2.quorum(), 5);
+}
+
+TEST(Rote, IncrementMonotonic) {
+  RoteCounter counter(FastOptions());
+  for (uint64_t i = 1; i <= 20; ++i) {
+    auto v = counter.Increment();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+  auto r = counter.Read();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20u);
+}
+
+TEST(Rote, ToleratesFFailures) {
+  RoteCounter counter(FastOptions());  // f = 1
+  counter.node(0)->set_mode(RoteNode::Mode::kDown);
+  auto v = counter.Increment();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);
+}
+
+TEST(Rote, ToleratesFMalicious) {
+  RoteCounter counter(FastOptions());
+  counter.node(1)->set_mode(RoteNode::Mode::kMalicious);
+  ASSERT_TRUE(counter.Increment().ok());
+  ASSERT_TRUE(counter.Increment().ok());
+  auto r = counter.Read();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+}
+
+TEST(Rote, FailsBeyondF) {
+  RoteCounter counter(FastOptions());  // f = 1, n = 4, quorum 3
+  counter.node(0)->set_mode(RoteNode::Mode::kDown);
+  counter.node(1)->set_mode(RoteNode::Mode::kDown);
+  EXPECT_FALSE(counter.Increment().ok());
+}
+
+TEST(Rote, RecoversWhenNodesReturn) {
+  RoteCounter counter(FastOptions());
+  counter.node(0)->set_mode(RoteNode::Mode::kDown);
+  counter.node(1)->set_mode(RoteNode::Mode::kDown);
+  EXPECT_FALSE(counter.Increment().ok());
+  counter.node(0)->set_mode(RoteNode::Mode::kHealthy);
+  auto v = counter.Increment();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);
+}
+
+TEST(Rote, LatencyMuchLowerThanHardwareCounter) {
+  // The point of ROTE in the paper: a cluster round trip (~hundreds of
+  // microseconds) instead of ~100 ms flash writes.
+  RoteCounter::Options options;
+  options.network_rtt_nanos = 200'000;
+  RoteCounter counter(options);
+  int64_t start = NowNanos();
+  ASSERT_TRUE(counter.Increment().ok());
+  int64_t elapsed = NowNanos() - start;
+  EXPECT_GE(elapsed, 200'000);
+  EXPECT_LT(elapsed, 50'000'000);  // well under hardware-counter latency
+}
+
+TEST(Rote, ConcurrentIncrementsAreSerialised) {
+  RoteCounter counter(FastOptions());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(counter.Increment().ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  auto r = counter.Read();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace seal::rote

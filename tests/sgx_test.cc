@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/sgx/attestation.h"
+#include "src/sgx/counter.h"
+#include "src/sgx/enclave.h"
+#include "src/sgx/sealing.h"
+
+namespace seal::sgx {
+namespace {
+
+EnclaveConfig FastConfig() {
+  EnclaveConfig config;
+  config.inject_costs = false;  // keep unit tests fast
+  return config;
+}
+
+TEST(Enclave, EcallRunsHandler) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  int observed = 0;
+  int id = enclave.RegisterEcall("set", [&](void* data) { observed = *static_cast<int*>(data); });
+  int value = 42;
+  ASSERT_TRUE(enclave.Ecall(id, &value).ok());
+  EXPECT_EQ(observed, 42);
+  EXPECT_EQ(enclave.stats().ecalls, 1u);
+}
+
+TEST(Enclave, UnknownEcallRejected) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  EXPECT_FALSE(enclave.Ecall(0, nullptr).ok());
+  EXPECT_FALSE(enclave.Ecall(-1, nullptr).ok());
+}
+
+TEST(Enclave, OcallOnlyFromInside) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  bool outside_ran = false;
+  int ocall_id = enclave.RegisterOcall("out", [&](void*) { outside_ran = true; });
+  // From outside: rejected.
+  EXPECT_FALSE(enclave.Ocall(ocall_id, nullptr).ok());
+  EXPECT_FALSE(outside_ran);
+  // From inside an ecall: allowed.
+  Status inner_status = Internal("unset");
+  int ecall_id = enclave.RegisterEcall(
+      "in", [&](void*) { inner_status = enclave.Ocall(ocall_id, nullptr); });
+  ASSERT_TRUE(enclave.Ecall(ecall_id, nullptr).ok());
+  EXPECT_TRUE(inner_status.ok());
+  EXPECT_TRUE(outside_ran);
+  EXPECT_EQ(enclave.stats().ocalls, 1u);
+}
+
+TEST(Enclave, InsideEnclaveTracksDepth) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  EXPECT_FALSE(Enclave::InsideEnclave());
+  bool inside = false;
+  bool inside_during_ocall = true;
+  int ocall_id =
+      enclave.RegisterOcall("check", [&](void*) { inside_during_ocall = Enclave::InsideEnclave(); });
+  int ecall_id = enclave.RegisterEcall("check", [&](void*) {
+    inside = Enclave::InsideEnclave();
+    (void)enclave.Ocall(ocall_id, nullptr);
+  });
+  ASSERT_TRUE(enclave.Ecall(ecall_id, nullptr).ok());
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(inside_during_ocall);  // ocalls run outside
+  EXPECT_FALSE(Enclave::InsideEnclave());
+}
+
+TEST(Enclave, TransitionCostGrowsWithThreads) {
+  // The cost model: with ~20 threads the per-transition cycle charge must
+  // exceed the single-thread charge substantially (paper: 20x at 48).
+  EnclaveConfig config = FastConfig();
+  Enclave enclave(config, ToBytes("code"), "signer");
+  int id = enclave.RegisterEcall("nop", [](void*) {});
+  ASSERT_TRUE(enclave.Ecall(id, nullptr).ok());
+  uint64_t single = enclave.stats().simulated_cycles;
+  EXPECT_GE(single, 2 * config.transition_base_cycles);  // entry + exit
+
+  // Hold many threads inside, then measure one more transition.
+  enclave.ResetStats();
+  std::atomic<bool> release{false};
+  std::atomic<int> entered{0};
+  int hold_id = enclave.RegisterEcall("hold", [&](void*) {
+    entered.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> holders;
+  for (int i = 0; i < 20; ++i) {
+    holders.emplace_back([&] { (void)enclave.Ecall(hold_id, nullptr); });
+  }
+  while (entered.load() < 20) {
+    std::this_thread::yield();
+  }
+  enclave.ResetStats();
+  ASSERT_TRUE(enclave.Ecall(id, nullptr).ok());
+  uint64_t crowded = enclave.stats().simulated_cycles;
+  release.store(true);
+  for (auto& t : holders) {
+    t.join();
+  }
+  EXPECT_GT(crowded, 5 * single);
+}
+
+TEST(Enclave, EpcAccountingAndPaging) {
+  EnclaveConfig config = FastConfig();
+  config.epc_limit_bytes = 1024;
+  Enclave enclave(config, ToBytes("code"), "signer");
+  enclave.TrackAlloc(512);
+  EXPECT_EQ(enclave.stats().epc_pages_swapped, 0u);
+  enclave.TrackAlloc(1024);  // crosses the limit
+  EXPECT_GT(enclave.stats().epc_pages_swapped, 0u);
+  enclave.TrackFree(1536);
+  EXPECT_EQ(enclave.epc_in_use(), 0u);
+}
+
+TEST(Enclave, MeasurementIsCodeHash) {
+  Enclave a(FastConfig(), ToBytes("code A"), "signer");
+  Enclave b(FastConfig(), ToBytes("code B"), "signer");
+  Enclave a2(FastConfig(), ToBytes("code A"), "signer");
+  EXPECT_NE(a.measurement(), b.measurement());
+  EXPECT_EQ(a.measurement(), a2.measurement());
+}
+
+TEST(Enclave, ConcurrentEcallsAreSafe) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<int> counter{0};
+  int id = enclave.RegisterEcall("inc", [&](void*) { counter.fetch_add(1); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        (void)enclave.Ecall(id, nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.load(), 800);
+  EXPECT_EQ(enclave.stats().ecalls, 800u);
+  EXPECT_EQ(enclave.threads_inside(), 0);
+}
+
+// --- sealing ---
+
+TEST(Sealing, RoundTrip) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  Bytes sealed = SealData(enclave, SealPolicy::kMrEnclave, ToBytes("secret"), ToBytes("aad"));
+  auto opened = UnsealData(enclave, SealPolicy::kMrEnclave, sealed, ToBytes("aad"));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(ToString(*opened), "secret");
+}
+
+TEST(Sealing, MrEnclaveBindsToMeasurement) {
+  Enclave a(FastConfig(), ToBytes("code A"), "signer");
+  Enclave b(FastConfig(), ToBytes("code B"), "signer");
+  Bytes sealed = SealData(a, SealPolicy::kMrEnclave, ToBytes("secret"), {});
+  EXPECT_FALSE(UnsealData(b, SealPolicy::kMrEnclave, sealed, {}).ok());
+}
+
+TEST(Sealing, MrSignerSharedAcrossEnclavesOfSameSigner) {
+  // The paper relies on this to share sealed logs across machines (§6.3).
+  Enclave a(FastConfig(), ToBytes("code A"), "libseal-authority");
+  Enclave b(FastConfig(), ToBytes("code B"), "libseal-authority");
+  Enclave evil(FastConfig(), ToBytes("code B"), "other-authority");
+  Bytes sealed = SealData(a, SealPolicy::kMrSigner, ToBytes("log"), {});
+  EXPECT_TRUE(UnsealData(b, SealPolicy::kMrSigner, sealed, {}).ok());
+  EXPECT_FALSE(UnsealData(evil, SealPolicy::kMrSigner, sealed, {}).ok());
+}
+
+TEST(Sealing, TamperDetected) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  Bytes sealed = SealData(enclave, SealPolicy::kMrEnclave, ToBytes("secret"), {});
+  for (size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes mutated = sealed;
+    mutated[i] ^= 0x80;
+    EXPECT_FALSE(UnsealData(enclave, SealPolicy::kMrEnclave, mutated, {}).ok()) << i;
+  }
+}
+
+TEST(Sealing, WrongAadRejected) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  Bytes sealed = SealData(enclave, SealPolicy::kMrEnclave, ToBytes("secret"), ToBytes("v1"));
+  EXPECT_FALSE(UnsealData(enclave, SealPolicy::kMrEnclave, sealed, ToBytes("v2")).ok());
+}
+
+// --- attestation ---
+
+TEST(Attestation, QuoteVerifies) {
+  Enclave enclave(FastConfig(), ToBytes("libseal-code"), "signer");
+  QuotingEnclave qe;
+  AttestationService ias;
+  ias.TrustPlatform(qe.platform_key());
+  Quote quote = qe.GenerateQuote(enclave, ToBytes("tls-cert-hash"));
+  EXPECT_TRUE(ias.VerifyQuote(quote).ok());
+  crypto::Sha256Digest expected = enclave.measurement();
+  EXPECT_TRUE(ias.VerifyQuote(quote, &expected).ok());
+}
+
+TEST(Attestation, WrongMeasurementRejected) {
+  Enclave enclave(FastConfig(), ToBytes("libseal-code"), "signer");
+  Enclave other(FastConfig(), ToBytes("malicious-code"), "signer");
+  QuotingEnclave qe;
+  AttestationService ias;
+  ias.TrustPlatform(qe.platform_key());
+  Quote quote = qe.GenerateQuote(other, ToBytes("data"));
+  crypto::Sha256Digest expected = enclave.measurement();
+  EXPECT_FALSE(ias.VerifyQuote(quote, &expected).ok());
+}
+
+TEST(Attestation, UntrustedPlatformRejected) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  QuotingEnclave qe;
+  AttestationService ias;  // trusts nobody
+  Quote quote = qe.GenerateQuote(enclave, {});
+  EXPECT_FALSE(ias.VerifyQuote(quote).ok());
+}
+
+TEST(Attestation, TamperedQuoteRejected) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  QuotingEnclave qe;
+  AttestationService ias;
+  ias.TrustPlatform(qe.platform_key());
+  Quote quote = qe.GenerateQuote(enclave, ToBytes("report"));
+  quote.report_data[0] ^= 1;  // forge the report data
+  EXPECT_FALSE(ias.VerifyQuote(quote).ok());
+}
+
+TEST(Attestation, EncodeDecodeRoundTrip) {
+  Enclave enclave(FastConfig(), ToBytes("code"), "the-signer");
+  QuotingEnclave qe;
+  Quote quote = qe.GenerateQuote(enclave, ToBytes("report-data"));
+  Bytes encoded = quote.Encode();
+  auto decoded = Quote::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->signer, "the-signer");
+  EXPECT_EQ(ToString(decoded->report_data), "report-data");
+  AttestationService ias;
+  ias.TrustPlatform(qe.platform_key());
+  EXPECT_TRUE(ias.VerifyQuote(*decoded).ok());
+}
+
+// --- hardware monotonic counter ---
+
+TEST(HardwareCounter, MonotonicIncrements) {
+  HardwareMonotonicCounter::Options options;
+  options.inject_latency = false;
+  HardwareMonotonicCounter counter(options);
+  EXPECT_EQ(counter.Read(), 0u);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    auto v = counter.Increment();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(counter.Read(), 10u);
+}
+
+TEST(HardwareCounter, WearBudgetEnforced) {
+  HardwareMonotonicCounter::Options options;
+  options.inject_latency = false;
+  options.max_increments = 3;
+  HardwareMonotonicCounter counter(options);
+  EXPECT_TRUE(counter.Increment().ok());
+  EXPECT_TRUE(counter.Increment().ok());
+  EXPECT_TRUE(counter.Increment().ok());
+  EXPECT_FALSE(counter.Increment().ok());
+}
+
+TEST(HardwareCounter, LatencyInjected) {
+  HardwareMonotonicCounter::Options options;
+  options.increment_latency_nanos = 20 * 1000 * 1000;  // 20 ms
+  HardwareMonotonicCounter counter(options);
+  int64_t start = NowNanos();
+  ASSERT_TRUE(counter.Increment().ok());
+  EXPECT_GE(NowNanos() - start, 20 * 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace seal::sgx
