@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_git.dir/bench_fig5a_git.cc.o"
+  "CMakeFiles/bench_fig5a_git.dir/bench_fig5a_git.cc.o.d"
+  "bench_fig5a_git"
+  "bench_fig5a_git.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_git.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_owncloud.dir/bench_fig5b_owncloud.cc.o"
+  "CMakeFiles/bench_fig5b_owncloud.dir/bench_fig5b_owncloud.cc.o.d"
+  "bench_fig5b_owncloud"
+  "bench_fig5b_owncloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_owncloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_dropbox.dir/bench_fig5c_dropbox.cc.o"
+  "CMakeFiles/bench_fig5c_dropbox.dir/bench_fig5c_dropbox.cc.o.d"
+  "bench_fig5c_dropbox"
+  "bench_fig5c_dropbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_dropbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_checking.dir/bench_fig6_checking.cc.o"
+  "CMakeFiles/bench_fig6_checking.dir/bench_fig6_checking.cc.o.d"
+  "bench_fig6_checking"
+  "bench_fig6_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

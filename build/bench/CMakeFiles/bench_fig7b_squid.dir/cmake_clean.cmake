@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_squid.dir/bench_fig7b_squid.cc.o"
+  "CMakeFiles/bench_fig7b_squid.dir/bench_fig7b_squid.cc.o.d"
+  "bench_fig7b_squid"
+  "bench_fig7b_squid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_squid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

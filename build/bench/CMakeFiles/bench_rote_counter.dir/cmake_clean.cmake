@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rote_counter.dir/bench_rote_counter.cc.o"
+  "CMakeFiles/bench_rote_counter.dir/bench_rote_counter.cc.o.d"
+  "bench_rote_counter"
+  "bench_rote_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rote_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

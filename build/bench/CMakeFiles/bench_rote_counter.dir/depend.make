@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rote_counter.
+# This may be replaced when dependencies are built.

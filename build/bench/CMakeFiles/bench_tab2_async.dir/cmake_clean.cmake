@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_async.dir/bench_tab2_async.cc.o"
+  "CMakeFiles/bench_tab2_async.dir/bench_tab2_async.cc.o.d"
+  "bench_tab2_async"
+  "bench_tab2_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_sgx_threads.dir/bench_tab3_sgx_threads.cc.o"
+  "CMakeFiles/bench_tab3_sgx_threads.dir/bench_tab3_sgx_threads.cc.o.d"
+  "bench_tab3_sgx_threads"
+  "bench_tab3_sgx_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_sgx_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

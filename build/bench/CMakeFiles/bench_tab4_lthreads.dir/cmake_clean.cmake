@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_lthreads.dir/bench_tab4_lthreads.cc.o"
+  "CMakeFiles/bench_tab4_lthreads.dir/bench_tab4_lthreads.cc.o.d"
+  "bench_tab4_lthreads"
+  "bench_tab4_lthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_lthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

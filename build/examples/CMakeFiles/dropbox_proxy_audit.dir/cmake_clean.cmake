@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropbox_proxy_audit.dir/dropbox_proxy_audit.cpp.o"
+  "CMakeFiles/dropbox_proxy_audit.dir/dropbox_proxy_audit.cpp.o.d"
+  "dropbox_proxy_audit"
+  "dropbox_proxy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropbox_proxy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

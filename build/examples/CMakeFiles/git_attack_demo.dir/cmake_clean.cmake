@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/git_attack_demo.dir/git_attack_demo.cpp.o"
+  "CMakeFiles/git_attack_demo.dir/git_attack_demo.cpp.o.d"
+  "git_attack_demo"
+  "git_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/git_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

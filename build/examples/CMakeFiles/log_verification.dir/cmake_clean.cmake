@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_verification.dir/log_verification.cpp.o"
+  "CMakeFiles/log_verification.dir/log_verification.cpp.o.d"
+  "log_verification"
+  "log_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_instance_merge.dir/multi_instance_merge.cpp.o"
+  "CMakeFiles/multi_instance_merge.dir/multi_instance_merge.cpp.o.d"
+  "multi_instance_merge"
+  "multi_instance_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_instance_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asyncall/asyncall.cc" "src/asyncall/CMakeFiles/seal_asyncall.dir/asyncall.cc.o" "gcc" "src/asyncall/CMakeFiles/seal_asyncall.dir/asyncall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/seal_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/lthread/CMakeFiles/seal_lthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_asyncall.dir/asyncall.cc.o"
+  "CMakeFiles/seal_asyncall.dir/asyncall.cc.o.d"
+  "libseal_asyncall.a"
+  "libseal_asyncall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_asyncall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

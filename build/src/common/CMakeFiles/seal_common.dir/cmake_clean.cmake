@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_common.dir/bytes.cc.o"
+  "CMakeFiles/seal_common.dir/bytes.cc.o.d"
+  "CMakeFiles/seal_common.dir/clock.cc.o"
+  "CMakeFiles/seal_common.dir/clock.cc.o.d"
+  "CMakeFiles/seal_common.dir/log.cc.o"
+  "CMakeFiles/seal_common.dir/log.cc.o.d"
+  "libseal_common.a"
+  "libseal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

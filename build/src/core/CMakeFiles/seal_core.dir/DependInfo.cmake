@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit_log.cc" "src/core/CMakeFiles/seal_core.dir/audit_log.cc.o" "gcc" "src/core/CMakeFiles/seal_core.dir/audit_log.cc.o.d"
+  "/root/repo/src/core/libseal.cc" "src/core/CMakeFiles/seal_core.dir/libseal.cc.o" "gcc" "src/core/CMakeFiles/seal_core.dir/libseal.cc.o.d"
+  "/root/repo/src/core/log_merge.cc" "src/core/CMakeFiles/seal_core.dir/log_merge.cc.o" "gcc" "src/core/CMakeFiles/seal_core.dir/log_merge.cc.o.d"
+  "/root/repo/src/core/logger.cc" "src/core/CMakeFiles/seal_core.dir/logger.cc.o" "gcc" "src/core/CMakeFiles/seal_core.dir/logger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/seal_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/seal_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/rote/CMakeFiles/seal_rote.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/seal_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/seal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncall/CMakeFiles/seal_asyncall.dir/DependInfo.cmake"
+  "/root/repo/build/src/lthread/CMakeFiles/seal_lthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/seal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_core.dir/audit_log.cc.o"
+  "CMakeFiles/seal_core.dir/audit_log.cc.o.d"
+  "CMakeFiles/seal_core.dir/libseal.cc.o"
+  "CMakeFiles/seal_core.dir/libseal.cc.o.d"
+  "CMakeFiles/seal_core.dir/log_merge.cc.o"
+  "CMakeFiles/seal_core.dir/log_merge.cc.o.d"
+  "CMakeFiles/seal_core.dir/logger.cc.o"
+  "CMakeFiles/seal_core.dir/logger.cc.o.d"
+  "libseal_core.a"
+  "libseal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_crypto.dir/aes.cc.o"
+  "CMakeFiles/seal_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/bignum.cc.o"
+  "CMakeFiles/seal_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/drbg.cc.o"
+  "CMakeFiles/seal_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/seal_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/gcm.cc.o"
+  "CMakeFiles/seal_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/hmac.cc.o"
+  "CMakeFiles/seal_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/p256.cc.o"
+  "CMakeFiles/seal_crypto.dir/p256.cc.o.d"
+  "CMakeFiles/seal_crypto.dir/sha256.cc.o"
+  "CMakeFiles/seal_crypto.dir/sha256.cc.o.d"
+  "libseal_crypto.a"
+  "libseal_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_db.dir/database.cc.o"
+  "CMakeFiles/seal_db.dir/database.cc.o.d"
+  "CMakeFiles/seal_db.dir/executor.cc.o"
+  "CMakeFiles/seal_db.dir/executor.cc.o.d"
+  "CMakeFiles/seal_db.dir/parser.cc.o"
+  "CMakeFiles/seal_db.dir/parser.cc.o.d"
+  "CMakeFiles/seal_db.dir/tokenizer.cc.o"
+  "CMakeFiles/seal_db.dir/tokenizer.cc.o.d"
+  "CMakeFiles/seal_db.dir/value.cc.o"
+  "CMakeFiles/seal_db.dir/value.cc.o.d"
+  "libseal_db.a"
+  "libseal_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_http.dir/http.cc.o"
+  "CMakeFiles/seal_http.dir/http.cc.o.d"
+  "libseal_http.a"
+  "libseal_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_json.dir/json.cc.o"
+  "CMakeFiles/seal_json.dir/json.cc.o.d"
+  "libseal_json.a"
+  "libseal_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

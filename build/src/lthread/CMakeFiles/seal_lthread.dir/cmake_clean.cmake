@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_lthread.dir/lthread.cc.o"
+  "CMakeFiles/seal_lthread.dir/lthread.cc.o.d"
+  "libseal_lthread.a"
+  "libseal_lthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_lthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

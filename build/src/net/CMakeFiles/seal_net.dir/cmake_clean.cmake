@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_net.dir/net.cc.o"
+  "CMakeFiles/seal_net.dir/net.cc.o.d"
+  "libseal_net.a"
+  "libseal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

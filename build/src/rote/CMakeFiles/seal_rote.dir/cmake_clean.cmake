@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_rote.dir/rote.cc.o"
+  "CMakeFiles/seal_rote.dir/rote.cc.o.d"
+  "libseal_rote.a"
+  "libseal_rote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_rote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

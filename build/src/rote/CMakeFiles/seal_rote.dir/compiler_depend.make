@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seal_rote.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_services.dir/dropbox_service.cc.o"
+  "CMakeFiles/seal_services.dir/dropbox_service.cc.o.d"
+  "CMakeFiles/seal_services.dir/git_service.cc.o"
+  "CMakeFiles/seal_services.dir/git_service.cc.o.d"
+  "CMakeFiles/seal_services.dir/http_server.cc.o"
+  "CMakeFiles/seal_services.dir/http_server.cc.o.d"
+  "CMakeFiles/seal_services.dir/https_client.cc.o"
+  "CMakeFiles/seal_services.dir/https_client.cc.o.d"
+  "CMakeFiles/seal_services.dir/messaging_service.cc.o"
+  "CMakeFiles/seal_services.dir/messaging_service.cc.o.d"
+  "CMakeFiles/seal_services.dir/owncloud_service.cc.o"
+  "CMakeFiles/seal_services.dir/owncloud_service.cc.o.d"
+  "CMakeFiles/seal_services.dir/proxy.cc.o"
+  "CMakeFiles/seal_services.dir/proxy.cc.o.d"
+  "CMakeFiles/seal_services.dir/static_content.cc.o"
+  "CMakeFiles/seal_services.dir/static_content.cc.o.d"
+  "CMakeFiles/seal_services.dir/transport.cc.o"
+  "CMakeFiles/seal_services.dir/transport.cc.o.d"
+  "libseal_services.a"
+  "libseal_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

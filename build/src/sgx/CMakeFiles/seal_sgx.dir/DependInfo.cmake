@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cc" "src/sgx/CMakeFiles/seal_sgx.dir/attestation.cc.o" "gcc" "src/sgx/CMakeFiles/seal_sgx.dir/attestation.cc.o.d"
+  "/root/repo/src/sgx/counter.cc" "src/sgx/CMakeFiles/seal_sgx.dir/counter.cc.o" "gcc" "src/sgx/CMakeFiles/seal_sgx.dir/counter.cc.o.d"
+  "/root/repo/src/sgx/enclave.cc" "src/sgx/CMakeFiles/seal_sgx.dir/enclave.cc.o" "gcc" "src/sgx/CMakeFiles/seal_sgx.dir/enclave.cc.o.d"
+  "/root/repo/src/sgx/sealing.cc" "src/sgx/CMakeFiles/seal_sgx.dir/sealing.cc.o" "gcc" "src/sgx/CMakeFiles/seal_sgx.dir/sealing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_sgx.dir/attestation.cc.o"
+  "CMakeFiles/seal_sgx.dir/attestation.cc.o.d"
+  "CMakeFiles/seal_sgx.dir/counter.cc.o"
+  "CMakeFiles/seal_sgx.dir/counter.cc.o.d"
+  "CMakeFiles/seal_sgx.dir/enclave.cc.o"
+  "CMakeFiles/seal_sgx.dir/enclave.cc.o.d"
+  "CMakeFiles/seal_sgx.dir/sealing.cc.o"
+  "CMakeFiles/seal_sgx.dir/sealing.cc.o.d"
+  "libseal_sgx.a"
+  "libseal_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseal_sgx.a"
+)

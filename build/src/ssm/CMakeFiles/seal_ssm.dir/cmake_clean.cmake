@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_ssm.dir/dropbox_ssm.cc.o"
+  "CMakeFiles/seal_ssm.dir/dropbox_ssm.cc.o.d"
+  "CMakeFiles/seal_ssm.dir/git_ssm.cc.o"
+  "CMakeFiles/seal_ssm.dir/git_ssm.cc.o.d"
+  "CMakeFiles/seal_ssm.dir/messaging_ssm.cc.o"
+  "CMakeFiles/seal_ssm.dir/messaging_ssm.cc.o.d"
+  "CMakeFiles/seal_ssm.dir/owncloud_ssm.cc.o"
+  "CMakeFiles/seal_ssm.dir/owncloud_ssm.cc.o.d"
+  "libseal_ssm.a"
+  "libseal_ssm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_ssm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

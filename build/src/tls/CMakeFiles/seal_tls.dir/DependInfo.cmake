@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/connection.cc" "src/tls/CMakeFiles/seal_tls.dir/connection.cc.o" "gcc" "src/tls/CMakeFiles/seal_tls.dir/connection.cc.o.d"
+  "/root/repo/src/tls/record.cc" "src/tls/CMakeFiles/seal_tls.dir/record.cc.o" "gcc" "src/tls/CMakeFiles/seal_tls.dir/record.cc.o.d"
+  "/root/repo/src/tls/x509.cc" "src/tls/CMakeFiles/seal_tls.dir/x509.cc.o" "gcc" "src/tls/CMakeFiles/seal_tls.dir/x509.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/seal_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seal_tls.dir/connection.cc.o"
+  "CMakeFiles/seal_tls.dir/connection.cc.o.d"
+  "CMakeFiles/seal_tls.dir/record.cc.o"
+  "CMakeFiles/seal_tls.dir/record.cc.o.d"
+  "CMakeFiles/seal_tls.dir/x509.cc.o"
+  "CMakeFiles/seal_tls.dir/x509.cc.o.d"
+  "libseal_tls.a"
+  "libseal_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seal_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asyncall_test.cc" "tests/CMakeFiles/asyncall_test.dir/asyncall_test.cc.o" "gcc" "tests/CMakeFiles/asyncall_test.dir/asyncall_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asyncall/CMakeFiles/seal_asyncall.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/seal_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lthread/CMakeFiles/seal_lthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

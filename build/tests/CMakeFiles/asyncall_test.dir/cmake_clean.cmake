@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncall_test.dir/asyncall_test.cc.o"
+  "CMakeFiles/asyncall_test.dir/asyncall_test.cc.o.d"
+  "asyncall_test"
+  "asyncall_test.pdb"
+  "asyncall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libseal_test.dir/libseal_test.cc.o"
+  "CMakeFiles/libseal_test.dir/libseal_test.cc.o.d"
+  "libseal_test"
+  "libseal_test.pdb"
+  "libseal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libseal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

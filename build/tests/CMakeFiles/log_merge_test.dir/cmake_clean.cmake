@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_merge_test.dir/log_merge_test.cc.o"
+  "CMakeFiles/log_merge_test.dir/log_merge_test.cc.o.d"
+  "log_merge_test"
+  "log_merge_test.pdb"
+  "log_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

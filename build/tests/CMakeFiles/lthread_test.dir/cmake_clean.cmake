@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lthread_test.dir/lthread_test.cc.o"
+  "CMakeFiles/lthread_test.dir/lthread_test.cc.o.d"
+  "lthread_test"
+  "lthread_test.pdb"
+  "lthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rote_test.dir/rote_test.cc.o"
+  "CMakeFiles/rote_test.dir/rote_test.cc.o.d"
+  "rote_test"
+  "rote_test.pdb"
+  "rote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
