@@ -218,6 +218,13 @@ src/core/CMakeFiles/seal_core.dir/logger.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/db/ast.h \
  /root/repo/src/db/value.h /root/repo/src/rote/rote.h \
  /usr/include/c++/12/atomic /root/repo/src/core/service_module.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

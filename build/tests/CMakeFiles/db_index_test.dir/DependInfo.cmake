@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db_index_test.cc" "tests/CMakeFiles/db_index_test.dir/db_index_test.cc.o" "gcc" "tests/CMakeFiles/db_index_test.dir/db_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssm/CMakeFiles/seal_ssm.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/seal_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/seal_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/rote/CMakeFiles/seal_rote.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncall/CMakeFiles/seal_asyncall.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/seal_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/lthread/CMakeFiles/seal_lthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/seal_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seal_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/seal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/seal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/seal_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

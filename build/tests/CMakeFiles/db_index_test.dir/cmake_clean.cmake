@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_index_test.dir/db_index_test.cc.o"
+  "CMakeFiles/db_index_test.dir/db_index_test.cc.o.d"
+  "db_index_test"
+  "db_index_test.pdb"
+  "db_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -27,3 +27,4 @@ include("/root/repo/build/tests/messaging_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/db_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/db_index_test[1]_include.cmake")

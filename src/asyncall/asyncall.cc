@@ -180,8 +180,8 @@ void AsyncCallRuntime::WorkerLoop(Worker* worker) {
 
 int AsyncCallRuntime::AcquireSlotIndex() {
   if (t_bound_runtime != this || t_bound_slot < 0) {
-    int index = next_slot_.fetch_add(1, std::memory_order_relaxed);
-    t_bound_slot = index % options_.max_app_threads;
+    uint32_t ticket = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    t_bound_slot = SlotIndexForTicket(ticket, options_.max_app_threads);
     t_bound_runtime = this;
   }
   return t_bound_slot;

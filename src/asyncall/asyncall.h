@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -99,6 +100,20 @@ class AsyncCallRuntime {
 
   const Options& options() const { return options_; }
 
+  // Maps a monotonically increasing (and wrapping) ticket to a slot index
+  // in [0, max_app_threads). Unsigned arithmetic makes the wraparound
+  // well-defined: the modulo stays in range for every uint32_t value,
+  // where the previous signed counter overflowed into UB and could yield a
+  // negative slot. Exposed for the wraparound unit test.
+  static int SlotIndexForTicket(uint32_t ticket, int max_app_threads) {
+    return static_cast<int>(ticket % static_cast<uint32_t>(max_app_threads));
+  }
+  // Test hook: fast-forwards the ticket counter (e.g. to just below the
+  // wrap point).
+  void set_next_slot_for_testing(uint32_t value) {
+    next_slot_.store(value, std::memory_order_relaxed);
+  }
+
  private:
   struct Worker;
 
@@ -112,7 +127,7 @@ class AsyncCallRuntime {
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
-  std::atomic<int> next_slot_{0};
+  std::atomic<uint32_t> next_slot_{0};
   int worker_ecall_id_ = -1;
 
   // Wakes idle enclave workers when application threads post work. The

@@ -227,12 +227,33 @@ Status AuditLog::CommitHead() {
 
 Result<db::QueryResult> AuditLog::Query(const std::string& sql) { return db_.Execute(sql); }
 
-Status AuditLog::Trim(const std::vector<std::string>& trimming_queries) {
+Result<db::QueryResult> AuditLog::QueryWithTimeFloor(const std::string& sql, int64_t floor) {
+  return db_.ExecuteWithTimeFloor(sql, floor);
+}
+
+Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
+                      size_t* deleted_out) {
+  if (deleted_out != nullptr) {
+    *deleted_out = 0;
+  }
+  if (trimming_queries.empty()) {
+    return Status::Ok();
+  }
+  size_t deleted = 0;
   for (const std::string& sql : trimming_queries) {
     auto r = db_.Execute(sql);
     if (!r.ok()) {
       return r.status();
     }
+    deleted += r->affected;
+  }
+  if (deleted_out != nullptr) {
+    *deleted_out = deleted;
+  }
+  if (deleted == 0) {
+    // Nothing left the log: the chain, the persisted file and the counter
+    // binding are all still valid, so the O(n) rebuild would be pure waste.
+    return Status::Ok();
   }
   // Rebuild the entries and the hash chain from the surviving rows, in
   // logical-time order across all tables (§5.1: "LibSEAL recomputes the

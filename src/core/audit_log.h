@@ -70,9 +70,17 @@ class AuditLog {
   // Runs a read-only query (invariant checking).
   Result<db::QueryResult> Query(const std::string& sql);
 
+  // Like Query, but narrows a SELECT's base-table scan to tuples with
+  // time > floor (incremental invariant checking; see
+  // db::Database::ExecuteWithTimeFloor for the exact conditions).
+  Result<db::QueryResult> QueryWithTimeFloor(const std::string& sql, int64_t floor);
+
   // Runs the trimming queries, then rebuilds the hash chain over the
-  // surviving entries and rewrites the persisted log.
-  Status Trim(const std::vector<std::string>& trimming_queries);
+  // surviving entries and rewrites the persisted log. The rebuild (and the
+  // counter round it costs in kDisk mode) is skipped when no query deleted
+  // anything. `deleted_out` (optional) receives the number of rows removed.
+  Status Trim(const std::vector<std::string>& trimming_queries,
+              size_t* deleted_out = nullptr);
 
   // Verifies a persisted log against tampering and rollback: recomputes
   // the chain, checks the signature with `log_public_key`, and compares

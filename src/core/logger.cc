@@ -1,5 +1,7 @@
 #include "src/core/logger.h"
 
+#include <algorithm>
+
 #include "src/common/clock.h"
 
 namespace seal::core {
@@ -42,70 +44,109 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
     SEAL_RETURN_IF_ERROR(log_.Append(tuple.table, std::move(row)));
   }
   ++pairs_logged_;
-  ++pairs_since_check_;
   if (!tuples.empty()) {
+    // Only pairs that actually appended tuples advance the check interval:
+    // unparseable or uninteresting traffic adds nothing worth re-checking.
+    ++pairs_since_check_;
     SEAL_RETURN_IF_ERROR(log_.CommitHead());
   }
 
   bool interval_check =
       options_.check_interval > 0 && pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
-  if (force_check && options_.forced_check_min_gap > 0) {
-    // Rate-limit client-triggered checks (§6.3).
-    if (pairs_since_forced_check_ >= 0 &&
-        pairs_logged_ - pairs_since_forced_check_ < static_cast<int64_t>(options_.forced_check_min_gap)) {
-      force_check = false;
-    }
+  bool forced = false;
+  if (force_check && !interval_check) {
+    // Rate-limit client-triggered checks (§6.3). A demand landing on an
+    // interval boundary is satisfied by the interval check for free and
+    // leaves the forced budget untouched.
+    forced = options_.forced_check_min_gap == 0 || last_forced_check_pair_ < 0 ||
+             pairs_logged_ - last_forced_check_pair_ >=
+                 static_cast<int64_t>(options_.forced_check_min_gap);
   }
-  if (!interval_check && !force_check) {
+  if (!interval_check && !forced) {
     return std::optional<CheckReport>();
   }
-  if (force_check) {
-    pairs_since_forced_check_ = pairs_logged_;
+  if (forced) {
+    last_forced_check_pair_ = pairs_logged_;
   }
   pairs_since_check_ = 0;
 
   CheckReport report;
-  int64_t check_start = NowNanos();
-  for (const Invariant& invariant : module_->Invariants()) {
-    auto result = log_.Query(invariant.query);
-    if (!result.ok()) {
-      return result.status();
-    }
-    ++report.invariants_checked;
-    if (!result->rows.empty()) {
-      report.violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
-    }
-  }
-  report.check_nanos = NowNanos() - check_start;
+  SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
   int64_t trim_start = NowNanos();
-  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries()));
+  size_t deleted = 0;
+  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
+  if (deleted > 0) {
+    // Rows left the log, so the deltas past the watermarks no longer
+    // describe it: the next check scans whatever survived in full.
+    ResetWatermarksLocked();
+  }
   report.trim_nanos = NowNanos() - trim_start;
   last_report_ = report;
   return std::optional<CheckReport>(std::move(report));
 }
 
-Result<CheckReport> AuditLogger::CheckInvariants() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  CheckReport report;
-  int64_t start = NowNanos();
-  for (const Invariant& invariant : module_->Invariants()) {
-    auto result = log_.Query(invariant.query);
+void AuditLogger::EnsureInvariantsLocked() {
+  if (invariants_loaded_) {
+    return;
+  }
+  invariants_ = module_->Invariants();
+  watermarks_.assign(invariants_.size(), -1);
+  invariants_loaded_ = true;
+}
+
+void AuditLogger::ResetWatermarksLocked() {
+  std::fill(watermarks_.begin(), watermarks_.end(), int64_t{-1});
+}
+
+Status AuditLogger::RunChecksLocked(CheckReport* report) {
+  EnsureInvariantsLocked();
+  int64_t check_start = NowNanos();
+  // No logged tuple carries a time newer than this; a clean check covers
+  // everything up to it.
+  const int64_t horizon = next_time_ - 1;
+  for (size_t i = 0; i < invariants_.size(); ++i) {
+    const Invariant& invariant = invariants_[i];
+    const bool incremental =
+        options_.incremental_checking && invariant.monotone && watermarks_[i] >= 0;
+    auto result = incremental ? log_.QueryWithTimeFloor(invariant.query, watermarks_[i])
+                              : log_.Query(invariant.query);
     if (!result.ok()) {
       return result.status();
     }
-    ++report.invariants_checked;
-    if (!result->rows.empty()) {
-      report.violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
+    ++report->invariants_checked;
+    if (result->rows.empty()) {
+      if (invariant.monotone) {
+        watermarks_[i] = horizon;
+      }
+    } else {
+      report->violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
     }
   }
-  report.check_nanos = NowNanos() - start;
+  report->check_nanos = NowNanos() - check_start;
+  return Status::Ok();
+}
+
+Result<CheckReport> AuditLogger::CheckInvariants() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CheckReport report;
+  SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
   last_report_ = report;
   return report;
 }
 
 Status AuditLogger::Trim() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return log_.Trim(module_->TrimmingQueries());
+  size_t deleted = 0;
+  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
+  if (deleted > 0) {
+    ResetWatermarksLocked();
+  }
+  return Status::Ok();
+}
+
+int64_t AuditLogger::watermark_for_testing(size_t invariant_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invariant_index < watermarks_.size() ? watermarks_[invariant_index] : -1;
 }
 
 }  // namespace seal::core

@@ -34,11 +34,19 @@ struct CheckReport {
 struct LoggerOptions {
   // Run checking + trimming automatically every N request/response pairs
   // (Fig. 6 sweeps this; the paper finds 25 optimal for Git, 75 for
-  // ownCloud, 100 for Dropbox). 0 disables automatic checks.
+  // ownCloud, 100 for Dropbox). 0 disables automatic checks. Pairs that
+  // contribute no tuples to the log do not count towards the interval.
   size_t check_interval = 25;
   // Rate limit for client-triggered checks (§6.3 denial-of-service): at
-  // most one forced check per this many pairs. 0 = no limit.
+  // most one forced check per this many pairs. 0 = no limit. A forced
+  // check that coincides with an interval check does not consume the
+  // forced budget (the check would have run anyway).
   size_t forced_check_min_gap = 0;
+  // Incremental checking: an invariant declared monotone is re-evaluated
+  // only over tuples appended since its last clean check (per-invariant
+  // time watermark). Falls back to full scans after any trim that removed
+  // rows. Benchmarks flip this off to measure full-scan checking.
+  bool incremental_checking = true;
 };
 
 class AuditLogger {
@@ -66,16 +74,36 @@ class AuditLogger {
   int64_t pairs_logged() const { return pairs_logged_; }
   const std::optional<CheckReport>& last_report() const { return last_report_; }
 
+  // The incremental watermark of the i-th invariant (in Invariants()
+  // order): the highest logical time its last clean check covered, or -1
+  // when the next check must scan the full log.
+  int64_t watermark_for_testing(size_t invariant_index) const;
+
  private:
+  // Loads and caches the SSM's invariant list (watermarks are per cached
+  // entry). Caller holds mutex_.
+  void EnsureInvariantsLocked();
+  // Evaluates all invariants into `report`, incrementally where allowed,
+  // and advances watermarks of clean monotone invariants. Caller holds
+  // mutex_.
+  Status RunChecksLocked(CheckReport* report);
+  // Resets every watermark to "full scan". Caller holds mutex_.
+  void ResetWatermarksLocked();
+
   std::unique_ptr<ServiceModule> module_;
   AuditLog log_;
   LoggerOptions options_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int64_t next_time_ = 1;
   int64_t pairs_logged_ = 0;
   int64_t pairs_since_check_ = 0;
-  int64_t pairs_since_forced_check_ = -1;
+  // pairs_logged_ at the moment the forced-check budget was last spent, or
+  // -1 if it never was. An absolute count, not a delta.
+  int64_t last_forced_check_pair_ = -1;
+  bool invariants_loaded_ = false;
+  std::vector<Invariant> invariants_;
+  std::vector<int64_t> watermarks_;  // parallel to invariants_; -1 = full scan
   std::optional<CheckReport> last_report_;
 };
 

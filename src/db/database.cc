@@ -1,6 +1,7 @@
 #include "src/db/database.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "src/db/executor.h"
 #include "src/db/parser.h"
@@ -89,7 +90,72 @@ bool GetValue(BytesView in, size_t& off, Value* v) {
   }
 }
 
+bool ColumnNameEq(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+void Database::InitTimeIndex(TableData& table) {
+  table.time_col = -1;
+  for (size_t i = 0; i < table.columns.size(); ++i) {
+    if (ColumnNameEq(table.columns[i], "time")) {
+      table.time_col = static_cast<int>(i);
+      break;
+    }
+  }
+  table.index_valid = table.time_col >= 0;
+  table.time_index.clear();
+}
+
+void Database::IndexInsertedRow(TableData& table, size_t row_idx) {
+  if (!table.index_valid) {
+    return;
+  }
+  const Value& v = table.rows[row_idx][static_cast<size_t>(table.time_col)];
+  if (!v.is_int()) {
+    // A non-integer time makes index-based comparisons unsound; drop the
+    // index for this table rather than answer range queries wrongly.
+    table.index_valid = false;
+    table.time_index.clear();
+    return;
+  }
+  std::pair<int64_t, size_t> entry{v.AsInt(), row_idx};
+  if (table.time_index.empty() || table.time_index.back() <= entry) {
+    table.time_index.push_back(entry);  // common case: appended in time order
+  } else {
+    table.time_index.insert(
+        std::upper_bound(table.time_index.begin(), table.time_index.end(), entry), entry);
+  }
+}
+
+void Database::RebuildTimeIndex(TableData& table) {
+  table.index_valid = table.time_col >= 0;
+  table.time_index.clear();
+  if (!table.index_valid) {
+    return;
+  }
+  table.time_index.reserve(table.rows.size());
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    const Value& v = table.rows[i][static_cast<size_t>(table.time_col)];
+    if (!v.is_int()) {
+      table.index_valid = false;
+      table.time_index.clear();
+      return;
+    }
+    table.time_index.emplace_back(v.AsInt(), i);
+  }
+  std::sort(table.time_index.begin(), table.time_index.end());
+}
 
 Result<QueryResult> Database::Execute(std::string_view sql) {
   auto parsed = ParseStatement(sql);
@@ -110,7 +176,9 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       }
       return AlreadyExists("table " + create->name + " already exists");
     }
-    tables_[create->name] = TableData{create->columns, {}};
+    TableData& table = tables_[create->name];
+    table.columns = create->columns;
+    InitTimeIndex(table);
     return QueryResult{};
   }
 
@@ -161,6 +229,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
         row[positions[i]] = std::move(*v);
       }
       table.rows.push_back(std::move(row));
+      IndexInsertedRow(table, table.rows.size() - 1);
       ++result.affected;
     }
     return result;
@@ -176,6 +245,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     if (del->where == nullptr) {
       result.affected = table.rows.size();
       table.rows.clear();
+      RebuildTimeIndex(table);
       return result;
     }
     // Evaluate all predicates against the pre-delete snapshot so that
@@ -205,6 +275,9 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       }
     }
     table.rows = std::move(kept);
+    if (result.affected > 0) {
+      RebuildTimeIndex(table);  // row positions shifted
+    }
     return result;
   }
 
@@ -249,6 +322,15 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       }
       ++result.affected;
     }
+    bool touched_time = false;
+    for (size_t a = 0; a < positions.size(); ++a) {
+      if (static_cast<int>(positions[a]) == table.time_col) {
+        touched_time = true;
+      }
+    }
+    if (touched_time && result.affected > 0) {
+      RebuildTimeIndex(table);
+    }
     return result;
   }
 
@@ -268,7 +350,9 @@ Status Database::CreateTable(const std::string& name, std::vector<std::string> c
   if (tables_.count(name) > 0) {
     return AlreadyExists("table " + name + " already exists");
   }
-  tables_[name] = TableData{std::move(columns), {}};
+  TableData& table = tables_[name];
+  table.columns = std::move(columns);
+  InitTimeIndex(table);
   return Status::Ok();
 }
 
@@ -281,6 +365,7 @@ Status Database::InsertRow(const std::string& name, Row row) {
     return InvalidArgument("row arity mismatch for table " + name);
   }
   it->second.rows.push_back(std::move(row));
+  IndexInsertedRow(it->second, it->second.rows.size() - 1);
   return Status::Ok();
 }
 
@@ -306,6 +391,93 @@ std::vector<std::string> Database::TableNames() const {
     names.push_back(name);
   }
   return names;
+}
+
+std::optional<std::vector<std::string>> Database::CatalogColumns(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    return it->second.columns;
+  }
+  auto vit = views_.find(name);
+  if (vit == views_.end()) {
+    return std::nullopt;
+  }
+  // Derive the view's output names the same way the executor does, bailing
+  // on stars (they need the source relations to expand).
+  std::vector<std::string> columns;
+  for (const SelectItem& item : vit->second.select->items) {
+    if (item.star) {
+      return std::nullopt;
+    }
+    if (!item.alias.empty()) {
+      columns.push_back(item.alias);
+    } else if (item.expr->kind == ExprKind::kColumn) {
+      columns.push_back(item.expr->name);
+    } else {
+      columns.push_back(ExprToString(*item.expr));
+    }
+  }
+  return columns;
+}
+
+const std::vector<std::pair<int64_t, size_t>>* Database::TimeIndexForTesting(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end() || !it->second.index_valid) {
+    return nullptr;
+  }
+  return &it->second.time_index;
+}
+
+Result<QueryResult> Database::ExecuteWithTimeFloor(std::string_view sql, int64_t floor) {
+  auto parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Statement& stmt = *parsed;
+  auto* select = std::get_if<std::unique_ptr<SelectStmt>>(&stmt);
+  if (select == nullptr) {
+    return Execute(sql);
+  }
+  SelectStmt& s = **select;
+  bool injected = false;
+  if (s.from.has_value() && !s.from->table_name.empty()) {
+    auto columns = CatalogColumns(s.from->table_name);
+    bool has_time = false;
+    if (columns.has_value()) {
+      for (const std::string& c : *columns) {
+        if (ColumnNameEq(c, "time")) {
+          has_time = true;
+        }
+      }
+    }
+    if (has_time) {
+      auto col = std::make_unique<Expr>(ExprKind::kColumn);
+      col->table = s.from->alias.empty() ? s.from->table_name : s.from->alias;
+      col->name = "time";
+      auto lit = std::make_unique<Expr>(ExprKind::kLiteral);
+      lit->literal = Value(floor);
+      auto cmp = std::make_unique<Expr>(ExprKind::kBinary);
+      cmp->op = ">";
+      cmp->args.push_back(std::move(col));
+      cmp->args.push_back(std::move(lit));
+      if (s.where == nullptr) {
+        s.where = std::move(cmp);
+      } else {
+        auto conj = std::make_unique<Expr>(ExprKind::kBinary);
+        conj->op = "AND";
+        conj->args.push_back(std::move(cmp));
+        conj->args.push_back(std::move(s.where));
+        s.where = std::move(conj);
+      }
+      injected = true;
+    }
+  }
+  if (!injected) {
+    return Execute(sql);  // no narrowable base: fall back to the full query
+  }
+  Executor executor(*this);
+  return executor.ExecuteSelect(s);
 }
 
 Bytes Database::Serialize() const {
@@ -373,6 +545,8 @@ Result<Database> Database::Deserialize(BytesView in) {
       }
       table.rows.push_back(std::move(row));
     }
+    InitTimeIndex(table);
+    RebuildTimeIndex(table);
     db.tables_[name] = std::move(table);
   }
   if (off + 4 > in.size()) {

@@ -8,7 +8,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -27,6 +29,13 @@ struct QueryResult {
   bool empty() const { return rows.empty(); }
 };
 
+// Executor knobs, settable per database. Both default on; benchmarks flip
+// them off to compare against the unindexed nested-loop engine.
+struct Tuning {
+  bool use_time_index = true;  // index scans + ORDER BY/MAX fast paths
+  bool use_hash_join = true;   // hash joins for equi-join keys
+};
+
 class Database {
  public:
   Database() = default;
@@ -36,6 +45,14 @@ class Database {
 
   // Parses and executes one SQL statement.
   Result<QueryResult> Execute(std::string_view sql);
+
+  // Parses and executes one statement; when it is a SELECT over a named
+  // base table (or view) that exposes a `time` column, AND-injects the
+  // conjunct `<base>.time > floor` into WHERE so the scan is narrowed to
+  // rows appended after `floor`. Used by incremental invariant checking:
+  // for a monotone invariant query this returns exactly the violations
+  // involving outer rows newer than the watermark.
+  Result<QueryResult> ExecuteWithTimeFloor(std::string_view sql, int64_t floor);
 
   // Programmatic fast paths used by the audit logger (no SQL parsing).
   Status CreateTable(const std::string& name, std::vector<std::string> columns);
@@ -49,6 +66,19 @@ class Database {
   const std::vector<std::string>* TableColumns(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  // Output column names of a table or view without executing it, or nullopt
+  // when they cannot be derived statically (unknown name, or a view whose
+  // select list contains a star). Used for join-key/bound planning.
+  std::optional<std::vector<std::string>> CatalogColumns(const std::string& name) const;
+
+  void set_tuning(Tuning tuning) { tuning_ = tuning; }
+  const Tuning& tuning() const { return tuning_; }
+
+  // The ordered (time, row position) index of `name`, sorted ascending, or
+  // nullptr when the table has no valid time index. Exposed for tests.
+  const std::vector<std::pair<int64_t, size_t>>* TimeIndexForTesting(
+      const std::string& name) const;
+
   // Whole-database serialisation (used for enclave sealing). Views are
   // persisted as their original CREATE VIEW SQL and re-executed on load.
   Bytes Serialize() const;
@@ -60,6 +90,12 @@ class Database {
   struct TableData {
     std::vector<std::string> columns;
     std::vector<Row> rows;
+    // Primary-key index on the `time` column: (time, row position), sorted.
+    // Valid only while every row's time value is a non-null integer;
+    // maintained on INSERT, rebuilt after DELETE/UPDATE compaction.
+    int time_col = -1;
+    bool index_valid = false;
+    std::vector<std::pair<int64_t, size_t>> time_index;
   };
 
   struct ViewData {
@@ -67,8 +103,13 @@ class Database {
     std::string sql;  // original CREATE VIEW statement, for serialisation
   };
 
+  static void InitTimeIndex(TableData& table);
+  static void IndexInsertedRow(TableData& table, size_t row_idx);
+  static void RebuildTimeIndex(TableData& table);
+
   std::map<std::string, TableData> tables_;
   std::map<std::string, ViewData> views_;
+  Tuning tuning_;
 };
 
 }  // namespace seal::db

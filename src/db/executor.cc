@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 namespace seal::db {
 
@@ -141,7 +143,91 @@ Value Arith(const std::string& op, const Value& a, const Value& b) {
   return Value::Null();
 }
 
+// Hash/join key for one value, normalised so that any two non-null values
+// with Value::Compare == 0 produce identical keys: integers and reals live
+// in one numeric class, so an integral-valued real maps to the integer form.
+std::string JoinKeyOf(const Value& v) {
+  if (v.is_real()) {
+    double d = v.AsReal();
+    if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        return "I" + std::to_string(i);
+      }
+    }
+  }
+  return v.Serialize();
+}
+
+// Flattens a predicate tree into its top-level AND conjuncts, in
+// left-to-right evaluation order.
+void SplitAnd(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    SplitAnd(e->args[0].get(), out);
+    SplitAnd(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// True when evaluating `e` cannot touch any relation of the current
+// statement (whose sources' aliases are `local_aliases`): it only reads
+// literals and columns qualified with some non-local (outer) alias.
+bool OuterOnlyExpr(const Expr& e, const std::vector<std::string>& local_aliases) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumn: {
+      if (e.table.empty()) {
+        return false;  // bare names may resolve locally
+      }
+      for (const std::string& a : local_aliases) {
+        if (NameEq(e.table, a)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kUnary:
+    case ExprKind::kBinary: {
+      for (const ExprPtr& a : e.args) {
+        if (!OuterOnlyExpr(*a, local_aliases)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateName(e.name) || e.star) {
+        return false;
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!OuterOnlyExpr(*a, local_aliases)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;  // subqueries and friends: never hoisted
+  }
+}
+
 }  // namespace
+
+void TimeBound::TightenLo(int64_t v, bool strict) {
+  if (!lo.has_value() || v > *lo || (v == *lo && strict)) {
+    lo = v;
+    lo_strict = strict;
+  }
+}
+
+void TimeBound::TightenHi(int64_t v, bool strict) {
+  if (!hi.has_value() || v < *hi || (v == *hi && strict)) {
+    hi = v;
+    hi_strict = strict;
+  }
+}
 
 bool ContainsAggregate(const Expr& expr) {
   if (expr.kind == ExprKind::kFunction && IsAggregateName(expr.name)) {
@@ -528,7 +614,8 @@ Result<Value> Executor::Eval(const Expr& expr, const std::vector<RowScope>& scop
 }
 
 Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
-                                             const std::vector<RowScope>& outer) {
+                                             const std::vector<RowScope>& outer,
+                                             const TimeBound* bound) {
   Relation rel;
   std::string alias = ref.alias;
   if (ref.subquery != nullptr) {
@@ -544,8 +631,52 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
   // Named table or view.
   auto table_it = db_.tables_.find(ref.table_name);
   if (table_it != db_.tables_.end()) {
-    rel.columns = table_it->second.columns;
-    rel.BorrowRows(&table_it->second.rows);
+    const Database::TableData& t = table_it->second;
+    rel.columns = t.columns;
+    if (bound != nullptr && bound->constrained() && t.index_valid &&
+        db_.tuning_.use_time_index) {
+      // Index range scan: binary-search the admitted key range, then emit
+      // the qualifying rows in their original row order so downstream
+      // results stay identical to a full scan + filter.
+      bool empty_range = false;
+      int64_t lo = std::numeric_limits<int64_t>::min();
+      if (bound->lo.has_value()) {
+        if (bound->lo_strict && *bound->lo == std::numeric_limits<int64_t>::max()) {
+          empty_range = true;
+        } else {
+          lo = bound->lo_strict ? *bound->lo + 1 : *bound->lo;
+        }
+      }
+      int64_t hi = std::numeric_limits<int64_t>::max();
+      if (bound->hi.has_value()) {
+        if (bound->hi_strict && *bound->hi == std::numeric_limits<int64_t>::min()) {
+          empty_range = true;
+        } else {
+          hi = bound->hi_strict ? *bound->hi - 1 : *bound->hi;
+        }
+      }
+      std::vector<Row> rows;
+      if (!empty_range && lo <= hi) {
+        auto begin = std::lower_bound(t.time_index.begin(), t.time_index.end(),
+                                      std::make_pair(lo, size_t{0}));
+        auto end = std::upper_bound(
+            begin, t.time_index.end(),
+            std::make_pair(hi, std::numeric_limits<size_t>::max()));
+        std::vector<size_t> picked;
+        picked.reserve(static_cast<size_t>(end - begin));
+        for (auto it = begin; it != end; ++it) {
+          picked.push_back(it->second);
+        }
+        std::sort(picked.begin(), picked.end());
+        rows.reserve(picked.size());
+        for (size_t idx : picked) {
+          rows.push_back(t.rows[idx]);
+        }
+      }
+      rel.SetOwnedRows(std::move(rows));
+    } else {
+      rel.BorrowRows(&t.rows);
+    }
     if (alias.empty()) {
       alias = ref.table_name;
     }
@@ -554,7 +685,7 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
   }
   auto view_it = db_.views_.find(ref.table_name);
   if (view_it != db_.views_.end()) {
-    auto sub = ExecuteSelect(*view_it->second.select, {});
+    auto sub = ExecuteSelect(*view_it->second.select, {}, bound);
     if (!sub.ok()) {
       return sub.status();
     }
@@ -569,18 +700,417 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
   return NotFound("no such table or view: " + ref.table_name);
 }
 
+TimeBound Executor::ExtractWhereBound(const SelectStmt& stmt,
+                                      const std::vector<RowScope>& outer) {
+  TimeBound bound;
+  if (!db_.tuning_.use_time_index || stmt.where == nullptr || !stmt.from.has_value() ||
+      stmt.from->table_name.empty()) {
+    return bound;
+  }
+  auto base_cols = db_.CatalogColumns(stmt.from->table_name);
+  if (!base_cols.has_value()) {
+    return bound;
+  }
+  bool base_has_time = false;
+  for (const std::string& c : *base_cols) {
+    if (NameEq(c, "time")) {
+      base_has_time = true;
+      break;
+    }
+  }
+  if (!base_has_time) {
+    return bound;
+  }
+  const std::string base_alias =
+      stmt.from->alias.empty() ? stmt.from->table_name : stmt.from->alias;
+  std::vector<std::string> local_aliases;
+  local_aliases.push_back(base_alias);
+  for (const JoinClause& join : stmt.joins) {
+    local_aliases.push_back(join.table.alias.empty() ? join.table.table_name
+                                                     : join.table.alias);
+  }
+  // The bounded column: the base's `time`. A bare name is only accepted in a
+  // join-free statement, where first-match resolution cannot pick another
+  // source's column.
+  auto is_base_time = [&](const Expr& e) {
+    if (e.kind != ExprKind::kColumn || !NameEq(e.name, "time")) {
+      return false;
+    }
+    if (e.table.empty()) {
+      return stmt.joins.empty();
+    }
+    return NameEq(e.table, base_alias);
+  };
+  auto eval_int = [&](const Expr& e) -> std::optional<int64_t> {
+    if (!OuterOnlyExpr(e, local_aliases)) {
+      return std::nullopt;
+    }
+    auto v = Eval(e, outer);
+    if (!v.ok() || !v->is_int()) {
+      return std::nullopt;
+    }
+    return v->AsInt();
+  };
+
+  std::vector<const Expr*> conjuncts;
+  SplitAnd(stmt.where.get(), &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary) {
+      continue;
+    }
+    if (c->op == "BETWEEN" && !c->negated && is_base_time(*c->args[0])) {
+      if (auto lo = eval_int(*c->args[1])) {
+        bound.TightenLo(*lo, false);
+      }
+      if (auto hi = eval_int(*c->args[2])) {
+        bound.TightenHi(*hi, false);
+      }
+      continue;
+    }
+    if (c->op != "=" && c->op != "<" && c->op != "<=" && c->op != ">" && c->op != ">=") {
+      continue;
+    }
+    std::string op = c->op;
+    const Expr* rhs = nullptr;
+    if (is_base_time(*c->args[0])) {
+      rhs = c->args[1].get();
+    } else if (is_base_time(*c->args[1])) {
+      rhs = c->args[0].get();
+      // v OP time  ==  time OP' v with the inequality mirrored.
+      if (op == "<") {
+        op = ">";
+      } else if (op == "<=") {
+        op = ">=";
+      } else if (op == ">") {
+        op = "<";
+      } else if (op == ">=") {
+        op = "<=";
+      }
+    } else {
+      continue;
+    }
+    auto v = eval_int(*rhs);
+    if (!v.has_value()) {
+      continue;
+    }
+    if (op == "=") {
+      bound.TightenLo(*v, false);
+      bound.TightenHi(*v, false);
+    } else if (op == ">") {
+      bound.TightenLo(*v, true);
+    } else if (op == ">=") {
+      bound.TightenLo(*v, false);
+    } else if (op == "<") {
+      bound.TightenHi(*v, true);
+    } else {
+      bound.TightenHi(*v, false);
+    }
+  }
+  return bound;
+}
+
+std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
+    const SelectStmt& stmt, const std::vector<RowScope>& outer) {
+  if (!db_.tuning_.use_time_index) {
+    return std::nullopt;
+  }
+  if (!stmt.from.has_value() || stmt.from->table_name.empty() || !stmt.joins.empty() ||
+      !stmt.group_by.empty() || stmt.having != nullptr || stmt.distinct) {
+    return std::nullopt;
+  }
+  auto table_it = db_.tables_.find(stmt.from->table_name);
+  if (table_it == db_.tables_.end() || !table_it->second.index_valid) {
+    return std::nullopt;
+  }
+  const Database::TableData& t = table_it->second;
+  const std::string alias =
+      stmt.from->alias.empty() ? stmt.from->table_name : stmt.from->alias;
+  const std::string& time_name = t.columns[static_cast<size_t>(t.time_col)];
+  // The indexed column is the first one named `time`, so a bare reference
+  // resolves to it under LookupColumn's first-match rule.
+  auto is_time_col = [&](const Expr& e) {
+    return e.kind == ExprKind::kColumn && NameEq(e.name, time_name) &&
+           (e.table.empty() || NameEq(e.table, alias));
+  };
+
+  bool max_mode = false;
+  if (stmt.order_by.empty() && stmt.limit == nullptr && stmt.offset == nullptr &&
+      stmt.items.size() == 1 && !stmt.items[0].star) {
+    const Expr& e = *stmt.items[0].expr;
+    max_mode = e.kind == ExprKind::kFunction && e.name == "MAX" && !e.star &&
+               !e.distinct && e.args.size() == 1 && is_time_col(*e.args[0]);
+  }
+  int64_t limit = 0;
+  int64_t offset = 0;
+  if (!max_mode) {
+    // ORDER BY time DESC LIMIT k with a literal limit and no aggregation.
+    if (stmt.order_by.size() != 1 || !stmt.order_by[0].desc ||
+        !is_time_col(*stmt.order_by[0].expr) || stmt.limit == nullptr ||
+        stmt.limit->kind != ExprKind::kLiteral || !stmt.limit->literal.is_int()) {
+      return std::nullopt;
+    }
+    limit = stmt.limit->literal.AsInt();
+    if (limit < 0) {
+      return std::nullopt;  // negative literal means "no limit": no early exit
+    }
+    if (stmt.offset != nullptr) {
+      if (stmt.offset->kind != ExprKind::kLiteral || !stmt.offset->literal.is_int()) {
+        return std::nullopt;
+      }
+      offset = std::max<int64_t>(0, stmt.offset->literal.AsInt());
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        continue;
+      }
+      if (ContainsAggregate(*item.expr)) {
+        return std::nullopt;
+      }
+      // The general path resolves a bare ORDER BY name against output
+      // aliases first; bail out if that rule would redirect the sort key.
+      if (stmt.order_by[0].expr->table.empty() && !item.alias.empty() &&
+          NameEq(item.alias, stmt.order_by[0].expr->name) &&
+          !NameEq(ExprToString(*item.expr), stmt.order_by[0].expr->name)) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  Relation rel;
+  rel.columns = t.columns;
+  rel.BorrowRows(&t.rows);
+  rel.aliases.assign(rel.columns.size(), alias);
+  const auto& idx = t.time_index;
+
+  if (max_mode) {
+    QueryResult result;
+    const SelectItem& item = stmt.items[0];
+    result.columns.push_back(!item.alias.empty() ? item.alias : ExprToString(*item.expr));
+    // Walk keys descending; the first row passing WHERE carries the maximum.
+    Value best;
+    size_t group_end = idx.size();
+    bool done = false;
+    while (group_end > 0 && !done) {
+      size_t group_begin = group_end;
+      while (group_begin > 0 && idx[group_begin - 1].first == idx[group_end - 1].first) {
+        --group_begin;
+      }
+      for (size_t j = group_begin; j < group_end && !done; ++j) {
+        const Row& row = t.rows[idx[j].second];
+        if (stmt.where != nullptr) {
+          std::vector<RowScope> scopes = outer;
+          scopes.push_back(RowScope{&rel, &row});
+          auto cond = Eval(*stmt.where, scopes);
+          if (!cond.ok()) {
+            return std::optional<Result<QueryResult>>(cond.status());
+          }
+          if (!cond->Truthy()) {
+            continue;
+          }
+        }
+        best = row[static_cast<size_t>(t.time_col)];
+        done = true;
+      }
+      group_end = group_begin;
+    }
+    result.rows.push_back(Row{std::move(best)});
+    return result;
+  }
+
+  // Top-k: project rows in descending time order (ties in row order, exactly
+  // as the general path's stable sort leaves them), stopping at the limit.
+  QueryResult result;
+  std::vector<const Expr*> item_exprs;
+  std::vector<size_t> star_columns;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < rel.columns.size(); ++i) {
+        if (!item.star_table.empty() && !NameEq(rel.aliases[i], item.star_table)) {
+          continue;
+        }
+        result.columns.push_back(rel.columns[i]);
+        item_exprs.push_back(nullptr);
+        star_columns.push_back(i);
+      }
+    } else {
+      if (!item.alias.empty()) {
+        result.columns.push_back(item.alias);
+      } else if (item.expr->kind == ExprKind::kColumn) {
+        result.columns.push_back(item.expr->name);
+      } else {
+        result.columns.push_back(ExprToString(*item.expr));
+      }
+      item_exprs.push_back(item.expr.get());
+      star_columns.push_back(0);  // unused
+    }
+  }
+  int64_t to_skip = offset;
+  size_t group_end = idx.size();
+  bool done = limit == 0;
+  while (group_end > 0 && !done) {
+    size_t group_begin = group_end;
+    while (group_begin > 0 && idx[group_begin - 1].first == idx[group_end - 1].first) {
+      --group_begin;
+    }
+    for (size_t j = group_begin; j < group_end && !done; ++j) {
+      const Row& row = t.rows[idx[j].second];
+      std::vector<RowScope> scopes = outer;
+      scopes.push_back(RowScope{&rel, &row});
+      if (stmt.where != nullptr) {
+        auto cond = Eval(*stmt.where, scopes);
+        if (!cond.ok()) {
+          return std::optional<Result<QueryResult>>(cond.status());
+        }
+        if (!cond->Truthy()) {
+          continue;
+        }
+      }
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
+      Row out;
+      for (size_t i = 0; i < item_exprs.size(); ++i) {
+        if (item_exprs[i] == nullptr) {
+          out.push_back(row[star_columns[i]]);
+          continue;
+        }
+        auto v = EvalInternal(*item_exprs[i], scopes, nullptr);
+        if (!v.ok()) {
+          return std::optional<Result<QueryResult>>(v.status());
+        }
+        out.push_back(std::move(*v));
+      }
+      result.rows.push_back(std::move(out));
+      if (static_cast<int64_t>(result.rows.size()) >= limit) {
+        done = true;
+      }
+    }
+    group_end = group_begin;
+  }
+  return result;
+}
+
 Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
-                                            const std::vector<RowScope>& outer) {
+                                            const std::vector<RowScope>& outer,
+                                            const TimeBound* bound) {
+  if (bound == nullptr) {
+    if (auto fast = TryIndexedFastPath(stmt, outer)) {
+      return std::move(*fast);
+    }
+  }
+
   // 1. FROM: materialise and join.
   Relation rel;
+  TimeBound scan_bound;
   if (stmt.from.has_value()) {
-    auto base = MaterialiseSource(*stmt.from, outer);
+    scan_bound = ExtractWhereBound(stmt, outer);
+    if (bound != nullptr && bound->constrained() && db_.tuning_.use_time_index &&
+        stmt.limit == nullptr && stmt.offset == nullptr &&
+        !stmt.from->table_name.empty()) {
+      // This statement is a view body whose output `time` column the caller
+      // constrains. The bound may be folded into the base scan only when the
+      // output `time` is the base's own `time` column verbatim, and — if the
+      // statement aggregates — that column is part of the group key (so
+      // dropping a base row can only remove whole groups the caller
+      // provably discards).
+      const std::string base_alias =
+          stmt.from->alias.empty() ? stmt.from->table_name : stmt.from->alias;
+      auto base_cols = db_.CatalogColumns(stmt.from->table_name);
+      bool base_has_time = false;
+      if (base_cols.has_value()) {
+        for (const std::string& c : *base_cols) {
+          if (NameEq(c, "time")) {
+            base_has_time = true;
+            break;
+          }
+        }
+      }
+      const Expr* time_item = nullptr;
+      for (const SelectItem& item : stmt.items) {
+        if (item.star || item.expr == nullptr) {
+          continue;
+        }
+        std::string out_name =
+            !item.alias.empty()
+                ? item.alias
+                : (item.expr->kind == ExprKind::kColumn ? item.expr->name
+                                                        : ExprToString(*item.expr));
+        if (NameEq(out_name, "time")) {
+          time_item = item.expr.get();
+          break;
+        }
+      }
+      bool ok_shape = base_has_time && time_item != nullptr &&
+                      time_item->kind == ExprKind::kColumn &&
+                      NameEq(time_item->name, "time") &&
+                      (time_item->table.empty() || NameEq(time_item->table, base_alias));
+      if (ok_shape) {
+        bool has_aggregates = false;
+        for (const SelectItem& item : stmt.items) {
+          if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
+            has_aggregates = true;
+          }
+        }
+        if (stmt.having != nullptr && ContainsAggregate(*stmt.having)) {
+          has_aggregates = true;
+        }
+        if (has_aggregates || !stmt.group_by.empty()) {
+          bool in_key = false;
+          for (const ExprPtr& g : stmt.group_by) {
+            if (g->kind == ExprKind::kColumn && NameEq(g->name, time_item->name) &&
+                NameEq(g->table, time_item->table)) {
+              in_key = true;
+              break;
+            }
+          }
+          ok_shape = in_key;
+        }
+      }
+      if (ok_shape) {
+        if (bound->lo.has_value()) {
+          scan_bound.TightenLo(*bound->lo, bound->lo_strict);
+        }
+        if (bound->hi.has_value()) {
+          scan_bound.TightenHi(*bound->hi, bound->hi_strict);
+        }
+      }
+    }
+    auto base = MaterialiseSource(*stmt.from, outer,
+                                  scan_bound.constrained() ? &scan_bound : nullptr);
     if (!base.ok()) {
       return base.status();
     }
     rel = std::move(*base);
     for (const JoinClause& join : stmt.joins) {
-      auto right = MaterialiseSource(join.table, outer);
+      // A bound on the base `time` transfers to a NATURAL-joined side that
+      // shares a `time` column: its rows only pair with equal base times,
+      // which the consumer provably discards outside the bound.
+      const TimeBound* right_bound = nullptr;
+      if (scan_bound.constrained() && join.kind == JoinClause::Kind::kNatural &&
+          !join.table.table_name.empty()) {
+        auto rcols = db_.CatalogColumns(join.table.table_name);
+        bool right_has_time = false;
+        if (rcols.has_value()) {
+          for (const std::string& c : *rcols) {
+            if (NameEq(c, "time")) {
+              right_has_time = true;
+              break;
+            }
+          }
+        }
+        bool left_has_time = false;
+        for (const std::string& c : rel.columns) {
+          if (NameEq(c, "time")) {
+            left_has_time = true;
+            break;
+          }
+        }
+        if (right_has_time && left_has_time) {
+          right_bound = &scan_bound;
+        }
+      }
+      auto right = MaterialiseSource(join.table, outer, right_bound);
       if (!right.ok()) {
         return right.status();
       }
@@ -589,6 +1119,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
       combined.columns = rel.columns;
       std::vector<Row> combined_rows;
 
+      const size_t left_width = rel.columns.size();
       std::vector<std::pair<size_t, size_t>> natural_pairs;  // (left idx, right idx)
       std::vector<bool> right_kept(right->columns.size(), true);
       if (join.kind == JoinClause::Kind::kNatural) {
@@ -602,59 +1133,191 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
           }
         }
       }
+      std::vector<size_t> kept_to_right;  // combined idx - left_width -> right idx
       for (size_t rc = 0; rc < right->columns.size(); ++rc) {
         if (right_kept[rc]) {
+          kept_to_right.push_back(rc);
           combined.aliases.push_back(right->aliases[rc]);
           combined.columns.push_back(right->columns[rc]);
         }
       }
 
-      for (const Row& lrow : rel.Rows()) {
-        bool matched = false;
-        for (const Row& rrow : right->Rows()) {
-          bool keep = true;
-          if (join.kind == JoinClause::Kind::kNatural) {
-            for (const auto& [lc, rc] : natural_pairs) {
-              if (lrow[lc].is_null() || rrow[rc].is_null() ||
-                  Value::Compare(lrow[lc], rrow[rc]) != 0) {
-                keep = false;
-                break;
+      // Decompose the join predicate into hashable equi-key column pairs
+      // plus residual conjuncts (evaluated per candidate pair, in order).
+      std::vector<std::pair<size_t, size_t>> key_pairs = natural_pairs;
+      std::vector<const Expr*> residuals;
+      bool hash_ok = db_.tuning_.use_hash_join &&
+                     (join.kind == JoinClause::Kind::kInner ||
+                      join.kind == JoinClause::Kind::kNatural ||
+                      join.kind == JoinClause::Kind::kLeft);
+      if (hash_ok && join.on != nullptr) {
+        auto resolve = [&](const Expr& e) -> int {
+          // Mirrors LookupColumn's first-match rule over the combined scope.
+          if (e.kind != ExprKind::kColumn) {
+            return -1;
+          }
+          for (size_t i = 0; i < combined.columns.size(); ++i) {
+            if (!NameEq(combined.columns[i], e.name)) {
+              continue;
+            }
+            if (!e.table.empty() && !NameEq(combined.aliases[i], e.table)) {
+              continue;
+            }
+            return static_cast<int>(i);
+          }
+          return -1;
+        };
+        std::vector<const Expr*> conjuncts;
+        SplitAnd(join.on.get(), &conjuncts);
+        for (const Expr* c : conjuncts) {
+          bool is_key = false;
+          if (c->kind == ExprKind::kBinary && c->op == "=") {
+            int a = resolve(*c->args[0]);
+            int b = resolve(*c->args[1]);
+            if (a >= 0 && b >= 0) {
+              bool a_left = static_cast<size_t>(a) < left_width;
+              bool b_left = static_cast<size_t>(b) < left_width;
+              if (a_left != b_left) {
+                size_t lc = static_cast<size_t>(a_left ? a : b);
+                size_t rc =
+                    kept_to_right[static_cast<size_t>(a_left ? b : a) - left_width];
+                key_pairs.emplace_back(lc, rc);
+                is_key = true;
               }
             }
           }
-          Row joined = lrow;
-          for (size_t rc = 0; rc < rrow.size(); ++rc) {
-            if (right_kept[rc]) {
-              joined.push_back(rrow[rc]);
-            }
-          }
-          if (keep && join.on != nullptr) {
-            // Evaluate ON against a temporary combined relation scope.
-            std::vector<RowScope> scopes = outer;
-            scopes.push_back(RowScope{&combined, &joined});
-            auto cond = Eval(*join.on, scopes);
-            if (!cond.ok()) {
-              return cond.status();
-            }
-            keep = cond->Truthy();
-          }
-          if (keep) {
-            combined_rows.push_back(std::move(joined));
-            matched = true;
+          if (!is_key) {
+            residuals.push_back(c);
           }
         }
-        if (!matched && join.kind == JoinClause::Kind::kLeft) {
-          Row joined = lrow;
-          size_t kept = 0;
-          for (bool k : right_kept) {
-            if (k) {
-              ++kept;
+      }
+
+      if (hash_ok && !key_pairs.empty()) {
+        // Hash join. Buckets keep right-row insertion order, so the emitted
+        // pairs match the nested-loop order exactly; NULL keys never match
+        // (SQL equality), so rows carrying one are simply left out.
+        std::unordered_map<std::string, std::vector<size_t>> buckets;
+        buckets.reserve(right->Rows().size());
+        for (size_t r = 0; r < right->Rows().size(); ++r) {
+          const Row& rrow = right->Rows()[r];
+          std::string key;
+          bool null_key = false;
+          for (const auto& [lc, rc] : key_pairs) {
+            (void)lc;
+            if (rrow[rc].is_null()) {
+              null_key = true;
+              break;
+            }
+            key += JoinKeyOf(rrow[rc]);
+            key.push_back('\x1f');
+          }
+          if (!null_key) {
+            buckets[key].push_back(r);
+          }
+        }
+        static const std::vector<size_t> kNoMatches;
+        for (const Row& lrow : rel.Rows()) {
+          bool matched = false;
+          std::string key;
+          bool null_key = false;
+          for (const auto& [lc, rc] : key_pairs) {
+            (void)rc;
+            if (lrow[lc].is_null()) {
+              null_key = true;
+              break;
+            }
+            key += JoinKeyOf(lrow[lc]);
+            key.push_back('\x1f');
+          }
+          const std::vector<size_t>* matches = &kNoMatches;
+          if (!null_key) {
+            auto it = buckets.find(key);
+            if (it != buckets.end()) {
+              matches = &it->second;
             }
           }
-          for (size_t i = 0; i < kept; ++i) {
-            joined.push_back(Value::Null());
+          for (size_t r : *matches) {
+            const Row& rrow = right->Rows()[r];
+            Row joined = lrow;
+            for (size_t rc : kept_to_right) {
+              joined.push_back(rrow[rc]);
+            }
+            bool keep = true;
+            if (!residuals.empty()) {
+              std::vector<RowScope> scopes = outer;
+              scopes.push_back(RowScope{&combined, &joined});
+              for (const Expr* res : residuals) {
+                auto cond = Eval(*res, scopes);
+                if (!cond.ok()) {
+                  return cond.status();
+                }
+                if (!cond->Truthy()) {
+                  keep = false;
+                  break;
+                }
+              }
+            }
+            if (keep) {
+              combined_rows.push_back(std::move(joined));
+              matched = true;
+            }
           }
-          combined_rows.push_back(std::move(joined));
+          if (!matched && join.kind == JoinClause::Kind::kLeft) {
+            Row joined = lrow;
+            for (size_t i = 0; i < kept_to_right.size(); ++i) {
+              joined.push_back(Value::Null());
+            }
+            combined_rows.push_back(std::move(joined));
+          }
+        }
+      } else {
+        for (const Row& lrow : rel.Rows()) {
+          bool matched = false;
+          for (const Row& rrow : right->Rows()) {
+            bool keep = true;
+            if (join.kind == JoinClause::Kind::kNatural) {
+              for (const auto& [lc, rc] : natural_pairs) {
+                if (lrow[lc].is_null() || rrow[rc].is_null() ||
+                    Value::Compare(lrow[lc], rrow[rc]) != 0) {
+                  keep = false;
+                  break;
+                }
+              }
+            }
+            Row joined = lrow;
+            for (size_t rc = 0; rc < rrow.size(); ++rc) {
+              if (right_kept[rc]) {
+                joined.push_back(rrow[rc]);
+              }
+            }
+            if (keep && join.on != nullptr) {
+              // Evaluate ON against a temporary combined relation scope.
+              std::vector<RowScope> scopes = outer;
+              scopes.push_back(RowScope{&combined, &joined});
+              auto cond = Eval(*join.on, scopes);
+              if (!cond.ok()) {
+                return cond.status();
+              }
+              keep = cond->Truthy();
+            }
+            if (keep) {
+              combined_rows.push_back(std::move(joined));
+              matched = true;
+            }
+          }
+          if (!matched && join.kind == JoinClause::Kind::kLeft) {
+            Row joined = lrow;
+            size_t kept = 0;
+            for (bool k : right_kept) {
+              if (k) {
+                ++kept;
+              }
+            }
+            for (size_t i = 0; i < kept; ++i) {
+              joined.push_back(Value::Null());
+            }
+            combined_rows.push_back(std::move(joined));
+          }
         }
       }
       combined.SetOwnedRows(std::move(combined_rows));

@@ -2,6 +2,8 @@
 #ifndef SRC_DB_EXECUTOR_H_
 #define SRC_DB_EXECUTOR_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,14 +44,42 @@ struct RowScope {
   const Row* row = nullptr;
 };
 
+// An interval constraint on a relation's integer `time` column, produced by
+// predicate pushdown. Bounds are advisory: every row they exclude is one the
+// consuming query provably discards anyway, so applying them is a pure
+// optimisation and dropping them is always safe.
+struct TimeBound {
+  std::optional<int64_t> lo;
+  bool lo_strict = false;  // time > lo rather than time >= lo
+  std::optional<int64_t> hi;
+  bool hi_strict = false;
+
+  bool constrained() const { return lo.has_value() || hi.has_value(); }
+  bool Admits(int64_t t) const {
+    if (lo.has_value() && (lo_strict ? t <= *lo : t < *lo)) {
+      return false;
+    }
+    if (hi.has_value() && (hi_strict ? t >= *hi : t > *hi)) {
+      return false;
+    }
+    return true;
+  }
+  void TightenLo(int64_t v, bool strict);
+  void TightenHi(int64_t v, bool strict);
+};
+
 // Executes SELECT statements against a Database. `outer` is the scope chain
 // of enclosing queries (innermost last) for correlated subqueries.
 class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
 
+  // `bound` (optional) constrains the statement's `time` output column; it
+  // is pushed into the base-table scan when provably safe (see the view
+  // rules in ExecuteSelect) and ignored otherwise.
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
-                                    const std::vector<RowScope>& outer = {});
+                                    const std::vector<RowScope>& outer = {},
+                                    const TimeBound* bound = nullptr);
 
   // Evaluates an expression given a scope chain (innermost last). Exposed
   // for DELETE/UPDATE predicate evaluation.
@@ -70,8 +100,23 @@ class Executor {
                               const GroupContext& group);
   Result<Value> LookupColumn(const Expr& expr, const std::vector<RowScope>& scopes);
 
-  // Materialises a FROM source (table, view, or derived table).
-  Result<Relation> MaterialiseSource(const TableRef& ref, const std::vector<RowScope>& outer);
+  // Materialises a FROM source (table, view, or derived table). `bound`, if
+  // set, restricts a base table's scan via the time index and is forwarded
+  // into view execution; it is ignored for derived tables.
+  Result<Relation> MaterialiseSource(const TableRef& ref, const std::vector<RowScope>& outer,
+                                     const TimeBound* bound = nullptr);
+
+  // Derives a TimeBound on the base source of `stmt` from the top-level AND
+  // conjuncts of WHERE (point/range predicates on the indexed time column
+  // whose other side depends only on literals and outer scopes).
+  TimeBound ExtractWhereBound(const SelectStmt& stmt, const std::vector<RowScope>& outer);
+
+  // Single-table fast paths walking the time index descending with early
+  // exit: `... ORDER BY time DESC LIMIT k` and `SELECT MAX(time) ...`.
+  // Returns nullopt when the statement shape doesn't qualify; otherwise the
+  // result is identical to the general path.
+  std::optional<Result<QueryResult>> TryIndexedFastPath(const SelectStmt& stmt,
+                                                        const std::vector<RowScope>& outer);
 
   const Database& db_;
 };

@@ -157,5 +157,46 @@ TEST(AsyncCall, RestartWorks) {
   EXPECT_EQ(runs, 2);
 }
 
+TEST(AsyncCall, SlotIndexStaysInRangeAcrossTicketWrap) {
+  // The ticket counter is unsigned so the wrap is well-defined; the mapped
+  // slot must stay in [0, max_app_threads) on both sides of it. (The old
+  // signed counter overflowed into UB here and could go negative.)
+  for (int max : {1, 7, 64}) {
+    for (uint32_t ticket : {uint32_t{0}, uint32_t{1}, UINT32_MAX - 1, UINT32_MAX}) {
+      int slot = AsyncCallRuntime::SlotIndexForTicket(ticket, max);
+      EXPECT_GE(slot, 0) << "ticket " << ticket << " max " << max;
+      EXPECT_LT(slot, max) << "ticket " << ticket << " max " << max;
+    }
+  }
+  // Power-of-two slot arrays cycle cleanly through the wrap: ...62, 63, 0...
+  EXPECT_EQ(AsyncCallRuntime::SlotIndexForTicket(UINT32_MAX, 64), 63);
+  EXPECT_EQ(AsyncCallRuntime::SlotIndexForTicket(0, 64), 0);
+}
+
+TEST(AsyncCall, EcallsKeepWorkingThroughTicketWrap) {
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<int> runs{0};
+  int id = enclave.RegisterEcall("inc", [&](void*) { runs.fetch_add(1); });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 1;
+  options.tasks_per_thread = 4;
+  options.max_app_threads = 8;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.set_next_slot_for_testing(UINT32_MAX - 2);
+  runtime.Start();
+  // Fresh threads so every caller draws a new ticket; the sequence crosses
+  // UINT32_MAX -> 0 mid-batch.
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] { ASSERT_TRUE(runtime.AsyncEcall(id, nullptr).ok()); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(runs.load(), kThreads);
+  runtime.Stop();
+}
+
 }  // namespace
 }  // namespace seal::asyncall

@@ -98,6 +98,48 @@ TEST(Logger, ForcedChecksAreRateLimited) {
   EXPECT_EQ(granted, 2);
 }
 
+TEST(Logger, TuplelessPairsDoNotAdvanceInterval) {
+  auto logger = MakeLogger({.check_interval = 3});
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
+  ASSERT_TRUE(PumpPush(*logger, backend, 2).ok());
+  // A burst of unparseable traffic logs nothing, so it must not push the
+  // interval over the edge (regression: the counter used to tick per pair,
+  // not per contributing pair).
+  for (int i = 0; i < 5; ++i) {
+    auto r = logger->OnPair("junk", "junk", false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->has_value());
+  }
+  // The third contributing pair is what triggers the check.
+  auto r = PumpPush(*logger, backend, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+}
+
+TEST(Logger, ForcedCheckOnIntervalBoundaryKeepsBudget) {
+  LoggerOptions options;
+  options.check_interval = 3;
+  options.forced_check_min_gap = 100;  // one forced check per 100 pairs
+  auto logger = MakeLogger(options);
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
+  ASSERT_TRUE(PumpPush(*logger, backend, 2).ok());
+  // A demand landing exactly on the interval boundary is satisfied by the
+  // interval check and must not spend the forced budget...
+  auto r = PumpPush(*logger, backend, 3, /*force=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  // ...so a demand on the very next pair is still granted.
+  r = PumpPush(*logger, backend, 4, /*force=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+  // And now the budget IS spent: an immediate third demand is denied.
+  r = PumpPush(*logger, backend, 5, /*force=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
 TEST(Logger, LastReportRetained) {
   auto logger = MakeLogger({.check_interval = 0});
   services::GitBackend backend;
