@@ -14,6 +14,7 @@
 
 #include "src/common/clock.h"
 #include "src/core/libseal.h"
+#include "src/obs/obs.h"
 #include "src/net/net.h"
 #include "src/services/https_client.h"
 #include "src/tls/x509.h"
@@ -201,6 +202,15 @@ inline LoadResult RunClosedLoop(net::Network* network, const std::string& addres
 }
 
 inline std::string TempPath(const std::string& name) { return "/tmp/libseal_bench_" + name; }
+
+// Dumps the process-wide seal::obs registry in Prometheus text format.
+// Counters are cumulative across the whole binary, so benches that need
+// per-run numbers should diff Registry::Global().TakeSnapshot() around the
+// run instead of reading the dump.
+inline void PrintMetricsSnapshot(const char* heading) {
+  std::printf("\n--- metrics snapshot: %s ---\n%s", heading,
+              obs::Registry::Global().ExportText().c_str());
+}
 
 }  // namespace seal::bench
 

@@ -241,5 +241,6 @@ int main() {
   std::printf("\npaper: U-shaped curves with optima at 25 (Git), 75 (ownCloud), 100 (Dropbox)\n");
 
   RunLogGrowth();
+  PrintMetricsSnapshot("bench_fig6_checking (cumulative)");
   return 0;
 }

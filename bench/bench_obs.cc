@@ -1,0 +1,98 @@
+// Micro-benchmarks for the seal::obs observability layer.
+//
+// The design target: an enabled counter increment on the hot path (the call
+// gate charges one per transition) must cost single-digit nanoseconds, and a
+// disabled one must be a load-and-branch. Contended increments stay cheap
+// because each thread lands on its own cache-line-aligned shard.
+#include <benchmark/benchmark.h>
+
+#include "src/obs/obs.h"
+
+namespace seal::obs {
+namespace {
+
+void BM_CounterIncrement(benchmark::State& state) {
+  Counter& c = Registry::Global().GetCounter("bench_obs_increment_total");
+  for (auto _ : state) {
+    c.Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_CounterIncrementViaMacro(benchmark::State& state) {
+  // What instrumented call sites actually pay: the function-local static
+  // adds a guard-variable load on top of the increment.
+  for (auto _ : state) {
+    SEAL_OBS_COUNTER("bench_obs_macro_total").Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrementViaMacro);
+
+void BM_CounterIncrementDisabled(benchmark::State& state) {
+  Counter& c = Registry::Global().GetCounter("bench_obs_disabled_total");
+  SetEnabled(false);
+  for (auto _ : state) {
+    c.Increment();
+  }
+  SetEnabled(true);
+}
+BENCHMARK(BM_CounterIncrementDisabled);
+
+void BM_CounterIncrementContended(benchmark::State& state) {
+  // Sharding means threads rarely touch the same cache line; compare with
+  // BM_CounterIncrement to see the residual cost of sharing.
+  Counter& c = Registry::Global().GetCounter("bench_obs_contended_total");
+  for (auto _ : state) {
+    c.Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrementContended)->Threads(4)->Threads(8);
+
+void BM_GaugeSet(benchmark::State& state) {
+  Gauge& g = Registry::Global().GetGauge("bench_obs_gauge");
+  int64_t v = 0;
+  for (auto _ : state) {
+    g.Set(++v);
+  }
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_GaugeSetMax(benchmark::State& state) {
+  Gauge& g = Registry::Global().GetGauge("bench_obs_gauge_max");
+  int64_t v = 0;
+  for (auto _ : state) {
+    g.SetMax(++v);
+  }
+}
+BENCHMARK(BM_GaugeSetMax);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  Histogram& h = Registry::Global().GetHistogram("bench_obs_hist");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Observe(v);
+    v = (v << 1) | 1;  // walk the buckets
+    if (v > (uint64_t{1} << 40)) {
+      v = 1;
+    }
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistryTakeSnapshot(benchmark::State& state) {
+  // Snapshotting is the slow path (one mutex + full copy); it should stay
+  // in the microsecond range so benches can bracket runs with it freely.
+  Registry& r = Registry::Global();
+  for (int i = 0; i < 64; ++i) {
+    r.GetCounter("bench_obs_snap_total{i=\"" + std::to_string(i) + "\"}").Increment();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.TakeSnapshot());
+  }
+}
+BENCHMARK(BM_RegistryTakeSnapshot);
+
+}  // namespace
+}  // namespace seal::obs
+
+BENCHMARK_MAIN();

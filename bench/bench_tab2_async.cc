@@ -75,5 +75,6 @@ int main() {
     std::printf(" %9.0f%%", 100.0 * (with_async[i] / no_async[i] - 1.0));
   }
   std::printf("\n\npaper: +57%% (0B, 1KB), +92%% (10KB), +114%% (64KB)\n");
+  PrintMetricsSnapshot("bench_tab2_async (cumulative)");
   return 0;
 }

@@ -91,8 +91,12 @@ BENCHMARK(BM_AsyncEcall);
 
 struct AblationResult {
   double rps = 0;
+  // Per-request transition counts from two independent sources that must
+  // agree: the enclave's internal stats() tally and the seal::obs counters.
   uint64_t ecalls = 0;
   uint64_t ocalls = 0;
+  uint64_t obs_ecalls = 0;
+  uint64_t obs_ocalls = 0;
 };
 
 AblationResult RunAblation(bool optimised) {
@@ -113,6 +117,7 @@ AblationResult RunAblation(bool optimised) {
     return {};
   }
   runtime.enclave().ResetStats();
+  obs::Snapshot before = obs::Registry::Global().TakeSnapshot();
   tls::TlsConfig client_tls = ClientTls();
   LoadOptions load;
   load.clients = 2;
@@ -121,11 +126,22 @@ AblationResult RunAblation(bool optimised) {
   LoadResult result = RunClosedLoop(
       &network, "web:443", client_tls,
       [](int, uint64_t) { return services::MakeContentRequest(1024); }, load);
+  obs::Snapshot after = obs::Registry::Global().TakeSnapshot();
   AblationResult ablation;
   ablation.rps = result.throughput_rps;
   auto stats = runtime.enclave().stats();
   ablation.ecalls = result.requests > 0 ? stats.ecalls / result.requests : 0;
   ablation.ocalls = result.requests > 0 ? stats.ocalls / result.requests : 0;
+  // Counters are process-global, so diff snapshots rather than reading raw
+  // totals (the google-benchmark section above also moved them).
+  if (result.requests > 0) {
+    ablation.obs_ecalls =
+        (after.counter("sgx_ecalls_total") - before.counter("sgx_ecalls_total")) /
+        result.requests;
+    ablation.obs_ocalls =
+        (after.counter("sgx_ocalls_total") - before.counter("sgx_ocalls_total")) /
+        result.requests;
+  }
   server.Stop();
   runtime.Shutdown();
   return ablation;
@@ -135,19 +151,35 @@ void ReductionAblation() {
   std::printf("\n=== §4.2 transition-reduction ablation (synchronous calls) ===\n");
   AblationResult naive = RunAblation(false);
   AblationResult optimised = RunAblation(true);
-  std::printf("%-22s %12s %14s %14s\n", "", "req/s", "ecalls/req", "ocalls/req");
-  std::printf("%-22s %12.0f %14lu %14lu\n", "naive port", naive.rps,
-              static_cast<unsigned long>(naive.ecalls), static_cast<unsigned long>(naive.ocalls));
-  std::printf("%-22s %12.0f %14lu %14lu\n", "with reductions", optimised.rps,
+  std::printf("%-22s %12s %14s %14s %14s %14s\n", "", "req/s", "ecalls/req", "ocalls/req",
+              "obs ecalls/req", "obs ocalls/req");
+  std::printf("%-22s %12.0f %14lu %14lu %14lu %14lu\n", "naive port", naive.rps,
+              static_cast<unsigned long>(naive.ecalls), static_cast<unsigned long>(naive.ocalls),
+              static_cast<unsigned long>(naive.obs_ecalls),
+              static_cast<unsigned long>(naive.obs_ocalls));
+  std::printf("%-22s %12.0f %14lu %14lu %14lu %14lu\n", "with reductions", optimised.rps,
               static_cast<unsigned long>(optimised.ecalls),
-              static_cast<unsigned long>(optimised.ocalls));
+              static_cast<unsigned long>(optimised.ocalls),
+              static_cast<unsigned long>(optimised.obs_ecalls),
+              static_cast<unsigned long>(optimised.obs_ocalls));
   if (naive.rps > 0 && naive.ocalls > 0 && naive.ecalls > 0) {
-    std::printf("%-22s %11.0f%% %13.0f%% %13.0f%%\n", "change",
+    std::printf("%-22s %11.0f%% %13.0f%% %13.0f%%\n", "change (stats)",
                 100.0 * (optimised.rps / naive.rps - 1.0),
                 100.0 * (1.0 - static_cast<double>(optimised.ecalls) /
                                    static_cast<double>(naive.ecalls)),
                 100.0 * (1.0 - static_cast<double>(optimised.ocalls) /
                                    static_cast<double>(naive.ocalls)));
+  }
+  if (naive.obs_ecalls > 0 && naive.obs_ocalls > 0) {
+    std::printf("%-22s %12s %13.0f%% %13.0f%%\n", "change (obs counters)", "",
+                100.0 * (1.0 - static_cast<double>(optimised.obs_ecalls) /
+                                   static_cast<double>(naive.obs_ecalls)),
+                100.0 * (1.0 - static_cast<double>(optimised.obs_ocalls) /
+                                   static_cast<double>(naive.obs_ocalls)));
+  }
+  if (naive.obs_ecalls != naive.ecalls || naive.obs_ocalls != naive.ocalls ||
+      optimised.obs_ecalls != optimised.ecalls || optimised.obs_ocalls != optimised.ocalls) {
+    std::printf("WARNING: obs counters disagree with enclave stats\n");
   }
   std::printf("paper: -31%% ecalls, -49%% ocalls, up to +70%% throughput\n");
 }
@@ -159,5 +191,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   seal::bench::ReductionAblation();
+  seal::bench::PrintMetricsSnapshot("bench_transitions (cumulative)");
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "src/asyncall/asyncall.h"
 
+#include "src/common/clock.h"
 #include "src/lthread/lthread.h"
+#include "src/obs/obs.h"
 
 namespace seal::asyncall {
 
@@ -23,6 +25,15 @@ class SpinBackoff {
 // Per-application-thread slot binding.
 thread_local const void* t_bound_runtime = nullptr;
 thread_local int t_bound_slot = -1;
+
+// Upper bounds on the blocking waits. Correctness does not depend on them:
+// every state transition now notifies the condition variable a waiter could
+// be parked on (including Stop), so these are pure belt-and-braces against
+// bugs, not part of the protocol. They used to be 500µs/200µs, short enough
+// to paper over a missed notify; a missed one now shows up as a hang in the
+// stress tests instead of a silent latency tax.
+constexpr std::chrono::milliseconds kWorkerWait{100};
+constexpr std::chrono::milliseconds kSlotWait{10};
 
 }  // namespace
 
@@ -75,6 +86,14 @@ void AsyncCallRuntime::Stop() {
     return;
   }
   stop_.store(true, std::memory_order_release);
+  // Wake EVERY waiter so nothing sits out a timeout: workers sleeping on
+  // the work signal drain their in-flight calls and exit; application
+  // threads blocked on a slot no worker will ever claim observe stop_ and
+  // fail the call with a Status instead of stranding on kEcallPending.
+  SignalWorkers();
+  for (const std::unique_ptr<CallSlot>& slot : slots_) {
+    slot->Signal();
+  }
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -118,7 +137,12 @@ void AsyncCallRuntime::WorkerLoop(Worker* worker) {
   }
 
   int idle_rounds = 0;
-  while (!stop_.load(std::memory_order_acquire)) {
+  for (;;) {
+    // Once stop_ is observed the worker claims no NEW calls but keeps
+    // draining the ones its tasks already carry: their bound application
+    // threads are parked in AsyncEcall servicing ocalls and waiting for
+    // kResultReady, so every in-flight call completes normally.
+    const bool stopping = stop_.load(std::memory_order_acquire);
     // Snapshot the work signal BEFORE scanning: anything posted after this
     // point keeps us awake through the wait predicate below.
     uint64_t seen_seq = work_seq_.load(std::memory_order_acquire);
@@ -132,26 +156,42 @@ void AsyncCallRuntime::WorkerLoop(Worker* worker) {
     bool progressed = worker->scheduler.RunOnce();
     // Claim pending async-ecalls for idle tasks.
     bool dispatched = false;
-    for (const std::unique_ptr<CallSlot>& slot : slots_) {
-      if (slot->state.load(std::memory_order_acquire) != CallSlot::kEcallPending) {
-        continue;
+    if (!stopping) {
+      for (const std::unique_ptr<CallSlot>& slot : slots_) {
+        if (slot->state.load(std::memory_order_acquire) != CallSlot::kEcallPending) {
+          continue;
+        }
+        TaskBinding* idle = nullptr;
+        for (const std::unique_ptr<TaskBinding>& b : worker->bindings) {
+          if (b->slot == nullptr && b->task->state() == lthread::Task::State::kBlocked) {
+            idle = b.get();
+            break;
+          }
+        }
+        if (idle == nullptr) {
+          break;  // all tasks busy; other workers may pick this up
+        }
+        int expected = CallSlot::kEcallPending;
+        if (slot->state.compare_exchange_strong(expected, CallSlot::kEcallRunning,
+                                                std::memory_order_acq_rel)) {
+          SEAL_OBS_HISTOGRAM("asyncall_slot_pending_dwell_nanos")
+              .Observe(static_cast<uint64_t>(
+                  std::max<int64_t>(0, NowNanos() - slot->ecall_posted_nanos)));
+          idle->slot = slot.get();
+          worker->scheduler.MakeRunnable(idle->task);
+          dispatched = true;
+        }
       }
-      TaskBinding* idle = nullptr;
+    } else {
+      bool draining = false;
       for (const std::unique_ptr<TaskBinding>& b : worker->bindings) {
-        if (b->slot == nullptr && b->task->state() == lthread::Task::State::kBlocked) {
-          idle = b.get();
+        if (b->slot != nullptr) {
+          draining = true;
           break;
         }
       }
-      if (idle == nullptr) {
-        break;  // all tasks busy; other workers may pick this up
-      }
-      int expected = CallSlot::kEcallPending;
-      if (slot->state.compare_exchange_strong(expected, CallSlot::kEcallRunning,
-                                              std::memory_order_acq_rel)) {
-        idle->slot = slot.get();
-        worker->scheduler.MakeRunnable(idle->task);
-        dispatched = true;
+      if (!draining) {
+        break;
       }
     }
     if (progressed || dispatched) {
@@ -165,10 +205,13 @@ void AsyncCallRuntime::WorkerLoop(Worker* worker) {
       std::this_thread::yield();
       continue;
     }
+    SEAL_OBS_COUNTER("asyncall_worker_blocks_total").Increment();
     std::unique_lock<std::mutex> lock(work_mutex_);
-    work_cv_.wait_for(lock, std::chrono::microseconds(500), [&] {
+    // While draining, stop_ is already set, so the flag must not satisfy
+    // the predicate (that would busy-loop); only new work signals do.
+    work_cv_.wait_for(lock, kWorkerWait, [&] {
       return work_seq_.load(std::memory_order_acquire) != seen_seq ||
-             stop_.load(std::memory_order_acquire);
+             stop_.load(std::memory_order_acquire) != stopping;
     });
   }
   // Wake blocked tasks so they observe stop_ and finish cleanly.
@@ -206,9 +249,13 @@ Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
   }
   slot->ecall_id = id;
   slot->ecall_data = data;
+  slot->ocall_roundtrips = 0;
+  slot->ecall_posted_nanos = NowNanos();
   slot->state.store(CallSlot::kEcallPending, std::memory_order_release);
   SignalWorkers();
+  SEAL_OBS_COUNTER("asyncall_ecalls_total").Increment();
 
+  bool blocked = false;  // did this call ever park on the slot cv?
   int idle_spins = 0;
   for (;;) {
     int s = slot->state.load(std::memory_order_acquire);
@@ -217,6 +264,9 @@ Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
       int want = CallSlot::kOcallPending;
       if (slot->state.compare_exchange_strong(want, CallSlot::kOcallRunning,
                                               std::memory_order_acq_rel)) {
+        SEAL_OBS_HISTOGRAM("asyncall_ocall_dispatch_dwell_nanos")
+            .Observe(static_cast<uint64_t>(
+                std::max<int64_t>(0, NowNanos() - slot->ocall_posted_nanos)));
         const sgx::Enclave::CallFn* fn = enclave_->ocall_handler(slot->ocall_id);
         if (fn != nullptr) {
           (*fn)(slot->ocall_data);
@@ -227,19 +277,44 @@ Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
       continue;
     }
     if (s == CallSlot::kResultReady) {
+      if (blocked) {
+        SEAL_OBS_COUNTER("asyncall_result_wakeups_total{path=\"block\"}").Increment();
+      } else {
+        SEAL_OBS_COUNTER("asyncall_result_wakeups_total{path=\"spin\"}").Increment();
+      }
+      SEAL_OBS_HISTOGRAM("asyncall_ecall_latency_nanos")
+          .Observe(static_cast<uint64_t>(
+              std::max<int64_t>(0, NowNanos() - slot->ecall_posted_nanos)));
+      SEAL_OBS_HISTOGRAM("asyncall_ocall_roundtrips_per_ecall")
+          .Observe(slot->ocall_roundtrips);
       slot->state.store(CallSlot::kEmpty, std::memory_order_release);
       slot->Signal();  // another app thread may share this slot index
       return Status::Ok();
+    }
+    if (s == CallSlot::kEcallPending && stop_.load(std::memory_order_acquire)) {
+      // The runtime is stopping and no worker claimed the call (workers
+      // stop claiming once they observe stop_). Withdraw it and report the
+      // failure instead of stranding this thread on a dead slot.
+      int want = CallSlot::kEcallPending;
+      if (slot->state.compare_exchange_strong(want, CallSlot::kEmpty,
+                                              std::memory_order_acq_rel)) {
+        slot->Signal();
+        SEAL_OBS_COUNTER("asyncall_aborted_ecalls_total").Increment();
+        return Unavailable("async-call runtime stopped before the call was claimed");
+      }
+      continue;  // a worker won the race: the call is in flight and will drain
     }
     // Spin briefly, then block until the enclave side signals the slot.
     if (++idle_spins < 64) {
       std::this_thread::yield();
       continue;
     }
+    blocked = true;
     std::unique_lock<std::mutex> lock(slot->mutex);
-    slot->cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+    slot->cv.wait_for(lock, kSlotWait, [&] {
       int now = slot->state.load(std::memory_order_acquire);
-      return now == CallSlot::kOcallPending || now == CallSlot::kResultReady;
+      return now == CallSlot::kOcallPending || now == CallSlot::kResultReady ||
+             (now == CallSlot::kEcallPending && stop_.load(std::memory_order_acquire));
     });
   }
 }
@@ -259,8 +334,11 @@ Status AsyncCallRuntime::AsyncOcall(int id, void* data) {
   }
   slot->ocall_id = id;
   slot->ocall_data = data;
+  ++slot->ocall_roundtrips;
+  slot->ocall_posted_nanos = NowNanos();
   slot->state.store(CallSlot::kOcallPending, std::memory_order_release);
   slot->Signal();  // wake the bound application thread
+  SEAL_OBS_COUNTER("asyncall_ocalls_total").Increment();
   // Block this task until the application thread posts the result; the
   // worker's scheduler loop re-runs it when it observes kOcallDone. Other
   // tasks on this worker keep running meanwhile, and a worker whose tasks

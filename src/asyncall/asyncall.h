@@ -55,11 +55,20 @@ struct CallSlot {
   int ocall_id = 0;
   void* ocall_data = nullptr;
 
+  // Observability fields. Each is written by the side that owns the slot at
+  // that point in the protocol and read after the corresponding acquire
+  // load of `state`, so they need no atomics of their own.
+  int64_t ecall_posted_nanos = 0;   // when kEcallPending was published
+  int64_t ocall_posted_nanos = 0;   // when kOcallPending was published
+  uint32_t ocall_roundtrips = 0;    // async-ocalls issued by the current ecall
+
   // Application threads spin briefly then block here; the enclave side
-  // signals when the slot needs attention (async-ocall posted or result
-  // ready). This is the blocking refinement of §4.3 -- the paper found
-  // that having every application thread busy-wait does not pay off, and
-  // neither does it on this machine.
+  // signals when the slot needs attention (async-ocall posted, result
+  // ready, or the runtime stopping). This is the blocking refinement of
+  // §4.3 -- the paper found that having every application thread busy-wait
+  // does not pay off, and neither does it on this machine. Every state
+  // transition a waiter can be parked on notifies this cv (or the runtime's
+  // work cv), so the waits' timeouts are a safety bound, not a crutch.
   std::mutex mutex;
   std::condition_variable cv;
 
@@ -85,7 +94,10 @@ class AsyncCallRuntime {
 
   // Launches the S worker threads (each enters the enclave once).
   void Start();
-  // Stops and joins the workers.
+  // Stops and joins the workers. In-flight async-ecalls are DRAINED (their
+  // handlers run to completion, including any async-ocalls, before the
+  // workers exit); posted-but-unclaimed calls fail with Unavailable so no
+  // application thread is left stranded on its slot.
   void Stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/clock.h"
+#include "src/obs/obs.h"
 
 namespace seal::core {
 
@@ -44,6 +45,8 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
     SEAL_RETURN_IF_ERROR(log_.Append(tuple.table, std::move(row)));
   }
   ++pairs_logged_;
+  SEAL_OBS_COUNTER("logger_pairs_total").Increment();
+  SEAL_OBS_COUNTER("logger_tuples_total").Add(tuples.size());
   if (!tuples.empty()) {
     // Only pairs that actually appended tuples advance the check interval:
     // unparseable or uninteresting traffic adds nothing worth re-checking.
@@ -67,6 +70,9 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
   }
   if (forced) {
     last_forced_check_pair_ = pairs_logged_;
+    SEAL_OBS_COUNTER("logger_checks_total{trigger=\"forced\"}").Increment();
+  } else {
+    SEAL_OBS_COUNTER("logger_checks_total{trigger=\"interval\"}").Increment();
   }
   pairs_since_check_ = 0;
 
@@ -81,6 +87,9 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
     ResetWatermarksLocked();
   }
   report.trim_nanos = NowNanos() - trim_start;
+  SEAL_OBS_COUNTER("logger_trims_total").Increment();
+  SEAL_OBS_COUNTER("logger_trimmed_rows_total").Add(deleted);
+  SEAL_OBS_HISTOGRAM("logger_trim_nanos").Observe(static_cast<uint64_t>(report.trim_nanos));
   last_report_ = report;
   return std::optional<CheckReport>(std::move(report));
 }
@@ -95,7 +104,12 @@ void AuditLogger::EnsureInvariantsLocked() {
 }
 
 void AuditLogger::ResetWatermarksLocked() {
-  std::fill(watermarks_.begin(), watermarks_.end(), int64_t{-1});
+  for (int64_t& w : watermarks_) {
+    if (w >= 0) {
+      SEAL_OBS_COUNTER("logger_watermark_resets_total").Increment();
+    }
+    w = -1;
+  }
 }
 
 Status AuditLogger::RunChecksLocked(CheckReport* report) {
@@ -114,20 +128,33 @@ Status AuditLogger::RunChecksLocked(CheckReport* report) {
       return result.status();
     }
     ++report->invariants_checked;
+    SEAL_OBS_COUNTER("logger_invariant_evaluations_total").Increment();
+    if (incremental) {
+      SEAL_OBS_COUNTER("logger_incremental_evaluations_total").Increment();
+    }
     if (result->rows.empty()) {
       if (invariant.monotone) {
         watermarks_[i] = horizon;
+        SEAL_OBS_COUNTER("logger_watermark_advances_total").Increment();
       }
     } else {
+      // A violating monotone invariant keeps its watermark where it is: the
+      // offending rows must stay visible to subsequent checks.
+      if (invariant.monotone) {
+        SEAL_OBS_COUNTER("logger_watermark_freezes_total").Increment();
+      }
+      SEAL_OBS_COUNTER("logger_violations_found_total").Add(result->rows.size());
       report->violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
     }
   }
   report->check_nanos = NowNanos() - check_start;
+  SEAL_OBS_HISTOGRAM("logger_check_nanos").Observe(static_cast<uint64_t>(report->check_nanos));
   return Status::Ok();
 }
 
 Result<CheckReport> AuditLogger::CheckInvariants() {
   std::lock_guard<std::mutex> lock(mutex_);
+  SEAL_OBS_COUNTER("logger_checks_total{trigger=\"manual\"}").Increment();
   CheckReport report;
   SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
   last_report_ = report;

@@ -67,6 +67,9 @@ void Sha256::Compress(const uint8_t block[kSha256BlockSize]) {
 }
 
 void Sha256::Update(BytesView data) {
+  if (data.empty()) {
+    return;  // empty views may carry data() == nullptr, which memcpy forbids
+  }
   total_bytes_ += data.size();
   const uint8_t* p = data.data();
   size_t n = data.size();

@@ -7,6 +7,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/obs/obs.h"
+
 namespace seal::db {
 
 namespace {
@@ -635,6 +637,7 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
     rel.columns = t.columns;
     if (bound != nullptr && bound->constrained() && t.index_valid &&
         db_.tuning_.use_time_index) {
+      SEAL_OBS_COUNTER("seadb_index_range_scans_total").Increment();
       // Index range scan: binary-search the admitted key range, then emit
       // the qualifying rows in their original row order so downstream
       // results stay identical to a full scan + filter.
@@ -675,6 +678,14 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
       }
       rel.SetOwnedRows(std::move(rows));
     } else {
+      // Full table scan; record why the index could not narrow it.
+      if (bound == nullptr || !bound->constrained()) {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"unbounded\"}").Increment();
+      } else if (!db_.tuning_.use_time_index) {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"tuning_off\"}").Increment();
+      } else {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"index_invalid\"}").Increment();
+      }
       rel.BorrowRows(&t.rows);
     }
     if (alias.empty()) {
@@ -914,6 +925,7 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
       group_end = group_begin;
     }
     result.rows.push_back(Row{std::move(best)});
+    SEAL_OBS_COUNTER("seadb_fastpath_hits_total{kind=\"max_time\"}").Increment();
     return result;
   }
 
@@ -988,6 +1000,7 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
     }
     group_end = group_begin;
   }
+  SEAL_OBS_COUNTER("seadb_fastpath_hits_total{kind=\"order_by_time_limit\"}").Increment();
   return result;
 }
 
@@ -1193,6 +1206,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
       }
 
       if (hash_ok && !key_pairs.empty()) {
+        SEAL_OBS_COUNTER("seadb_joins_total{algo=\"hash\"}").Increment();
         // Hash join. Buckets keep right-row insertion order, so the emitted
         // pairs match the nested-loop order exactly; NULL keys never match
         // (SQL equality), so rows carrying one are simply left out.
@@ -1271,6 +1285,7 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
           }
         }
       } else {
+        SEAL_OBS_COUNTER("seadb_joins_total{algo=\"nested_loop\"}").Increment();
         for (const Row& lrow : rel.Rows()) {
           bool matched = false;
           for (const Row& rrow : right->Rows()) {

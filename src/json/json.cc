@@ -153,11 +153,16 @@ class JsonParser {
       return Err("unexpected end of input");
     }
     char c = text_[pos_];
-    if (c == '{') {
-      return ParseObject();
-    }
-    if (c == '[') {
-      return ParseArray();
+    if (c == '{' || c == '[') {
+      // The parser recurses per nesting level, so hostile input like
+      // "[[[[..." must be bounded before it exhausts the stack.
+      if (depth_ >= kMaxNestingDepth) {
+        return Err("nesting too deep");
+      }
+      ++depth_;
+      auto v = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return v;
     }
     if (c == '"') {
       auto s = ParseString();
@@ -339,8 +344,11 @@ class JsonParser {
     }
   }
 
+  static constexpr int kMaxNestingDepth = 256;
+
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

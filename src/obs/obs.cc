@@ -1,0 +1,277 @@
+#include "src/obs/obs.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace seal::obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{true};
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) {
+    s.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::SetMax(int64_t v) {
+  if (!Enabled()) {
+    return;
+  }
+  int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& b : s.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= 64) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::CollectBuckets(std::array<uint64_t, kHistogramBuckets>* out) const {
+  out->fill(0);
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      (*out)[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t HistogramSnapshot::ApproxPercentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count));
+  target = std::max<uint64_t>(1, std::min(target, count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return Histogram::BucketUpperBound(i);
+    }
+  }
+  return Histogram::BucketUpperBound(kHistogramBuckets - 1);
+}
+
+uint64_t Snapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t Snapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* Snapshot::histogram(const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+uint64_t Snapshot::CounterFamilyTotal(const std::string& family) const {
+  uint64_t total = 0;
+  auto exact = counters.find(family);
+  if (exact != counters.end()) {
+    total += exact->second;
+  }
+  // The labelled variants sort contiguously from "family{", but NOT right
+  // after the bare name: an unrelated "family_suffix" counter lands between
+  // them ('_' < '{'), so scan from the brace, not from the family.
+  const std::string open = family + "{";
+  for (auto it = counters.lower_bound(open); it != counters.end(); ++it) {
+    if (it->first.compare(0, open.size(), open) != 0) {
+      break;
+    }
+    total += it->second;
+  }
+  return total;
+}
+
+namespace {
+
+// `name` up to the label block, for # TYPE grouping.
+std::string_view FamilyOf(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string_view(name)
+                                    : std::string_view(name).substr(0, brace);
+}
+
+void AppendTypeLine(std::string* out, std::string_view* last_family,
+                    const std::string& name, const char* type) {
+  std::string_view family = FamilyOf(name);
+  if (family != *last_family) {
+    out->append("# TYPE ");
+    out->append(family);
+    out->push_back(' ');
+    out->append(type);
+    out->push_back('\n');
+    *last_family = family;
+  }
+}
+
+}  // namespace
+
+std::string Snapshot::ToPrometheusText() const {
+  std::string out;
+  char line[160];
+  std::string_view last_family;
+  for (const auto& [name, value] : counters) {
+    AppendTypeLine(&out, &last_family, name, "counter");
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(), value);
+    out.append(line);
+  }
+  last_family = {};
+  for (const auto& [name, value] : gauges) {
+    AppendTypeLine(&out, &last_family, name, "gauge");
+    std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(), value);
+    out.append(line);
+  }
+  last_family = {};
+  for (const auto& [name, hist] : histograms) {
+    AppendTypeLine(&out, &last_family, name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (hist.buckets[i] == 0) {
+        continue;  // elide empty buckets: log2 histograms are sparse
+      }
+      cumulative += hist.buckets[i];
+      if (i >= 64) {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                      name.c_str(), cumulative);
+      } else {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                      name.c_str(), Histogram::BucketUpperBound(i), cumulative);
+      }
+      out.append(line);
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                  name.c_str(), hist.sum, name.c_str(), hist.count);
+    out.append(line);
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: call sites
+                                               // cache references for the
+                                               // process lifetime
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    hist->CollectBuckets(&h.buckets);
+    for (uint64_t b : h.buckets) {
+      h.count += b;
+    }
+    h.sum = hist->Sum();
+    snap.histograms.emplace(name, h);
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+}  // namespace seal::obs

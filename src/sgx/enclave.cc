@@ -18,7 +18,10 @@ Enclave::Enclave(EnclaveConfig config, BytesView code_identity, std::string sign
 Enclave::~Enclave() = default;
 
 int Enclave::RegisterEcall(std::string name, CallFn fn, bool charge_execution) {
-  ecalls_.push_back(EcallEntry{std::move(name), std::move(fn), charge_execution});
+  obs::Counter* transitions =
+      &obs::Registry::Global().GetCounter("sgx_ecall_transitions_total{ecall=\"" + name + "\"}");
+  ecalls_.push_back(
+      EcallEntry{std::move(name), std::move(fn), charge_execution, transitions});
   return static_cast<int>(ecalls_.size()) - 1;
 }
 
@@ -33,6 +36,8 @@ void Enclave::ChargeTransition() {
   auto cycles =
       static_cast<uint64_t>(static_cast<double>(config_.transition_base_cycles) * factor);
   stat_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  SEAL_OBS_COUNTER("sgx_transitions_total").Increment();
+  SEAL_OBS_COUNTER("sgx_injected_spin_cycles_total").Add(cycles);
   if (config_.inject_costs) {
     CycleSpinner::Spin(cycles);
   }
@@ -43,10 +48,12 @@ Status Enclave::Ecall(int id, void* data) {
     return InvalidArgument("unknown ecall id " + std::to_string(id));
   }
   stat_ecalls_.fetch_add(1, std::memory_order_relaxed);
+  const EcallEntry& entry = ecalls_[static_cast<size_t>(id)];
+  SEAL_OBS_COUNTER("sgx_ecalls_total").Increment();
+  entry.transitions->Increment();
   threads_inside_.fetch_add(1, std::memory_order_relaxed);
   ChargeTransition();  // entry: CPU checks + TLB flush
   ++t_enclave_depth;
-  const EcallEntry& entry = ecalls_[static_cast<size_t>(id)];
   if (entry.charge_execution) {
     RunInside(entry.fn, data);
   } else {
@@ -84,6 +91,7 @@ Status Enclave::Ocall(int id, void* data) {
     return InvalidArgument("unknown ocall id " + std::to_string(id));
   }
   stat_ocalls_.fetch_add(1, std::memory_order_relaxed);
+  SEAL_OBS_COUNTER("sgx_ocalls_total").Increment();
   // Leaving the enclave for the ocall and re-entering afterwards are both
   // transitions.
   ChargeTransition();
@@ -104,10 +112,13 @@ void Enclave::TrackAlloc(size_t bytes) {
   size_t peak = epc_peak_.load(std::memory_order_relaxed);
   while (now > peak && !epc_peak_.compare_exchange_weak(peak, now)) {
   }
+  SEAL_OBS_GAUGE("sgx_epc_in_use_bytes").Set(static_cast<int64_t>(now));
+  SEAL_OBS_GAUGE("sgx_epc_high_water_bytes").SetMax(static_cast<int64_t>(now));
   if (now > config_.epc_limit_bytes) {
     size_t over = now - config_.epc_limit_bytes;
     size_t pages = std::min(over, bytes) / 4096 + 1;
     stat_pages_.fetch_add(pages, std::memory_order_relaxed);
+    SEAL_OBS_COUNTER("sgx_epc_pages_swapped_total").Add(pages);
     uint64_t cycles = config_.epc_paging_cycles * pages;
     stat_cycles_.fetch_add(cycles, std::memory_order_relaxed);
     if (config_.inject_costs) {
@@ -117,7 +128,8 @@ void Enclave::TrackAlloc(size_t bytes) {
 }
 
 void Enclave::TrackFree(size_t bytes) {
-  epc_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+  size_t now = epc_in_use_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  SEAL_OBS_GAUGE("sgx_epc_in_use_bytes").Set(static_cast<int64_t>(now));
 }
 
 TransitionStats Enclave::stats() const {

@@ -27,6 +27,7 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/crypto/sha256.h"
+#include "src/obs/obs.h"
 
 namespace seal::sgx {
 
@@ -166,6 +167,7 @@ class Enclave {
     std::string name;
     CallFn fn;
     bool charge_execution = true;
+    obs::Counter* transitions = nullptr;  // sgx_ecall_transitions_total{ecall=...}
   };
   std::vector<EcallEntry> ecalls_;
   std::vector<std::pair<std::string, CallFn>> ocalls_;

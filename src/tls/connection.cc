@@ -2,6 +2,7 @@
 
 #include "src/crypto/drbg.h"
 #include "src/crypto/hmac.h"
+#include "src/obs/obs.h"
 #include "src/tls/tls.h"
 
 namespace seal::tls {
@@ -102,13 +103,21 @@ Status TlsConnection::CheckFinished(std::string_view label, BytesView received) 
 }
 
 Status TlsConnection::Handshake() {
+  if (handshake_complete_) {
+    // Would be a renegotiation; the protocol engine does not support one,
+    // but the attempt itself is worth counting (§6.3 probes for it).
+    SEAL_OBS_COUNTER("tls_renegotiations_total").Increment();
+  }
+  SEAL_OBS_COUNTER("tls_handshakes_started_total").Increment();
   Notify(InfoEvent::kHandshakeStart, 0);
   Status status = role_ == Role::kClient ? HandshakeClient() : HandshakeServer();
   if (status.ok()) {
     handshake_complete_ = true;
     handshake_transcript_bytes_.clear();  // no renegotiation: free the memory
+    SEAL_OBS_COUNTER("tls_handshakes_completed_total").Increment();
     Notify(InfoEvent::kHandshakeDone, 0);
   } else {
+    SEAL_OBS_COUNTER("tls_handshakes_failed_total").Increment();
     // Tear the transport down so the peer unblocks with EOF instead of
     // waiting for a flight that will never come.
     closed_ = true;

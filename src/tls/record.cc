@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/obs.h"
+
 namespace seal::tls {
 
 RecordCipher::RecordCipher(BytesView key, BytesView implicit_iv) : gcm_(key) {
@@ -85,6 +87,8 @@ Status RecordLayer::WriteRecord(RecordType type, BytesView payload) {
     return Unavailable("transport write failed");
   }
   bytes_out_ += header.size() + wire_payload.size();
+  SEAL_OBS_COUNTER("tls_records_out_total").Increment();
+  SEAL_OBS_COUNTER("tls_record_bytes_out_total").Add(header.size() + wire_payload.size());
   return Status::Ok();
 }
 
@@ -123,6 +127,8 @@ Result<Record> RecordLayer::ReadRecord() {
     got += n;
   }
   bytes_in_ += 5 + length;
+  SEAL_OBS_COUNTER("tls_records_in_total").Increment();
+  SEAL_OBS_COUNTER("tls_record_bytes_in_total").Add(5 + length);
   Record record;
   record.type = static_cast<RecordType>(header[0]);
   if (record.type != RecordType::kAlert && record.type != RecordType::kHandshake &&

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "src/asyncall/asyncall.h"
 #include "src/sgx/enclave.h"
@@ -195,6 +197,172 @@ TEST(AsyncCall, EcallsKeepWorkingThroughTicketWrap) {
     t.join();
   }
   EXPECT_EQ(runs.load(), kThreads);
+  runtime.Stop();
+}
+
+TEST(AsyncCall, StopFailsUnclaimedPendingCall) {
+  // Regression: Stop() used to leave a posted-but-unclaimed async-ecall in
+  // kEcallPending forever -- the workers exited without claiming it and
+  // nothing ever signalled the slot, stranding the application thread. With
+  // one worker running one task we can pin the only task on a gated handler
+  // and guarantee the second call is still unclaimed when Stop() lands.
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<bool> in_handler{false};
+  std::atomic<bool> release{false};
+  int gate_id = enclave.RegisterEcall("gate", [&](void*) {
+    in_handler.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  int nop_id = enclave.RegisterEcall("nop", [](void*) {});
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 1;
+  options.tasks_per_thread = 1;
+  options.max_app_threads = 4;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+
+  Status status_a = Internal("unset");
+  std::thread a([&] { status_a = runtime.AsyncEcall(gate_id, nullptr); });
+  while (!in_handler.load()) {
+    std::this_thread::yield();
+  }
+  // The single task is now busy; this call stays kEcallPending.
+  Status status_b = Internal("unset");
+  std::thread b([&] { status_b = runtime.AsyncEcall(nop_id, nullptr); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::thread stopper([&] { runtime.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.store(true);
+
+  stopper.join();
+  a.join();
+  b.join();
+  // The in-flight call drained; the unclaimed one failed instead of hanging.
+  EXPECT_TRUE(status_a.ok()) << status_a.message();
+  EXPECT_FALSE(status_b.ok());
+  EXPECT_NE(status_b.message().find("stopped"), std::string::npos) << status_b.message();
+}
+
+TEST(AsyncCall, StopDrainsInFlightOcall) {
+  // Regression: Stop() during an async-ocall round-trip must let the ocall
+  // complete and the handler resume to kResultReady, not cut the protocol
+  // mid-flight.
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<bool> in_ocall{false};
+  std::atomic<bool> release{false};
+  int ocall_id = enclave.RegisterOcall("slow", [&](void*) {
+    in_ocall.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  Status ocall_status = Internal("unset");
+  int ecall_id = enclave.RegisterEcall("do", [&](void*) {
+    ocall_status = AsyncCallRuntime::AsyncOcall(ocall_id, nullptr);
+  });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 1;
+  options.tasks_per_thread = 1;
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+
+  Status status = Internal("unset");
+  std::thread app([&] { status = runtime.AsyncEcall(ecall_id, nullptr); });
+  while (!in_ocall.load()) {
+    std::this_thread::yield();
+  }
+  std::thread stopper([&] { runtime.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.store(true);
+  stopper.join();
+  app.join();
+
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_TRUE(ocall_status.ok()) << ocall_status.message();
+  // The runtime is down now: new calls fail fast rather than queueing.
+  EXPECT_FALSE(runtime.AsyncEcall(ecall_id, nullptr).ok());
+}
+
+TEST(AsyncCall, StopRacingProducersNeverStrandsAndNeverLosesWork) {
+  // Producers hammer the runtime while Stop() lands mid-stream. Every call
+  // must terminate (this test hung under the old timeout-reliant wakeups),
+  // and the drain invariant must hold: a call that reported Ok ran its
+  // handler exactly once, a call that failed never ran it.
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<int> runs{0};
+  int id = enclave.RegisterEcall("inc", [&](void*) { runs.fetch_add(1); });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 2;
+  options.tasks_per_thread = 2;
+  options.max_app_threads = 4;  // fewer slots than producers: forced sharing
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+
+  constexpr int kProducers = 8;
+  constexpr int kCallsPerProducer = 200;
+  std::atomic<int> ok_calls{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerProducer; ++i) {
+        if (runtime.AsyncEcall(id, nullptr).ok()) {
+          ok_calls.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let some traffic through, then pull the plug under load.
+  while (runs.load() < kProducers * kCallsPerProducer / 4) {
+    std::this_thread::yield();
+  }
+  runtime.Stop();
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(runs.load(), ok_calls.load());
+  EXPECT_GT(ok_calls.load(), 0);
+}
+
+TEST(AsyncCall, MultiProducerStressWithSharedSlots) {
+  // Regression for the lost-wakeup ordering: with more producers than slots
+  // every transition's notify must land for the protocol to make progress.
+  // Under the old code (notify without the slot mutex held, Stop never
+  // signalling) this configuration stalled for the full wait_for timeout on
+  // a measurable fraction of calls and could hang outright.
+  sgx::Enclave enclave(FastConfig(), ToBytes("code"), "signer");
+  std::atomic<int> sum{0};
+  int ocall_id = enclave.RegisterOcall("bump", [&](void* d) {
+    sum.fetch_add(*static_cast<int*>(d));
+  });
+  int ecall_id = enclave.RegisterEcall("work", [&](void* d) {
+    // Two ocall round-trips per ecall doubles the cross-thread handoffs.
+    ASSERT_TRUE(AsyncCallRuntime::AsyncOcall(ocall_id, d).ok());
+    ASSERT_TRUE(AsyncCallRuntime::AsyncOcall(ocall_id, d).ok());
+  });
+  AsyncCallRuntime::Options options;
+  options.enclave_threads = 2;
+  options.tasks_per_thread = 4;
+  options.max_app_threads = 4;  // 16 producers share 4 slots
+  AsyncCallRuntime runtime(&enclave, options);
+  runtime.Start();
+  constexpr int kThreads = 16;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int one = 1;
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        ASSERT_TRUE(runtime.AsyncEcall(ecall_id, &one).ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sum.load(), kThreads * kCallsPerThread * 2);
   runtime.Stop();
 }
 

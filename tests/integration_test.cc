@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/core/libseal.h"
+#include "src/obs/obs.h"
 #include "src/services/dropbox_service.h"
 #include "src/services/git_service.h"
 #include "src/services/http_server.h"
@@ -293,6 +294,52 @@ TEST(Integration, ClientVerifiesGenuineLibSealBeforeTrusting) {
   crypto::Sha256Digest rogue_hash = crypto::Sha256::Hash(rogue.cert.Encode());
   EXPECT_NE(ToHex(quote->report_data), ToHex(BytesView(rogue_hash.data(), rogue_hash.size())));
   runtime.Shutdown();
+}
+
+TEST(Integration, CleanRunReportsMetricsAndNoViolations) {
+  // The observability layer must agree with the functional result: a clean
+  // end-to-end run moves the transition and logger counters but contributes
+  // zero violations. Other tests in this binary run attacked scenarios, so
+  // assert on deltas around this run, not on absolute counter values.
+  obs::Snapshot before = obs::Registry::Global().TakeSnapshot();
+
+  net::Network network;
+  core::LibSealRuntime runtime(MakeLibSealOptions(0), std::make_unique<ssm::GitModule>());
+  ASSERT_TRUE(runtime.Init().ok());
+  services::LibSealTransport transport(&runtime);
+  services::GitBackend backend;
+  services::HttpServer server(&network, {.address = "git-obs:443"}, &transport,
+                              [&](const http::HttpRequest& r) { return backend.Handle(r); });
+  ASSERT_TRUE(server.Start().ok());
+
+  tls::TlsConfig client_tls = ClientTls();
+  auto client = services::HttpsClient::Connect(&network, "git-obs:443", client_tls);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 1; i <= 3; ++i) {
+    auto rsp = (*client)->RoundTrip(
+        services::MakeGitPush("repo", {{"main", "c" + std::to_string(i)}}));
+    ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+    EXPECT_EQ(rsp->status, 200);
+  }
+  auto clean = (*client)->RoundTrip(services::MakeGitFetch("repo", /*libseal_check=*/true));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(CheckHeaderOrEmpty(*clean).rfind("ok", 0), 0u) << CheckHeaderOrEmpty(*clean);
+  (*client)->Close();
+  server.Stop();
+  runtime.Shutdown();
+
+  obs::Snapshot after = obs::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(after.counter("logger_violations_found_total") -
+                before.counter("logger_violations_found_total"),
+            0u);
+  EXPECT_GT(after.counter("sgx_ecalls_total"), before.counter("sgx_ecalls_total"));
+  EXPECT_GT(after.counter("sgx_transitions_total"), before.counter("sgx_transitions_total"));
+  EXPECT_GT(after.counter("asyncall_ecalls_total"), before.counter("asyncall_ecalls_total"));
+  EXPECT_GT(after.counter("tls_handshakes_completed_total"),
+            before.counter("tls_handshakes_completed_total"));
+  EXPECT_GT(after.CounterFamilyTotal("logger_checks_total") -
+                before.CounterFamilyTotal("logger_checks_total"),
+            0u);
 }
 
 }  // namespace

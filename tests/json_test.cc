@@ -81,5 +81,20 @@ TEST(Json, IntegerPreservedInDump) {
   EXPECT_EQ(JsonValue(-1).Dump(), "-1");
 }
 
+TEST(Json, DeepNestingRejectedNotCrashed) {
+  // Recursion per nesting level: unbounded depth overflowed the stack on
+  // hostile input before the parser grew its depth cap.
+  std::string deep(100000, '[');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string deep_objects;
+  for (int i = 0; i < 100000; ++i) {
+    deep_objects += "{\"a\":";
+  }
+  EXPECT_FALSE(Parse(deep_objects).ok());
+  // Reasonable nesting still parses.
+  std::string ok_depth = std::string(50, '[') + "1" + std::string(50, ']');
+  EXPECT_TRUE(Parse(ok_depth).ok());
+}
+
 }  // namespace
 }  // namespace seal::json

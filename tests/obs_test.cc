@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace seal::obs {
+namespace {
+
+TEST(Counter, SingleThreadSums) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(Counter, ShardedIncrementsAreNotLostUnderThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, DisabledIncrementsAreDropped) {
+  Counter c;
+  SetEnabled(false);
+  c.Add(100);
+  SetEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(Gauge, SetAddAndMax) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.SetMax(5);  // below: no effect
+  EXPECT_EQ(g.Value(), 7);
+  g.SetMax(99);
+  EXPECT_EQ(g.Value(), 99);
+}
+
+TEST(Histogram, BucketIndexIsFloorLog2Plus1) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(Histogram, BucketBoundsPartitionTheRange) {
+  // Bucket i admits exactly (BucketUpperBound(i-1), BucketUpperBound(i)].
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{7}, uint64_t{4096}, UINT64_MAX}) {
+    size_t b = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1));
+    }
+  }
+}
+
+TEST(Histogram, ObserveCountsSumsAndBuckets) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1000);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 1006u);
+  std::array<uint64_t, kHistogramBuckets> buckets;
+  h.CollectBuckets(&buckets);
+  EXPECT_EQ(buckets[0], 1u);  // 0
+  EXPECT_EQ(buckets[1], 1u);  // 1
+  EXPECT_EQ(buckets[2], 2u);  // 2, 3
+  EXPECT_EQ(buckets[10], 1u);  // 1000
+}
+
+TEST(Histogram, ConcurrentObservationsAreNotLost) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, ApproxPercentileReturnsBucketUpperBound) {
+  HistogramSnapshot snap;
+  // 90 observations of value 1, 10 of value ~1000.
+  snap.buckets[1] = 90;
+  snap.buckets[10] = 10;
+  snap.count = 100;
+  EXPECT_EQ(snap.ApproxPercentile(0.5), 1u);
+  EXPECT_EQ(snap.ApproxPercentile(0.99), 1023u);
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.ApproxPercentile(0.5), 0u);
+}
+
+TEST(Registry, InternsByNameAndSnapshots) {
+  Registry& r = Registry::Global();
+  Counter& a = r.GetCounter("obs_test_interned_total");
+  Counter& b = r.GetCounter("obs_test_interned_total");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Add(7);
+  r.GetGauge("obs_test_gauge").Set(-5);
+  r.GetHistogram("obs_test_hist").Observe(12);
+  Snapshot snap = r.TakeSnapshot();
+  EXPECT_EQ(snap.counter("obs_test_interned_total"), 7u);
+  EXPECT_EQ(snap.gauge("obs_test_gauge"), -5);
+  ASSERT_NE(snap.histogram("obs_test_hist"), nullptr);
+  EXPECT_GE(snap.histogram("obs_test_hist")->count, 1u);
+  EXPECT_EQ(snap.counter("obs_test_no_such_metric"), 0u);
+}
+
+TEST(Registry, SnapshotIsMonotoneUnderConcurrentWriters) {
+  Registry& r = Registry::Global();
+  Counter& c = r.GetCounter("obs_test_monotone_total");
+  c.Reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      c.Increment();
+    }
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t now = r.TakeSnapshot().counter("obs_test_monotone_total");
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  writer.join();
+  // A final snapshot sees every increment (writer has joined).
+  EXPECT_EQ(r.TakeSnapshot().counter("obs_test_monotone_total"), c.Value());
+}
+
+TEST(Registry, CounterFamilyTotalSumsLabelledVariants) {
+  Registry& r = Registry::Global();
+  r.GetCounter("obs_test_family_total").Reset();
+  r.GetCounter("obs_test_family_total{kind=\"a\"}").Reset();
+  r.GetCounter("obs_test_family_total{kind=\"b\"}").Reset();
+  r.GetCounter("obs_test_family_total_other").Reset();  // different family
+  r.GetCounter("obs_test_family_total").Add(1);
+  r.GetCounter("obs_test_family_total{kind=\"a\"}").Add(2);
+  r.GetCounter("obs_test_family_total{kind=\"b\"}").Add(4);
+  r.GetCounter("obs_test_family_total_other").Add(100);
+  Snapshot snap = r.TakeSnapshot();
+  EXPECT_EQ(snap.CounterFamilyTotal("obs_test_family_total"), 7u);
+}
+
+TEST(Registry, PrometheusTextExport) {
+  Registry& r = Registry::Global();
+  r.GetCounter("obs_test_export_total{kind=\"x\"}").Reset();
+  r.GetCounter("obs_test_export_total{kind=\"x\"}").Add(3);
+  r.GetHistogram("obs_test_export_nanos").Reset();
+  r.GetHistogram("obs_test_export_nanos").Observe(5);
+  std::string text = r.ExportText();
+  EXPECT_NE(text.find("# TYPE obs_test_export_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_export_total{kind=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_export_nanos histogram"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_export_nanos_bucket{le=\"7\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_export_nanos_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_export_nanos_count 1"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesEverythingButKeepsReferences) {
+  Registry& r = Registry::Global();
+  Counter& c = r.GetCounter("obs_test_reset_total");
+  c.Add(9);
+  r.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(2);  // the cached reference still works
+  EXPECT_EQ(r.TakeSnapshot().counter("obs_test_reset_total"), 2u);
+}
+
+}  // namespace
+}  // namespace seal::obs
