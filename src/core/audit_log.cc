@@ -6,9 +6,6 @@
 
 #include "src/common/clock.h"
 
-#include "src/crypto/drbg.h"
-#include "src/crypto/gcm.h"
-
 namespace seal::core {
 
 namespace {
@@ -46,32 +43,21 @@ Result<Bytes> ReadFile(const std::string& path) {
 
 std::string SigPath(const std::string& path) { return path + ".sig"; }
 
-// Encrypts one framed record when a key is configured.
-Bytes MaybeEncrypt(const Bytes& key, BytesView plain) {
-  if (key.empty()) {
-    return Bytes(plain.begin(), plain.end());
-  }
-  crypto::Aes128Gcm gcm(key);
-  Bytes nonce = crypto::ProcessDrbg().Generate(crypto::kGcmNonceSize);
-  Bytes out = nonce;
-  Append(out, gcm.Seal(nonce, {}, plain));
-  return out;
-}
-
-Result<Bytes> MaybeDecrypt(const Bytes& key, BytesView wire) {
-  if (key.empty()) {
+// Decrypts one framed record. `cipher` is the per-file cached context, or
+// null for a sign-only log.
+Result<Bytes> MaybeDecrypt(const crypto::Aes128Gcm* cipher, BytesView wire) {
+  if (cipher == nullptr) {
     return Bytes(wire.begin(), wire.end());
   }
   if (wire.size() < crypto::kGcmNonceSize + crypto::kGcmTagSize) {
     return DataLoss("encrypted log record too short");
   }
-  crypto::Aes128Gcm gcm(key);
-  auto plain = gcm.Open(wire.subspan(0, crypto::kGcmNonceSize), {},
-                        wire.subspan(crypto::kGcmNonceSize));
-  if (!plain.has_value()) {
+  Bytes plain(wire.size() - crypto::kGcmNonceSize - crypto::kGcmTagSize);
+  if (!cipher->OpenInto(wire.subspan(0, crypto::kGcmNonceSize), {},
+                        wire.subspan(crypto::kGcmNonceSize), plain.data())) {
     return PermissionDenied("log record decryption failed");
   }
-  return *plain;
+  return plain;
 }
 
 }  // namespace
@@ -151,13 +137,17 @@ AuditLog::AuditLog(AuditLogOptions options, crypto::EcdsaPrivateKey signing_key)
       signing_key_(std::move(signing_key)),
       counter_(std::make_unique<rote::RoteCounter>(options_.counter_options)),
       chain_head_(crypto::kSha256DigestSize, 0) {
+  if (!options_.encryption_key.empty()) {
+    cipher_ = std::make_unique<crypto::Aes128Gcm>(options_.encryption_key);
+    nonce_seq_ = std::make_unique<crypto::GcmNonceSequence>();
+  }
   if (options_.mode == PersistenceMode::kDisk && !options_.path.empty()) {
     // Truncate any stale log from a previous run.
     (void)WriteFile(options_.path, {}, /*append=*/false);
   }
 }
 
-AuditLog::~AuditLog() = default;
+AuditLog::~AuditLog() { (void)FlushPersisted(); }
 
 Status AuditLog::ExecuteSchema(const std::vector<std::string>& statements) {
   for (const std::string& sql : statements) {
@@ -196,16 +186,43 @@ Status AuditLog::Append(const std::string& table, db::Row values, int64_t wall_n
   return Status::Ok();
 }
 
+Bytes AuditLog::EncodeRecord(BytesView plain) {
+  if (cipher_ == nullptr) {
+    return Bytes(plain.begin(), plain.end());
+  }
+  Bytes out(crypto::kGcmNonceSize + plain.size() + crypto::kGcmTagSize);
+  nonce_seq_->Next(out.data());
+  cipher_->SealInto(BytesView(out.data(), crypto::kGcmNonceSize), {}, plain,
+                    out.data() + crypto::kGcmNonceSize);
+  return out;
+}
+
+void AuditLog::AppendFramedRecord(Bytes& out, const LogEntry& entry) {
+  Bytes record = EncodeRecord(entry.Serialize());
+  AppendBe32(out, static_cast<uint32_t>(record.size()));
+  seal::Append(out, record);
+}
+
 Status AuditLog::PersistEntry(const LogEntry& entry) {
-  Bytes framed;
-  Bytes record = MaybeEncrypt(options_.encryption_key, entry.Serialize());
-  AppendBe32(framed, static_cast<uint32_t>(record.size()));
-  seal::Append(framed, record);
-  persisted_bytes_ += framed.size();
-  return WriteFile(options_.path, framed, /*append=*/true);
+  // Stage only: the write (one syscall for a whole batch) happens at
+  // FlushPersisted/CommitHead, so a burst of appends costs one flush.
+  size_t before = pending_persist_.size();
+  AppendFramedRecord(pending_persist_, entry);
+  persisted_bytes_ += pending_persist_.size() - before;
+  return Status::Ok();
+}
+
+Status AuditLog::FlushPersisted() {
+  if (options_.mode != PersistenceMode::kDisk || pending_persist_.empty()) {
+    return Status::Ok();
+  }
+  Bytes batch = std::move(pending_persist_);
+  pending_persist_.clear();
+  return WriteFile(options_.path, batch, /*append=*/true);
 }
 
 Status AuditLog::CommitHead() {
+  SEAL_RETURN_IF_ERROR(FlushPersisted());
   if (options_.mode != PersistenceMode::kDisk) {
     // Nothing persisted means nothing to roll back: the counter round is
     // only needed when the log leaves the enclave.
@@ -294,11 +311,12 @@ Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
 }
 
 Status AuditLog::RewritePersistedLog() {
+  // The rewrite replaces the whole file, so anything staged but unflushed
+  // is superseded.
+  pending_persist_.clear();
   Bytes all;
   for (const LogEntry& entry : entries_) {
-    Bytes record = MaybeEncrypt(options_.encryption_key, entry.Serialize());
-    AppendBe32(all, static_cast<uint32_t>(record.size()));
-    seal::Append(all, record);
+    AppendFramedRecord(all, entry);
   }
   persisted_bytes_ = all.size();
   return WriteFile(options_.path, all, /*append=*/false);
@@ -309,6 +327,10 @@ Result<std::vector<LogEntry>> AuditLog::ReadVerifiedEntries(const std::string& p
   auto data = ReadFile(path);
   if (!data.ok()) {
     return data.status();
+  }
+  std::optional<crypto::Aes128Gcm> cipher;
+  if (!encryption_key.empty()) {
+    cipher.emplace(encryption_key);
   }
   std::vector<LogEntry> entries;
   size_t off = 0;
@@ -321,7 +343,7 @@ Result<std::vector<LogEntry>> AuditLog::ReadVerifiedEntries(const std::string& p
     if (off + len > data->size()) {
       return DataLoss("truncated record body");
     }
-    auto plain = MaybeDecrypt(encryption_key, BytesView(*data).subspan(off, len));
+    auto plain = MaybeDecrypt(cipher ? &*cipher : nullptr, BytesView(*data).subspan(off, len));
     if (!plain.ok()) {
       return plain.status();
     }
@@ -344,6 +366,10 @@ Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
   if (!data.ok()) {
     return data.status();
   }
+  std::optional<crypto::Aes128Gcm> cipher;
+  if (!encryption_key.empty()) {
+    cipher.emplace(encryption_key);
+  }
   Bytes head(crypto::kSha256DigestSize, 0);
   size_t off = 0;
   size_t count = 0;
@@ -356,7 +382,7 @@ Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
     if (off + len > data->size()) {
       return DataLoss("truncated record body");
     }
-    auto plain = MaybeDecrypt(encryption_key, BytesView(*data).subspan(off, len));
+    auto plain = MaybeDecrypt(cipher ? &*cipher : nullptr, BytesView(*data).subspan(off, len));
     if (!plain.ok()) {
       return plain.status();
     }

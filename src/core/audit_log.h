@@ -16,6 +16,7 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/crypto/ecdsa.h"
+#include "src/crypto/gcm.h"
 #include "src/crypto/sha256.h"
 #include "src/db/database.h"
 #include "src/rote/rote.h"
@@ -58,13 +59,20 @@ class AuditLog {
   Status ExecuteSchema(const std::vector<std::string>& statements);
 
   // Appends one tuple: inserts into the database, extends the hash chain
-  // and (in kDisk mode) flushes the entry. `wall_nanos` (0 = sample now)
-  // orders entries across instances at merge time.
+  // and (in kDisk mode) stages the framed — and, with a key, encrypted —
+  // entry for the next flush. `wall_nanos` (0 = sample now) orders entries
+  // across instances at merge time.
   Status Append(const std::string& table, db::Row values, int64_t wall_nanos = 0);
 
-  // Synchronously commits the current chain head: signature + monotonic
-  // counter round + head-file write. In kDisk mode the logger calls this
-  // once per request/response pair.
+  // Writes all staged entries to the log file. A no-op in kMemory mode.
+  // CommitHead flushes first, so a committed head always covers everything
+  // on disk; callers only need this directly when inspecting the file
+  // between commits.
+  Status FlushPersisted();
+
+  // Synchronously commits the current chain head: staged-entry flush +
+  // signature + monotonic counter round + head-file write. In kDisk mode
+  // the logger calls this once per drained batch.
   Status CommitHead();
 
   // Runs a read-only query (invariant checking).
@@ -107,15 +115,26 @@ class AuditLog {
   Status PersistEntry(const LogEntry& entry);
   Status RewritePersistedLog();
   Bytes ExtendChain(const Bytes& head, const LogEntry& entry) const;
+  // nonce || ciphertext || tag with a key configured, the plain serialised
+  // entry otherwise.
+  Bytes EncodeRecord(BytesView plain);
+  void AppendFramedRecord(Bytes& out, const LogEntry& entry);
 
   AuditLogOptions options_;
   crypto::EcdsaPrivateKey signing_key_;
   db::Database db_;
   std::unique_ptr<rote::RoteCounter> counter_;
+  // Cached cipher context + nonce source (null/unused without a key): one
+  // key schedule + GHASH table for the log's lifetime instead of one per
+  // record.
+  std::unique_ptr<crypto::Aes128Gcm> cipher_;
+  std::unique_ptr<crypto::GcmNonceSequence> nonce_seq_;
 
   Bytes chain_head_;  // SHA-256 of the chain so far
   size_t entries_logged_ = 0;
   uint64_t persisted_bytes_ = 0;
+  // Framed records appended since the last flush (kDisk mode).
+  Bytes pending_persist_;
   // Kept for chain recomputation on trim: the serialised entries in order.
   std::vector<LogEntry> entries_;
 };

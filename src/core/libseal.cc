@@ -51,10 +51,6 @@ struct ExDataArgs {
   void* data;
 };
 
-// Buffered-message cap: an audited connection that never completes an HTTP
-// message must not grow without bound.
-constexpr size_t kAuditBufferCap = 8 * 1024 * 1024;
-
 bool CaseInsensitiveContains(const std::string& haystack, std::string_view needle) {
   auto it = std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end(),
                         [](char a, char b) {
@@ -66,36 +62,113 @@ bool CaseInsensitiveContains(const std::string& haystack, std::string_view needl
 
 }  // namespace
 
+std::optional<size_t> ContentLengthFromHeaders(std::string_view headers) {
+  constexpr std::string_view kName = "content-length:";
+  size_t content_length = 0;
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    std::string_view line =
+        headers.substr(pos, (eol == std::string_view::npos ? headers.size() : eol) - pos);
+    pos = eol == std::string_view::npos ? headers.size() : eol + 2;
+    if (line.size() < kName.size()) {
+      continue;
+    }
+    bool is_content_length = true;
+    for (size_t i = 0; i < kName.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
+        is_content_length = false;
+        break;
+      }
+    }
+    if (!is_content_length) {
+      continue;
+    }
+    std::string_view value = line.substr(kName.size());
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    // Strict digits-only parse: strtoul-style tolerance of trailing
+    // garbage, signs or silent overflow would let a hostile peer desync
+    // the framing from what the application sees.
+    if (value.empty()) {
+      return std::nullopt;
+    }
+    uint64_t parsed = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        return std::nullopt;
+      }
+      if (parsed > (kAuditBufferCap - (c - '0')) / 10) {
+        return std::nullopt;  // would exceed the cap (or overflow)
+      }
+      parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+    }
+    content_length = parsed;  // last occurrence wins
+  }
+  return content_length;
+}
+
 std::optional<std::string> TryExtractHttpMessage(std::string& buffer) {
   size_t header_end = buffer.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     return std::nullopt;
   }
-  size_t body_start = header_end + 4;
-  // Scan the header block for Content-Length.
-  size_t content_length = 0;
-  size_t pos = 0;
-  while (pos < header_end) {
-    size_t eol = buffer.find("\r\n", pos);
-    if (eol == std::string::npos || eol > header_end) {
-      eol = header_end;
-    }
-    std::string line = buffer.substr(pos, eol - pos);
-    std::string lower = line;
-    std::transform(lower.begin(), lower.end(), lower.begin(),
-                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-    if (lower.rfind("content-length:", 0) == 0) {
-      content_length = std::strtoul(line.c_str() + 15, nullptr, 10);
-    }
-    pos = eol + 2;
+  auto content_length = ContentLengthFromHeaders(std::string_view(buffer).substr(0, header_end));
+  if (!content_length.has_value()) {
+    return std::nullopt;
   }
-  size_t total = body_start + content_length;
+  size_t total = header_end + 4 + *content_length;
   if (buffer.size() < total) {
     return std::nullopt;
   }
   std::string message = buffer.substr(0, total);
   buffer.erase(0, total);
   return message;
+}
+
+std::optional<std::string> HttpMessageBuffer::TryExtract() {
+  if (poisoned_) {
+    return std::nullopt;
+  }
+  if (!framed_) {
+    // Resume the terminator search where the last one stopped; back up
+    // three bytes in case the "\r\n\r\n" straddles the old chunk boundary.
+    size_t from = scan_offset_ > 3 ? scan_offset_ - 3 : 0;
+    size_t header_end = buffer_.find("\r\n\r\n", from);
+    if (header_end == std::string::npos) {
+      scan_offset_ = buffer_.size();
+      return std::nullopt;
+    }
+    auto content_length =
+        ContentLengthFromHeaders(std::string_view(buffer_).substr(0, header_end));
+    if (!content_length.has_value()) {
+      poisoned_ = true;
+      return std::nullopt;
+    }
+    total_ = header_end + 4 + *content_length;
+    framed_ = true;
+  }
+  if (buffer_.size() < total_) {
+    return std::nullopt;
+  }
+  std::string message = buffer_.substr(0, total_);
+  buffer_.erase(0, total_);
+  framed_ = false;
+  scan_offset_ = 0;
+  total_ = 0;
+  return message;
+}
+
+void HttpMessageBuffer::Clear() {
+  buffer_.clear();
+  scan_offset_ = 0;
+  total_ = 0;
+  framed_ = false;
+  poisoned_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -152,8 +225,8 @@ struct LibSealRuntime::TrustedConn {
   tls::Role role = tls::Role::kServer;
 
   // Auditing accumulators (server-role connections only).
-  std::string request_buffer;
-  std::string response_buffer;
+  HttpMessageBuffer request_buffer;
+  HttpMessageBuffer response_buffer;
   std::deque<std::string> pending_requests;
   bool check_requested = false;
 };
@@ -304,15 +377,15 @@ void LibSealRuntime::RegisterInterface() {
     conn->outside->bytes_read += *n;
     // Auditing: observe the decrypted request stream (§5.1).
     if (logger_ != nullptr && conn->role == tls::Role::kServer && *n > 0) {
-      conn->request_buffer.append(reinterpret_cast<char*>(args->buf), *n);
-      while (auto message = TryExtractHttpMessage(conn->request_buffer)) {
+      conn->request_buffer.Append(reinterpret_cast<char*>(args->buf), *n);
+      while (auto message = conn->request_buffer.TryExtract()) {
         if (CaseInsensitiveContains(*message, "libseal-check:")) {
           conn->check_requested = true;
         }
         conn->pending_requests.push_back(std::move(*message));
       }
-      if (conn->request_buffer.size() > kAuditBufferCap) {
-        conn->request_buffer.clear();  // non-HTTP traffic: stop accumulating
+      if (conn->request_buffer.poisoned() || conn->request_buffer.size() > kAuditBufferCap) {
+        conn->request_buffer.Clear();  // non-HTTP traffic: stop accumulating
       }
     }
   });
@@ -338,10 +411,10 @@ void LibSealRuntime::RegisterInterface() {
     // Audited path: hold response bytes until a complete message is
     // available, log the pair, optionally attach the in-band check result,
     // then encrypt and send.
-    conn->response_buffer.append(reinterpret_cast<char*>(args->buf), args->len);
+    conn->response_buffer.Append(reinterpret_cast<char*>(args->buf), args->len);
     args->result = static_cast<int64_t>(args->len);
     conn->outside->bytes_written += args->len;
-    while (auto message = TryExtractHttpMessage(conn->response_buffer)) {
+    while (auto message = conn->response_buffer.TryExtract()) {
       std::string request;
       if (!conn->pending_requests.empty()) {
         request = std::move(conn->pending_requests.front());
@@ -349,7 +422,7 @@ void LibSealRuntime::RegisterInterface() {
       }
       bool force_check = conn->check_requested;
       conn->check_requested = false;
-      auto report = logger_->OnPair(request, *message, force_check);
+      auto report = logger_->OnPair(args->conn_id, request, *message, force_check);
       if (!report.ok()) {
         args->result = -1;
         return;
@@ -375,12 +448,13 @@ void LibSealRuntime::RegisterInterface() {
         return;
       }
     }
-    if (conn->response_buffer.size() > kAuditBufferCap) {
-      // Non-HTTP response stream: fall back to pass-through.
+    if (conn->response_buffer.poisoned() || conn->response_buffer.size() > kAuditBufferCap) {
+      // Non-HTTP response stream (or an unframeable Content-Length): fall
+      // back to pass-through so the client still gets the bytes.
+      std::string_view held = conn->response_buffer.view();
       Status status = conn->tls->Write(
-          BytesView(reinterpret_cast<const uint8_t*>(conn->response_buffer.data()),
-                    conn->response_buffer.size()));
-      conn->response_buffer.clear();
+          BytesView(reinterpret_cast<const uint8_t*>(held.data()), held.size()));
+      conn->response_buffer.Clear();
       if (!status.ok()) {
         args->result = -1;
       }

@@ -27,7 +27,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/asyncall/asyncall.h"
 #include "src/core/logger.h"
@@ -179,10 +181,58 @@ class LibSealRuntime {
   int ocall_alloc_ = -1;
 };
 
+// Buffered-message cap: an audited connection that never completes an HTTP
+// message must not grow without bound, and no valid Content-Length may
+// promise a body larger than this.
+inline constexpr size_t kAuditBufferCap = 8 * 1024 * 1024;
+
+// Incremental HTTP/1.1 message framer (Content-Length framing) for the
+// audited plaintext streams. Bytes are appended as they arrive; complete
+// messages come off the front. Parsing works in place over string_views and
+// resumes the header-terminator search from where the previous attempt
+// stopped, so a message delivered in many small chunks costs one scan of
+// each byte instead of one scan per chunk.
+class HttpMessageBuffer {
+ public:
+  // Adds newly decrypted bytes to the stream.
+  void Append(const char* data, size_t len) { buffer_.append(data, len); }
+
+  // Removes and returns one complete message, or nullopt when the stream
+  // is incomplete or poisoned.
+  std::optional<std::string> TryExtract();
+
+  // A malformed Content-Length (non-numeric, overflowing, or promising more
+  // than kAuditBufferCap) poisons the stream: it cannot be framed, so the
+  // caller should stop accumulating and fall back to pass-through.
+  bool poisoned() const { return poisoned_; }
+
+  size_t size() const { return buffer_.size(); }
+  std::string_view view() const { return buffer_; }
+
+  // Drops all buffered bytes and parser state (including poisoning).
+  void Clear();
+
+ private:
+  std::string buffer_;
+  size_t scan_offset_ = 0;  // the "\r\n\r\n" search resumes here
+  // Parsed framing of the message at the front, valid once the header
+  // block is complete.
+  size_t total_ = 0;
+  bool framed_ = false;
+  bool poisoned_ = false;
+};
+
 // Extracts one complete HTTP message (Content-Length framing) from the
-// front of `buffer`, removing it. Returns nullopt when incomplete.
-// Exposed for testing.
+// front of `buffer`, removing it. Returns nullopt when incomplete or when
+// the Content-Length header is invalid. Exposed for testing; the runtime
+// itself uses HttpMessageBuffer.
 std::optional<std::string> TryExtractHttpMessage(std::string& buffer);
+
+// Strict Content-Length extraction over a header block (request/status line
+// included; the last occurrence wins). Returns the length, 0 when absent,
+// or nullopt when a value is non-numeric, overflows, or exceeds
+// kAuditBufferCap. Surrounding spaces/tabs are tolerated.
+std::optional<size_t> ContentLengthFromHeaders(std::string_view headers);
 
 }  // namespace seal::core
 

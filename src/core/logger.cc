@@ -1,11 +1,19 @@
 #include "src/core/logger.h"
 
-#include <algorithm>
+#include <chrono>
 
 #include "src/common/clock.h"
 #include "src/obs/obs.h"
 
 namespace seal::core {
+
+namespace {
+
+// Batch cap: under sustained load the sequencer hands off to a successor
+// instead of growing one batch (and its waiters' latency) without bound.
+constexpr size_t kMaxBatchPairs = 256;
+
+}  // namespace
 
 std::string CheckReport::Summary() const {
   if (violations.empty()) {
@@ -24,63 +32,189 @@ AuditLogger::AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions 
       log_(std::move(log_options), std::move(signing_key)),
       options_(logger_options) {}
 
+AuditLogger::~AuditLogger() = default;
+
 Status AuditLogger::Init() {
   SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Schema()));
   return log_.ExecuteSchema(module_->Views());
 }
 
-Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
+Result<std::optional<CheckReport>> AuditLogger::OnPair(uint64_t conn_id, std::string_view request,
                                                        std::string_view response,
                                                        bool force_check) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  int64_t time = next_time_++;
-  std::vector<LogTuple> tuples;
-  module_->Log(request, response, time, &tuples);
-  for (LogTuple& tuple : tuples) {
+  const int64_t t0 = NowNanos();
+  PendingPair op;
+  op.time = next_time_.fetch_add(1, std::memory_order_relaxed);
+  op.force_check = force_check;
+  // Parse outside any lock: SSMs are stateless, so only the ticket above
+  // needs to be ordered.
+  module_->Log(request, response, op.time, &op.tuples);
+
+  Shard& shard = shards_[conn_id % kAppendShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.staged.empty()) {
+      SEAL_OBS_COUNTER("logger_shard_contention_total").Increment();
+    }
+    shard.staged.push_back(&op);
+  }
+
+  // Group commit: either become the sequencer and drain (which, with no
+  // contention, processes exactly our own pair), or wait for the running
+  // sequencer to drain us. The timeout covers the window where the
+  // sequencer finished collecting just before we staged: someone must
+  // re-attempt the drain, and 200µs bounds how long a gap in the ticket
+  // sequence (a thread between ticket and stage) can hold everyone up.
+  for (;;) {
+    if (drain_mutex_.try_lock()) {
+      DrainStagedLocked();
+      drain_mutex_.unlock();
+    }
+    std::unique_lock<std::mutex> lk(op.m);
+    if (op.cv.wait_for(lk, std::chrono::microseconds(200), [&] { return op.done; })) {
+      break;
+    }
+  }
+
+  SEAL_OBS_HISTOGRAM("logger_append_nanos").Observe(static_cast<uint64_t>(NowNanos() - t0));
+  if (!op.status.ok()) {
+    return op.status;
+  }
+  return std::move(op.report);
+}
+
+void AuditLogger::DrainStagedLocked() {
+  std::vector<PendingPair*> drained;
+  for (;;) {
+    bool collected = false;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.staged.empty()) {
+        continue;
+      }
+      collected = true;
+      for (PendingPair* op : shard.staged) {
+        reorder_.emplace(op->time, op);
+      }
+      shard.staged.clear();
+    }
+    bool processed = false;
+    for (auto it = reorder_.find(next_drain_time_);
+         it != reorder_.end() && drained.size() < kMaxBatchPairs;
+         it = reorder_.find(next_drain_time_)) {
+      PendingPair* op = it->second;
+      reorder_.erase(it);
+      ++next_drain_time_;
+      ProcessPairLocked(op);
+      drained.push_back(op);
+      processed = true;
+    }
+    // Keep sweeping while pairs arrive: a stage racing the collection above
+    // would otherwise wait a full timeout round. Stop on a quiet sweep, a
+    // ticket gap, or a full batch.
+    if ((!collected && !processed) || drained.size() >= kMaxBatchPairs) {
+      break;
+    }
+  }
+  if (drained.empty()) {
+    return;
+  }
+  // One head commit covers the whole batch (any check along the way
+  // already committed its prefix).
+  (void)CommitIfDirtyLocked();
+  SEAL_OBS_COUNTER("logger_batches_total").Increment();
+  SEAL_OBS_HISTOGRAM("logger_batch_pairs").Observe(drained.size());
+  for (PendingPair* op : drained) {
+    // Waiters re-check `done` under op->m and may destroy the pair the
+    // moment we release it, so the notify must happen under the lock.
+    std::lock_guard<std::mutex> lk(op->m);
+    op->done = true;
+    op->cv.notify_all();
+  }
+}
+
+Status AuditLogger::CommitIfDirtyLocked() {
+  if (!dirty_since_commit_) {
+    return Status::Ok();
+  }
+  Status status = log_.CommitHead();
+  if (!status.ok()) {
+    for (PendingPair* op : uncommitted_) {
+      if (op->status.ok()) {
+        op->status = status;
+      }
+    }
+  }
+  dirty_since_commit_ = false;
+  uncommitted_.clear();
+  return status;
+}
+
+void AuditLogger::ProcessPairLocked(PendingPair* op) {
+  for (LogTuple& tuple : op->tuples) {
     db::Row row;
-    row.push_back(db::Value(time));
+    row.push_back(db::Value(op->time));
     for (db::Value& v : tuple.values) {
       row.push_back(std::move(v));
     }
-    SEAL_RETURN_IF_ERROR(log_.Append(tuple.table, std::move(row)));
+    Status s = log_.Append(tuple.table, std::move(row));
+    if (!s.ok()) {
+      op->status = s;
+      return;
+    }
   }
-  ++pairs_logged_;
+  pairs_logged_.fetch_add(1, std::memory_order_relaxed);
   SEAL_OBS_COUNTER("logger_pairs_total").Increment();
-  SEAL_OBS_COUNTER("logger_tuples_total").Add(tuples.size());
-  if (!tuples.empty()) {
+  SEAL_OBS_COUNTER("logger_tuples_total").Add(op->tuples.size());
+  if (!op->tuples.empty()) {
     // Only pairs that actually appended tuples advance the check interval:
     // unparseable or uninteresting traffic adds nothing worth re-checking.
     ++pairs_since_check_;
-    SEAL_RETURN_IF_ERROR(log_.CommitHead());
+    dirty_since_commit_ = true;
+    uncommitted_.push_back(op);
   }
 
-  bool interval_check =
-      options_.check_interval > 0 && pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
+  bool interval_check = options_.check_interval > 0 &&
+                        pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
   bool forced = false;
-  if (force_check && !interval_check) {
+  if (op->force_check && !interval_check) {
     // Rate-limit client-triggered checks (§6.3). A demand landing on an
     // interval boundary is satisfied by the interval check for free and
     // leaves the forced budget untouched.
     forced = options_.forced_check_min_gap == 0 || last_forced_check_pair_ < 0 ||
-             pairs_logged_ - last_forced_check_pair_ >=
+             pairs_logged_.load(std::memory_order_relaxed) - last_forced_check_pair_ >=
                  static_cast<int64_t>(options_.forced_check_min_gap);
   }
   if (!interval_check && !forced) {
-    return std::optional<CheckReport>();
+    return;
   }
   if (forced) {
-    last_forced_check_pair_ = pairs_logged_;
+    last_forced_check_pair_ = pairs_logged_.load(std::memory_order_relaxed);
     SEAL_OBS_COUNTER("logger_checks_total{trigger=\"forced\"}").Increment();
   } else {
     SEAL_OBS_COUNTER("logger_checks_total{trigger=\"interval\"}").Increment();
   }
   pairs_since_check_ = 0;
 
+  // Bind the head to everything appended so far before producing evidence.
+  Status commit_status = CommitIfDirtyLocked();
+  if (!commit_status.ok()) {
+    op->status = commit_status;
+    return;
+  }
   CheckReport report;
-  SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
+  Status check_status = RunChecksLocked(&report);
+  if (!check_status.ok()) {
+    op->status = check_status;
+    return;
+  }
   int64_t trim_start = NowNanos();
   size_t deleted = 0;
-  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
+  Status trim_status = log_.Trim(module_->TrimmingQueries(), &deleted);
+  if (!trim_status.ok()) {
+    op->status = trim_status;
+    return;
+  }
   if (deleted > 0) {
     // Rows left the log, so the deltas past the watermarks no longer
     // describe it: the next check scans whatever survived in full.
@@ -91,7 +225,7 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(std::string_view request,
   SEAL_OBS_COUNTER("logger_trimmed_rows_total").Add(deleted);
   SEAL_OBS_HISTOGRAM("logger_trim_nanos").Observe(static_cast<uint64_t>(report.trim_nanos));
   last_report_ = report;
-  return std::optional<CheckReport>(std::move(report));
+  op->report = std::move(report);
 }
 
 void AuditLogger::EnsureInvariantsLocked() {
@@ -115,9 +249,10 @@ void AuditLogger::ResetWatermarksLocked() {
 Status AuditLogger::RunChecksLocked(CheckReport* report) {
   EnsureInvariantsLocked();
   int64_t check_start = NowNanos();
-  // No logged tuple carries a time newer than this; a clean check covers
-  // everything up to it.
-  const int64_t horizon = next_time_ - 1;
+  // Every tuple with time < next_drain_time_ has been drained into the
+  // database; later tickets may still be in flight, so a clean check may
+  // only advance watermarks up to here.
+  const int64_t horizon = next_drain_time_ - 1;
   for (size_t i = 0; i < invariants_.size(); ++i) {
     const Invariant& invariant = invariants_[i];
     const bool incremental =
@@ -153,7 +288,8 @@ Status AuditLogger::RunChecksLocked(CheckReport* report) {
 }
 
 Result<CheckReport> AuditLogger::CheckInvariants() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  DrainStagedLocked();  // fold any in-flight pairs in before the scan
   SEAL_OBS_COUNTER("logger_checks_total{trigger=\"manual\"}").Increment();
   CheckReport report;
   SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
@@ -162,7 +298,8 @@ Result<CheckReport> AuditLogger::CheckInvariants() {
 }
 
 Status AuditLogger::Trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  DrainStagedLocked();
   size_t deleted = 0;
   SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
   if (deleted > 0) {
@@ -172,7 +309,7 @@ Status AuditLogger::Trim() {
 }
 
 int64_t AuditLogger::watermark_for_testing(size_t invariant_index) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(drain_mutex_);
   return invariant_index < watermarks_.size() ? watermarks_[invariant_index] : -1;
 }
 

@@ -1,9 +1,24 @@
 // The LibSEAL logger: feeds request/response pairs through the service-
 // specific module into the audit log, runs invariant checks (periodically
 // or on client demand via the Libseal-Check header) and trims the log.
+//
+// Concurrency model (§6.3 scalability): OnPair parses the pair OUTSIDE any
+// lock (SSMs are stateless), stamps it with a logical-time ticket and
+// stages it in one of kAppendShards intake shards keyed by connection id.
+// Whichever thread wins `drain_mutex_` becomes the sequencer: it sweeps
+// the shards, replays staged pairs in strict ticket order into the hash
+// chain + seadb, fires any triggered checks from the drain step, and
+// commits the head once per batch (group commit). Every other thread just
+// waits for its own pair to be drained, so OnPair keeps its synchronous
+// contract — when it returns in kDisk mode, the entry is flushed, counted
+// and signed — without a global lock on the parse or persist work.
 #ifndef SRC_CORE_LOGGER_H_
 #define SRC_CORE_LOGGER_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -14,6 +29,10 @@
 #include "src/core/service_module.h"
 
 namespace seal::core {
+
+// Intake shards for OnPair staging. Connection ids hash onto shards, so
+// concurrent connections rarely contend on the same staging lock.
+inline constexpr size_t kAppendShards = 8;
 
 // Outcome of one invariant-checking round.
 struct CheckReport {
@@ -53,15 +72,22 @@ class AuditLogger {
  public:
   AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions log_options,
               LoggerOptions logger_options, crypto::EcdsaPrivateKey signing_key);
+  ~AuditLogger();
 
   // Creates the SSM's schema. Must be called once before pairs flow.
   Status Init();
 
   // Processes one request/response pair: parse, log, persist, and --- when
   // the interval elapses or `force_check` is set --- check and trim.
-  // Returns the check report if a check ran this round.
+  // Returns the check report if a check ran this round. `conn_id` selects
+  // the intake shard; pairs from one connection stay ordered because each
+  // caller processes its connection's pairs sequentially.
+  Result<std::optional<CheckReport>> OnPair(uint64_t conn_id, std::string_view request,
+                                            std::string_view response, bool force_check);
   Result<std::optional<CheckReport>> OnPair(std::string_view request, std::string_view response,
-                                            bool force_check);
+                                            bool force_check) {
+    return OnPair(0, request, response, force_check);
+  }
 
   // Runs all invariants immediately (no trim).
   Result<CheckReport> CheckInvariants();
@@ -71,7 +97,7 @@ class AuditLogger {
 
   AuditLog& log() { return log_; }
   ServiceModule& module() { return *module_; }
-  int64_t pairs_logged() const { return pairs_logged_; }
+  int64_t pairs_logged() const { return pairs_logged_.load(std::memory_order_relaxed); }
   const std::optional<CheckReport>& last_report() const { return last_report_; }
 
   // The incremental watermark of the i-th invariant (in Invariants()
@@ -80,23 +106,69 @@ class AuditLogger {
   int64_t watermark_for_testing(size_t invariant_index) const;
 
  private:
+  // One staged request/response pair, owned by the OnPair frame that
+  // created it; the sequencer only touches it between collection and the
+  // done handshake.
+  struct PendingPair {
+    int64_t time = 0;  // the logical-time ticket, also the drain order
+    std::vector<LogTuple> tuples;
+    bool force_check = false;
+
+    // Filled by the sequencer.
+    Status status;
+    std::optional<CheckReport> report;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::vector<PendingPair*> staged;
+  };
+
+  // Sweeps all shards and replays staged pairs in ticket order; fires
+  // triggered checks and the per-batch commit. Caller holds drain_mutex_.
+  void DrainStagedLocked();
+  // Appends one pair and evaluates its check triggers. Caller holds
+  // drain_mutex_.
+  void ProcessPairLocked(PendingPair* op);
+  // Flushes + commits the head if any tuple landed since the last commit,
+  // propagating a failure into every affected pair. Caller holds
+  // drain_mutex_.
+  Status CommitIfDirtyLocked();
   // Loads and caches the SSM's invariant list (watermarks are per cached
-  // entry). Caller holds mutex_.
+  // entry). Caller holds drain_mutex_.
   void EnsureInvariantsLocked();
   // Evaluates all invariants into `report`, incrementally where allowed,
   // and advances watermarks of clean monotone invariants. Caller holds
-  // mutex_.
+  // drain_mutex_.
   Status RunChecksLocked(CheckReport* report);
-  // Resets every watermark to "full scan". Caller holds mutex_.
+  // Resets every watermark to "full scan". Caller holds drain_mutex_.
   void ResetWatermarksLocked();
 
   std::unique_ptr<ServiceModule> module_;
   AuditLog log_;
   LoggerOptions options_;
 
-  mutable std::mutex mutex_;
-  int64_t next_time_ = 1;
-  int64_t pairs_logged_ = 0;
+  std::atomic<int64_t> next_time_{1};
+  std::atomic<int64_t> pairs_logged_{0};
+  std::array<Shard, kAppendShards> shards_;
+
+  // The sequencer's critical section: the audit log, the check state and
+  // the reorder buffer below.
+  mutable std::mutex drain_mutex_;
+  // Collected-but-not-yet-processed pairs, keyed by ticket. Pairs are
+  // replayed strictly in ticket order; a gap means some thread holds a
+  // ticket it has not staged yet, and the drain stops until that thread's
+  // own drain attempt (or a later sequencer) fills it.
+  std::map<int64_t, PendingPair*> reorder_;
+  int64_t next_drain_time_ = 1;
+  bool dirty_since_commit_ = false;
+  // Pairs appended since the last successful commit; a commit failure is
+  // reported to all of them.
+  std::vector<PendingPair*> uncommitted_;
   int64_t pairs_since_check_ = 0;
   // pairs_logged_ at the moment the forced-check budget was last spent, or
   // -1 if it never was. An absolute count, not a delta.

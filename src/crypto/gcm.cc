@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/crypto/drbg.h"
+
 namespace seal::crypto {
 
 namespace {
@@ -107,22 +109,59 @@ void Aes128Gcm::GhashBlocks(U128& acc, BytesView data) const {
   }
 }
 
-Bytes Aes128Gcm::CtrCrypt(BytesView nonce, BytesView in, uint32_t initial_counter) const {
-  Bytes out(in.size());
+namespace {
+
+// XORs `n` keystream bytes into dst eight bytes at a time. memcpy keeps the
+// word loads alignment- and strict-aliasing-safe; compilers lower it to
+// plain 64-bit moves.
+inline void XorWords(const uint8_t* src, const uint8_t* ks, uint8_t* dst, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t a;
+    uint64_t k;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&k, ks + i, 8);
+    a ^= k;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) {
+    dst[i] = src[i] ^ ks[i];
+  }
+}
+
+}  // namespace
+
+void Aes128Gcm::CtrCryptInto(BytesView nonce, BytesView in, uint32_t initial_counter,
+                             uint8_t* out) const {
   uint8_t counter_block[16];
   std::memcpy(counter_block, nonce.data(), kGcmNonceSize);
   uint32_t counter = initial_counter;
+  const size_t n = in.size();
   size_t off = 0;
-  uint8_t keystream[16];
-  while (off < in.size()) {
+  uint8_t keystream[64];
+  // Four counter blocks per iteration: the keystream blocks are independent,
+  // so the per-call setup (counter store, function dispatch) amortises and
+  // the XOR runs word-wise over a 64-byte chunk.
+  while (n - off >= 64) {
+    for (int b = 0; b < 4; ++b) {
+      seal::StoreBe32(counter_block + 12, counter++);
+      aes_.EncryptBlock(counter_block, keystream + 16 * b);
+    }
+    XorWords(in.data() + off, keystream, out + off, 64);
+    off += 64;
+  }
+  while (off < n) {
     seal::StoreBe32(counter_block + 12, counter++);
     aes_.EncryptBlock(counter_block, keystream);
-    size_t take = std::min<size_t>(16, in.size() - off);
-    for (size_t i = 0; i < take; ++i) {
-      out[off + i] = in[off + i] ^ keystream[i];
-    }
+    size_t take = std::min<size_t>(16, n - off);
+    XorWords(in.data() + off, keystream, out + off, take);
     off += take;
   }
+}
+
+Bytes Aes128Gcm::CtrCrypt(BytesView nonce, BytesView in, uint32_t initial_counter) const {
+  Bytes out(in.size());
+  CtrCryptInto(nonce, in, initial_counter, out.data());
   return out;
 }
 
@@ -153,11 +192,31 @@ void Aes128Gcm::ComputeTag(BytesView nonce, BytesView aad, BytesView ciphertext,
   }
 }
 
+void Aes128Gcm::SealInto(BytesView nonce, BytesView aad, BytesView plaintext,
+                         uint8_t* out) const {
+  CtrCryptInto(nonce, plaintext, 2, out);
+  ComputeTag(nonce, aad, BytesView(out, plaintext.size()), out + plaintext.size());
+}
+
+bool Aes128Gcm::OpenInto(BytesView nonce, BytesView aad, BytesView ciphertext_and_tag,
+                         uint8_t* out) const {
+  if (ciphertext_and_tag.size() < kGcmTagSize) {
+    return false;
+  }
+  BytesView ciphertext = ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kGcmTagSize);
+  BytesView tag = ciphertext_and_tag.subspan(ciphertext_and_tag.size() - kGcmTagSize);
+  uint8_t expected[16];
+  ComputeTag(nonce, aad, ciphertext, expected);
+  if (!ConstantTimeEqual(BytesView(expected, 16), tag)) {
+    return false;
+  }
+  CtrCryptInto(nonce, ciphertext, 2, out);
+  return true;
+}
+
 Bytes Aes128Gcm::Seal(BytesView nonce, BytesView aad, BytesView plaintext) const {
-  Bytes out = CtrCrypt(nonce, plaintext, 2);
-  uint8_t tag[16];
-  ComputeTag(nonce, aad, out, tag);
-  out.insert(out.end(), tag, tag + 16);
+  Bytes out(plaintext.size() + kGcmTagSize);
+  SealInto(nonce, aad, plaintext, out.data());
   return out;
 }
 
@@ -166,14 +225,29 @@ std::optional<Bytes> Aes128Gcm::Open(BytesView nonce, BytesView aad,
   if (ciphertext_and_tag.size() < kGcmTagSize) {
     return std::nullopt;
   }
-  BytesView ciphertext = ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kGcmTagSize);
-  BytesView tag = ciphertext_and_tag.subspan(ciphertext_and_tag.size() - kGcmTagSize);
-  uint8_t expected[16];
-  ComputeTag(nonce, aad, ciphertext, expected);
-  if (!ConstantTimeEqual(BytesView(expected, 16), tag)) {
+  Bytes out(ciphertext_and_tag.size() - kGcmTagSize);
+  if (!OpenInto(nonce, aad, ciphertext_and_tag, out.data())) {
     return std::nullopt;
   }
-  return CtrCrypt(nonce, ciphertext, 2);
+  return out;
+}
+
+GcmNonceSequence::GcmNonceSequence() {
+  Bytes prefix = ProcessDrbg().Generate(sizeof(prefix_));
+  std::memcpy(prefix_, prefix.data(), sizeof(prefix_));
+}
+
+GcmNonceSequence::GcmNonceSequence(uint32_t prefix) { seal::StoreBe32(prefix_, prefix); }
+
+void GcmNonceSequence::Next(uint8_t out[kGcmNonceSize]) {
+  std::memcpy(out, prefix_, sizeof(prefix_));
+  seal::StoreBe64(out + sizeof(prefix_), counter_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Bytes GcmNonceSequence::Next() {
+  Bytes out(kGcmNonceSize);
+  Next(out.data());
+  return out;
 }
 
 }  // namespace seal::crypto

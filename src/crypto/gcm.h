@@ -2,6 +2,7 @@
 #ifndef SRC_CRYPTO_GCM_H_
 #define SRC_CRYPTO_GCM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -14,7 +15,10 @@ inline constexpr size_t kGcmTagSize = 16;
 inline constexpr size_t kGcmNonceSize = 12;
 
 // AES-128-GCM AEAD. One context per key; nonces must be unique per key
-// (the TLS record layer derives them from the sequence number).
+// (the TLS record layer derives them from the sequence number, the audit
+// log from a GcmNonceSequence). Construction builds the AES key schedule
+// and a 4 KB GHASH table, so callers on hot paths must cache the context
+// instead of rebuilding it per message.
 class Aes128Gcm {
  public:
   explicit Aes128Gcm(BytesView key);
@@ -24,6 +28,13 @@ class Aes128Gcm {
 
   // Input is ciphertext || tag. Returns nullopt on authentication failure.
   std::optional<Bytes> Open(BytesView nonce, BytesView aad, BytesView ciphertext_and_tag) const;
+
+  // Allocation-free variants. SealInto writes plaintext.size() + kGcmTagSize
+  // bytes to `out`; OpenInto writes ciphertext_and_tag.size() - kGcmTagSize
+  // bytes and returns false (touching nothing) on authentication failure.
+  // `out` may not alias the input.
+  void SealInto(BytesView nonce, BytesView aad, BytesView plaintext, uint8_t* out) const;
+  bool OpenInto(BytesView nonce, BytesView aad, BytesView ciphertext_and_tag, uint8_t* out) const;
 
  private:
   struct U128 {
@@ -35,6 +46,7 @@ class Aes128Gcm {
   // (zero-padded at the tail).
   void GhashBlocks(U128& acc, BytesView data) const;
   Bytes CtrCrypt(BytesView nonce, BytesView in, uint32_t initial_counter) const;
+  void CtrCryptInto(BytesView nonce, BytesView in, uint32_t initial_counter, uint8_t* out) const;
   U128 ComputeGhash(BytesView aad, BytesView ciphertext) const;
   void ComputeTag(BytesView nonce, BytesView aad, BytesView ciphertext, uint8_t tag[16]) const;
 
@@ -42,6 +54,33 @@ class Aes128Gcm {
   // byte_table_[b] = (polynomial of byte b) * H, bit 7 of b = coefficient
   // of x^0 within the byte (GCM's reflected bit order).
   U128 byte_table_[256];
+};
+
+// Deterministic per-key nonce source: a random 32-bit prefix drawn once at
+// construction plus a big-endian 64-bit counter fills GCM's 96 bits. The
+// counter is atomic, so concurrent appenders get unique nonces without any
+// lock (the per-record ProcessDrbg().Generate() it replaces serialised every
+// producer behind the process-wide DRBG mutex). The prefix keeps sequences
+// from distinct runs that share a key disjoint except with probability
+// 2^-32 per run pair, the same birthday exposure as 96-bit random nonces at
+// ~2^32 records.
+class GcmNonceSequence {
+ public:
+  GcmNonceSequence();  // random prefix from the process DRBG
+  explicit GcmNonceSequence(uint32_t prefix);  // fixed prefix (tests)
+
+  GcmNonceSequence(const GcmNonceSequence&) = delete;
+  GcmNonceSequence& operator=(const GcmNonceSequence&) = delete;
+
+  // Writes the next unique 12-byte nonce. Thread-safe.
+  void Next(uint8_t out[kGcmNonceSize]);
+  Bytes Next();
+
+  uint64_t issued() const { return counter_.load(std::memory_order_relaxed); }
+
+ private:
+  uint8_t prefix_[4];
+  std::atomic<uint64_t> counter_{0};
 };
 
 }  // namespace seal::crypto

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 
 #include "src/core/audit_log.h"
 
@@ -228,6 +229,68 @@ TEST_F(AuditLogTest, EncryptedLogRoundTrip) {
       AuditLog::VerifyLogFile(path, key.public_key(), log.counter(), options.encryption_key)
           .ok());
   EXPECT_FALSE(AuditLog::VerifyLogFile(path, key.public_key(), log.counter()).ok());
+}
+
+TEST_F(AuditLogTest, EncryptedRecordsCarryUniqueNonces) {
+  std::string path = TempPath("audit_nonces.log");
+  AuditLogOptions options = DiskOptions(path);
+  options.encryption_key = FromHex("000102030405060708090a0b0c0d0e0f");
+  AuditLog log(options, TestKey());
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  constexpr int kRecords = 64;
+  for (int i = 1; i <= kRecords; ++i) {
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  // Walk the on-disk frames: every record's leading 12 bytes (the GCM
+  // nonce) must be distinct even though one cached context sealed them all.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  Bytes data;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    data.push_back(static_cast<uint8_t>(c));
+  }
+  std::fclose(f);
+  std::set<Bytes> nonces;
+  size_t off = 0;
+  while (off < data.size()) {
+    ASSERT_LE(off + 4, data.size());
+    uint32_t len = LoadBe32(data.data() + off);
+    off += 4;
+    ASSERT_LE(off + len, data.size());
+    ASSERT_GE(len, crypto::kGcmNonceSize + crypto::kGcmTagSize);
+    nonces.insert(Bytes(data.begin() + static_cast<ptrdiff_t>(off),
+                        data.begin() + static_cast<ptrdiff_t>(off + crypto::kGcmNonceSize)));
+    off += len;
+  }
+  EXPECT_EQ(nonces.size(), static_cast<size_t>(kRecords));
+}
+
+TEST_F(AuditLogTest, EncryptedTrimRewriteStillVerifiesAndReads) {
+  std::string path = TempPath("audit_encrypted_trim.log");
+  crypto::EcdsaPrivateKey key = TestKey();
+  AuditLogOptions options = DiskOptions(path);
+  options.encryption_key = FromHex("feffe9928665731c6d6a8f9467308308");
+  AuditLog log(options, key);
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(log.Append("updates", GitUpdateRow(i, "main", "c" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.CommitHead().ok());
+  // Trim to the latest update per branch; the rewrite re-encrypts the
+  // survivors with fresh nonces from the cached context.
+  size_t deleted = 0;
+  ASSERT_TRUE(log.Trim({"DELETE FROM updates WHERE time < 6"}, &deleted).ok());
+  EXPECT_EQ(deleted, 5u);
+  auto verified =
+      AuditLog::VerifyLogFile(path, key.public_key(), log.counter(), options.encryption_key);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, 1u);
+  auto entries = AuditLog::ReadVerifiedEntries(path, options.encryption_key);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].values[3].AsText(), "c6");
 }
 
 TEST_F(AuditLogTest, LogEntrySerializationRoundTrip) {

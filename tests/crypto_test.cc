@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/crypto/aes.h"
@@ -218,6 +222,94 @@ TEST(Aes128Gcm, TamperDetection) {
   EXPECT_FALSE(gcm.Open(nonce, ToBytes("axd"), sealed).has_value());
   // Truncated input rejected.
   EXPECT_FALSE(gcm.Open(nonce, ToBytes("aad"), BytesView(sealed.data(), 10)).has_value());
+}
+
+TEST(Aes128Gcm, SealIntoMatchesSeal) {
+  // Sizes straddling the 4-block unrolled kernel's boundaries: 0..1 block,
+  // exactly 64, one over, and well past.
+  SplitMix64 rng(12);
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Aes128Gcm gcm(key);
+  for (size_t n : {0u, 1u, 15u, 16u, 17u, 48u, 63u, 64u, 65u, 100u, 128u, 200u, 256u, 1000u}) {
+    Bytes nonce(12), pt(n), aad(13);
+    for (auto& b : nonce) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : pt) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : aad) b = static_cast<uint8_t>(rng.Next());
+    Bytes expected = gcm.Seal(nonce, aad, pt);
+    Bytes actual(n + kGcmTagSize);
+    gcm.SealInto(nonce, aad, pt, actual.data());
+    EXPECT_EQ(actual, expected) << "size " << n;
+
+    Bytes opened(n);
+    ASSERT_TRUE(gcm.OpenInto(nonce, aad, actual, opened.data())) << "size " << n;
+    EXPECT_EQ(opened, pt) << "size " << n;
+  }
+}
+
+TEST(Aes128Gcm, OpenIntoRejectsTamperingWithoutOutput) {
+  Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Bytes nonce = FromHex("000102030405060708090a0b");
+  Aes128Gcm gcm(key);
+  Bytes pt = ToBytes("secret message");
+  Bytes sealed = gcm.Seal(nonce, {}, pt);
+  sealed[3] ^= 0x40;
+  Bytes out(pt.size(), 0xAA);
+  EXPECT_FALSE(gcm.OpenInto(nonce, {}, sealed, out.data()));
+  // Authentication failed before decryption: the buffer is untouched.
+  EXPECT_EQ(out, Bytes(pt.size(), 0xAA));
+  EXPECT_FALSE(gcm.OpenInto(nonce, {}, BytesView(sealed.data(), 8), out.data()));
+}
+
+TEST(Aes128Gcm, CachedContextMatchesFreshContexts) {
+  // The audit log keeps one context per key; a context must not accumulate
+  // state between messages (byte-identical to building a fresh one each
+  // time, the pre-optimisation behaviour).
+  SplitMix64 rng(13);
+  Bytes key = FromHex("feffe9928665731c6d6a8f9467308308");
+  Aes128Gcm cached(key);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes nonce(12), pt(rng.Below(300)), aad(rng.Below(32));
+    for (auto& b : nonce) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : pt) b = static_cast<uint8_t>(rng.Next());
+    for (auto& b : aad) b = static_cast<uint8_t>(rng.Next());
+    Aes128Gcm fresh(key);
+    EXPECT_EQ(cached.Seal(nonce, aad, pt), fresh.Seal(nonce, aad, pt)) << trial;
+  }
+}
+
+TEST(GcmNonceSequence, PrefixPlusCounterLayout) {
+  GcmNonceSequence seq(0xAABBCCDDu);
+  Bytes first = seq.Next();
+  Bytes second = seq.Next();
+  EXPECT_EQ(ToHex(first), "aabbccdd0000000000000000");
+  EXPECT_EQ(ToHex(second), "aabbccdd0000000000000001");
+  EXPECT_EQ(seq.issued(), 2u);
+}
+
+TEST(GcmNonceSequence, UniqueAcrossThreads) {
+  // 16 threads x 10k nonces off one sequence: every nonce distinct, no
+  // locks involved.
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 10000;
+  GcmNonceSequence seq(0x01020304u);
+  std::vector<std::vector<uint64_t>> drawn(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      drawn[t].reserve(kPerThread);
+      uint8_t nonce[kGcmNonceSize];
+      for (int i = 0; i < kPerThread; ++i) {
+        seq.Next(nonce);
+        EXPECT_EQ(LoadBe32(nonce), 0x01020304u);
+        drawn[t].push_back(LoadBe64(nonce + 4));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<uint64_t> unique;
+  for (const auto& v : drawn) unique.insert(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(seq.issued(), static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 // --- Bignum ---

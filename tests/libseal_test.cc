@@ -87,6 +87,98 @@ TEST(HttpExtract, TwoPipelinedMessages) {
   EXPECT_TRUE(buffer.empty());
 }
 
+TEST(HttpExtract, ContentLengthToleratesSurroundingWhitespace) {
+  std::string buffer = "GET / HTTP/1.1\r\nContent-Length: \t 3 \r\n\r\nabc";
+  auto msg = TryExtractHttpMessage(buffer);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(HttpExtract, ContentLengthRejectsTrailingGarbage) {
+  // strtoul would have read "3" and ignored the rest, desyncing the
+  // framing from what a real HTTP parser sees.
+  std::string buffer = "GET / HTTP/1.1\r\nContent-Length: 3x\r\n\r\nabc";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+}
+
+TEST(HttpExtract, ContentLengthRejectsNonNumericAndNegative) {
+  std::string buffer = "GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+  buffer = "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+  buffer = "GET / HTTP/1.1\r\nContent-Length:\r\n\r\n";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+}
+
+TEST(HttpExtract, ContentLengthRejectsOverflowAndOversize) {
+  // 2^64 + a bit: strtoul silently wrapped this to a small total.
+  std::string buffer = "GET / HTTP/1.1\r\nContent-Length: 18446744073709551620\r\n\r\nabc";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+  // Within range but above the audit buffer cap: can never complete.
+  buffer = "GET / HTTP/1.1\r\nContent-Length: " + std::to_string(kAuditBufferCap + 1) +
+           "\r\n\r\n";
+  EXPECT_FALSE(TryExtractHttpMessage(buffer).has_value());
+  EXPECT_EQ(ContentLengthFromHeaders("Content-Length: " + std::to_string(kAuditBufferCap)),
+            std::optional<size_t>(kAuditBufferCap));
+}
+
+TEST(HttpExtract, LastContentLengthWins) {
+  std::string buffer = "GET / HTTP/1.1\r\nContent-Length: 9\r\nContent-Length: 2\r\n\r\nab";
+  auto msg = TryExtractHttpMessage(buffer);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(buffer.empty());
+}
+
+// --- HttpMessageBuffer (incremental framer) ---
+
+TEST(HttpMessageBuffer, ExtractsAcrossManySmallChunks) {
+  std::string wire =
+      "POST /a HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello"
+      "POST /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  HttpMessageBuffer buffer;
+  std::vector<std::string> messages;
+  // Byte-at-a-time delivery: the scan offset keeps this O(n) overall.
+  for (char c : wire) {
+    buffer.Append(&c, 1);
+    while (auto msg = buffer.TryExtract()) {
+      messages.push_back(std::move(*msg));
+    }
+  }
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_NE(messages[0].find("/a"), std::string::npos);
+  EXPECT_EQ(messages[0].substr(messages[0].size() - 5), "hello");
+  EXPECT_NE(messages[1].find("/b"), std::string::npos);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(HttpMessageBuffer, TerminatorStraddlingChunkBoundaryIsFound) {
+  HttpMessageBuffer buffer;
+  std::string part1 = "GET / HTTP/1.1\r\nHost: h\r";
+  std::string part2 = "\n\r\nleftover";
+  buffer.Append(part1.data(), part1.size());
+  EXPECT_FALSE(buffer.TryExtract().has_value());
+  buffer.Append(part2.data(), part2.size());
+  auto msg = buffer.TryExtract();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(buffer.view(), "leftover");
+}
+
+TEST(HttpMessageBuffer, InvalidContentLengthPoisonsUntilCleared) {
+  HttpMessageBuffer buffer;
+  std::string wire = "GET / HTTP/1.1\r\nContent-Length: 1e9\r\n\r\nbody";
+  buffer.Append(wire.data(), wire.size());
+  EXPECT_FALSE(buffer.TryExtract().has_value());
+  EXPECT_TRUE(buffer.poisoned());
+  // Poison sticks (no re-framing attempts) until the caller clears.
+  EXPECT_FALSE(buffer.TryExtract().has_value());
+  buffer.Clear();
+  EXPECT_FALSE(buffer.poisoned());
+  EXPECT_EQ(buffer.size(), 0u);
+  std::string good = "GET / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+  buffer.Append(good.data(), good.size());
+  EXPECT_TRUE(buffer.TryExtract().has_value());
+}
+
 // --- runtime round trips ---
 
 class LibSealParamTest : public ::testing::TestWithParam<bool> {};

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/core/logger.h"
 #include "src/services/git_service.h"
@@ -187,6 +190,106 @@ TEST(Logger, MemModeSkipsCounterRounds) {
   services::GitBackend backend;
   ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
   EXPECT_EQ(logger->log().counter().Read().value(), 0u);
+}
+
+TEST(Logger, ConcurrentAppendsVerifyChainAndConnectionOrder) {
+  // Multiple connections race the sequencer on the encrypted disk path.
+  // Afterwards the persisted chain must verify, every record must be
+  // present, and each connection's pairs must appear in submission order.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  std::string path = std::string(::testing::TempDir()) + "/logger_concurrent.log";
+  AuditLogOptions log_options;
+  log_options.mode = PersistenceMode::kDisk;
+  log_options.path = path;
+  log_options.encryption_key = FromHex("000102030405060708090a0b0c0d0e0f");
+  log_options.counter_options.inject_latency = false;
+  crypto::EcdsaPrivateKey key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("concurrent"));
+  AuditLogger logger(std::make_unique<ssm::GitModule>(), log_options, {.check_interval = 0},
+                     key);
+  ASSERT_TRUE(logger.Init().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      services::GitBackend backend;
+      std::string branch = "t" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        auto req = services::MakeGitPush("r", {{branch, branch + "-c" + std::to_string(i)}});
+        auto rsp = backend.Handle(req);
+        auto r = logger.OnPair(static_cast<uint64_t>(t), req.Serialize(), rsp.Serialize(),
+                               false);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(logger.pairs_logged(), kThreads * kPerThread);
+
+  // No record lost, and the signed head covers all of them.
+  auto verified = AuditLog::VerifyLogFile(path, key.public_key(), logger.log().counter(),
+                                          log_options.encryption_key);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  EXPECT_EQ(*verified, static_cast<size_t>(kThreads) * kPerThread);
+
+  // Within a connection, logical time must respect submission order.
+  for (int t = 0; t < kThreads; ++t) {
+    std::string branch = "t" + std::to_string(t);
+    auto rows =
+        logger.log().Query("SELECT cid FROM updates WHERE branch = '" + branch +
+                           "' ORDER BY time");
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->rows.size(), static_cast<size_t>(kPerThread)) << branch;
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(rows->rows[static_cast<size_t>(i)][0].AsText(),
+                branch + "-c" + std::to_string(i));
+    }
+  }
+}
+
+TEST(Logger, ConcurrentAppendsWithChecksStress) {
+  // Interval and forced checks firing from the drain step while appenders
+  // race: every pair must succeed and the final full check stays clean.
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50;
+  auto logger = MakeLogger({.check_interval = 5, .forced_check_min_gap = 10});
+  std::atomic<int> failures{0};
+  std::atomic<int> reports{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      services::GitBackend backend;
+      std::string branch = "s" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        auto req = services::MakeGitPush("r", {{branch, "c" + std::to_string(i)}});
+        auto rsp = backend.Handle(req);
+        auto r = logger->OnPair(static_cast<uint64_t>(t), req.Serialize(), rsp.Serialize(),
+                                i % 17 == 0);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (r->has_value()) {
+          reports.fetch_add(1);
+          if (!(*r)->clean()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reports.load(), 0);
+  EXPECT_EQ(logger->pairs_logged(), kThreads * kPerThread);
+  auto final_check = logger->CheckInvariants();
+  ASSERT_TRUE(final_check.ok());
+  EXPECT_TRUE(final_check->clean());
 }
 
 }  // namespace
