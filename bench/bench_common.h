@@ -112,6 +112,11 @@ struct LoadOptions {
   int64_t link_bandwidth_bytes_per_sec = 0;  // 0 = unlimited
   // Optional fixed request count per client (overrides `seconds`).
   uint64_t requests_per_client = 0;
+  // Non-keep-alive mode only: when set, fresh connections offer the
+  // endpoint's remembered TLS session on `resumption_percent` of requests
+  // (abbreviated handshake when the server still caches it).
+  services::ClientSessionStore* session_store = nullptr;
+  int resumption_percent = 100;
 };
 
 inline LoadResult RunClosedLoop(net::Network* network, const std::string& address,
@@ -155,9 +160,14 @@ inline LoadResult RunClosedLoop(net::Network* network, const std::string& addres
             client.reset();
           }
         } else {
+          services::ClientSessionStore* sessions =
+              (options.session_store != nullptr &&
+               static_cast<int>(i % 100) < options.resumption_percent)
+                  ? options.session_store
+                  : nullptr;
           auto rsp = services::OneShotRequest(network, address, client_tls, factory(c, i),
                                               options.link_latency_nanos,
-                                              options.link_bandwidth_bytes_per_sec);
+                                              options.link_bandwidth_bytes_per_sec, sessions);
           ok = rsp.ok();
         }
         int64_t t1 = NowNanos();

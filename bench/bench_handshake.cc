@@ -1,0 +1,210 @@
+// TLS handshake fast path: full ECDHE-ECDSA handshake vs the abbreviated
+// (session-resumption) handshake, plus a resumption-ratio sweep showing how
+// connection-setup cost falls as the client fleet re-offers cached sessions.
+// Emits BENCH_handshake.json for the perf trajectory; --quick shrinks
+// iteration counts for the CI smoke step.
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/tls/session_cache.h"
+
+namespace seal::bench {
+namespace {
+
+// A persistent server-side handshake loop: stream pairs are handed over one
+// at a time so the timed loop never pays per-iteration thread spawns.
+class HandshakeServer {
+ public:
+  explicit HandshakeServer(const tls::TlsConfig* config)
+      : config_(config), thread_([this] { Loop(); }) {}
+
+  ~HandshakeServer() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void Submit(net::StreamPtr stream) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stream_ = std::move(stream);
+      has_work_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Blocks until the submitted handshake has fully completed server-side.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !has_work_; });
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      net::StreamPtr stream;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || has_work_; });
+        if (stopping_ && !has_work_) {
+          return;
+        }
+        stream = std::move(stream_);
+      }
+      tls::StreamBio bio(stream.get());
+      tls::TlsConnection conn(&bio, config_, tls::Role::kServer);
+      (void)conn.Handshake();
+      conn.Close();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        has_work_ = false;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  const tls::TlsConfig* config_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  net::StreamPtr stream_;
+  bool has_work_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+struct SweepPoint {
+  int resumption_percent = 0;
+  double ns_per_handshake = 0;
+  double handshakes_per_sec = 0;
+};
+
+// Runs `iters` handshakes against `server`, offering the cached session on
+// `resumption_percent` of them. Returns mean wall-clock ns per completed
+// handshake (both sides done).
+double HandshakeRunNanos(net::Network* network, HandshakeServer* server,
+                         const tls::TlsConfig& client_config, const tls::TlsSession& session,
+                         int resumption_percent, int iters) {
+  (void)network;
+  int64_t start = NowNanos();
+  for (int i = 0; i < iters; ++i) {
+    auto [client_stream, server_stream] = net::CreateStreamPair();
+    server->Submit(std::move(server_stream));
+    tls::StreamBio bio(client_stream.get());
+    tls::TlsConnection client(&bio, &client_config, tls::Role::kClient);
+    if (i % 100 < resumption_percent) {
+      client.OfferSession(session);
+    }
+    (void)client.Handshake();
+    client.Close();
+    server->WaitIdle();
+  }
+  int64_t elapsed = NowNanos() - start;
+  return static_cast<double>(elapsed) / iters;
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main(int argc, char** argv) {
+  using namespace seal::bench;
+  using namespace seal;
+
+  bool quick = false;
+  std::string out_path = "BENCH_handshake.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  const int full_iters = quick ? 30 : 120;
+  const int abbrev_iters = quick ? 300 : 1500;
+  const int sweep_iters = quick ? 100 : 400;
+
+  std::printf("=== TLS connection setup: full vs abbreviated handshake ===\n");
+  net::Network network;
+  tls::TlsSessionCache cache;
+  tls::TlsConfig server_tls = ServerTls();
+  server_tls.session_cache = &cache;
+  tls::TlsConfig client_tls = ClientTls();
+  HandshakeServer server(&server_tls);
+
+  // Seed the cache with one full handshake and export the session the
+  // abbreviated runs will offer.
+  tls::TlsSession session;
+  {
+    auto [client_stream, server_stream] = net::CreateStreamPair();
+    server.Submit(std::move(server_stream));
+    tls::StreamBio bio(client_stream.get());
+    tls::TlsConnection client(&bio, &client_tls, tls::Role::kClient);
+    Status hs = client.Handshake();
+    server.WaitIdle();
+    if (!hs.ok()) {
+      std::printf("seed handshake failed: %s\n", hs.ToString().c_str());
+      return 1;
+    }
+    session = client.ExportSession();
+    client.Close();
+  }
+
+  // Warm up both paths (DRBG children, GHASH tables, wNAF allocations).
+  (void)HandshakeRunNanos(&network, &server, client_tls, session, 0, 3);
+  (void)HandshakeRunNanos(&network, &server, client_tls, session, 100, 20);
+
+  double full_ns = HandshakeRunNanos(&network, &server, client_tls, session, 0, full_iters);
+  double abbrev_ns = HandshakeRunNanos(&network, &server, client_tls, session, 100, abbrev_iters);
+  double speedup = full_ns / abbrev_ns;
+  std::printf("full handshake (ECDHE + ECDSA + cert chain): %10.0f ns\n", full_ns);
+  std::printf("abbreviated handshake (session resumption):  %10.0f ns\n", abbrev_ns);
+  std::printf("speedup: %.1fx (acceptance floor: 5x)\n\n", speedup);
+
+  std::printf("resumption-ratio sweep (%d handshakes each):\n", sweep_iters);
+  std::vector<SweepPoint> sweep;
+  for (int percent : {0, 50, 90, 99}) {
+    SweepPoint point;
+    point.resumption_percent = percent;
+    point.ns_per_handshake =
+        HandshakeRunNanos(&network, &server, client_tls, session, percent, sweep_iters);
+    point.handshakes_per_sec = 1e9 / point.ns_per_handshake;
+    sweep.push_back(point);
+    std::printf("  %3d%% resumed: %10.0f ns/handshake, %8.0f handshakes/s\n", percent,
+                point.ns_per_handshake, point.handshakes_per_sec);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"handshake\",\n"
+                 "  \"ns_full\": %.1f,\n"
+                 "  \"ns_abbreviated\": %.1f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"sweep_resumption_percent\": [%d, %d, %d, %d],\n"
+                 "  \"sweep_ns_per_handshake\": [%.1f, %.1f, %.1f, %.1f],\n"
+                 "  \"sweep_handshakes_per_sec\": [%.1f, %.1f, %.1f, %.1f],\n"
+                 "  \"quick\": %s\n"
+                 "}\n",
+                 full_ns, abbrev_ns, speedup, sweep[0].resumption_percent,
+                 sweep[1].resumption_percent, sweep[2].resumption_percent,
+                 sweep[3].resumption_percent, sweep[0].ns_per_handshake, sweep[1].ns_per_handshake,
+                 sweep[2].ns_per_handshake, sweep[3].ns_per_handshake,
+                 sweep[0].handshakes_per_sec, sweep[1].handshakes_per_sec,
+                 sweep[2].handshakes_per_sec, sweep[3].handshakes_per_sec,
+                 quick ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  PrintMetricsSnapshot("bench_handshake");
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -233,6 +233,9 @@ struct LibSealRuntime::TrustedConn {
 
 struct LibSealRuntime::EnclaveState {
   tls::TlsConfig tls_config;  // provisioned private key lives here, inside
+  // Enclave-resident session cache: cached master secrets never cross the
+  // enclave boundary, so resumption leaks nothing the live keys don't.
+  tls::TlsSessionCache session_cache;
   crypto::EcdsaPrivateKey log_key;
 
   std::mutex mutex;
@@ -499,6 +502,9 @@ Status LibSealRuntime::Init() {
   enclave_ = std::make_unique<sgx::Enclave>(options_.enclave, identity, "libseal-authority");
   state_ = std::make_unique<EnclaveState>();
   state_->tls_config = options_.tls;
+  if (state_->tls_config.session_cache == nullptr) {
+    state_->tls_config.session_cache = &state_->session_cache;
+  }
   // The log signing key is derived inside the enclave from its sealing
   // identity: only this enclave (authority) can produce valid log entries.
   Bytes key_seed = ToBytes("libseal-log-key:");

@@ -79,4 +79,14 @@ Bytes ProcessDrbg::Generate(size_t n) {
   return GlobalDrbg().Generate(n);
 }
 
+HmacDrbg& ThreadLocalDrbg() {
+  // Seeded once per thread from the locked process DRBG; afterwards each
+  // thread generates lock-free.
+  thread_local HmacDrbg drbg = [] {
+    Bytes seed = ProcessDrbg().Generate(48);
+    return HmacDrbg(seed);
+  }();
+  return drbg;
+}
+
 }  // namespace seal::crypto

@@ -34,6 +34,11 @@ class ProcessDrbg {
   Bytes Generate(size_t n);
 };
 
+// Per-thread DRBG child, seeded once from the process DRBG. Hot paths
+// (handshake randoms, ECDHE ephemerals) draw from this to avoid serializing
+// every connection on the process-DRBG mutex.
+HmacDrbg& ThreadLocalDrbg();
+
 }  // namespace seal::crypto
 
 #endif  // SRC_CRYPTO_DRBG_H_

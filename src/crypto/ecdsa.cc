@@ -15,11 +15,11 @@ U256 DigestToScalar(const Sha256Digest& digest) {
 }
 
 // Deterministic nonce: HMAC(key_bytes, digest || counter) mod n, retried on
-// the (cryptographically negligible) zero case.
-U256 DeterministicNonce(const U256& d, const Sha256Digest& digest) {
-  Bytes key = d.ToBytes();
+// the (cryptographically negligible) zero case. `keyed` carries the HMAC
+// state already keyed with d's bytes, so no key schedule runs per signature.
+U256 DeterministicNonce(const HmacSha256& keyed, const Sha256Digest& digest) {
   for (uint32_t counter = 0;; ++counter) {
-    HmacSha256 h(key);
+    HmacSha256 h = keyed;
     h.Update(BytesView(digest.data(), digest.size()));
     uint8_t c[4];
     seal::StoreBe32(c, counter);
@@ -89,6 +89,7 @@ EcdsaPrivateKey EcdsaPrivateKey::FromSeed(BytesView seed) {
       EcdsaPrivateKey key;
       key.d_ = scalar;
       key.public_key_ = EcdsaPublicKey(ScalarBaseMult(scalar));
+      key.nonce_mac_.emplace(key.d_.ToBytes());
       return key;
     }
     material.push_back(0x42);
@@ -96,7 +97,9 @@ EcdsaPrivateKey EcdsaPrivateKey::FromSeed(BytesView seed) {
 }
 
 EcdsaPrivateKey EcdsaPrivateKey::Generate() {
-  Bytes seed = ProcessDrbg().Generate(48);
+  // Thread-local DRBG: key generation sits on the handshake path (ECDHE
+  // ephemerals), which must not serialize on the process-DRBG mutex.
+  Bytes seed = ThreadLocalDrbg().Generate(48);
   return FromSeed(seed);
 }
 
@@ -106,7 +109,8 @@ EcdsaSignature EcdsaPrivateKey::SignDigest(const Sha256Digest& digest) const {
   for (uint32_t attempt = 0;; ++attempt) {
     Sha256Digest tweaked = digest;
     tweaked[0] ^= static_cast<uint8_t>(attempt);
-    U256 k = DeterministicNonce(d_, tweaked);
+    U256 k = nonce_mac_.has_value() ? DeterministicNonce(*nonce_mac_, tweaked)
+                                    : DeterministicNonce(HmacSha256(d_.ToBytes()), tweaked);
     AffinePoint kg = ScalarBaseMult(k);
     U256 r = Mod(kg.x, n);
     if (r.IsZero()) {

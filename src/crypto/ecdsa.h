@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "src/common/bytes.h"
+#include "src/crypto/hmac.h"
 #include "src/crypto/p256.h"
 #include "src/crypto/sha256.h"
 
@@ -60,6 +61,10 @@ class EcdsaPrivateKey {
  private:
   U256 d_;
   EcdsaPublicKey public_key_;
+  // Keyed HMAC state for deterministic nonces, built once per key: each
+  // signature copies this instead of re-running the HMAC key schedule over
+  // d. Empty only for default-constructed (invalid) keys.
+  std::optional<HmacSha256> nonce_mac_;
 };
 
 // ECDH: returns the 32-byte x-coordinate of private * peer_point, or nullopt

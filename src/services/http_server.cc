@@ -9,7 +9,8 @@ HttpServer::HttpServer(net::Network* network, Options options, ServerTransport* 
     : network_(network),
       options_(std::move(options)),
       transport_(transport),
-      handler_(std::move(handler)) {}
+      handler_(std::move(handler)),
+      pool_(ConnectionWorkerPool::Options{options_.worker_threads, "http_server"}) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -20,6 +21,7 @@ Status HttpServer::Start() {
   }
   listener_ = *listener;
   running_.store(true, std::memory_order_release);
+  pool_.Start();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -33,14 +35,7 @@ void HttpServer::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads.swap(connection_threads_);
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  pool_.Stop();
 }
 
 void HttpServer::AcceptLoop() {
@@ -49,9 +44,9 @@ void HttpServer::AcceptLoop() {
     if (stream == nullptr) {
       return;  // shut down
     }
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, s = std::move(stream)]() mutable { ServeConnection(std::move(s)); });
+    // shared_ptr because std::function requires a copyable callable.
+    auto s = std::make_shared<net::StreamPtr>(std::move(stream));
+    pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
   }
 }
 

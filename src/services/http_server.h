@@ -1,5 +1,5 @@
 // A multi-threaded HTTPS server, the stand-in for Apache in the paper's
-// evaluation: thread-per-connection, keep-alive, handler-based dispatch.
+// evaluation: bounded worker pool, keep-alive, handler-based dispatch.
 #ifndef SRC_SERVICES_HTTP_SERVER_H_
 #define SRC_SERVICES_HTTP_SERVER_H_
 
@@ -8,12 +8,12 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "src/common/status.h"
 #include "src/http/http.h"
 #include "src/net/net.h"
 #include "src/services/transport.h"
+#include "src/services/worker_pool.h"
 
 namespace seal::services {
 
@@ -26,6 +26,9 @@ class HttpServer {
     // Simulated per-request server-side compute (models the PHP engine
     // bottleneck in the ownCloud deployment, §6.4).
     int64_t per_request_compute_nanos = 0;
+    // Connection-serving worker threads: the hard bound on concurrent
+    // connections (excess accepted connections queue).
+    size_t worker_threads = 16;
   };
 
   HttpServer(net::Network* network, Options options, ServerTransport* transport,
@@ -36,6 +39,10 @@ class HttpServer {
   void Stop();
 
   uint64_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
+
+  // Live connection-serving threads; stays at Options::worker_threads no
+  // matter how many connections have been accepted.
+  size_t worker_thread_count() const { return pool_.worker_count(); }
 
  private:
   void AcceptLoop();
@@ -48,8 +55,7 @@ class HttpServer {
 
   std::shared_ptr<net::Listener> listener_;
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex threads_mutex_;
+  ConnectionWorkerPool pool_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
 };

@@ -2,11 +2,31 @@
 
 namespace seal::services {
 
+void ClientSessionStore::Remember(const std::string& address, tls::TlsSession session) {
+  if (!session.valid()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_[address] = std::move(session);
+}
+
+tls::TlsSession ClientSessionStore::Lookup(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(address);
+  return it == sessions_.end() ? tls::TlsSession{} : it->second;
+}
+
+void ClientSessionStore::Forget(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(address);
+}
+
 Result<std::unique_ptr<HttpsClient>> HttpsClient::Connect(net::Network* network,
                                                           const std::string& address,
                                                           const tls::TlsConfig& config,
                                                           int64_t latency_nanos,
-                                                          int64_t bandwidth_bytes_per_sec) {
+                                                          int64_t bandwidth_bytes_per_sec,
+                                                          ClientSessionStore* sessions) {
   auto stream = network->Dial(address, latency_nanos, bandwidth_bytes_per_sec);
   if (!stream.ok()) {
     return stream.status();
@@ -16,7 +36,15 @@ Result<std::unique_ptr<HttpsClient>> HttpsClient::Connect(net::Network* network,
   client->bio_ = std::make_unique<tls::StreamBio>(client->stream_.get());
   client->tls_ =
       std::make_unique<tls::TlsConnection>(client->bio_.get(), &config, tls::Role::kClient);
+  if (sessions != nullptr) {
+    client->tls_->OfferSession(sessions->Lookup(address));
+  }
   SEAL_RETURN_IF_ERROR(client->tls_->Handshake());
+  if (sessions != nullptr) {
+    // Full or abbreviated, the completed handshake's session is the one to
+    // re-offer next time (a full handshake means the old one is stale).
+    sessions->Remember(address, client->tls_->ExportSession());
+  }
   return client;
 }
 
@@ -43,9 +71,10 @@ Result<http::HttpResponse> OneShotRequest(net::Network* network, const std::stri
                                           const tls::TlsConfig& config,
                                           const http::HttpRequest& request,
                                           int64_t latency_nanos,
-                                          int64_t bandwidth_bytes_per_sec) {
-  auto client =
-      HttpsClient::Connect(network, address, config, latency_nanos, bandwidth_bytes_per_sec);
+                                          int64_t bandwidth_bytes_per_sec,
+                                          ClientSessionStore* sessions) {
+  auto client = HttpsClient::Connect(network, address, config, latency_nanos,
+                                     bandwidth_bytes_per_sec, sessions);
   if (!client.ok()) {
     return client.status();
   }

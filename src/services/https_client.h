@@ -3,7 +3,9 @@
 #define SRC_SERVICES_HTTPS_CLIENT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "src/common/status.h"
 #include "src/http/http.h"
@@ -12,17 +14,37 @@
 
 namespace seal::services {
 
+// Remembers the last TLS session per endpoint so reconnecting clients can
+// offer it and take the abbreviated handshake (the libcurl session-cache
+// analogue). Thread-safe; share one store across a client fleet.
+class ClientSessionStore {
+ public:
+  void Remember(const std::string& address, tls::TlsSession session);
+  // Last session for `address`, or an invalid (empty) session.
+  tls::TlsSession Lookup(const std::string& address) const;
+  // Drops the endpoint's session (e.g. after the server declined it).
+  void Forget(const std::string& address);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, tls::TlsSession> sessions_;
+};
+
 class HttpsClient {
  public:
   // Connects and performs the TLS handshake. `latency_nanos` sets the
-  // one-way link latency (76 ms to "Dropbox" in §6.4).
+  // one-way link latency (76 ms to "Dropbox" in §6.4). When `sessions` is
+  // given, the client offers the endpoint's remembered session (abbreviated
+  // handshake if the server still caches it) and remembers the session this
+  // handshake establishes.
   // NOTE: `config` must outlive the client (the TLS engine keeps a
   // pointer to it).
   static Result<std::unique_ptr<HttpsClient>> Connect(net::Network* network,
                                                       const std::string& address,
                                                       const tls::TlsConfig& config,
                                                       int64_t latency_nanos = 0,
-                                                      int64_t bandwidth_bytes_per_sec = 0);
+                                                      int64_t bandwidth_bytes_per_sec = 0,
+                                                      ClientSessionStore* sessions = nullptr);
 
   // Sends one request and reads the full response (keep-alive).
   Result<http::HttpResponse> RoundTrip(const http::HttpRequest& request);
@@ -45,7 +67,8 @@ Result<http::HttpResponse> OneShotRequest(net::Network* network, const std::stri
                                           const tls::TlsConfig& config,
                                           const http::HttpRequest& request,
                                           int64_t latency_nanos = 0,
-                                          int64_t bandwidth_bytes_per_sec = 0);
+                                          int64_t bandwidth_bytes_per_sec = 0,
+                                          ClientSessionStore* sessions = nullptr);
 
 }  // namespace seal::services
 

@@ -7,7 +7,10 @@
 namespace seal::services {
 
 ProxyServer::ProxyServer(net::Network* network, Options options, ServerTransport* transport)
-    : network_(network), options_(std::move(options)), transport_(transport) {}
+    : network_(network),
+      options_(std::move(options)),
+      transport_(transport),
+      pool_(ConnectionWorkerPool::Options{options_.worker_threads, "proxy"}) {}
 
 ProxyServer::~ProxyServer() { Stop(); }
 
@@ -18,6 +21,7 @@ Status ProxyServer::Start() {
   }
   listener_ = *listener;
   running_.store(true, std::memory_order_release);
+  pool_.Start();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -31,14 +35,7 @@ void ProxyServer::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads.swap(connection_threads_);
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  pool_.Stop();
 }
 
 void ProxyServer::AcceptLoop() {
@@ -47,9 +44,9 @@ void ProxyServer::AcceptLoop() {
     if (stream == nullptr) {
       return;
     }
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, s = std::move(stream)]() mutable { ServeConnection(std::move(s)); });
+    // shared_ptr because std::function requires a copyable callable.
+    auto s = std::make_shared<net::StreamPtr>(std::move(stream));
+    pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
   }
 }
 

@@ -11,11 +11,11 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "src/common/status.h"
 #include "src/net/net.h"
 #include "src/services/transport.h"
+#include "src/services/worker_pool.h"
 #include "src/tls/tls.h"
 
 namespace seal::services {
@@ -35,6 +35,9 @@ class ProxyServer {
     // The runtime's TlsConfig then governs the upstream handshake too
     // (its trusted_roots / verify_peer apply); `upstream_tls` is unused.
     core::LibSealRuntime* upstream_runtime = nullptr;
+    // Connection-serving worker threads: the hard bound on concurrent
+    // proxied connections (excess accepted connections queue).
+    size_t worker_threads = 16;
   };
 
   ProxyServer(net::Network* network, Options options, ServerTransport* transport);
@@ -44,6 +47,10 @@ class ProxyServer {
   void Stop();
 
   uint64_t requests_proxied() const { return requests_proxied_.load(std::memory_order_relaxed); }
+
+  // Live connection-serving threads; stays at Options::worker_threads no
+  // matter how many connections have been accepted.
+  size_t worker_thread_count() const { return pool_.worker_count(); }
 
  private:
   void AcceptLoop();
@@ -55,8 +62,7 @@ class ProxyServer {
 
   std::shared_ptr<net::Listener> listener_;
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex threads_mutex_;
+  ConnectionWorkerPool pool_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_proxied_{0};
 };

@@ -29,13 +29,20 @@ class ServerTransport {
   virtual std::unique_ptr<ServerConnection> Wrap(net::StreamPtr stream) = 0;
 };
 
-// Plain TLS (the native baseline).
+// Plain TLS (the native baseline). Owns a session cache so clients that
+// reconnect get abbreviated handshakes; pass a config with `session_cache`
+// already set to override (or disable with a null-capacity cache).
 class PlainTransport : public ServerTransport {
  public:
-  explicit PlainTransport(tls::TlsConfig config) : config_(std::move(config)) {}
+  explicit PlainTransport(tls::TlsConfig config) : config_(std::move(config)) {
+    if (config_.session_cache == nullptr) {
+      config_.session_cache = &session_cache_;
+    }
+  }
   std::unique_ptr<ServerConnection> Wrap(net::StreamPtr stream) override;
 
  private:
+  tls::TlsSessionCache session_cache_;
   tls::TlsConfig config_;
 };
 

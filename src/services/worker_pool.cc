@@ -1,0 +1,94 @@
+#include "src/services/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/obs.h"
+
+namespace seal::services {
+
+namespace {
+obs::Gauge& QueueDepthGauge(const std::string& pool_name) {
+  return obs::Registry::Global().GetGauge("server_pool_queue_depth{pool=\"" + pool_name +
+                                          "\"}");
+}
+}  // namespace
+
+ConnectionWorkerPool::ConnectionWorkerPool(Options options) : options_(std::move(options)) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+}
+
+ConnectionWorkerPool::~ConnectionWorkerPool() { Stop(); }
+
+void ConnectionWorkerPool::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || stopping_) {
+    return;
+  }
+  started_ = true;
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ConnectionWorkerPool::Stop() {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    workers.swap(workers_);
+    dropped.swap(queue_);
+    QueueDepthGauge(options_.name).Set(0);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  // `dropped` destructs here, closing any streams the tasks captured.
+}
+
+void ConnectionWorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    queue_.push_back(std::move(task));
+    QueueDepthGauge(options_.name).Set(static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+}
+
+size_t ConnectionWorkerPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+size_t ConnectionWorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ConnectionWorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge(options_.name).Set(static_cast<int64_t>(queue_.size()));
+    }
+    task();
+  }
+}
+
+}  // namespace seal::services

@@ -1,0 +1,64 @@
+// Bounded worker pool for serving accepted connections. Replaces the old
+// thread-per-connection scheme in HttpServer/ProxyServer, which grew one
+// std::thread per connection ever accepted and only reaped them at Stop():
+// a long-lived server leaked threads without bound. The pool spawns a fixed
+// number of workers once; accepted connections queue and are served as
+// workers free up.
+#ifndef SRC_SERVICES_WORKER_POOL_H_
+#define SRC_SERVICES_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace seal::services {
+
+class ConnectionWorkerPool {
+ public:
+  struct Options {
+    // Fixed worker count; the hard ceiling on connection concurrency.
+    size_t workers = 16;
+    // Label for the queue-depth gauge: server_pool_queue_depth{pool="..."}.
+    std::string name = "server";
+  };
+
+  explicit ConnectionWorkerPool(Options options);
+  ~ConnectionWorkerPool();
+
+  ConnectionWorkerPool(const ConnectionWorkerPool&) = delete;
+  ConnectionWorkerPool& operator=(const ConnectionWorkerPool&) = delete;
+
+  // Spawns the workers. Submit before Start is allowed; tasks queue.
+  void Start();
+  // Joins all workers. Queued tasks that never started are dropped (their
+  // closures are destroyed, which closes any captured streams).
+  void Stop();
+
+  // Enqueues a connection-serving task. No-op after Stop.
+  void Submit(std::function<void()> task);
+
+  // Number of live worker threads (the regression tests assert this stays
+  // at the configured bound no matter how many connections were served).
+  size_t worker_count() const;
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace seal::services
+
+#endif  // SRC_SERVICES_WORKER_POOL_H_

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "src/common/clock.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/hmac.h"
 #include "src/obs/obs.h"
@@ -11,6 +12,26 @@ namespace {
 constexpr size_t kRandomSize = 32;
 constexpr size_t kMasterSecretSize = 48;
 constexpr size_t kVerifyDataSize = 12;
+
+void CountResumptionMiss(const char* reason) {
+  // Dynamic label, so intern through the registry rather than the
+  // static-caching SEAL_OBS_COUNTER macro (which would pin the first name).
+  obs::Registry::Global()
+      .GetCounter(std::string("tls_resumption_misses_total{reason=\"") + reason + "\"}")
+      .Increment();
+}
+
+const char* MissReasonName(SessionMissReason reason) {
+  switch (reason) {
+    case SessionMissReason::kUnknown:
+      return "unknown";
+    case SessionMissReason::kEvicted:
+      return "evicted";
+    case SessionMissReason::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
 }  // namespace
 
 TlsConnection::TlsConnection(Bio* bio, const TlsConfig* config, Role role)
@@ -22,12 +43,19 @@ void TlsConnection::Notify(InfoEvent event, int bytes) {
   }
 }
 
+void TlsConnection::OfferSession(const TlsSession& session) {
+  if (!session.valid()) {
+    return;
+  }
+  offered_session_ = session;
+}
+
 Status TlsConnection::SendHandshakeMessage(HsType type, BytesView body) {
   Bytes msg;
   msg.push_back(static_cast<uint8_t>(type));
   AppendBe24(msg, static_cast<uint32_t>(body.size()));
   Append(msg, body);
-  Append(handshake_transcript_bytes_, msg);
+  transcript_hash_.Update(msg);
   return record_layer_.WriteAll(RecordType::kHandshake, msg);
 }
 
@@ -41,14 +69,17 @@ Result<std::pair<TlsConnection::HsType, Bytes>> TlsConnection::ReadHandshakeMess
                         static_cast<size_t>(p[3]);
       if (pending_plaintext_.size() - pending_offset_ >= 4 + body_len) {
         HsType type = static_cast<HsType>(p[0]);
-        Bytes msg(p, p + 4 + body_len);
-        Append(handshake_transcript_bytes_, msg);
+        // Snapshot the transcript state first: Finished verification hashes
+        // the transcript EXCLUDING the message being verified.
+        transcript_before_last_read_ = transcript_hash_;
+        transcript_hash_.Update(BytesView(p, 4 + body_len));
+        Bytes body(p + 4, p + 4 + body_len);
         pending_offset_ += 4 + body_len;
         if (pending_offset_ == pending_plaintext_.size()) {
           pending_plaintext_.clear();
           pending_offset_ = 0;
         }
-        return std::make_pair(type, Bytes(msg.begin() + 4, msg.end()));
+        return std::make_pair(type, std::move(body));
       }
     }
     auto record = record_layer_.ReadRecord();
@@ -65,17 +96,28 @@ Result<std::pair<TlsConnection::HsType, Bytes>> TlsConnection::ReadHandshakeMess
   }
 }
 
-void TlsConnection::DeriveKeys(BytesView pre_master_secret) {
-  Bytes randoms = client_random_;
-  Append(randoms, server_random_);
-  master_secret_ =
-      crypto::Tls12Prf(pre_master_secret, "master secret", randoms, kMasterSecretSize);
+void TlsConnection::AdoptMasterSecret(Bytes master_secret) {
+  master_secret_ = std::move(master_secret);
   crypto::Sha256Digest sid = crypto::Sha256::Hash(master_secret_);
   session_id_.assign(sid.begin(), sid.begin() + 16);
 }
 
+void TlsConnection::DeriveKeys(BytesView pre_master_secret) {
+  Bytes randoms = client_random_;
+  Append(randoms, server_random_);
+  AdoptMasterSecret(
+      crypto::Tls12Prf(pre_master_secret, "master secret", randoms, kMasterSecretSize));
+}
+
+Bytes TlsConnection::DeriveKeyBlock() const {
+  Bytes randoms = server_random_;
+  Append(randoms, client_random_);
+  return crypto::Tls12Prf(master_secret_, "key expansion", randoms, 40);
+}
+
 Bytes TlsConnection::FinishedPayload(std::string_view label) const {
-  crypto::Sha256Digest transcript_hash = crypto::Sha256::Hash(handshake_transcript_bytes_);
+  crypto::Sha256 transcript = transcript_hash_;
+  crypto::Sha256Digest transcript_hash = transcript.Finish();
   return crypto::Tls12Prf(master_secret_, label,
                           BytesView(transcript_hash.data(), transcript_hash.size()),
                           kVerifyDataSize);
@@ -89,10 +131,9 @@ Status TlsConnection::SendFinished(std::string_view label) {
 Status TlsConnection::CheckFinished(std::string_view label, BytesView received) {
   // The expected value is computed over the transcript EXCLUDING the
   // received Finished message itself, which ReadHandshakeMessage has
-  // already appended (4-byte header + body).
-  Bytes truncated = handshake_transcript_bytes_;
-  truncated.resize(truncated.size() - (4 + received.size()));
-  crypto::Sha256Digest transcript_hash = crypto::Sha256::Hash(truncated);
+  // already absorbed -- so hash from the snapshot taken just before it.
+  crypto::Sha256 transcript = transcript_before_last_read_;
+  crypto::Sha256Digest transcript_hash = transcript.Finish();
   Bytes expected = crypto::Tls12Prf(master_secret_, label,
                                     BytesView(transcript_hash.data(), transcript_hash.size()),
                                     kVerifyDataSize);
@@ -110,10 +151,16 @@ Status TlsConnection::Handshake() {
   }
   SEAL_OBS_COUNTER("tls_handshakes_started_total").Increment();
   Notify(InfoEvent::kHandshakeStart, 0);
+  int64_t start = NowNanos();
   Status status = role_ == Role::kClient ? HandshakeClient() : HandshakeServer();
   if (status.ok()) {
     handshake_complete_ = true;
-    handshake_transcript_bytes_.clear();  // no renegotiation: free the memory
+    uint64_t elapsed = static_cast<uint64_t>(NowNanos() - start);
+    if (resumed_) {
+      SEAL_OBS_HISTOGRAM("tls_handshake_abbreviated_nanos").Observe(elapsed);
+    } else {
+      SEAL_OBS_HISTOGRAM("tls_handshake_full_nanos").Observe(elapsed);
+    }
     SEAL_OBS_COUNTER("tls_handshakes_completed_total").Increment();
     Notify(InfoEvent::kHandshakeDone, 0);
   } else {
@@ -127,19 +174,63 @@ Status TlsConnection::Handshake() {
   return status;
 }
 
-Status TlsConnection::HandshakeClient() {
-  client_random_ = crypto::ProcessDrbg().Generate(kRandomSize);
-  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kClientHello, client_random_));
+// Abbreviated flow (client side), entered once the ServerHello echoed the
+// offered id: both sides already share the master secret, so only new
+// randoms and the Finished exchange are needed. The server speaks first.
+Status TlsConnection::HandshakeClientAbbreviated() {
+  resumed_ = true;
+  AdoptMasterSecret(offered_session_.master_secret);
+  Bytes key_block = DeriveKeyBlock();
+  BytesView kb = key_block;
+  record_layer_.EnableReadProtection(kb.subspan(16, 16), kb.subspan(36, 4));
 
-  // ServerHello.
+  auto fin = ReadHandshakeMessage();
+  if (!fin.ok()) {
+    return fin.status();
+  }
+  if (fin->first != HsType::kFinished) {
+    return InvalidArgument("expected Finished");
+  }
+  SEAL_RETURN_IF_ERROR(CheckFinished("server finished", fin->second));
+
+  record_layer_.EnableWriteProtection(kb.subspan(0, 16), kb.subspan(32, 4));
+  return SendFinished("client finished");
+}
+
+Status TlsConnection::HandshakeClient() {
+  client_random_ = crypto::ThreadLocalDrbg().Generate(kRandomSize);
+  // ClientHello: random || session-id length || session id (empty when the
+  // client has nothing to resume).
+  Bytes hello = client_random_;
+  hello.push_back(static_cast<uint8_t>(offered_session_.id.size()));
+  Append(hello, offered_session_.id);
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kClientHello, hello));
+
+  // ServerHello: random, optionally followed by the echoed session id when
+  // the server accepts resumption. A bare 32-byte body means a full
+  // handshake.
   auto sh = ReadHandshakeMessage();
   if (!sh.ok()) {
     return sh.status();
   }
-  if (sh->first != HsType::kServerHello || sh->second.size() != kRandomSize) {
+  if (sh->first != HsType::kServerHello || sh->second.size() < kRandomSize) {
     return InvalidArgument("expected ServerHello");
   }
-  server_random_ = sh->second;
+  server_random_.assign(sh->second.begin(), sh->second.begin() + kRandomSize);
+  if (sh->second.size() > kRandomSize) {
+    size_t sid_len = sh->second[kRandomSize];
+    if (sid_len > kMaxSessionIdSize || sh->second.size() != kRandomSize + 1 + sid_len) {
+      return InvalidArgument("malformed ServerHello session id");
+    }
+    if (sid_len > 0) {
+      BytesView echoed = BytesView(sh->second).subspan(kRandomSize + 1, sid_len);
+      if (offered_session_.id.empty() ||
+          !ConstantTimeEqual(echoed, offered_session_.id)) {
+        return PermissionDenied("server echoed a session id that was not offered");
+      }
+      return HandshakeClientAbbreviated();
+    }
+  }
 
   // Certificate.
   auto cert_msg = ReadHandshakeMessage();
@@ -229,7 +320,8 @@ Status TlsConnection::HandshakeClient() {
   // CertificateVerify: proves possession of the client key over the
   // transcript so far.
   if (client_cert_requested) {
-    crypto::EcdsaSignature cv = config_->private_key->Sign(handshake_transcript_bytes_);
+    crypto::Sha256 covered = transcript_hash_;
+    crypto::EcdsaSignature cv = config_->private_key->SignDigest(covered.Finish());
     SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kCertificateVerify, cv.Encode()));
   }
 
@@ -238,9 +330,7 @@ Status TlsConnection::HandshakeClient() {
     return PermissionDenied("ECDH failed");
   }
   DeriveKeys(*shared);
-  Bytes randoms = server_random_;
-  Append(randoms, client_random_);
-  Bytes key_block = crypto::Tls12Prf(master_secret_, "key expansion", randoms, 40);
+  Bytes key_block = DeriveKeyBlock();
   BytesView kb = key_block;
   // client_write_key, server_write_key, client_iv, server_iv.
   record_layer_.EnableWriteProtection(kb.subspan(0, 16), kb.subspan(32, 4));
@@ -257,6 +347,48 @@ Status TlsConnection::HandshakeClient() {
   return CheckFinished("server finished", fin->second);
 }
 
+// Abbreviated flow (server side): echo the session id, rederive keys from
+// the cached master secret, exchange Finished. Skips the certificate,
+// ServerKeyExchange (ECDHE + ECDSA sign), ClientKeyExchange and
+// CertificateVerify flights entirely.
+Status TlsConnection::HandshakeServerAbbreviated(Bytes cached_master_secret) {
+  resumed_ = true;
+  Status status = HandshakeServerAbbreviatedInner(std::move(cached_master_secret));
+  if (status.ok()) {
+    SEAL_OBS_COUNTER("tls_resumptions_total").Increment();
+  } else if (config_->session_cache != nullptr) {
+    // A failed resumption attempt (bad Finished, peer that cannot actually
+    // decrypt, transport death mid-flight) burns the session: a client that
+    // offers the right id without the master secret is probing, and a
+    // half-torn session should not be retried either.
+    config_->session_cache->Remove(offered_session_.id);
+  }
+  return status;
+}
+
+Status TlsConnection::HandshakeServerAbbreviatedInner(Bytes cached_master_secret) {
+  Bytes hello = server_random_;
+  hello.push_back(static_cast<uint8_t>(offered_session_.id.size()));
+  Append(hello, offered_session_.id);
+  SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kServerHello, hello));
+
+  AdoptMasterSecret(std::move(cached_master_secret));
+  Bytes key_block = DeriveKeyBlock();
+  BytesView kb = key_block;
+  record_layer_.EnableWriteProtection(kb.subspan(16, 16), kb.subspan(36, 4));
+  SEAL_RETURN_IF_ERROR(SendFinished("server finished"));
+  record_layer_.EnableReadProtection(kb.subspan(0, 16), kb.subspan(32, 4));
+
+  auto fin = ReadHandshakeMessage();
+  if (!fin.ok()) {
+    return fin.status();
+  }
+  if (fin->first != HsType::kFinished) {
+    return InvalidArgument("expected Finished");
+  }
+  return CheckFinished("client finished", fin->second);
+}
+
 Status TlsConnection::HandshakeServer() {
   if (!config_->certificate.has_value() || !config_->private_key.has_value()) {
     return FailedPrecondition("server requires a certificate and key");
@@ -266,11 +398,35 @@ Status TlsConnection::HandshakeServer() {
   if (!ch.ok()) {
     return ch.status();
   }
-  if (ch->first != HsType::kClientHello || ch->second.size() != kRandomSize) {
+  // ClientHello: random, optionally followed by an offered session id
+  // (length-prefixed). A bare 32-byte body offers nothing.
+  if (ch->first != HsType::kClientHello || ch->second.size() < kRandomSize) {
     return InvalidArgument("expected ClientHello");
   }
-  client_random_ = ch->second;
-  server_random_ = crypto::ProcessDrbg().Generate(kRandomSize);
+  client_random_.assign(ch->second.begin(), ch->second.begin() + kRandomSize);
+  if (ch->second.size() > kRandomSize) {
+    size_t sid_len = ch->second[kRandomSize];
+    if (sid_len > kMaxSessionIdSize || ch->second.size() != kRandomSize + 1 + sid_len) {
+      return InvalidArgument("malformed ClientHello session id");
+    }
+    offered_session_.id.assign(ch->second.begin() + kRandomSize + 1, ch->second.end());
+  }
+  server_random_ = crypto::ThreadLocalDrbg().Generate(kRandomSize);
+
+  // Resumption attempt: consult the session cache.
+  if (!offered_session_.id.empty()) {
+    if (config_->session_cache == nullptr) {
+      CountResumptionMiss("disabled");
+    } else {
+      SessionMissReason reason = SessionMissReason::kUnknown;
+      auto secret = config_->session_cache->Lookup(offered_session_.id, &reason);
+      if (secret.has_value()) {
+        return HandshakeServerAbbreviated(std::move(*secret));
+      }
+      CountResumptionMiss(MissReasonName(reason));
+    }
+  }
+
   SEAL_RETURN_IF_ERROR(SendHandshakeMessage(HsType::kServerHello, server_random_));
   SEAL_RETURN_IF_ERROR(
       SendHandshakeMessage(HsType::kCertificate, config_->certificate->Encode()));
@@ -339,7 +495,7 @@ Status TlsConnection::HandshakeServer() {
   if (config_->require_client_certificate) {
     // Signature covers the transcript up to (and including) CKE but not the
     // CertificateVerify message itself.
-    Bytes covered = handshake_transcript_bytes_;
+    crypto::Sha256 covered = transcript_hash_;
     auto cv = ReadHandshakeMessage();
     if (!cv.ok()) {
       return cv.status();
@@ -348,7 +504,7 @@ Status TlsConnection::HandshakeServer() {
       return InvalidArgument("expected CertificateVerify");
     }
     auto cv_sig = crypto::EcdsaSignature::Decode(cv->second);
-    if (!cv_sig.has_value() || !client_key->Verify(covered, *cv_sig)) {
+    if (!cv_sig.has_value() || !client_key->VerifyDigest(covered.Finish(), *cv_sig)) {
       return PermissionDenied("CertificateVerify failed: client key not proven");
     }
   }
@@ -358,9 +514,7 @@ Status TlsConnection::HandshakeServer() {
     return PermissionDenied("ECDH failed");
   }
   DeriveKeys(*shared);
-  Bytes randoms = server_random_;
-  Append(randoms, client_random_);
-  Bytes key_block = crypto::Tls12Prf(master_secret_, "key expansion", randoms, 40);
+  Bytes key_block = DeriveKeyBlock();
   BytesView kb = key_block;
   record_layer_.EnableReadProtection(kb.subspan(0, 16), kb.subspan(32, 4));
 
@@ -374,7 +528,13 @@ Status TlsConnection::HandshakeServer() {
   SEAL_RETURN_IF_ERROR(CheckFinished("client finished", fin->second));
 
   record_layer_.EnableWriteProtection(kb.subspan(16, 16), kb.subspan(36, 4));
-  return SendFinished("server finished");
+  SEAL_RETURN_IF_ERROR(SendFinished("server finished"));
+
+  // The completed session becomes resumable.
+  if (config_->session_cache != nullptr) {
+    config_->session_cache->Insert(session_id_, master_secret_);
+  }
+  return Status::Ok();
 }
 
 Result<size_t> TlsConnection::Read(uint8_t* buf, size_t max) {

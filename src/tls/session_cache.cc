@@ -1,0 +1,129 @@
+#include "src/tls/session_cache.h"
+
+#include "src/common/clock.h"
+#include "src/obs/obs.h"
+
+namespace seal::tls {
+
+namespace {
+
+// FNV-1a over the id bytes; the ids are already uniformly distributed
+// (master-secret hashes), so a cheap mix suffices for shard selection.
+size_t HashId(std::string_view id) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : id) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+obs::Gauge& OccupancyGauge() { return SEAL_OBS_GAUGE("tls_session_cache_entries"); }
+
+}  // namespace
+
+TlsSessionCache::TlsSessionCache(Options options) : options_(options) {
+  if (options_.shards == 0) {
+    options_.shards = 1;
+  }
+  if (options_.capacity == 0) {
+    options_.capacity = 1;
+  }
+  per_shard_capacity_ = std::max<size_t>(1, options_.capacity / options_.shards);
+  shards_ = std::vector<Shard>(options_.shards);
+}
+
+TlsSessionCache::Shard& TlsSessionCache::ShardFor(std::string_view id) {
+  return shards_[HashId(id) % shards_.size()];
+}
+
+void TlsSessionCache::RecordEviction(Shard& shard, std::string id) {
+  if (shard.tombstones.insert(id).second) {
+    shard.tombstone_order.push_back(std::move(id));
+  }
+  while (shard.tombstone_order.size() > 2 * per_shard_capacity_) {
+    shard.tombstones.erase(shard.tombstone_order.front());
+    shard.tombstone_order.pop_front();
+  }
+}
+
+void TlsSessionCache::Insert(BytesView id, BytesView master_secret) {
+  if (id.empty() || id.size() > kMaxSessionIdSize || master_secret.empty()) {
+    return;
+  }
+  std::string key(reinterpret_cast<const char*>(id.data()), id.size());
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->master_secret.assign(master_secret.begin(), master_secret.end());
+    it->second->inserted_nanos = NowNanos();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= per_shard_capacity_) {
+    Entry& victim = shard.lru.back();
+    shard.map.erase(victim.id);
+    RecordEviction(shard, std::move(victim.id));
+    shard.lru.pop_back();
+    OccupancyGauge().Add(-1);
+  }
+  shard.lru.push_front(
+      Entry{key, Bytes(master_secret.begin(), master_secret.end()), NowNanos()});
+  shard.map[std::move(key)] = shard.lru.begin();
+  shard.tombstones.erase(shard.lru.front().id);
+  OccupancyGauge().Add(1);
+}
+
+std::optional<Bytes> TlsSessionCache::Lookup(BytesView id, SessionMissReason* reason) {
+  SessionMissReason why = SessionMissReason::kUnknown;
+  std::optional<Bytes> secret;
+  if (!id.empty() && id.size() <= kMaxSessionIdSize) {
+    std::string key(reinterpret_cast<const char*>(id.data()), id.size());
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (options_.ttl_nanos > 0 && NowNanos() - it->second->inserted_nanos > options_.ttl_nanos) {
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        OccupancyGauge().Add(-1);
+        why = SessionMissReason::kExpired;
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        secret = it->second->master_secret;
+      }
+    } else if (shard.tombstones.count(key) != 0) {
+      why = SessionMissReason::kEvicted;
+    }
+  }
+  if (!secret.has_value() && reason != nullptr) {
+    *reason = why;
+  }
+  return secret;
+}
+
+void TlsSessionCache::Remove(BytesView id) {
+  if (id.empty() || id.size() > kMaxSessionIdSize) {
+    return;
+  }
+  std::string key(reinterpret_cast<const char*>(id.data()), id.size());
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    OccupancyGauge().Add(-1);
+  }
+}
+
+size_t TlsSessionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace seal::tls

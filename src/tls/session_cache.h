@@ -1,0 +1,106 @@
+// TLS 1.2 session cache for abbreviated handshakes (the SSL_CTX session
+// cache analogue). Master secrets never leave the cache owner's address
+// space: in the LibSEAL deployment the cache lives inside the enclave next
+// to the TlsConfig, so a compromised service provider cannot read cached
+// secrets any more than it can read live connection keys.
+//
+// The cache is sharded (mutex per shard) so concurrent handshake threads
+// rarely contend, LRU within each shard, and capacity-bounded. Lookups
+// report why they missed so the resumption metrics can distinguish a
+// client guessing ids (unknown) from capacity pressure (evicted) from
+// lifetime policy (expired).
+#ifndef SRC_TLS_SESSION_CACHE_H_
+#define SRC_TLS_SESSION_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace seal::tls {
+
+// Resumable session state: the wire session id and the master secret the
+// abbreviated handshake rederives connection keys from.
+struct TlsSession {
+  Bytes id;
+  Bytes master_secret;
+
+  bool valid() const { return !id.empty() && !master_secret.empty(); }
+};
+
+// Session ids on the wire are length-prefixed with one byte and capped like
+// TLS's 32-byte limit; anything longer is treated as tampering.
+inline constexpr size_t kMaxSessionIdSize = 32;
+
+enum class SessionMissReason {
+  kUnknown,   // id never seen (or long since forgotten)
+  kEvicted,   // id was cached but lost to capacity pressure
+  kExpired,   // id was cached but outlived the TTL
+};
+
+class TlsSessionCache {
+ public:
+  struct Options {
+    // Total entries across all shards.
+    size_t capacity = 4096;
+    // Session lifetime; 0 disables expiry.
+    int64_t ttl_nanos = 0;
+    // Power of two; each shard has its own mutex and LRU list.
+    size_t shards = 8;
+  };
+
+  TlsSessionCache() : TlsSessionCache(Options{}) {}
+  explicit TlsSessionCache(Options options);
+
+  TlsSessionCache(const TlsSessionCache&) = delete;
+  TlsSessionCache& operator=(const TlsSessionCache&) = delete;
+
+  // Inserts or refreshes a session; evicts the shard's LRU entry when the
+  // shard is full. Oversized ids are ignored.
+  void Insert(BytesView id, BytesView master_secret);
+
+  // Returns the master secret and refreshes LRU position, or nullopt with
+  // `*reason` set. Expired entries are removed on the way out.
+  std::optional<Bytes> Lookup(BytesView id, SessionMissReason* reason = nullptr);
+
+  // Drops a session (e.g. after a failed resumption attempt).
+  void Remove(BytesView id);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string id;
+    Bytes master_secret;
+    int64_t inserted_nanos = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    // Recently evicted ids, so a miss can be attributed to capacity
+    // pressure. FIFO-bounded to 2x the shard capacity.
+    std::unordered_set<std::string> tombstones;
+    std::deque<std::string> tombstone_order;
+  };
+
+  Shard& ShardFor(std::string_view id);
+  void RecordEviction(Shard& shard, std::string id);
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace seal::tls
+
+#endif  // SRC_TLS_SESSION_CACHE_H_

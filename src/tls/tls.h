@@ -14,8 +14,10 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/crypto/ecdsa.h"
+#include "src/crypto/sha256.h"
 #include "src/tls/bio.h"
 #include "src/tls/record.h"
+#include "src/tls/session_cache.h"
 #include "src/tls/x509.h"
 
 namespace seal::tls {
@@ -39,6 +41,12 @@ struct TlsConfig {
   // Servers: demand and verify a client certificate (§6.3, defends against
   // client impersonation by the provider).
   bool require_client_certificate = false;
+
+  // Servers: when set, completed full handshakes are cached here and
+  // ClientHellos offering a cached id take the abbreviated handshake
+  // (no certificate flight, no ECDHE, no signature). The cache must
+  // outlive every connection using this config.
+  TlsSessionCache* session_cache = nullptr;
 };
 
 // Handshake/connection state change notifications (the analogue of
@@ -76,8 +84,21 @@ class TlsConnection {
   void set_info_callback(InfoCallback cb) { info_callback_ = std::move(cb); }
 
   // Session identity material: the master secret hash, used by LibSEAL for
-  // per-session log attribution.
+  // per-session log attribution. A resumed connection shares its master
+  // secret with the original, so audit-log attribution is stable across
+  // resumptions by construction.
   const Bytes& session_id() const { return session_id_; }
+
+  // Clients: offer `session` in the ClientHello; if the server still has it
+  // cached the handshake runs abbreviated. Must be called before
+  // Handshake(). Invalid sessions are ignored.
+  void OfferSession(const TlsSession& session);
+
+  // Resumable state of a completed handshake, for a client-side store.
+  TlsSession ExportSession() const { return TlsSession{session_id_, master_secret_}; }
+
+  // True when the completed handshake was abbreviated (session resumption).
+  bool resumed() const { return resumed_; }
 
   uint64_t bytes_on_wire_in() const { return record_layer_.bytes_in(); }
   uint64_t bytes_on_wire_out() const { return record_layer_.bytes_out(); }
@@ -98,10 +119,17 @@ class TlsConnection {
 
   Status HandshakeClient();
   Status HandshakeServer();
+  Status HandshakeClientAbbreviated();
+  Status HandshakeServerAbbreviated(Bytes cached_master_secret);
+  Status HandshakeServerAbbreviatedInner(Bytes cached_master_secret);
 
   Status SendHandshakeMessage(HsType type, BytesView body);
   Result<std::pair<HsType, Bytes>> ReadHandshakeMessage();
   void DeriveKeys(BytesView pre_master_secret);
+  void AdoptMasterSecret(Bytes master_secret);
+  // TLS 1.2 key expansion over the current master secret and randoms:
+  // client_write_key, server_write_key, client_iv, server_iv.
+  Bytes DeriveKeyBlock() const;
   Bytes FinishedPayload(std::string_view label) const;
   Status SendFinished(std::string_view label);
   Status CheckFinished(std::string_view label, BytesView received);
@@ -112,14 +140,21 @@ class TlsConnection {
   RecordLayer record_layer_;
   bool handshake_complete_ = false;
   bool closed_ = false;
+  bool resumed_ = false;
 
   Bytes client_random_;
   Bytes server_random_;
   Bytes master_secret_;
   Bytes session_id_;
-  // Raw concatenation of all handshake messages (headers included), hashed
-  // for CertificateVerify and Finished; cleared once the handshake is done.
-  Bytes handshake_transcript_bytes_;
+  // Session offered by the client for resumption (empty id = none).
+  TlsSession offered_session_;
+  // Incremental hash over all handshake messages (headers included), used
+  // for CertificateVerify and Finished. `transcript_before_last_read_` is
+  // the state just before the most recently received message, so Finished
+  // verification can hash the transcript excluding the peer's Finished
+  // without keeping (and copying) the raw byte concatenation.
+  crypto::Sha256 transcript_hash_;
+  crypto::Sha256 transcript_before_last_read_;
 
   std::optional<Certificate> peer_certificate_;
   InfoCallback info_callback_;

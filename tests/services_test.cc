@@ -4,6 +4,7 @@
 
 #include "src/common/clock.h"
 #include "src/json/json.h"
+#include "src/obs/obs.h"
 #include "src/services/dropbox_service.h"
 #include "src/services/git_service.h"
 #include "src/services/http_server.h"
@@ -226,6 +227,55 @@ TEST(HttpServerTest, PerRequestComputeSlowsResponses) {
   ASSERT_TRUE((*client)->RoundTrip(MakeContentRequest(1, true)).ok());
   EXPECT_GE(seal::NowNanos() - start, 20 * 1000 * 1000);
   (*client)->Close();
+  server.Stop();
+}
+
+TEST(HttpServerTest, WorkerThreadCountStaysBounded) {
+  // Regression: the old thread-per-connection server grew one std::thread
+  // per connection ever accepted, reaped only at Stop(). The worker pool
+  // must hold the thread count at the configured bound no matter how many
+  // sequential connections are served.
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443", .worker_threads = 4}, &transport,
+                    ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.worker_thread_count(), 4u);
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  constexpr int kConnections = 50;
+  for (int i = 0; i < kConnections; ++i) {
+    auto rsp = OneShotRequest(&network, "web:443", client_tls, MakeContentRequest(32));
+    ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+    EXPECT_EQ(server.worker_thread_count(), 4u);
+  }
+  EXPECT_EQ(server.requests_served(), static_cast<uint64_t>(kConnections));
+  server.Stop();
+}
+
+TEST(HttpServerTest, SessionStoreResumesAcrossConnections) {
+  // A client fleet sharing a ClientSessionStore takes the abbreviated
+  // handshake on every reconnect after the first.
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443"}, &transport, ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  ClientSessionStore sessions;
+  uint64_t resumed_before =
+      obs::Registry::Global().TakeSnapshot().counter("tls_resumptions_total");
+  for (int i = 0; i < 5; ++i) {
+    auto client = HttpsClient::Connect(&network, "web:443", client_tls, 0, 0, &sessions);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_EQ((*client)->tls().resumed(), i > 0);
+    auto rsp = (*client)->RoundTrip(MakeContentRequest(64));
+    ASSERT_TRUE(rsp.ok());
+    (*client)->Close();
+  }
+  uint64_t resumed_after =
+      obs::Registry::Global().TakeSnapshot().counter("tls_resumptions_total");
+  EXPECT_EQ(resumed_after - resumed_before, 4u);
   server.Stop();
 }
 

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/net.h"
+#include "src/obs/obs.h"
+#include "src/tls/session_cache.h"
+#include "src/tls/tls.h"
+#include "src/tls/x509.h"
+
+namespace seal::tls {
+namespace {
+
+struct TestPki {
+  TestPki() {
+    ca = MakeSelfSignedCa("Resume CA", crypto::EcdsaPrivateKey::FromSeed(ToBytes("ca")));
+    server_key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("server"));
+    server_cert = IssueCertificate(ca, "server.example", server_key.public_key(), 2);
+  }
+  CertifiedKey ca;
+  crypto::EcdsaPrivateKey server_key;
+  Certificate server_cert;
+};
+
+TestPki& Pki() {
+  static TestPki pki;
+  return pki;
+}
+
+TlsConfig ServerConfig(TlsSessionCache* cache) {
+  TlsConfig config;
+  config.certificate = Pki().server_cert;
+  config.private_key = Pki().server_key;
+  config.session_cache = cache;
+  return config;
+}
+
+TlsConfig ClientConfig() {
+  TlsConfig config;
+  config.trusted_roots = {Pki().ca.cert};
+  return config;
+}
+
+struct HandshakeResult {
+  Status client;
+  Status server;
+};
+
+HandshakeResult DoHandshake(TlsConnection& client, TlsConnection& server) {
+  HandshakeResult result{Internal("unset"), Internal("unset")};
+  std::thread server_thread([&] { result.server = server.Handshake(); });
+  result.client = client.Handshake();
+  server_thread.join();
+  return result;
+}
+
+// One client connection against `server_config`, optionally offering a
+// session. Returns the exported session on success.
+struct ConnectResult {
+  HandshakeResult hs;
+  bool client_resumed = false;
+  bool server_resumed = false;
+  Bytes client_session_id;
+  Bytes server_session_id;
+  TlsSession session;
+};
+
+ConnectResult Connect(const TlsConfig& client_config, const TlsConfig& server_config,
+                      const TlsSession* offer = nullptr) {
+  auto [client_stream, server_stream] = net::CreateStreamPair();
+  StreamBio client_bio(client_stream.get());
+  StreamBio server_bio(server_stream.get());
+  TlsConnection client(&client_bio, &client_config, Role::kClient);
+  TlsConnection server(&server_bio, &server_config, Role::kServer);
+  if (offer != nullptr) {
+    client.OfferSession(*offer);
+  }
+  ConnectResult result;
+  result.hs = DoHandshake(client, server);
+  if (result.hs.client.ok() && result.hs.server.ok()) {
+    result.client_resumed = client.resumed();
+    result.server_resumed = server.resumed();
+    result.client_session_id = client.session_id();
+    result.server_session_id = server.session_id();
+    result.session = client.ExportSession();
+    // Application data flows both ways on every path.
+    std::thread echo([&] {
+      uint8_t buf[64];
+      auto n = server.Read(buf, sizeof(buf));
+      ASSERT_TRUE(n.ok());
+      ASSERT_TRUE(server.Write(BytesView(buf, *n)).ok());
+    });
+    EXPECT_TRUE(client.Write(std::string_view("ping")).ok());
+    uint8_t buf[64];
+    auto n = client.Read(buf, sizeof(buf));
+    echo.join();
+    EXPECT_TRUE(n.ok());
+    EXPECT_EQ(Bytes(buf, buf + *n), ToBytes("ping"));
+  }
+  client.Close();
+  server.Close();
+  return result;
+}
+
+uint64_t MissCounter(const char* reason) {
+  return obs::Registry::Global().TakeSnapshot().counter(
+      std::string("tls_resumption_misses_total{reason=\"") + reason + "\"}");
+}
+
+uint64_t ResumptionCounter() {
+  return obs::Registry::Global().TakeSnapshot().counter("tls_resumptions_total");
+}
+
+TEST(Resumption, FullThenAbbreviated) {
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult full = Connect(client_config, server_config);
+  ASSERT_TRUE(full.hs.client.ok()) << full.hs.client.ToString();
+  ASSERT_TRUE(full.hs.server.ok()) << full.hs.server.ToString();
+  EXPECT_FALSE(full.client_resumed);
+  EXPECT_FALSE(full.server_resumed);
+  ASSERT_TRUE(full.session.valid());
+  EXPECT_EQ(cache.size(), 1u);
+
+  uint64_t resumptions_before = ResumptionCounter();
+  ConnectResult abbreviated = Connect(client_config, server_config, &full.session);
+  ASSERT_TRUE(abbreviated.hs.client.ok()) << abbreviated.hs.client.ToString();
+  ASSERT_TRUE(abbreviated.hs.server.ok()) << abbreviated.hs.server.ToString();
+  EXPECT_TRUE(abbreviated.client_resumed);
+  EXPECT_TRUE(abbreviated.server_resumed);
+  EXPECT_EQ(ResumptionCounter(), resumptions_before + 1);
+}
+
+TEST(Resumption, ResumedSessionKeepsAttribution) {
+  // session_id() keys the SSM audit log to a session; a resumed connection
+  // must attribute to the SAME session as the original full handshake.
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult full = Connect(client_config, server_config);
+  ASSERT_TRUE(full.hs.client.ok() && full.hs.server.ok());
+  ConnectResult resumed = Connect(client_config, server_config, &full.session);
+  ASSERT_TRUE(resumed.hs.client.ok() && resumed.hs.server.ok());
+  ASSERT_TRUE(resumed.client_resumed);
+
+  EXPECT_EQ(resumed.client_session_id, full.client_session_id);
+  EXPECT_EQ(resumed.server_session_id, full.server_session_id);
+  EXPECT_EQ(resumed.client_session_id, resumed.server_session_id);
+  EXPECT_FALSE(resumed.client_session_id.empty());
+}
+
+TEST(Resumption, UnknownIdFallsBackToFullHandshake) {
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  TlsSession bogus;
+  bogus.id = Bytes(16, 0xab);
+  bogus.master_secret = Bytes(48, 0xcd);
+  uint64_t unknown_before = MissCounter("unknown");
+  ConnectResult result = Connect(client_config, server_config, &bogus);
+  ASSERT_TRUE(result.hs.client.ok()) << result.hs.client.ToString();
+  ASSERT_TRUE(result.hs.server.ok()) << result.hs.server.ToString();
+  EXPECT_FALSE(result.client_resumed);
+  EXPECT_FALSE(result.server_resumed);
+  EXPECT_EQ(MissCounter("unknown"), unknown_before + 1);
+}
+
+TEST(Resumption, EvictedIdFallsBackToFullHandshake) {
+  // Single-shard, capacity-1 cache: the second full handshake evicts the
+  // first session, and the miss is attributed to eviction.
+  TlsSessionCache cache(TlsSessionCache::Options{1, 0, 1});
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult first = Connect(client_config, server_config);
+  ASSERT_TRUE(first.hs.client.ok() && first.hs.server.ok());
+  ConnectResult second = Connect(client_config, server_config);
+  ASSERT_TRUE(second.hs.client.ok() && second.hs.server.ok());
+  EXPECT_EQ(cache.size(), 1u);
+
+  uint64_t evicted_before = MissCounter("evicted");
+  ConnectResult result = Connect(client_config, server_config, &first.session);
+  ASSERT_TRUE(result.hs.client.ok() && result.hs.server.ok());
+  EXPECT_FALSE(result.client_resumed);
+  EXPECT_EQ(MissCounter("evicted"), evicted_before + 1);
+}
+
+TEST(Resumption, ExpiredSessionFallsBackToFullHandshake) {
+  // 1 ns TTL: every cached session is expired by the time it is offered.
+  TlsSessionCache cache(TlsSessionCache::Options{16, 1, 1});
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult full = Connect(client_config, server_config);
+  ASSERT_TRUE(full.hs.client.ok() && full.hs.server.ok());
+
+  uint64_t expired_before = MissCounter("expired");
+  ConnectResult result = Connect(client_config, server_config, &full.session);
+  ASSERT_TRUE(result.hs.client.ok() && result.hs.server.ok());
+  EXPECT_FALSE(result.client_resumed);
+  EXPECT_EQ(MissCounter("expired"), expired_before + 1);
+}
+
+TEST(Resumption, CacheDisabledFallsBackToFullHandshake) {
+  TlsConfig server_config = ServerConfig(nullptr);
+  TlsConfig client_config = ClientConfig();
+
+  TlsSession offer;
+  offer.id = Bytes(16, 0x11);
+  offer.master_secret = Bytes(48, 0x22);
+  uint64_t disabled_before = MissCounter("disabled");
+  ConnectResult result = Connect(client_config, server_config, &offer);
+  ASSERT_TRUE(result.hs.client.ok() && result.hs.server.ok());
+  EXPECT_FALSE(result.client_resumed);
+  EXPECT_FALSE(result.server_resumed);
+  EXPECT_EQ(MissCounter("disabled"), disabled_before + 1);
+}
+
+TEST(Resumption, OversizedSessionIdRejected) {
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  TlsSession oversized;
+  oversized.id = Bytes(kMaxSessionIdSize + 1, 0x5a);
+  oversized.master_secret = Bytes(48, 0x77);
+  ConnectResult result = Connect(client_config, server_config, &oversized);
+  EXPECT_FALSE(result.hs.server.ok());
+}
+
+TEST(Resumption, WrongMasterSecretFailsAndDropsSession) {
+  // Right id, wrong secret: the server starts the abbreviated handshake but
+  // the Finished exchange cannot verify, and the probed session is dropped
+  // from the cache.
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult full = Connect(client_config, server_config);
+  ASSERT_TRUE(full.hs.client.ok() && full.hs.server.ok());
+  ASSERT_EQ(cache.size(), 1u);
+
+  TlsSession tampered = full.session;
+  tampered.master_secret[0] ^= 0xff;
+  ConnectResult result = Connect(client_config, server_config, &tampered);
+  EXPECT_FALSE(result.hs.client.ok() || result.hs.server.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Resumption, TamperedSessionIdIsUnknown) {
+  TlsSessionCache cache;
+  TlsConfig server_config = ServerConfig(&cache);
+  TlsConfig client_config = ClientConfig();
+
+  ConnectResult full = Connect(client_config, server_config);
+  ASSERT_TRUE(full.hs.client.ok() && full.hs.server.ok());
+
+  TlsSession tampered = full.session;
+  tampered.id[0] ^= 0xff;
+  // An id the server never issued cannot resume, but must not break the
+  // fallback path either.
+  ConnectResult result = Connect(client_config, server_config, &tampered);
+  ASSERT_TRUE(result.hs.client.ok() && result.hs.server.ok());
+  EXPECT_FALSE(result.client_resumed);
+}
+
+TEST(SessionCache, LruEvictionAndRefresh) {
+  TlsSessionCache cache(TlsSessionCache::Options{2, 0, 1});
+  Bytes secret(48, 0x01);
+  cache.Insert(ToBytes("a"), secret);
+  cache.Insert(ToBytes("b"), secret);
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  EXPECT_TRUE(cache.Lookup(ToBytes("a")).has_value());
+  cache.Insert(ToBytes("c"), secret);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(ToBytes("a")).has_value());
+  EXPECT_TRUE(cache.Lookup(ToBytes("c")).has_value());
+  SessionMissReason reason = SessionMissReason::kUnknown;
+  EXPECT_FALSE(cache.Lookup(ToBytes("b"), &reason).has_value());
+  EXPECT_EQ(reason, SessionMissReason::kEvicted);
+}
+
+TEST(SessionCache, RemoveAndOversizedIgnored) {
+  TlsSessionCache cache;
+  Bytes secret(48, 0x02);
+  cache.Insert(ToBytes("key"), secret);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Remove(ToBytes("key"));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert(Bytes(kMaxSessionIdSize + 1, 0x00), secret);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Bytes(kMaxSessionIdSize + 1, 0x00)).has_value());
+}
+
+TEST(SessionCache, ConcurrentHammerIsSafe) {
+  // 16 threads insert/lookup/remove overlapping keys; run under TSan in CI.
+  TlsSessionCache cache(TlsSessionCache::Options{64, 0, 8});
+  constexpr int kThreads = 16;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(static_cast<uint64_t>(t) + 1);
+      Bytes secret(48, static_cast<uint8_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t key_num = rng.Next() % 128;
+        Bytes id(16, static_cast<uint8_t>(key_num));
+        id[1] = static_cast<uint8_t>(key_num >> 8);
+        switch (rng.Next() % 4) {
+          case 0:
+            cache.Insert(id, secret);
+            break;
+          case 1:
+            cache.Remove(id);
+            break;
+          default:
+            if (cache.Lookup(id).has_value()) {
+              hits.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(hits.load(), 0u);
+}
+
+}  // namespace
+}  // namespace seal::tls
