@@ -282,8 +282,9 @@ Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
   }
   std::vector<LogEntry> survivors;
   for (const std::string& table : db_.TableNames()) {
-    const std::vector<db::Row>* rows = db_.TableRows(table);
-    for (const db::Row& row : *rows) {
+    const db::RowStore* rows = db_.TableRows(table);
+    for (size_t r = 0; r < rows->size(); ++r) {
+      const db::Row& row = (*rows)[r];
       LogEntry entry;
       entry.time = row.empty() ? 0 : row[0].AsInt();
       entry.table = table;

@@ -434,11 +434,14 @@ void LibSealRuntime::RegisterInterface() {
       if (force_check) {
         // In-band result notification (§5.2): rewrite the response with a
         // Libseal-Check-Result header.
+        std::optional<CheckReport> fallback;
+        if (!report->has_value()) {
+          fallback = logger_->last_report();
+        }
         std::string summary = report->has_value()
                                   ? (*report)->Summary()
-                                  : (logger_->last_report().has_value()
-                                         ? logger_->last_report()->Summary()
-                                         : "no check performed");
+                                  : (fallback.has_value() ? fallback->Summary()
+                                                          : "no check performed");
         auto parsed = http::ParseResponse(wire_message);
         if (parsed.ok()) {
           parsed->SetHeader("Libseal-Check-Result", summary);
@@ -514,8 +517,12 @@ Status LibSealRuntime::Init() {
   RegisterInterface();
 
   if (pending_module_ != nullptr) {
+    // The checker thread's CPU time is charged as in-enclave execution,
+    // like the asyncall workers'.
+    LoggerOptions logger_options = options_.logger;
+    logger_options.enclave = enclave_.get();
     logger_ = std::make_unique<AuditLogger>(std::move(pending_module_), options_.audit_log,
-                                            options_.logger, state_->log_key);
+                                            std::move(logger_options), state_->log_key);
     SEAL_RETURN_IF_ERROR(logger_->Init());
   }
   if (options_.use_async_calls) {

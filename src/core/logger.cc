@@ -15,28 +15,50 @@ constexpr size_t kMaxBatchPairs = 256;
 
 }  // namespace
 
-std::string CheckReport::Summary() const {
-  if (violations.empty()) {
-    return "ok " + std::to_string(invariants_checked) + " invariants";
-  }
-  std::string s = "VIOLATION";
-  for (const Violation& v : violations) {
-    s += " " + v.invariant + "(" + std::to_string(v.rows.rows.size()) + ")";
-  }
-  return s;
-}
-
 AuditLogger::AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions log_options,
                          LoggerOptions logger_options, crypto::EcdsaPrivateKey signing_key)
     : module_(std::move(module)),
       log_(std::move(log_options), std::move(signing_key)),
       options_(logger_options) {}
 
-AuditLogger::~AuditLogger() = default;
+AuditLogger::~AuditLogger() {
+  if (engine_ != nullptr) {
+    engine_->Stop();
+  }
+}
 
 Status AuditLogger::Init() {
   SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Schema()));
-  return log_.ExecuteSchema(module_->Views());
+  SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Views()));
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  EnsureEngineLocked();
+  return Status::Ok();
+}
+
+void AuditLogger::EnsureEngineLocked() {
+  if (engine_ != nullptr) {
+    return;
+  }
+  CheckerEngine::Options opts;
+  opts.async = options_.async_checking;
+  opts.parallelism = options_.check_parallelism > 0 ? options_.check_parallelism : 1;
+  opts.incremental_checking = options_.incremental_checking;
+  opts.enclave = options_.enclave;
+  opts.on_report = [this](const CheckReport& report) { PublishReport(report); };
+  engine_ = std::make_unique<CheckerEngine>(
+      &log_, module_->Invariants(), std::move(opts),
+      [this](CheckReport* report) { return TrimForRound(report); });
+  engine_->Start();
+}
+
+void AuditLogger::PublishReport(const CheckReport& report) {
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    last_report_ = report;
+  }
+  if (options_.on_report) {
+    options_.on_report(report);
+  }
 }
 
 Result<std::optional<CheckReport>> AuditLogger::OnPair(uint64_t conn_id, std::string_view request,
@@ -79,6 +101,12 @@ Result<std::optional<CheckReport>> AuditLogger::OnPair(uint64_t conn_id, std::st
   SEAL_OBS_HISTOGRAM("logger_append_nanos").Observe(static_cast<uint64_t>(NowNanos() - t0));
   if (!op.status.ok()) {
     return op.status;
+  }
+  if (op.round != nullptr) {
+    // Forced-check rendezvous: block until the round covering this pair
+    // completes. No logger lock is held here, so appends keep flowing.
+    SEAL_RETURN_IF_ERROR(op.round->Wait());
+    return std::optional<CheckReport>(op.round->report);
   }
   return std::move(op.report);
 }
@@ -174,19 +202,44 @@ void AuditLogger::ProcessPairLocked(PendingPair* op) {
     uncommitted_.push_back(op);
   }
 
-  bool interval_check = options_.check_interval > 0 &&
-                        pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
+  const bool interval_check =
+      options_.check_interval > 0 &&
+      pairs_since_check_ >= static_cast<int64_t>(options_.check_interval);
+  if (!interval_check && !op->force_check) {
+    return;
+  }
+  TriggerChecksLocked(op, interval_check);
+}
+
+void AuditLogger::TriggerChecksLocked(PendingPair* op, bool interval_check) {
+  EnsureEngineLocked();
+  const int64_t stall_start = NowNanos();
+  const bool async = options_.async_checking;
+
   bool forced = false;
   if (op->force_check && !interval_check) {
+    // A forced check can ride a pending round for free: the round has not
+    // started, so refreshing its snapshot makes it cover this pair too —
+    // one evaluation, one budget charge (for whoever created the round).
+    if (async) {
+      std::shared_ptr<CheckRound> attach = engine_->TryAttach(op->time);
+      if (attach != nullptr) {
+        SEAL_OBS_COUNTER("logger_forced_coalesced_total").Increment();
+        op->round = std::move(attach);
+        SEAL_OBS_HISTOGRAM("logger_check_stall_nanos")
+            .Observe(static_cast<uint64_t>(NowNanos() - stall_start));
+        return;
+      }
+    }
     // Rate-limit client-triggered checks (§6.3). A demand landing on an
     // interval boundary is satisfied by the interval check for free and
     // leaves the forced budget untouched.
     forced = options_.forced_check_min_gap == 0 || last_forced_check_pair_ < 0 ||
              pairs_logged_.load(std::memory_order_relaxed) - last_forced_check_pair_ >=
                  static_cast<int64_t>(options_.forced_check_min_gap);
-  }
-  if (!interval_check && !forced) {
-    return;
+    if (!forced) {
+      return;  // over budget, and nothing in flight to attach to
+    }
   }
   if (forced) {
     last_forced_check_pair_ = pairs_logged_.load(std::memory_order_relaxed);
@@ -202,99 +255,88 @@ void AuditLogger::ProcessPairLocked(PendingPair* op) {
     op->status = commit_status;
     return;
   }
+  // Every tuple with time < next_drain_time_ has been drained into the
+  // database; later tickets may still be in flight, so this round covers
+  // (and may advance watermarks up to) exactly this horizon.
+  const int64_t horizon = next_drain_time_ - 1;
+  const CheckerEngine::Trigger trigger =
+      forced ? CheckerEngine::Trigger::kForced : CheckerEngine::Trigger::kInterval;
+
+  if (async) {
+    std::shared_ptr<CheckRound> round = engine_->Enqueue(trigger, /*want_trim=*/true, horizon);
+    if (op->force_check) {
+      op->round = std::move(round);  // rendezvous in OnPair, off this lock
+    }
+    SEAL_OBS_HISTOGRAM("logger_check_stall_nanos")
+        .Observe(static_cast<uint64_t>(NowNanos() - stall_start));
+    return;
+  }
+
+  // Synchronous mode: the round runs here, on the sequencer, under
+  // drain_mutex_ — the baseline the async engine is measured against.
   CheckReport report;
-  Status check_status = RunChecksLocked(&report);
+  Status check_status = engine_->RunInline(trigger, horizon, &report);
   if (!check_status.ok()) {
     op->status = check_status;
     return;
   }
-  int64_t trim_start = NowNanos();
-  size_t deleted = 0;
-  Status trim_status = log_.Trim(module_->TrimmingQueries(), &deleted);
+  Status trim_status = TrimLockedInner(&report);
   if (!trim_status.ok()) {
     op->status = trim_status;
     return;
   }
-  if (deleted > 0) {
-    // Rows left the log, so the deltas past the watermarks no longer
-    // describe it: the next check scans whatever survived in full.
-    ResetWatermarksLocked();
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    last_report_ = report;  // refresh with trim_nanos filled in
   }
-  report.trim_nanos = NowNanos() - trim_start;
-  SEAL_OBS_COUNTER("logger_trims_total").Increment();
-  SEAL_OBS_COUNTER("logger_trimmed_rows_total").Add(deleted);
-  SEAL_OBS_HISTOGRAM("logger_trim_nanos").Observe(static_cast<uint64_t>(report.trim_nanos));
-  last_report_ = report;
+  SEAL_OBS_HISTOGRAM("logger_check_stall_nanos")
+      .Observe(static_cast<uint64_t>(NowNanos() - stall_start));
   op->report = std::move(report);
 }
 
-void AuditLogger::EnsureInvariantsLocked() {
-  if (invariants_loaded_) {
-    return;
+Status AuditLogger::TrimLockedInner(CheckReport* report) {
+  const int64_t trim_start = NowNanos();
+  size_t deleted = 0;
+  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
+  if (deleted > 0 && engine_ != nullptr) {
+    // Rows left the log, so the deltas past the watermarks no longer
+    // describe it: the next check scans whatever survived in full.
+    engine_->OnTrimmed();
   }
-  invariants_ = module_->Invariants();
-  watermarks_.assign(invariants_.size(), -1);
-  invariants_loaded_ = true;
-}
-
-void AuditLogger::ResetWatermarksLocked() {
-  for (int64_t& w : watermarks_) {
-    if (w >= 0) {
-      SEAL_OBS_COUNTER("logger_watermark_resets_total").Increment();
-    }
-    w = -1;
+  const int64_t trim_nanos = NowNanos() - trim_start;
+  if (report != nullptr) {
+    report->trim_nanos = trim_nanos;
   }
-}
-
-Status AuditLogger::RunChecksLocked(CheckReport* report) {
-  EnsureInvariantsLocked();
-  int64_t check_start = NowNanos();
-  // Every tuple with time < next_drain_time_ has been drained into the
-  // database; later tickets may still be in flight, so a clean check may
-  // only advance watermarks up to here.
-  const int64_t horizon = next_drain_time_ - 1;
-  for (size_t i = 0; i < invariants_.size(); ++i) {
-    const Invariant& invariant = invariants_[i];
-    const bool incremental =
-        options_.incremental_checking && invariant.monotone && watermarks_[i] >= 0;
-    auto result = incremental ? log_.QueryWithTimeFloor(invariant.query, watermarks_[i])
-                              : log_.Query(invariant.query);
-    if (!result.ok()) {
-      return result.status();
-    }
-    ++report->invariants_checked;
-    SEAL_OBS_COUNTER("logger_invariant_evaluations_total").Increment();
-    if (incremental) {
-      SEAL_OBS_COUNTER("logger_incremental_evaluations_total").Increment();
-    }
-    if (result->rows.empty()) {
-      if (invariant.monotone) {
-        watermarks_[i] = horizon;
-        SEAL_OBS_COUNTER("logger_watermark_advances_total").Increment();
-      }
-    } else {
-      // A violating monotone invariant keeps its watermark where it is: the
-      // offending rows must stay visible to subsequent checks.
-      if (invariant.monotone) {
-        SEAL_OBS_COUNTER("logger_watermark_freezes_total").Increment();
-      }
-      SEAL_OBS_COUNTER("logger_violations_found_total").Add(result->rows.size());
-      report->violations.push_back(CheckReport::Violation{invariant.name, std::move(*result)});
-    }
-  }
-  report->check_nanos = NowNanos() - check_start;
-  SEAL_OBS_HISTOGRAM("logger_check_nanos").Observe(static_cast<uint64_t>(report->check_nanos));
+  SEAL_OBS_COUNTER("logger_trims_total").Increment();
+  SEAL_OBS_COUNTER("logger_trimmed_rows_total").Add(deleted);
+  SEAL_OBS_HISTOGRAM("logger_trim_nanos").Observe(static_cast<uint64_t>(trim_nanos));
   return Status::Ok();
 }
 
-Result<CheckReport> AuditLogger::CheckInvariants() {
+Status AuditLogger::TrimForRound(CheckReport* report) {
   std::lock_guard<std::mutex> lock(drain_mutex_);
-  DrainStagedLocked();  // fold any in-flight pairs in before the scan
-  SEAL_OBS_COUNTER("logger_checks_total{trigger=\"manual\"}").Increment();
-  CheckReport report;
-  SEAL_RETURN_IF_ERROR(RunChecksLocked(&report));
-  last_report_ = report;
-  return report;
+  return TrimLockedInner(report);
+}
+
+Result<CheckReport> AuditLogger::CheckInvariants() {
+  std::shared_ptr<CheckRound> round;
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    DrainStagedLocked();  // fold any in-flight pairs in before the scan
+    EnsureEngineLocked();
+    SEAL_OBS_COUNTER("logger_checks_total{trigger=\"manual\"}").Increment();
+    const int64_t horizon = next_drain_time_ - 1;
+    if (!options_.async_checking) {
+      CheckReport report;
+      SEAL_RETURN_IF_ERROR(
+          engine_->RunInline(CheckerEngine::Trigger::kManual, horizon, &report));
+      return report;
+    }
+    round = engine_->Enqueue(CheckerEngine::Trigger::kManual, /*want_trim=*/false, horizon);
+  }
+  // Wait off the drain lock: appenders keep flowing while the round runs.
+  SEAL_RETURN_IF_ERROR(round->Wait());
+  return round->report;
 }
 
 Status AuditLogger::Trim() {
@@ -302,15 +344,21 @@ Status AuditLogger::Trim() {
   DrainStagedLocked();
   size_t deleted = 0;
   SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
-  if (deleted > 0) {
-    ResetWatermarksLocked();
+  if (deleted > 0 && engine_ != nullptr) {
+    engine_->OnTrimmed();
   }
   return Status::Ok();
 }
 
+void AuditLogger::WaitForChecks() {
+  if (engine_ != nullptr) {
+    engine_->WaitIdle();
+  }
+}
+
 int64_t AuditLogger::watermark_for_testing(size_t invariant_index) const {
   std::lock_guard<std::mutex> lock(drain_mutex_);
-  return invariant_index < watermarks_.size() ? watermarks_[invariant_index] : -1;
+  return engine_ != nullptr ? engine_->watermark_for_testing(invariant_index) : -1;
 }
 
 }  // namespace seal::core

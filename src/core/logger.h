@@ -18,6 +18,7 @@
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,29 +27,18 @@
 #include <vector>
 
 #include "src/core/audit_log.h"
+#include "src/core/checker.h"
 #include "src/core/service_module.h"
+
+namespace seal::sgx {
+class Enclave;
+}  // namespace seal::sgx
 
 namespace seal::core {
 
 // Intake shards for OnPair staging. Connection ids hash onto shards, so
 // concurrent connections rarely contend on the same staging lock.
 inline constexpr size_t kAppendShards = 8;
-
-// Outcome of one invariant-checking round.
-struct CheckReport {
-  struct Violation {
-    std::string invariant;
-    db::QueryResult rows;  // the offending log entries
-  };
-  std::vector<Violation> violations;
-  size_t invariants_checked = 0;
-  int64_t check_nanos = 0;
-  int64_t trim_nanos = 0;
-
-  bool clean() const { return violations.empty(); }
-  // Compact form for the Libseal-Check-Result response header.
-  std::string Summary() const;
-};
 
 struct LoggerOptions {
   // Run checking + trimming automatically every N request/response pairs
@@ -66,6 +56,21 @@ struct LoggerOptions {
   // time watermark). Falls back to full scans after any trim that removed
   // rows. Benchmarks flip this off to measure full-scan checking.
   bool incremental_checking = true;
+  // Run check rounds on the dedicated checker thread against database
+  // snapshots: the drain step only enqueues a trigger (O(1)) and appenders
+  // never stall on invariant evaluation. Forced checks still block their
+  // own OnPair until the covering round completes (§6.3 response-header
+  // semantics). When false, rounds run inline on the sequencer under the
+  // drain lock (deterministic tests, benchmark baseline) and OnPair
+  // returns the report of an interval check it triggered.
+  bool async_checking = true;
+  // Invariants evaluated concurrently within one async round.
+  size_t check_parallelism = 1;
+  // When set, checker-thread CPU time is charged as in-enclave execution.
+  sgx::Enclave* enclave = nullptr;
+  // Observer invoked once per completed check round (any trigger), from
+  // the thread that ran the round, before waiters wake.
+  std::function<void(const CheckReport&)> on_report;
 };
 
 class AuditLogger {
@@ -79,9 +84,14 @@ class AuditLogger {
 
   // Processes one request/response pair: parse, log, persist, and --- when
   // the interval elapses or `force_check` is set --- check and trim.
-  // Returns the check report if a check ran this round. `conn_id` selects
-  // the intake shard; pairs from one connection stay ordered because each
-  // caller processes its connection's pairs sequentially.
+  // `conn_id` selects the intake shard; pairs from one connection stay
+  // ordered because each caller processes its connection's pairs
+  // sequentially.
+  //
+  // Reports: a forced pair always blocks until a round covering it
+  // completes and returns that round's report. An interval-triggered pair
+  // returns the report only in synchronous mode (async rounds complete in
+  // the background; observe them via last_report()/on_report).
   Result<std::optional<CheckReport>> OnPair(uint64_t conn_id, std::string_view request,
                                             std::string_view response, bool force_check);
   Result<std::optional<CheckReport>> OnPair(std::string_view request, std::string_view response,
@@ -89,16 +99,30 @@ class AuditLogger {
     return OnPair(0, request, response, force_check);
   }
 
-  // Runs all invariants immediately (no trim).
+  // Runs all invariants immediately (no trim). In async mode the round is
+  // enqueued and this call waits for it WITHOUT holding the drain lock, so
+  // manual checks no longer freeze appenders.
   Result<CheckReport> CheckInvariants();
 
   // Runs the SSM's trimming queries and rebuilds the hash chain.
   Status Trim();
 
+  // Blocks until no check round is pending or running. No-op in sync mode.
+  void WaitForChecks();
+
   AuditLog& log() { return log_; }
   ServiceModule& module() { return *module_; }
   int64_t pairs_logged() const { return pairs_logged_.load(std::memory_order_relaxed); }
-  const std::optional<CheckReport>& last_report() const { return last_report_; }
+  // The report of the most recently completed round, by value: async
+  // rounds overwrite it concurrently with readers.
+  std::optional<CheckReport> last_report() const {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    return last_report_;
+  }
+
+  // The engine running check rounds (valid after Init). Exposed for tests
+  // (PauseForTesting, rounds_completed).
+  CheckerEngine* checker() { return engine_.get(); }
 
   // The incremental watermark of the i-th invariant (in Invariants()
   // order): the highest logical time its last clean check covered, or -1
@@ -117,6 +141,10 @@ class AuditLogger {
     // Filled by the sequencer.
     Status status;
     std::optional<CheckReport> report;
+    // The async round this pair must rendezvous with (forced checks, and
+    // forced-riding-interval). OnPair waits on it after the drain
+    // handshake, outside every logger lock.
+    std::shared_ptr<CheckRound> round;
 
     std::mutex m;
     std::condition_variable cv;
@@ -138,15 +166,19 @@ class AuditLogger {
   // propagating a failure into every affected pair. Caller holds
   // drain_mutex_.
   Status CommitIfDirtyLocked();
-  // Loads and caches the SSM's invariant list (watermarks are per cached
-  // entry). Caller holds drain_mutex_.
-  void EnsureInvariantsLocked();
-  // Evaluates all invariants into `report`, incrementally where allowed,
-  // and advances watermarks of clean monotone invariants. Caller holds
+  // Builds + starts the checker engine on first use. Caller holds
   // drain_mutex_.
-  Status RunChecksLocked(CheckReport* report);
-  // Resets every watermark to "full scan". Caller holds drain_mutex_.
-  void ResetWatermarksLocked();
+  void EnsureEngineLocked();
+  // Evaluates `op`'s check trigger: enqueues/attaches an async round or
+  // runs the round inline (sync mode). Caller holds drain_mutex_.
+  void TriggerChecksLocked(PendingPair* op, bool interval_check);
+  // Trimming: runs the SSM's queries and resets watermarks when rows left
+  // the log. TrimLockedInner requires drain_mutex_; TrimForRound is the
+  // checker thread's entry and takes it.
+  Status TrimLockedInner(CheckReport* report);
+  Status TrimForRound(CheckReport* report);
+  // Publishes a completed round's report (engine on_report callback).
+  void PublishReport(const CheckReport& report);
 
   std::unique_ptr<ServiceModule> module_;
   AuditLog log_;
@@ -173,9 +205,12 @@ class AuditLogger {
   // pairs_logged_ at the moment the forced-check budget was last spent, or
   // -1 if it never was. An absolute count, not a delta.
   int64_t last_forced_check_pair_ = -1;
-  bool invariants_loaded_ = false;
-  std::vector<Invariant> invariants_;
-  std::vector<int64_t> watermarks_;  // parallel to invariants_; -1 = full scan
+
+  // The checking engine (created lazily under drain_mutex_; owns the
+  // invariants, watermarks and prepared-plan cache).
+  std::unique_ptr<CheckerEngine> engine_;
+
+  mutable std::mutex report_mutex_;
   std::optional<CheckReport> last_report_;
 };
 

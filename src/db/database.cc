@@ -5,6 +5,7 @@
 
 #include "src/db/executor.h"
 #include "src/db/parser.h"
+#include "src/obs/obs.h"
 
 namespace seal::db {
 
@@ -115,10 +116,13 @@ void Database::InitTimeIndex(TableData& table) {
   }
   table.index_valid = table.time_col >= 0;
   table.time_index.clear();
+  table.rows_time_ordered = table.time_col >= 0;  // empty: trivially sorted
+  table.last_row_time = 0;
 }
 
 void Database::IndexInsertedRow(TableData& table, size_t row_idx) {
   if (!table.index_valid) {
+    table.rows_time_ordered = false;
     return;
   }
   const Value& v = table.rows[row_idx][static_cast<size_t>(table.time_col)];
@@ -127,9 +131,19 @@ void Database::IndexInsertedRow(TableData& table, size_t row_idx) {
     // index for this table rather than answer range queries wrongly.
     table.index_valid = false;
     table.time_index.clear();
+    table.rows_time_ordered = false;
     return;
   }
   std::pair<int64_t, size_t> entry{v.AsInt(), row_idx};
+  if (table.rows_time_ordered) {
+    // Rows append at the end, so position order stays time order exactly
+    // while every new time is >= the previous last row's.
+    if (row_idx == 0 || entry.first >= table.last_row_time) {
+      table.last_row_time = entry.first;
+    } else {
+      table.rows_time_ordered = false;
+    }
+  }
   if (table.time_index.empty() || table.time_index.back() <= entry) {
     table.time_index.push_back(entry);  // common case: appended in time order
   } else {
@@ -141,6 +155,8 @@ void Database::IndexInsertedRow(TableData& table, size_t row_idx) {
 void Database::RebuildTimeIndex(TableData& table) {
   table.index_valid = table.time_col >= 0;
   table.time_index.clear();
+  table.rows_time_ordered = table.time_col >= 0;
+  table.last_row_time = 0;
   if (!table.index_valid) {
     return;
   }
@@ -150,7 +166,15 @@ void Database::RebuildTimeIndex(TableData& table) {
     if (!v.is_int()) {
       table.index_valid = false;
       table.time_index.clear();
+      table.rows_time_ordered = false;
       return;
+    }
+    if (table.rows_time_ordered) {
+      if (i == 0 || v.AsInt() >= table.last_row_time) {
+        table.last_row_time = v.AsInt();
+      } else {
+        table.rows_time_ordered = false;
+      }
     }
     table.time_index.emplace_back(v.AsInt(), i);
   }
@@ -179,6 +203,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     TableData& table = tables_[create->name];
     table.columns = create->columns;
     InitTimeIndex(table);
+    BumpSchemaEpoch();
     return QueryResult{};
   }
 
@@ -190,6 +215,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       return AlreadyExists("view " + view->name + " already exists");
     }
     views_[view->name] = ViewData{view->select, std::string(sql)};
+    BumpSchemaEpoch();
     return QueryResult{};
   }
 
@@ -246,6 +272,9 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       result.affected = table.rows.size();
       table.rows.clear();
       RebuildTimeIndex(table);
+      if (result.affected > 0) {
+        BumpTrimEpoch();
+      }
       return result;
     }
     // Evaluate all predicates against the pre-delete snapshot so that
@@ -255,8 +284,8 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     rel.columns = table.columns;
     rel.aliases.assign(rel.columns.size(), del->table);
     // All predicates are evaluated before any mutation, so the relation can
-    // borrow the live table rows.
-    rel.BorrowRows(&table.rows);
+    // reference the live rows through a view.
+    rel.SetRows(RowsRef(table.rows.Snapshot()));
     std::vector<bool> doomed(table.rows.size(), false);
     for (size_t i = 0; i < rel.Rows().size(); ++i) {
       std::vector<RowScope> scopes = {RowScope{&rel, &rel.Rows()[i]}};
@@ -271,12 +300,15 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       if (doomed[i]) {
         ++result.affected;
       } else {
-        kept.push_back(std::move(table.rows[i]));
+        // Copy, not move: snapshots captured earlier may still be reading
+        // these rows from another thread.
+        kept.push_back(table.rows[i]);
       }
     }
-    table.rows = std::move(kept);
     if (result.affected > 0) {
+      table.rows.Assign(std::move(kept));
       RebuildTimeIndex(table);  // row positions shifted
+      BumpTrimEpoch();
     }
     return result;
   }
@@ -299,10 +331,13 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     Relation rel;
     rel.columns = table.columns;
     rel.aliases.assign(rel.columns.size(), update->table);
-    rel.SetOwnedRows(std::vector<Row>(table.rows));  // snapshot: assignments
+    rel.SetRows(RowsRef(table.rows.Snapshot()));  // snapshot: assignments
     // to earlier rows must not change predicate evaluation for later rows.
+    // Mutations build into a fresh row set (published at the end) so that
+    // concurrent snapshot readers never observe a half-updated table.
+    std::vector<Row> updated = table.rows.CopyRows();
     QueryResult result;
-    for (size_t i = 0; i < table.rows.size(); ++i) {
+    for (size_t i = 0; i < updated.size(); ++i) {
       std::vector<RowScope> scopes = {RowScope{&rel, &rel.Rows()[i]}};
       if (update->where != nullptr) {
         auto cond = executor.Eval(*update->where, scopes);
@@ -318,7 +353,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
         if (!v.ok()) {
           return v.status();
         }
-        table.rows[i][positions[a]] = std::move(*v);
+        updated[i][positions[a]] = std::move(*v);
       }
       ++result.affected;
     }
@@ -328,8 +363,12 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
         touched_time = true;
       }
     }
-    if (touched_time && result.affected > 0) {
-      RebuildTimeIndex(table);
+    if (result.affected > 0) {
+      table.rows.Assign(std::move(updated));
+      BumpTrimEpoch();
+      if (touched_time) {
+        RebuildTimeIndex(table);
+      }
     }
     return result;
   }
@@ -339,6 +378,9 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     if (erased == 0 && !drop->if_exists) {
       return NotFound("no such " + std::string(drop->is_view ? "view" : "table") + ": " +
                       drop->name);
+    }
+    if (erased > 0) {
+      BumpSchemaEpoch();
     }
     return QueryResult{};
   }
@@ -353,6 +395,7 @@ Status Database::CreateTable(const std::string& name, std::vector<std::string> c
   TableData& table = tables_[name];
   table.columns = std::move(columns);
   InitTimeIndex(table);
+  BumpSchemaEpoch();
   return Status::Ok();
 }
 
@@ -374,7 +417,7 @@ size_t Database::TableSize(const std::string& name) const {
   return it == tables_.end() ? 0 : it->second.rows.size();
 }
 
-const std::vector<Row>* Database::TableRows(const std::string& name) const {
+const RowStore* Database::TableRows(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second.rows;
 }
@@ -429,6 +472,44 @@ const std::vector<std::pair<int64_t, size_t>>* Database::TimeIndexForTesting(
   return &it->second.time_index;
 }
 
+Expr* Database::InjectTimeFloorConjunct(SelectStmt& s) const {
+  if (!s.from.has_value() || s.from->table_name.empty()) {
+    return nullptr;
+  }
+  auto columns = CatalogColumns(s.from->table_name);
+  bool has_time = false;
+  if (columns.has_value()) {
+    for (const std::string& c : *columns) {
+      if (ColumnNameEq(c, "time")) {
+        has_time = true;
+      }
+    }
+  }
+  if (!has_time) {
+    return nullptr;
+  }
+  auto col = std::make_unique<Expr>(ExprKind::kColumn);
+  col->table = s.from->alias.empty() ? s.from->table_name : s.from->alias;
+  col->name = "time";
+  auto lit = std::make_unique<Expr>(ExprKind::kLiteral);
+  lit->literal = Value(int64_t{0});
+  Expr* slot = lit.get();
+  auto cmp = std::make_unique<Expr>(ExprKind::kBinary);
+  cmp->op = ">";
+  cmp->args.push_back(std::move(col));
+  cmp->args.push_back(std::move(lit));
+  if (s.where == nullptr) {
+    s.where = std::move(cmp);
+  } else {
+    auto conj = std::make_unique<Expr>(ExprKind::kBinary);
+    conj->op = "AND";
+    conj->args.push_back(std::move(cmp));
+    conj->args.push_back(std::move(s.where));
+    s.where = std::move(conj);
+  }
+  return slot;
+}
+
 Result<QueryResult> Database::ExecuteWithTimeFloor(std::string_view sql, int64_t floor) {
   auto parsed = ParseStatement(sql);
   if (!parsed.ok()) {
@@ -440,44 +521,109 @@ Result<QueryResult> Database::ExecuteWithTimeFloor(std::string_view sql, int64_t
     return Execute(sql);
   }
   SelectStmt& s = **select;
-  bool injected = false;
-  if (s.from.has_value() && !s.from->table_name.empty()) {
-    auto columns = CatalogColumns(s.from->table_name);
-    bool has_time = false;
-    if (columns.has_value()) {
-      for (const std::string& c : *columns) {
-        if (ColumnNameEq(c, "time")) {
-          has_time = true;
-        }
-      }
-    }
-    if (has_time) {
-      auto col = std::make_unique<Expr>(ExprKind::kColumn);
-      col->table = s.from->alias.empty() ? s.from->table_name : s.from->alias;
-      col->name = "time";
-      auto lit = std::make_unique<Expr>(ExprKind::kLiteral);
-      lit->literal = Value(floor);
-      auto cmp = std::make_unique<Expr>(ExprKind::kBinary);
-      cmp->op = ">";
-      cmp->args.push_back(std::move(col));
-      cmp->args.push_back(std::move(lit));
-      if (s.where == nullptr) {
-        s.where = std::move(cmp);
-      } else {
-        auto conj = std::make_unique<Expr>(ExprKind::kBinary);
-        conj->op = "AND";
-        conj->args.push_back(std::move(cmp));
-        conj->args.push_back(std::move(s.where));
-        s.where = std::move(conj);
-      }
-      injected = true;
-    }
+  Expr* slot = InjectTimeFloorConjunct(s);
+  if (slot == nullptr) {
+    // No narrowable base: execute the unmodified parse in full.
+    Executor executor(*this);
+    return executor.ExecuteSelect(s);
   }
-  if (!injected) {
-    return Execute(sql);  // no narrowable base: fall back to the full query
-  }
+  slot->literal = Value(floor);
   Executor executor(*this);
   return executor.ExecuteSelect(s);
+}
+
+Snapshot Database::CaptureSnapshot() const {
+  Snapshot snap;
+  snap.schema_epoch = schema_epoch();
+  snap.trim_epoch = trim_epoch();
+  for (const auto& [name, table] : tables_) {
+    TableSnapshot ts;
+    ts.view = table.rows.Snapshot();
+    ts.time_col = table.time_col;
+    ts.time_sorted = table.rows_time_ordered && table.time_col >= 0;
+    snap.tables.emplace(name, std::move(ts));
+  }
+  return snap;
+}
+
+Result<PreparedSelect> Database::Prepare(std::string_view sql, bool with_time_floor) const {
+  auto parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  auto* select = std::get_if<std::unique_ptr<SelectStmt>>(&*parsed);
+  if (select == nullptr) {
+    return InvalidArgument("Prepare: not a SELECT statement");
+  }
+  PreparedSelect plan;
+  plan.sql_ = std::string(sql);
+  plan.stmt_ = std::shared_ptr<SelectStmt>(std::move(*select));
+  if (with_time_floor) {
+    plan.floor_slot_ = InjectTimeFloorConjunct(*plan.stmt_);
+  }
+  plan.schema_epoch_ = schema_epoch();
+  plan.trim_epoch_ = trim_epoch();
+  return plan;
+}
+
+Result<QueryResult> Database::ExecutePrepared(const PreparedSelect& plan,
+                                              std::optional<int64_t> floor,
+                                              const Snapshot* snapshot) const {
+  if (plan.stmt_ == nullptr) {
+    return InvalidArgument("ExecutePrepared: empty plan");
+  }
+  if (floor.has_value() && plan.floor_slot_ != nullptr) {
+    plan.floor_slot_->literal = Value(*floor);
+  }
+  if (snapshot != nullptr) {
+    SEAL_OBS_COUNTER("db_snapshot_reads_total").Increment();
+  }
+  Executor executor(*this, snapshot);
+  return executor.ExecuteSelect(*plan.stmt_);
+}
+
+Result<QueryResult> Database::ExecuteSnapshot(std::string_view sql,
+                                              const Snapshot& snapshot) const {
+  auto plan = Prepare(sql, /*with_time_floor=*/false);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  return ExecutePrepared(*plan, std::nullopt, &snapshot);
+}
+
+Result<QueryResult> PlanCache::Execute(const Database& db, const std::string& sql,
+                                       std::optional<int64_t> floor,
+                                       const Snapshot* snapshot) {
+  const bool floored = floor.has_value();
+  std::shared_ptr<PreparedSelect> plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find({sql, floored});
+    if (it != plans_.end() && it->second->schema_epoch_ == db.schema_epoch() &&
+        it->second->trim_epoch_ == db.trim_epoch()) {
+      plan = it->second;
+      SEAL_OBS_COUNTER("db_plan_cache_hits_total").Increment();
+    }
+  }
+  if (plan == nullptr) {
+    SEAL_OBS_COUNTER("db_plan_cache_misses_total").Increment();
+    auto prepared = db.Prepare(sql, /*with_time_floor=*/floored);
+    if (!prepared.ok()) {
+      return prepared.status();
+    }
+    plan = std::make_shared<PreparedSelect>(std::move(*prepared));
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_[{sql, floored}] = plan;
+  }
+  // Executed outside the cache lock. Rebinding mutates the plan's AST, but
+  // a given (sql, floored) plan is only ever run by one thread at a time
+  // (rounds are serialised; parallel workers hold distinct invariants).
+  return db.ExecutePrepared(*plan, floor, snapshot);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
 }
 
 Bytes Database::Serialize() const {
@@ -489,9 +635,10 @@ Bytes Database::Serialize() const {
     for (const std::string& col : table.columns) {
       PutString(out, col);
     }
-    AppendBe32(out, static_cast<uint32_t>(table.rows.size()));
-    for (const Row& row : table.rows) {
-      for (const Value& v : row) {
+    const size_t nrows = table.rows.size();
+    AppendBe32(out, static_cast<uint32_t>(nrows));
+    for (size_t r = 0; r < nrows; ++r) {
+      for (const Value& v : table.rows[r]) {
         PutValue(out, v);
       }
     }

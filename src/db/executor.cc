@@ -13,13 +13,6 @@ namespace seal::db {
 
 namespace {
 
-std::string Lower(std::string_view s) {
-  std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return out;
-}
-
 bool NameEq(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) {
     return false;
@@ -635,6 +628,86 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
   if (table_it != db_.tables_.end()) {
     const Database::TableData& t = table_it->second;
     rel.columns = t.columns;
+    if (snap_ != nullptr) {
+      // Snapshot scan: read only the pinned prefix; never touch the live
+      // time index (mutated concurrently by appenders). When the pinned
+      // rows are time-sorted we binary-search the view directly, matching
+      // the index path's narrowing; bounds are advisory, so falling back
+      // to a full view scan is always safe and result-identical.
+      auto snap_it = snap_->tables.find(ref.table_name);
+      RowStore::View view;
+      int time_col = -1;
+      bool time_sorted = false;
+      if (snap_it != snap_->tables.end()) {
+        view = snap_it->second.view;
+        time_col = snap_it->second.time_col;
+        time_sorted = snap_it->second.time_sorted;
+      }
+      size_t lo_idx = 0;
+      size_t hi_idx = view.size();
+      if (bound != nullptr && bound->constrained() && time_sorted &&
+          db_.tuning_.use_time_index) {
+        SEAL_OBS_COUNTER("seadb_index_range_scans_total").Increment();
+        bool empty_range = false;
+        int64_t lo = std::numeric_limits<int64_t>::min();
+        if (bound->lo.has_value()) {
+          if (bound->lo_strict && *bound->lo == std::numeric_limits<int64_t>::max()) {
+            empty_range = true;
+          } else {
+            lo = bound->lo_strict ? *bound->lo + 1 : *bound->lo;
+          }
+        }
+        int64_t hi = std::numeric_limits<int64_t>::max();
+        if (bound->hi.has_value()) {
+          if (bound->hi_strict && *bound->hi == std::numeric_limits<int64_t>::min()) {
+            empty_range = true;
+          } else {
+            hi = bound->hi_strict ? *bound->hi - 1 : *bound->hi;
+          }
+        }
+        if (empty_range || lo > hi) {
+          lo_idx = hi_idx = 0;
+        } else {
+          const auto time_at = [&](size_t i) {
+            return view[i][static_cast<size_t>(time_col)].AsInt();
+          };
+          // First row with time >= lo.
+          size_t a = 0, b = view.size();
+          while (a < b) {
+            size_t mid = a + (b - a) / 2;
+            if (time_at(mid) < lo) {
+              a = mid + 1;
+            } else {
+              b = mid;
+            }
+          }
+          lo_idx = a;
+          // First row with time > hi.
+          b = view.size();
+          while (a < b) {
+            size_t mid = a + (b - a) / 2;
+            if (time_at(mid) <= hi) {
+              a = mid + 1;
+            } else {
+              b = mid;
+            }
+          }
+          hi_idx = a;
+        }
+      } else if (bound == nullptr || !bound->constrained()) {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"unbounded\"}").Increment();
+      } else if (!db_.tuning_.use_time_index) {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"tuning_off\"}").Increment();
+      } else {
+        SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"index_invalid\"}").Increment();
+      }
+      rel.SetRows(RowsRef(std::move(view), lo_idx, hi_idx));
+      if (alias.empty()) {
+        alias = ref.table_name;
+      }
+      rel.aliases.assign(rel.columns.size(), alias);
+      return rel;
+    }
     if (bound != nullptr && bound->constrained() && t.index_valid &&
         db_.tuning_.use_time_index) {
       SEAL_OBS_COUNTER("seadb_index_range_scans_total").Increment();
@@ -686,7 +759,7 @@ Result<Relation> Executor::MaterialiseSource(const TableRef& ref,
       } else {
         SEAL_OBS_COUNTER("seadb_full_scans_total{reason=\"index_invalid\"}").Increment();
       }
-      rel.BorrowRows(&t.rows);
+      rel.SetRows(RowsRef(t.rows.Snapshot()));
     }
     if (alias.empty()) {
       alias = ref.table_name;
@@ -830,10 +903,27 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
     return std::nullopt;
   }
   auto table_it = db_.tables_.find(stmt.from->table_name);
-  if (table_it == db_.tables_.end() || !table_it->second.index_valid) {
+  if (table_it == db_.tables_.end()) {
     return std::nullopt;
   }
   const Database::TableData& t = table_it->second;
+  // A snapshot execution must not touch the live time index (appenders
+  // mutate it concurrently) — but a time-sorted pinned view IS an index:
+  // positions are in nondecreasing time order with ties in row order,
+  // exactly the walk order the live index provides. Without that ordering
+  // (or without the live index) fall back to the general path.
+  RowStore::View snap_view;
+  const bool from_snapshot = snap_ != nullptr;
+  if (from_snapshot) {
+    auto snap_it = snap_->tables.find(stmt.from->table_name);
+    if (snap_it == snap_->tables.end() || !snap_it->second.time_sorted ||
+        snap_it->second.time_col != t.time_col) {
+      return std::nullopt;
+    }
+    snap_view = snap_it->second.view;
+  } else if (!t.index_valid) {
+    return std::nullopt;
+  }
   const std::string alias =
       stmt.from->alias.empty() ? stmt.from->table_name : stmt.from->alias;
   const std::string& time_name = t.columns[static_cast<size_t>(t.time_col)];
@@ -889,9 +979,17 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
 
   Relation rel;
   rel.columns = t.columns;
-  rel.BorrowRows(&t.rows);
+  rel.SetRows(from_snapshot ? RowsRef(snap_view) : RowsRef(t.rows.Snapshot()));
   rel.aliases.assign(rel.columns.size(), alias);
   const auto& idx = t.time_index;
+  const size_t time_col = static_cast<size_t>(t.time_col);
+  const size_t idx_size = from_snapshot ? snap_view.size() : idx.size();
+  auto key_at = [&](size_t j) -> int64_t {
+    return from_snapshot ? snap_view[j][time_col].AsInt() : idx[j].first;
+  };
+  auto row_at = [&](size_t j) -> const Row& {
+    return from_snapshot ? snap_view[j] : t.rows[idx[j].second];
+  };
 
   if (max_mode) {
     QueryResult result;
@@ -899,15 +997,15 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
     result.columns.push_back(!item.alias.empty() ? item.alias : ExprToString(*item.expr));
     // Walk keys descending; the first row passing WHERE carries the maximum.
     Value best;
-    size_t group_end = idx.size();
+    size_t group_end = idx_size;
     bool done = false;
     while (group_end > 0 && !done) {
       size_t group_begin = group_end;
-      while (group_begin > 0 && idx[group_begin - 1].first == idx[group_end - 1].first) {
+      while (group_begin > 0 && key_at(group_begin - 1) == key_at(group_end - 1)) {
         --group_begin;
       }
       for (size_t j = group_begin; j < group_end && !done; ++j) {
-        const Row& row = t.rows[idx[j].second];
+        const Row& row = row_at(j);
         if (stmt.where != nullptr) {
           std::vector<RowScope> scopes = outer;
           scopes.push_back(RowScope{&rel, &row});
@@ -919,7 +1017,7 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
             continue;
           }
         }
-        best = row[static_cast<size_t>(t.time_col)];
+        best = row[time_col];
         done = true;
       }
       group_end = group_begin;
@@ -957,15 +1055,15 @@ std::optional<Result<QueryResult>> Executor::TryIndexedFastPath(
     }
   }
   int64_t to_skip = offset;
-  size_t group_end = idx.size();
+  size_t group_end = idx_size;
   bool done = limit == 0;
   while (group_end > 0 && !done) {
     size_t group_begin = group_end;
-    while (group_begin > 0 && idx[group_begin - 1].first == idx[group_end - 1].first) {
+    while (group_begin > 0 && key_at(group_begin - 1) == key_at(group_end - 1)) {
       --group_begin;
     }
     for (size_t j = group_begin; j < group_end && !done; ++j) {
-      const Row& row = t.rows[idx[j].second];
+      const Row& row = row_at(j);
       std::vector<RowScope> scopes = outer;
       scopes.push_back(RowScope{&rel, &row});
       if (stmt.where != nullptr) {

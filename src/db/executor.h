@@ -10,6 +10,7 @@
 #include "src/common/status.h"
 #include "src/db/ast.h"
 #include "src/db/database.h"
+#include "src/db/row_store.h"
 #include "src/db/value.h"
 
 namespace seal::db {
@@ -17,25 +18,19 @@ namespace seal::db {
 // A materialised relation flowing through the executor: per-column source
 // alias (for qualified-name resolution) plus column names and rows. Row
 // storage is shared so that scanning a base table (especially inside a
-// correlated subquery evaluated once per outer row) borrows the table's
-// rows instead of copying them.
+// correlated subquery evaluated once per outer row) pins the table's row
+// store instead of copying it; RowsRef also carries snapshot-view ranges.
 struct Relation {
   std::vector<std::string> aliases;  // parallel to columns
   std::vector<std::string> columns;
 
-  const std::vector<Row>& Rows() const { return *rows_; }
+  const RowsRef& Rows() const { return rows_; }
 
-  void SetOwnedRows(std::vector<Row> rows) {
-    rows_ = std::make_shared<const std::vector<Row>>(std::move(rows));
-  }
-  // Borrow rows owned elsewhere; `rows` must outlive the query execution.
-  void BorrowRows(const std::vector<Row>* rows) {
-    rows_ = std::shared_ptr<const std::vector<Row>>(std::shared_ptr<void>(), rows);
-  }
+  void SetOwnedRows(std::vector<Row> rows) { rows_ = RowsRef(std::move(rows)); }
+  void SetRows(RowsRef rows) { rows_ = std::move(rows); }
 
  private:
-  std::shared_ptr<const std::vector<Row>> rows_ =
-      std::make_shared<const std::vector<Row>>();
+  RowsRef rows_;
 };
 
 // One level of name-resolution scope: a relation and the current row in it.
@@ -72,7 +67,11 @@ struct TimeBound {
 // of enclosing queries (innermost last) for correlated subqueries.
 class Executor {
  public:
-  explicit Executor(const Database& db) : db_(db) {}
+  // With `snap`, base-table scans read the snapshot's pinned row prefixes
+  // instead of live table state — safe concurrently with writers. Advisory
+  // fast paths that would touch the live time index are disabled.
+  explicit Executor(const Database& db, const Snapshot* snap = nullptr)
+      : db_(db), snap_(snap) {}
 
   // `bound` (optional) constrains the statement's `time` output column; it
   // is pushed into the base-table scan when provably safe (see the view
@@ -119,6 +118,7 @@ class Executor {
                                                         const std::vector<RowScope>& outer);
 
   const Database& db_;
+  const Snapshot* snap_ = nullptr;
 };
 
 // True if the expression (recursively, not descending into subqueries)

@@ -1,0 +1,201 @@
+// Chunked row storage with stable addresses and O(1) logical snapshots.
+//
+// seadb tables are append-only between trims, which is exactly the access
+// pattern the asynchronous invariant checker needs to exploit: the checker
+// reads a frozen prefix [0, N) of a table while appenders keep inserting
+// past N. A std::vector cannot support that (push_back reallocates under
+// the reader); RowStore can, because rows live in fixed-size chunks that
+// are never moved once allocated, and the chunk directory is replaced
+// copy-on-grow.
+//
+// Concurrency contract:
+//  - All MUTATORS (push_back, Assign, clear) and all captures (Snapshot/
+//    SnapshotPrefix) must be externally synchronised with each other — in
+//    the audit logger they run under the sequencer's drain mutex.
+//  - A captured View may be READ from any thread concurrently with any
+//    mutator. The view pins its chunk directory via shared_ptr: appends only
+//    write slots >= the view's count, and Assign (the DELETE/UPDATE rebuild)
+//    always builds fresh chunks and publishes a new directory, so the rows a
+//    view exposes are immutable for its lifetime. The thread handing a view
+//    to a reader must establish happens-before (the checker receives views
+//    through its trigger-queue mutex).
+#ifndef SRC_DB_ROW_STORE_H_
+#define SRC_DB_ROW_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace seal::db {
+
+class RowStore {
+ public:
+  static constexpr size_t kChunkShift = 9;
+  static constexpr size_t kChunkRows = size_t{1} << kChunkShift;  // 512
+  static constexpr size_t kChunkMask = kChunkRows - 1;
+
+  struct Chunk {
+    std::vector<Row> rows = std::vector<Row>(kChunkRows);
+  };
+  using Directory = std::vector<std::shared_ptr<Chunk>>;
+
+  // A frozen prefix of the store: `count` rows pinned through the chunk
+  // directory. Cheap to copy (one shared_ptr); safe to read concurrently
+  // with mutation of the underlying store.
+  class View {
+   public:
+    View() = default;
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    const Row& operator[](size_t i) const {
+      return (*dir_)[i >> kChunkShift]->rows[i & kChunkMask];
+    }
+
+   private:
+    friend class RowStore;
+    View(std::shared_ptr<const Directory> dir, size_t count)
+        : dir_(std::move(dir)), count_(count) {}
+
+    std::shared_ptr<const Directory> dir_;
+    size_t count_ = 0;
+  };
+
+  RowStore() : dir_(std::make_shared<const Directory>()) {}
+  RowStore(RowStore&& other) noexcept
+      : dir_(std::move(other.dir_)), size_(other.size_.load(std::memory_order_relaxed)) {
+    other.dir_ = std::make_shared<const Directory>();
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  RowStore& operator=(RowStore&& other) noexcept {
+    if (this != &other) {
+      dir_ = std::move(other.dir_);
+      size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      other.dir_ = std::make_shared<const Directory>();
+      other.size_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  const Row& operator[](size_t i) const {
+    return (*dir_)[i >> kChunkShift]->rows[i & kChunkMask];
+  }
+
+  void push_back(Row row) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if ((n >> kChunkShift) >= dir_->size()) {
+      // Copy-on-grow: readers pinning the old directory keep a consistent
+      // prefix; the new directory shares every existing chunk.
+      auto grown = std::make_shared<Directory>(*dir_);
+      grown->push_back(std::make_shared<Chunk>());
+      dir_ = std::move(grown);
+    }
+    (*dir_)[n >> kChunkShift]->rows[n & kChunkMask] = std::move(row);
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  // Replaces the contents wholesale (DELETE/UPDATE compaction). Always
+  // builds fresh chunks: concurrent readers of previously captured views
+  // keep the pre-rebuild rows alive through their pinned directory.
+  void Assign(std::vector<Row> rows) {
+    auto fresh = std::make_shared<Directory>();
+    fresh->reserve((rows.size() + kChunkRows - 1) >> kChunkShift);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if ((i & kChunkMask) == 0) {
+        fresh->push_back(std::make_shared<Chunk>());
+      }
+      fresh->back()->rows[i & kChunkMask] = std::move(rows[i]);
+    }
+    dir_ = std::move(fresh);
+    size_.store(rows.size(), std::memory_order_release);
+  }
+
+  void clear() { Assign({}); }
+
+  std::vector<Row> CopyRows() const {
+    std::vector<Row> out;
+    const size_t n = size();
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back((*this)[i]);
+    }
+    return out;
+  }
+
+  View Snapshot() const { return View(dir_, size()); }
+  View SnapshotPrefix(size_t count) const {
+    const size_t n = size();
+    return View(dir_, count < n ? count : n);
+  }
+
+ private:
+  std::shared_ptr<const Directory> dir_;
+  std::atomic<size_t> size_{0};
+};
+
+// Row access abstraction flowing through the executor: either an owned
+// (materialised) vector of rows or a contiguous index range of a RowStore
+// view. Copies share storage.
+class RowsRef {
+ public:
+  RowsRef() = default;
+  explicit RowsRef(std::vector<Row> owned)
+      : owned_(std::make_shared<const std::vector<Row>>(std::move(owned))) {}
+  explicit RowsRef(RowStore::View view) : view_(std::move(view)), use_view_(true) {
+    end_ = view_.size();
+  }
+  RowsRef(RowStore::View view, size_t begin, size_t end)
+      : view_(std::move(view)), use_view_(true), begin_(begin), end_(end) {}
+
+  size_t size() const { return use_view_ ? end_ - begin_ : (owned_ ? owned_->size() : 0); }
+  bool empty() const { return size() == 0; }
+  const Row& operator[](size_t i) const {
+    return use_view_ ? view_[begin_ + i] : (*owned_)[i];
+  }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Row;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Row*;
+    using reference = const Row&;
+
+    const_iterator(const RowsRef* ref, size_t i) : ref_(ref), i_(i) {}
+    reference operator*() const { return (*ref_)[i_]; }
+    pointer operator->() const { return &(*ref_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RowsRef* ref_;
+    size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+ private:
+  std::shared_ptr<const std::vector<Row>> owned_;
+  RowStore::View view_;
+  bool use_view_ = false;
+  size_t begin_ = 0;
+  size_t end_ = 0;
+};
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_ROW_STORE_H_

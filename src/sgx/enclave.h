@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/crypto/sha256.h"
 #include "src/obs/obs.h"
@@ -179,6 +180,27 @@ class Enclave {
   std::atomic<uint64_t> stat_pages_{0};
   std::atomic<size_t> epc_in_use_{0};
   std::atomic<size_t> epc_peak_{0};
+};
+
+// RAII execution accounting for persistent in-enclave worker threads (the
+// asyncall workers, the logger's checker thread): measures the thread CPU
+// time spent in scope and charges the enclave's execution slowdown for it,
+// like RunInside does for a single call. A null enclave charges nothing.
+class ScopedExecutionCharge {
+ public:
+  explicit ScopedExecutionCharge(Enclave* enclave)
+      : enclave_(enclave), start_(enclave != nullptr ? ThreadCpuNanos() : 0) {}
+  ~ScopedExecutionCharge() {
+    if (enclave_ != nullptr) {
+      enclave_->ChargeExecution(ThreadCpuNanos() - start_);
+    }
+  }
+  ScopedExecutionCharge(const ScopedExecutionCharge&) = delete;
+  ScopedExecutionCharge& operator=(const ScopedExecutionCharge&) = delete;
+
+ private:
+  Enclave* enclave_;
+  int64_t start_;
 };
 
 }  // namespace seal::sgx

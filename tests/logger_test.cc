@@ -57,7 +57,8 @@ TEST(Logger, NoCheckWhenIntervalDisabled) {
 }
 
 TEST(Logger, IntervalTriggersCheckAndTrim) {
-  auto logger = MakeLogger({.check_interval = 10});
+  // Sync mode: interval reports come back from the OnPair that tripped them.
+  auto logger = MakeLogger({.check_interval = 10, .async_checking = false});
   services::GitBackend backend;
   int checks = 0;
   for (int i = 1; i <= 30; ++i) {
@@ -102,7 +103,7 @@ TEST(Logger, ForcedChecksAreRateLimited) {
 }
 
 TEST(Logger, TuplelessPairsDoNotAdvanceInterval) {
-  auto logger = MakeLogger({.check_interval = 3});
+  auto logger = MakeLogger({.check_interval = 3, .async_checking = false});
   services::GitBackend backend;
   ASSERT_TRUE(PumpPush(*logger, backend, 1).ok());
   ASSERT_TRUE(PumpPush(*logger, backend, 2).ok());

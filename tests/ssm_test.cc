@@ -27,6 +27,9 @@ std::unique_ptr<AuditLogger> MakeLogger(size_t check_interval = 0) {
   log_options.counter_options.inject_latency = false;
   LoggerOptions logger_options;
   logger_options.check_interval = check_interval;
+  // SSM tests assert on the reports OnPair returns for interval checks,
+  // which only synchronous checking produces.
+  logger_options.async_checking = false;
   auto logger = std::make_unique<AuditLogger>(
       std::make_unique<Module>(), log_options, logger_options,
       crypto::EcdsaPrivateKey::FromSeed(ToBytes("ssm-test")));
