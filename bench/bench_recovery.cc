@@ -1,0 +1,204 @@
+// Restart cost of the durable log lifecycle: each round appends a fresh
+// tail, trims everything older into sealed archives, then measures a cold
+// Recover() over the same path. Total history grows ~10x across the run
+// while the hot tail stays fixed, so the acceptance criterion is a flat
+// recovery time (snapshot + O(tail) replay, not O(full history)). Emits
+// BENCH_recovery.json; --quick shrinks the tail for the CI smoke step.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/audit_log.h"
+
+namespace seal::bench {
+namespace {
+
+std::vector<std::string> Schema() {
+  return {"CREATE TABLE updates(time, repo, branch, cid, type)"};
+}
+
+db::Row UpdateRow(int64_t time) {
+  return {db::Value(time), db::Value(std::string("repo")),
+          db::Value("b" + std::to_string(time % 7)),
+          db::Value("commit-" + std::to_string(time)), db::Value(std::string("update"))};
+}
+
+core::AuditLogOptions LifecycleOptions(const std::string& path) {
+  core::AuditLogOptions options;
+  options.mode = core::PersistenceMode::kDisk;
+  options.path = path;
+  options.encryption_key = FromHex("000102030405060708090a0b0c0d0e0f");
+  options.segment_bytes = 32 * 1024;
+  options.snapshot_interval_bytes = 64 * 1024;
+  options.archive_trimmed = true;
+  options.recover = true;
+  options.counter_options.inject_latency = false;
+  return options;
+}
+
+crypto::EcdsaPrivateKey LogKey() {
+  return crypto::EcdsaPrivateKey::FromSeed(ToBytes("bench-recovery"));
+}
+
+struct RoundResult {
+  size_t history_entries = 0;   // archived + live before this recovery
+  size_t live_entries = 0;      // entries the recovered log holds
+  size_t replayed_entries = 0;  // tail entries replayed from segments
+  bool snapshot_loaded = false;
+  int64_t recovery_nanos = 0;
+};
+
+}  // namespace
+}  // namespace seal::bench
+
+int main(int argc, char** argv) {
+  using namespace seal::bench;
+  using namespace seal;
+
+  bool quick = false;
+  std::string out_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  const int tail_rows = quick ? 300 : 2000;
+  const int rounds = 10;  // history ends up 10x the hot tail
+  const int commit_every = 50;
+
+  const std::string path = TempPath("recovery.log");
+  core::RemoveLogFiles(path);
+  const core::AuditLogOptions options = LifecycleOptions(path);
+
+  std::printf("=== durable log lifecycle: restart cost vs history size ===\n");
+  std::printf("tail %d rows/round, %d rounds, segment %zu B, snapshot every %zu B\n\n",
+              tail_rows, rounds, options.segment_bytes, options.snapshot_interval_bytes);
+
+  std::vector<RoundResult> results;
+  int64_t next_time = 1;
+  size_t total_history = 0;
+  bool failed = false;
+
+  for (int round = 0; round < rounds && !failed; ++round) {
+    // Cold restart over whatever the previous round left behind.
+    core::AuditLog log(options, LogKey());
+    if (!log.ExecuteSchema(Schema()).ok()) {
+      std::printf("schema failed\n");
+      return 1;
+    }
+    core::AuditLog::RecoveryInfo info;
+    Status recovered = log.Recover(&info);
+    if (!recovered.ok()) {
+      std::printf("round %d: recovery failed: %s\n", round, recovered.message().c_str());
+      return 1;
+    }
+    RoundResult r;
+    r.history_entries = total_history;
+    r.live_entries = log.entry_count();
+    r.replayed_entries = info.replayed_entries;
+    r.snapshot_loaded = info.snapshot_loaded;
+    r.recovery_nanos = info.recovery_nanos;
+    results.push_back(r);
+    std::printf("round %2d: history %7zu entries, live %5zu, replayed %5zu, snapshot=%d, "
+                "recover %8.3f ms\n",
+                round, r.history_entries, r.live_entries, r.replayed_entries,
+                r.snapshot_loaded ? 1 : 0, static_cast<double>(r.recovery_nanos) / 1e6);
+
+    // Grow the history: append a fresh tail, then trim everything older
+    // than the tail into the archive.
+    for (int i = 0; i < tail_rows; ++i) {
+      if (!log.Append("updates", UpdateRow(next_time), 1000 + next_time).ok()) {
+        std::printf("append failed\n");
+        return 1;
+      }
+      ++next_time;
+      if (next_time % commit_every == 0 && !log.CommitHead().ok()) {
+        std::printf("commit failed\n");
+        return 1;
+      }
+    }
+    if (!log.CommitHead().ok()) {
+      std::printf("commit failed\n");
+      return 1;
+    }
+    total_history = static_cast<size_t>(next_time - 1);
+    const int64_t cutoff = next_time - 1 - tail_rows;
+    if (cutoff > 0) {
+      Status trimmed =
+          log.Trim({"DELETE FROM updates WHERE time <= " + std::to_string(cutoff)});
+      if (!trimmed.ok()) {
+        std::printf("trim failed: %s\n", trimmed.message().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Completeness: archives + hot log must reproduce the whole history.
+  auto full = core::AuditLog::ReadFullHistory(path, options.encryption_key);
+  const bool history_complete = full.ok() && full->size() == total_history;
+  std::printf("\nfull history offline: %zu entries (expected %zu) -> %s\n",
+              full.ok() ? full->size() : 0, total_history,
+              history_complete ? "complete" : "INCOMPLETE");
+
+  // Flatness: recovery time of the last round vs the first post-trim
+  // round (round 0 recovers an empty log; round 1 is the baseline).
+  double ratio = 0;
+  if (results.size() >= 3 && results[1].recovery_nanos > 0) {
+    ratio = static_cast<double>(results.back().recovery_nanos) /
+            static_cast<double>(results[1].recovery_nanos);
+  }
+  const double growth = results.size() >= 2 && results[1].history_entries > 0
+                            ? static_cast<double>(results.back().history_entries) /
+                                  static_cast<double>(results[1].history_entries)
+                            : 0;
+  std::printf("history growth %.1fx, recovery time ratio %.2fx (acceptance: flat)\n", growth,
+              ratio);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"recovery\",\n  \"tail_rows\": %d,\n  \"rounds\": %d,\n",
+                 tail_rows, rounds);
+    auto print_array = [&](const char* name, auto getter, const char* fmt) {
+      std::fprintf(f, "  \"%s\": [", name);
+      for (size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, fmt, getter(results[i]));
+        if (i + 1 < results.size()) {
+          std::fprintf(f, ", ");
+        }
+      }
+      std::fprintf(f, "],\n");
+    };
+    print_array("history_entries", [](const RoundResult& r) { return r.history_entries; },
+                "%zu");
+    print_array("replayed_entries", [](const RoundResult& r) { return r.replayed_entries; },
+                "%zu");
+    print_array("recovery_ms",
+                [](const RoundResult& r) { return static_cast<double>(r.recovery_nanos) / 1e6; },
+                "%.3f");
+    print_array("snapshot_loaded",
+                [](const RoundResult& r) { return static_cast<int>(r.snapshot_loaded); }, "%d");
+    std::fprintf(f,
+                 "  \"history_growth\": %.2f,\n"
+                 "  \"recovery_time_ratio\": %.2f,\n"
+                 "  \"full_history_complete\": %s,\n"
+                 "  \"quick\": %s\n"
+                 "}\n",
+                 growth, ratio, history_complete ? "true" : "false", quick ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  PrintMetricsSnapshot("bench_recovery");
+
+  // Fail on lost history or clearly super-linear restart cost; the flat-
+  // time criterion gets a generous noise margin for shared CI runners.
+  if (!history_complete) {
+    return 1;
+  }
+  return ratio <= 8.0 ? 0 : 1;
+}

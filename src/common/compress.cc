@@ -1,0 +1,179 @@
+#include "src/common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace seal {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 16;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void AppendRunLength(Bytes& out, size_t extra) {
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<uint8_t>(extra));
+}
+
+// Emits one token: `lit_len` literals starting at in[lit_start], then a
+// match of `match_len` (0 = final literal-only token) at `offset` back.
+void EmitToken(Bytes& out, BytesView in, size_t lit_start, size_t lit_len, size_t match_len,
+               size_t offset) {
+  const size_t ml = match_len == 0 ? 0 : match_len - kMinMatch;
+  uint8_t token = static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4);
+  token |= static_cast<uint8_t>(ml < 15 ? ml : 15);
+  out.push_back(token);
+  if (lit_len >= 15) {
+    AppendRunLength(out, lit_len - 15);
+  }
+  out.insert(out.end(), in.begin() + static_cast<ptrdiff_t>(lit_start),
+             in.begin() + static_cast<ptrdiff_t>(lit_start + lit_len));
+  if (match_len != 0) {
+    AppendBe16(out, static_cast<uint16_t>(offset));
+    if (ml >= 15) {
+      AppendRunLength(out, ml - 15);
+    }
+  }
+}
+
+}  // namespace
+
+Bytes LzCompress(BytesView in) {
+  Bytes out;
+  out.reserve(8 + in.size() / 2);
+  AppendBe64(out, in.size());
+  const size_t n = in.size();
+  std::vector<int64_t> table(size_t{1} << kHashBits, -1);
+  size_t i = 0;
+  size_t lit_start = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash4(in.data() + i);
+    const int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kMaxOffset &&
+        std::memcmp(in.data() + cand, in.data() + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      while (i + len < n && in[static_cast<size_t>(cand) + len] == in[i + len]) {
+        ++len;
+      }
+      EmitToken(out, in, lit_start, i - lit_start, len, i - static_cast<size_t>(cand));
+      // Seed the table across the matched span so later data can point at
+      // it; every other position keeps the scan cheap without giving up
+      // much ratio.
+      for (size_t p = i + 2; p + kMinMatch <= i + len; p += 2) {
+        table[Hash4(in.data() + p)] = static_cast<int64_t>(p);
+      }
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitToken(out, in, lit_start, n - lit_start, 0, 0);
+  return out;
+}
+
+Result<Bytes> LzDecompress(BytesView in, size_t max_raw_size) {
+  if (in.size() < 8) {
+    return DataLoss("compressed stream truncated in header");
+  }
+  const uint64_t raw = LoadBe64(in.data());
+  if (raw > max_raw_size) {
+    return DataLoss("compressed stream declares oversized payload");
+  }
+  Bytes out;
+  out.reserve(raw);
+  size_t off = 8;
+  auto read_extended = [&](size_t base) -> Result<size_t> {
+    size_t len = base;
+    for (;;) {
+      if (off >= in.size()) {
+        return DataLoss("compressed stream truncated in run length");
+      }
+      const uint8_t b = in[off++];
+      len += b;
+      if (b != 255) {
+        return len;
+      }
+    }
+  };
+  // Input-driven loop: the compressor always terminates the stream with a
+  // literals-only token, which can be empty when a match already completed
+  // the payload.
+  while (off < in.size()) {
+    const uint8_t token = in[off++];
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      auto len = read_extended(15);
+      if (!len.ok()) {
+        return len.status();
+      }
+      lit_len = *len;
+    }
+    if (lit_len > in.size() - off) {
+      return DataLoss("compressed stream truncated in literals");
+    }
+    if (lit_len > raw - out.size()) {
+      return DataLoss("literal run overflows declared size");
+    }
+    out.insert(out.end(), in.begin() + static_cast<ptrdiff_t>(off),
+               in.begin() + static_cast<ptrdiff_t>(off + lit_len));
+    off += lit_len;
+    if (out.size() == raw) {
+      if ((token & 0x0F) != 0) {
+        return DataLoss("match in final token");
+      }
+      break;
+    }
+    if (off + 2 > in.size()) {
+      return DataLoss("compressed stream truncated in match offset");
+    }
+    const size_t offset = (static_cast<size_t>(in[off]) << 8) | in[off + 1];
+    off += 2;
+    size_t match_len = token & 0x0F;
+    if (match_len == 15) {
+      auto len = read_extended(15);
+      if (!len.ok()) {
+        return len.status();
+      }
+      match_len = *len;
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > out.size()) {
+      return DataLoss("match offset out of range");
+    }
+    if (match_len > raw - out.size()) {
+      return DataLoss("match overflows declared size");
+    }
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate
+    // the just-written bytes, which is the RLE case.
+    size_t src = out.size() - offset;
+    for (size_t k = 0; k < match_len; ++k) {
+      out.push_back(out[src + k]);
+    }
+    if (out.size() == raw && off >= in.size()) {
+      // A match completed the payload but the stream ends here: the
+      // terminating literals-only token is missing, i.e. truncated input.
+      return DataLoss("compressed stream missing final token");
+    }
+  }
+  if (out.size() != raw) {
+    return DataLoss("compressed stream short of declared size");
+  }
+  if (off != in.size()) {
+    return DataLoss("trailing bytes after compressed stream");
+  }
+  return out;
+}
+
+}  // namespace seal

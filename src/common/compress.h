@@ -1,0 +1,29 @@
+// A small self-contained LZ77 byte compressor (LZ4-style block format)
+// used for the audit log's sealed snapshots and trim archives. No external
+// dependency: the enclave cannot link zlib, and the archived log entries
+// (SQL text, repeated table/branch names) compress well under plain
+// window matching.
+//
+// Wire format: 8-byte big-endian raw size, then a token stream. Each token
+// byte holds a literal run length in the high nibble and a match length
+// (minus the 4-byte minimum) in the low nibble; a nibble of 15 continues
+// in following bytes (255 = keep adding). Literals follow the length
+// bytes; a match is a 2-byte big-endian backwards offset (1..65535) into
+// the output produced so far. The final token carries literals only.
+#ifndef SRC_COMMON_COMPRESS_H_
+#define SRC_COMMON_COMPRESS_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace seal {
+
+Bytes LzCompress(BytesView in);
+
+// Rejects malformed streams (bad offsets, overruns, trailing bytes) and
+// streams declaring more than `max_raw_size` bytes before allocating.
+Result<Bytes> LzDecompress(BytesView in, size_t max_raw_size = size_t{1} << 32);
+
+}  // namespace seal
+
+#endif  // SRC_COMMON_COMPRESS_H_

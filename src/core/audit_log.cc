@@ -2,46 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "src/common/clock.h"
+#include "src/obs/obs.h"
 
 namespace seal::core {
 
 namespace {
-
-// File helpers (plain stdio keeps this dependency-free).
-Status WriteFile(const std::string& path, BytesView data, bool append) {
-  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
-  if (f == nullptr) {
-    return Unavailable("cannot open " + path);
-  }
-  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-  // Synchronous flush: the paper persists the log after each pair.
-  std::fflush(f);
-  std::fclose(f);
-  if (written != data.size()) {
-    return DataLoss("short write to " + path);
-  }
-  return Status::Ok();
-}
-
-Result<Bytes> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return NotFound("cannot open " + path);
-  }
-  Bytes data;
-  uint8_t buf[65536];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    data.insert(data.end(), buf, buf + n);
-  }
-  std::fclose(f);
-  return data;
-}
-
-std::string SigPath(const std::string& path) { return path + ".sig"; }
 
 // Decrypts one framed record. `cipher` is the per-file cached context, or
 // null for a sign-only log.
@@ -60,90 +31,167 @@ Result<Bytes> MaybeDecrypt(const crypto::Aes128Gcm* cipher, BytesView wire) {
   return plain;
 }
 
-}  // namespace
+// Stable identity of a row for matching post-trim survivors back to their
+// original entries: every column's serialised form, length-prefixed so
+// adjacent values cannot alias.
+std::string RowIdentity(const db::Row& row) {
+  std::string key;
+  for (const db::Value& v : row) {
+    const std::string s = v.Serialize();
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  }
+  return key;
+}
 
-Bytes LogEntry::Serialize() const {
-  Bytes out;
-  AppendBe64(out, static_cast<uint64_t>(time));
-  AppendBe64(out, static_cast<uint64_t>(wall_nanos));
-  AppendBe32(out, static_cast<uint32_t>(table.size()));
-  Append(out, table);
-  AppendBe32(out, static_cast<uint32_t>(values.size()));
-  for (const db::Value& v : values) {
-    std::string s = v.Serialize();
-    AppendBe32(out, static_cast<uint32_t>(s.size()));
-    Append(out, s);
+// Full verification scan shared by VerifyLogFile and ReadVerifiedEntries:
+// walks either the legacy single file or the segment files (checking header
+// chaining), decrypts and strictly parses every record, and recomputes the
+// hash chain over the raw record bytes.
+struct WholeScan {
+  std::vector<LogEntry> entries;
+  Bytes chain;
+  size_t count = 0;
+};
+
+Result<WholeScan> ScanWholeLog(const std::string& path, const crypto::Aes128Gcm* cipher) {
+  WholeScan out;
+  out.chain.assign(crypto::kSha256DigestSize, 0);
+  auto scan = [&](BytesView data, size_t off) -> Status {
+    while (off < data.size()) {
+      if (data.size() - off < 4) {
+        return DataLoss("truncated record frame");
+      }
+      const uint32_t len = LoadBe32(data.data() + off);
+      off += 4;
+      if (len > data.size() - off) {
+        return DataLoss("truncated record body");
+      }
+      auto plain = MaybeDecrypt(cipher, data.subspan(off, len));
+      if (!plain.ok()) {
+        return plain.status();
+      }
+      off += len;
+      size_t entry_off = 0;
+      auto entry = LogEntry::Deserialize(*plain, entry_off);
+      if (!entry.ok()) {
+        return entry.status();
+      }
+      if (entry_off != plain->size()) {
+        return DataLoss("trailing bytes in log record");
+      }
+      crypto::Sha256 h;
+      h.Update(out.chain);
+      h.Update(*plain);
+      crypto::Sha256Digest d = h.Finish();
+      out.chain.assign(d.begin(), d.end());
+      out.entries.push_back(std::move(*entry));
+      ++out.count;
+    }
+    return Status::Ok();
+  };
+
+  const std::vector<uint32_t> segments = ListSegmentFiles(path);
+  if (segments.empty()) {
+    auto data = ReadFileBytes(path);
+    if (!data.ok()) {
+      if (FileExists(HeadFilePath(path))) {
+        // A segmented log that committed a head before flushing any record
+        // has no data files yet; verify the (empty) chain against the head.
+        return out;
+      }
+      return data.status();
+    }
+    SEAL_RETURN_IF_ERROR(scan(*data, 0));
+    return out;
+  }
+
+  bool epoch_set = false;
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i] != i) {
+      return DataLoss("missing log segment " + std::to_string(i));
+    }
+    const std::string seg_path = SegmentFilePath(path, static_cast<uint32_t>(i));
+    auto data = ReadFileBytes(seg_path);
+    if (!data.ok()) {
+      return data.status();
+    }
+    auto header = SegmentHeader::Decode(*data);
+    if (!header.ok()) {
+      return header.status();
+    }
+    if (header->index != i) {
+      return DataLoss("segment index mismatch in " + seg_path);
+    }
+    if (!epoch_set) {
+      epoch = header->rewrite_epoch;
+      epoch_set = true;
+    } else if (header->rewrite_epoch != epoch) {
+      return DataLoss("segment rewrite epoch mismatch in " + seg_path);
+    }
+    if (i + 1 < segments.size() && header->closed == 0) {
+      return PermissionDenied("non-final log segment not closed: " + seg_path);
+    }
+    if (!ConstantTimeEqual(header->prev_head, out.chain)) {
+      return PermissionDenied("segment chain discontinuity at " + seg_path);
+    }
+    const size_t before = out.count;
+    SEAL_RETURN_IF_ERROR(scan(*data, kSegmentHeaderSize));
+    if (header->closed != 0 && out.count > before) {
+      if (out.entries[before].time != header->first_ticket ||
+          out.entries.back().time != header->last_ticket) {
+        return PermissionDenied("segment ticket range mismatch in " + seg_path);
+      }
+    }
   }
   return out;
 }
 
-Result<LogEntry> LogEntry::Deserialize(BytesView in, size_t& off) {
-  LogEntry entry;
-  if (off + 20 > in.size()) {
-    return DataLoss("log entry truncated");
-  }
-  entry.time = static_cast<int64_t>(LoadBe64(in.data() + off));
-  off += 8;
-  entry.wall_nanos = static_cast<int64_t>(LoadBe64(in.data() + off));
-  off += 8;
-  uint32_t table_len = LoadBe32(in.data() + off);
-  off += 4;
-  if (off + table_len + 4 > in.size()) {
-    return DataLoss("log entry truncated in table name");
-  }
-  entry.table.assign(reinterpret_cast<const char*>(in.data() + off), table_len);
-  off += table_len;
-  uint32_t nvalues = LoadBe32(in.data() + off);
-  off += 4;
-  for (uint32_t i = 0; i < nvalues; ++i) {
-    if (off + 4 > in.size()) {
-      return DataLoss("log entry truncated in value length");
-    }
-    uint32_t len = LoadBe32(in.data() + off);
-    off += 4;
-    if (off + len > in.size() || len == 0) {
-      return DataLoss("log entry truncated in value");
-    }
-    std::string s(reinterpret_cast<const char*>(in.data() + off), len);
-    off += len;
-    // Value::Serialize format: N | I<int> | R<real> | T<len>:<text>.
-    switch (s[0]) {
-      case 'N':
-        entry.values.push_back(db::Value::Null());
-        break;
-      case 'I':
-        entry.values.push_back(db::Value(static_cast<int64_t>(std::strtoll(s.c_str() + 1, nullptr, 10))));
-        break;
-      case 'R':
-        entry.values.push_back(db::Value(std::strtod(s.c_str() + 1, nullptr)));
-        break;
-      case 'T': {
-        size_t colon = s.find(':');
-        if (colon == std::string::npos) {
-          return DataLoss("malformed text value");
-        }
-        entry.values.push_back(db::Value(s.substr(colon + 1)));
-        break;
-      }
-      default:
-        return DataLoss("unknown value tag");
-    }
-  }
-  return entry;
-}
+}  // namespace
+
+// Staging scan result: everything Recover() needs, computed without
+// touching member state so a failed snapshot plan can fall back cleanly.
+struct AuditLog::ReplayResult {
+  std::vector<LogEntry> entries;  // snapshot entries + replayed tail
+  size_t snapshot_entries = 0;
+  Bytes chain;                    // head after all entries
+  std::vector<Bytes> tail_heads;  // head after each replayed (post-snapshot) entry
+  uint64_t tail_bytes = 0;        // frame bytes replayed from disk
+  // Torn-tail repair: truncate (or, below the header size, remove)
+  // `truncate_path` to `truncate_to` bytes.
+  bool truncate_pending = false;
+  std::string truncate_path;
+  uint64_t truncate_to = 0;
+  size_t torn_records = 0;
+  // Active-segment state to resume appending.
+  bool any_segment = false;
+  uint32_t last_segment = 0;
+  uint64_t last_segment_bytes = 0;  // after torn-tail truncation
+  bool last_header_valid = false;
+  SegmentHeader last_header;
+  uint64_t rewrite_epoch = 0;
+};
 
 AuditLog::AuditLog(AuditLogOptions options, crypto::EcdsaPrivateKey signing_key)
     : options_(std::move(options)),
       signing_key_(std::move(signing_key)),
       counter_(std::make_unique<rote::RoteCounter>(options_.counter_options)),
-      chain_head_(crypto::kSha256DigestSize, 0) {
+      chain_head_(crypto::kSha256DigestSize, 0),
+      active_prev_head_(crypto::kSha256DigestSize, 0),
+      last_flushed_head_(crypto::kSha256DigestSize, 0) {
   if (!options_.encryption_key.empty()) {
     cipher_ = std::make_unique<crypto::Aes128Gcm>(options_.encryption_key);
     nonce_seq_ = std::make_unique<crypto::GcmNonceSequence>();
   }
-  if (options_.mode == PersistenceMode::kDisk && !options_.path.empty()) {
-    // Truncate any stale log from a previous run.
-    (void)WriteFile(options_.path, {}, /*append=*/false);
+  if (options_.mode == PersistenceMode::kDisk && !options_.path.empty() && !options_.recover) {
+    // Not recovering: any lifecycle files at this path are stale state from
+    // a previous run.
+    RemoveLogFiles(options_.path);
+    if (options_.segment_bytes == 0) {
+      (void)DurableWriteFile(options_.path, {}, /*append=*/false, /*sync=*/false);
+    }
   }
 }
 
@@ -171,6 +219,9 @@ Status AuditLog::Append(const std::string& table, db::Row values, int64_t wall_n
   if (values.empty() || !values[0].is_int()) {
     return InvalidArgument("first column of every audit tuple must be the integer time");
   }
+  if (options_.mode == PersistenceMode::kDisk && options_.recover && !recovered_) {
+    return FailedPrecondition("Recover() must run before the first append");
+  }
   LogEntry entry;
   entry.time = values[0].AsInt();
   entry.wall_nanos = wall_nanos != 0 ? wall_nanos : NowNanos();
@@ -179,6 +230,7 @@ Status AuditLog::Append(const std::string& table, db::Row values, int64_t wall_n
   SEAL_RETURN_IF_ERROR(db_.InsertRow(table, std::move(values)));
   chain_head_ = ExtendChain(chain_head_, entry);
   ++entries_logged_;
+  max_ticket_ = std::max(max_ticket_, entry.time);
   if (options_.mode == PersistenceMode::kDisk) {
     SEAL_RETURN_IF_ERROR(PersistEntry(entry));
   }
@@ -203,13 +255,101 @@ void AuditLog::AppendFramedRecord(Bytes& out, const LogEntry& entry) {
   seal::Append(out, record);
 }
 
+void AuditLog::StageEntry(const LogEntry& entry) {
+  const size_t before = pending_persist_.size();
+  AppendFramedRecord(pending_persist_, entry);
+  // Append() extends chain_head_ before staging, so it is the head after
+  // this entry — the value the segment roller records per frame.
+  pending_frames_.push_back({entry.time, pending_persist_.size() - before, chain_head_});
+}
+
 Status AuditLog::PersistEntry(const LogEntry& entry) {
   // Stage only: the write (one syscall for a whole batch) happens at
   // FlushPersisted/CommitHead, so a burst of appends costs one flush.
-  size_t before = pending_persist_.size();
-  AppendFramedRecord(pending_persist_, entry);
+  const size_t before = pending_persist_.size();
+  StageEntry(entry);
   persisted_bytes_ += pending_persist_.size() - before;
   return Status::Ok();
+}
+
+SealContext AuditLog::MakeSealContext() const {
+  SealContext ctx;
+  ctx.encryption_key = &options_.encryption_key;
+  ctx.enclave = options_.sealing_enclave;
+  ctx.policy = options_.seal_policy;
+  return ctx;
+}
+
+Status AuditLog::OpenSegment(const Bytes& prev_head, int64_t first_ticket) {
+  SegmentHeader header;
+  header.index = active_segment_;
+  header.rewrite_epoch = rewrite_epoch_;
+  header.prev_head = prev_head;
+  header.first_ticket = first_ticket;
+  header.counter_value = last_counter_value_;
+  SEAL_RETURN_IF_ERROR(DurableWriteFile(SegmentFilePath(options_.path, active_segment_),
+                                        header.Encode(), /*append=*/false, options_.fsync));
+  active_segment_open_ = true;
+  active_segment_file_bytes_ = kSegmentHeaderSize;
+  active_prev_head_ = prev_head;
+  active_first_ticket_ = first_ticket;
+  active_last_ticket_ = first_ticket;
+  segment_count_ = std::max(segment_count_, active_segment_ + 1);
+  SEAL_OBS_COUNTER("log_segments_total").Increment();
+  return Status::Ok();
+}
+
+Status AuditLog::CloseActiveSegment() {
+  SegmentHeader header;
+  header.index = active_segment_;
+  header.closed = 1;
+  header.rewrite_epoch = rewrite_epoch_;
+  header.prev_head = active_prev_head_;
+  header.first_ticket = active_first_ticket_;
+  header.last_ticket = active_last_ticket_;
+  header.counter_value = last_counter_value_;
+  SEAL_RETURN_IF_ERROR(UpdateSegmentHeader(SegmentFilePath(options_.path, active_segment_),
+                                           header, options_.fsync));
+  active_segment_open_ = false;
+  SEAL_OBS_COUNTER("log_segment_rolls_total").Increment();
+  return Status::Ok();
+}
+
+Status AuditLog::FlushSegmented(BytesView batch, const std::vector<StagedFrame>& frames) {
+  // Frames are written in contiguous runs: one file append per segment
+  // touched, rolling to a new segment when the active one would exceed the
+  // byte budget (a segment always takes at least one record, so an
+  // oversized frame gets a segment of its own).
+  size_t off = 0;        // batch offset of the current frame
+  size_t run_start = 0;  // batch offset of the first unwritten byte
+  auto write_run = [&](size_t end) -> Status {
+    if (end == run_start) {
+      return Status::Ok();
+    }
+    SEAL_RETURN_IF_ERROR(DurableWriteFile(SegmentFilePath(options_.path, active_segment_),
+                                          batch.subspan(run_start, end - run_start),
+                                          /*append=*/true, options_.fsync));
+    active_segment_file_bytes_ += end - run_start;
+    run_start = end;
+    return Status::Ok();
+  };
+  for (const StagedFrame& frame : frames) {
+    if (!active_segment_open_) {
+      SEAL_RETURN_IF_ERROR(OpenSegment(last_flushed_head_, frame.ticket));
+    } else {
+      const uint64_t projected = active_segment_file_bytes_ + (off - run_start);
+      if (projected > kSegmentHeaderSize && projected + frame.size > options_.segment_bytes) {
+        SEAL_RETURN_IF_ERROR(write_run(off));
+        SEAL_RETURN_IF_ERROR(CloseActiveSegment());
+        ++active_segment_;
+        SEAL_RETURN_IF_ERROR(OpenSegment(last_flushed_head_, frame.ticket));
+      }
+    }
+    off += frame.size;
+    active_last_ticket_ = frame.ticket;
+    last_flushed_head_ = frame.head_after;
+  }
+  return write_run(off);
 }
 
 Status AuditLog::FlushPersisted() {
@@ -218,7 +358,17 @@ Status AuditLog::FlushPersisted() {
   }
   Bytes batch = std::move(pending_persist_);
   pending_persist_.clear();
-  return WriteFile(options_.path, batch, /*append=*/true);
+  std::vector<StagedFrame> frames = std::move(pending_frames_);
+  pending_frames_.clear();
+  bytes_since_snapshot_ += batch.size();
+  if (options_.segment_bytes > 0) {
+    return FlushSegmented(batch, frames);
+  }
+  SEAL_RETURN_IF_ERROR(DurableWriteFile(options_.path, batch, /*append=*/true, options_.fsync));
+  if (!frames.empty()) {
+    last_flushed_head_ = frames.back().head_after;
+  }
+  return Status::Ok();
 }
 
 Status AuditLog::CommitHead() {
@@ -233,13 +383,55 @@ Status AuditLog::CommitHead() {
   if (!counter_value.ok()) {
     return counter_value.status();
   }
+  last_counter_value_ = *counter_value;
   Bytes head;
   seal::Append(head, chain_head_);
   AppendBe64(head, *counter_value);
   AppendBe64(head, entries_logged_);
   crypto::EcdsaSignature sig = signing_key_.Sign(head);
   seal::Append(head, sig.Encode());
-  return WriteFile(SigPath(options_.path), head, /*append=*/false);
+  // Atomic replace: a crash mid-commit leaves the previous complete head,
+  // never a torn one (the old code rewrote the file in place).
+  SEAL_RETURN_IF_ERROR(AtomicWriteFile(HeadFilePath(options_.path), head, options_.fsync));
+  return MaybeSnapshot();
+}
+
+Status AuditLog::MaybeSnapshot() {
+  if (options_.snapshot_interval_bytes == 0 ||
+      bytes_since_snapshot_ < options_.snapshot_interval_bytes) {
+    return Status::Ok();
+  }
+  return WriteSnapshot();
+}
+
+Status AuditLog::WriteSnapshot() {
+  if (options_.mode != PersistenceMode::kDisk || options_.path.empty()) {
+    return Status::Ok();
+  }
+  SEAL_RETURN_IF_ERROR(FlushPersisted());
+  SnapshotState snapshot;
+  snapshot.rewrite_epoch = rewrite_epoch_;
+  snapshot.chain_head = chain_head_;
+  snapshot.persisted_bytes = persisted_bytes_;
+  if (options_.segment_bytes > 0) {
+    snapshot.resume_segment = active_segment_;
+    // Offset 0 = the segment does not exist yet; replay starts at its
+    // header if it appears.
+    snapshot.resume_offset = active_segment_open_ ? active_segment_file_bytes_ : 0;
+  } else {
+    auto size = FileSizeBytes(options_.path);
+    snapshot.resume_offset = size.ok() ? *size : 0;
+  }
+  snapshot.counter_value = last_counter_value_;
+  snapshot.max_ticket = max_ticket_;
+  snapshot.entries = entries_;
+  const int64_t t0 = NowNanos();
+  SEAL_RETURN_IF_ERROR(WriteSnapshotFile(SnapshotFilePath(options_.path), snapshot,
+                                         MakeSealContext(), options_.fsync));
+  SEAL_OBS_HISTOGRAM("snapshot_seal_nanos").Observe(static_cast<uint64_t>(NowNanos() - t0));
+  SEAL_OBS_COUNTER("log_snapshots_total").Increment();
+  bytes_since_snapshot_ = 0;
+  return Status::Ok();
 }
 
 Result<db::QueryResult> AuditLog::Query(const std::string& sql) { return db_.Execute(sql); }
@@ -249,9 +441,12 @@ Result<db::QueryResult> AuditLog::QueryWithTimeFloor(const std::string& sql, int
 }
 
 Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
-                      size_t* deleted_out) {
+                      size_t* deleted_out, size_t* archived_out) {
   if (deleted_out != nullptr) {
     *deleted_out = 0;
+  }
+  if (archived_out != nullptr) {
+    *archived_out = 0;
   }
   if (trimming_queries.empty()) {
     return Status::Ok();
@@ -272,15 +467,21 @@ Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
     // binding are all still valid, so the O(n) rebuild would be pure waste.
     return Status::Ok();
   }
-  // Rebuild the entries and the hash chain from the surviving rows, in
-  // logical-time order across all tables (§5.1: "LibSEAL recomputes the
-  // hashes of the remaining log entries"). Wall clocks are recovered from
-  // the pre-trim entries via (table, time).
-  std::map<std::pair<std::string, int64_t>, int64_t> wall_by_key;
-  for (const LogEntry& entry : entries_) {
-    wall_by_key[{entry.table, entry.time}] = entry.wall_nanos;
+  // Rebuild the entries and the hash chain from the surviving rows (§5.1:
+  // "LibSEAL recomputes the hashes of the remaining log entries"). Each
+  // surviving row is matched back to its original entry by full row
+  // identity, FIFO among duplicates, so every survivor keeps its own wall
+  // clock — keying by (table, time) collapsed same-time rows onto one.
+  std::map<std::pair<std::string, std::string>, std::deque<size_t>> originals;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    originals[{entries_[i].table, RowIdentity(entries_[i].values)}].push_back(i);
   }
-  std::vector<LogEntry> survivors;
+  std::vector<char> kept(entries_.size(), 0);
+  struct Survivor {
+    size_t original;
+    LogEntry entry;
+  };
+  std::vector<Survivor> survivors;
   for (const std::string& table : db_.TableNames()) {
     const db::RowStore* rows = db_.TableRows(table);
     for (size_t r = 0; r < rows->size(); ++r) {
@@ -288,120 +489,479 @@ Status AuditLog::Trim(const std::vector<std::string>& trimming_queries,
       LogEntry entry;
       entry.time = row.empty() ? 0 : row[0].AsInt();
       entry.table = table;
-      auto it = wall_by_key.find({table, entry.time});
-      if (it != wall_by_key.end()) {
-        entry.wall_nanos = it->second;
-      }
       entry.values = row;
-      survivors.push_back(std::move(entry));
+      size_t original = entries_.size();
+      auto it = originals.find({table, RowIdentity(row)});
+      if (it != originals.end() && !it->second.empty()) {
+        original = it->second.front();
+        it->second.pop_front();
+        kept[original] = 1;
+        entry.wall_nanos = entries_[original].wall_nanos;
+      }
+      survivors.push_back({original, std::move(entry)});
     }
   }
+  // Original append order; rows a trimming query inserted (no original)
+  // sort last by time.
   std::stable_sort(survivors.begin(), survivors.end(),
-                   [](const LogEntry& a, const LogEntry& b) { return a.time < b.time; });
-  entries_ = std::move(survivors);
+                   [](const Survivor& a, const Survivor& b) {
+                     if (a.original != b.original) {
+                       return a.original < b.original;
+                     }
+                     return a.entry.time < b.entry.time;
+                   });
+  std::vector<LogEntry> removed;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!kept[i]) {
+      removed.push_back(std::move(entries_[i]));
+    }
+  }
+  if (options_.archive_trimmed && options_.mode == PersistenceMode::kDisk &&
+      !options_.path.empty() && !removed.empty()) {
+    SEAL_RETURN_IF_ERROR(WriteArchiveFile(ArchiveFilePath(options_.path, next_archive_index_),
+                                          next_archive_index_, removed, MakeSealContext(),
+                                          options_.fsync));
+    ++next_archive_index_;
+    SEAL_OBS_COUNTER("log_archives_total").Increment();
+    SEAL_OBS_COUNTER("log_archived_entries_total").Add(removed.size());
+    if (archived_out != nullptr) {
+      *archived_out = removed.size();
+    }
+  }
+  entries_.clear();
+  entries_.reserve(survivors.size());
+  for (Survivor& s : survivors) {
+    entries_.push_back(std::move(s.entry));
+  }
   chain_head_.assign(crypto::kSha256DigestSize, 0);
   for (const LogEntry& entry : entries_) {
     chain_head_ = ExtendChain(chain_head_, entry);
   }
   entries_logged_ = entries_.size();
   if (options_.mode == PersistenceMode::kDisk) {
+    ++rewrite_epoch_;
     SEAL_RETURN_IF_ERROR(RewritePersistedLog());
     SEAL_RETURN_IF_ERROR(CommitHead());
+    if (options_.snapshot_interval_bytes > 0 && bytes_since_snapshot_ > 0) {
+      // Fresh snapshot so no resume pointer into the pre-trim segments
+      // survives the rewrite.
+      SEAL_RETURN_IF_ERROR(WriteSnapshot());
+    }
   }
   return Status::Ok();
 }
 
 Status AuditLog::RewritePersistedLog() {
-  // The rewrite replaces the whole file, so anything staged but unflushed
-  // is superseded.
+  // The rewrite replaces the whole persisted log, so anything staged but
+  // unflushed is superseded.
   pending_persist_.clear();
-  Bytes all;
-  for (const LogEntry& entry : entries_) {
-    AppendFramedRecord(all, entry);
+  pending_frames_.clear();
+  if (options_.segment_bytes == 0) {
+    Bytes all;
+    for (const LogEntry& entry : entries_) {
+      AppendFramedRecord(all, entry);
+    }
+    persisted_bytes_ = all.size();
+    last_flushed_head_ = chain_head_;
+    return DurableWriteFile(options_.path, all, /*append=*/false, options_.fsync);
   }
-  persisted_bytes_ = all.size();
-  return WriteFile(options_.path, all, /*append=*/false);
+  for (uint32_t index : ListSegmentFiles(options_.path)) {
+    RemoveFileIfExists(SegmentFilePath(options_.path, index));
+  }
+  // The old snapshot's resume pointers reference deleted segments.
+  RemoveFileIfExists(SnapshotFilePath(options_.path));
+  active_segment_ = 0;
+  active_segment_open_ = false;
+  active_segment_file_bytes_ = 0;
+  segment_count_ = 0;
+  last_flushed_head_.assign(crypto::kSha256DigestSize, 0);
+  Bytes head(crypto::kSha256DigestSize, 0);
+  for (const LogEntry& entry : entries_) {
+    const size_t before = pending_persist_.size();
+    AppendFramedRecord(pending_persist_, entry);
+    head = ExtendChain(head, entry);
+    pending_frames_.push_back({entry.time, pending_persist_.size() - before, head});
+  }
+  persisted_bytes_ = pending_persist_.size();
+  return FlushPersisted();
+}
+
+Result<AuditLog::ReplayResult> AuditLog::ScanPersisted(const SnapshotState* snapshot) const {
+  ReplayResult rr;
+  rr.chain.assign(crypto::kSha256DigestSize, 0);
+  if (snapshot != nullptr) {
+    // The snapshot's content must reproduce its claimed chain head: seals
+    // make snapshots tamper-evident, but a plaintext snapshot (sign-only
+    // log) is not, and the claimed head is what the committed-head check
+    // later trusts.
+    for (const LogEntry& entry : snapshot->entries) {
+      rr.chain = ExtendChain(rr.chain, entry);
+    }
+    if (!ConstantTimeEqual(rr.chain, snapshot->chain_head)) {
+      return DataLoss("snapshot content does not match its chain head");
+    }
+    rr.entries = snapshot->entries;
+    rr.snapshot_entries = snapshot->entries.size();
+    rr.rewrite_epoch = snapshot->rewrite_epoch;
+  }
+  const crypto::Aes128Gcm* cipher = cipher_.get();
+
+  // Scans framed records from `off`. Unparseable bytes at the physical end
+  // of the LAST file are a torn write (marked for truncation); anywhere
+  // else they are corruption.
+  auto scan_records = [&](const std::string& fpath, BytesView data, size_t off,
+                          bool last_file) -> Status {
+    while (off < data.size()) {
+      auto torn = [&]() {
+        rr.truncate_pending = true;
+        rr.truncate_path = fpath;
+        rr.truncate_to = off;
+        rr.torn_records += 1;
+      };
+      if (data.size() - off < 4) {
+        if (!last_file) {
+          return DataLoss("log truncated mid-frame: " + fpath);
+        }
+        torn();
+        return Status::Ok();
+      }
+      const uint32_t len = LoadBe32(data.data() + off);
+      if (len > data.size() - off - 4) {
+        if (!last_file) {
+          return DataLoss("log truncated mid-record: " + fpath);
+        }
+        torn();
+        return Status::Ok();
+      }
+      auto plain = MaybeDecrypt(cipher, data.subspan(off + 4, len));
+      Status bad = Status::Ok();
+      LogEntry entry;
+      if (!plain.ok()) {
+        bad = plain.status();
+      } else {
+        size_t entry_off = 0;
+        auto parsed = LogEntry::Deserialize(*plain, entry_off);
+        if (!parsed.ok()) {
+          bad = parsed.status();
+        } else if (entry_off != plain->size()) {
+          bad = DataLoss("trailing bytes in log record: " + fpath);
+        } else {
+          entry = std::move(*parsed);
+        }
+      }
+      if (!bad.ok()) {
+        if (last_file && off + 4 + len == data.size()) {
+          torn();
+          return Status::Ok();
+        }
+        return bad;
+      }
+      crypto::Sha256 h;
+      h.Update(rr.chain);
+      h.Update(*plain);
+      crypto::Sha256Digest d = h.Finish();
+      rr.chain.assign(d.begin(), d.end());
+      rr.tail_heads.push_back(rr.chain);
+      rr.entries.push_back(std::move(entry));
+      rr.tail_bytes += 4 + len;
+      off += 4 + len;
+    }
+    return Status::Ok();
+  };
+
+  if (options_.segment_bytes == 0) {
+    if (!FileExists(options_.path)) {
+      if (snapshot != nullptr && snapshot->resume_offset > 0) {
+        return DataLoss("snapshot resumes past a missing log file");
+      }
+      return rr;
+    }
+    auto data = ReadFileBytes(options_.path);
+    if (!data.ok()) {
+      return data.status();
+    }
+    const uint64_t start = snapshot != nullptr ? snapshot->resume_offset : 0;
+    if (start > data->size()) {
+      return DataLoss("snapshot resume offset beyond the log file");
+    }
+    SEAL_RETURN_IF_ERROR(
+        scan_records(options_.path, *data, static_cast<size_t>(start), /*last_file=*/true));
+    return rr;
+  }
+
+  const std::vector<uint32_t> segments = ListSegmentFiles(options_.path);
+  if (segments.empty()) {
+    if (snapshot != nullptr &&
+        (snapshot->resume_segment > 0 || snapshot->resume_offset > 0)) {
+      return DataLoss("snapshot resumes into missing segments");
+    }
+    return rr;
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i] != i) {
+      return DataLoss("missing log segment " + std::to_string(i));
+    }
+  }
+  uint32_t start_segment = 0;
+  if (snapshot != nullptr) {
+    if (snapshot->resume_segment >= segments.size()) {
+      return DataLoss("snapshot resumes past the last segment");
+    }
+    start_segment = snapshot->resume_segment;
+  }
+  bool epoch_set = snapshot != nullptr;
+  for (uint32_t seg = start_segment; seg < segments.size(); ++seg) {
+    const std::string seg_path = SegmentFilePath(options_.path, seg);
+    const bool last_file = seg + 1 == segments.size();
+    auto data = ReadFileBytes(seg_path);
+    if (!data.ok()) {
+      return data.status();
+    }
+    auto header = SegmentHeader::Decode(*data);
+    if (!header.ok()) {
+      if (!last_file) {
+        return header.status();
+      }
+      // Crash between creating the file and syncing its header: the
+      // segment holds no durable records; drop the whole file.
+      rr.truncate_pending = true;
+      rr.truncate_path = seg_path;
+      rr.truncate_to = 0;
+      rr.torn_records += 1;
+      rr.any_segment = true;
+      rr.last_segment = seg;
+      rr.last_segment_bytes = 0;
+      rr.last_header_valid = false;
+      return rr;
+    }
+    if (header->index != seg) {
+      return DataLoss("segment index mismatch in " + seg_path);
+    }
+    if (!epoch_set) {
+      rr.rewrite_epoch = header->rewrite_epoch;
+      epoch_set = true;
+    } else if (header->rewrite_epoch != rr.rewrite_epoch) {
+      return DataLoss("segment rewrite epoch mismatch in " + seg_path);
+    }
+    size_t off = kSegmentHeaderSize;
+    bool check_prev = true;
+    if (snapshot != nullptr && seg == start_segment &&
+        snapshot->resume_offset > kSegmentHeaderSize) {
+      if (snapshot->resume_offset > data->size()) {
+        return DataLoss("snapshot resume offset beyond segment " + seg_path);
+      }
+      off = static_cast<size_t>(snapshot->resume_offset);
+      // Pre-snapshot records are skipped, so the chain at this segment's
+      // start is unknown here; the committed-head check still covers it.
+      check_prev = false;
+    }
+    if (check_prev && !ConstantTimeEqual(header->prev_head, rr.chain)) {
+      return DataLoss("segment chain discontinuity at " + seg_path);
+    }
+    SEAL_RETURN_IF_ERROR(scan_records(seg_path, *data, off, last_file));
+    rr.any_segment = true;
+    rr.last_segment = seg;
+    rr.last_segment_bytes =
+        rr.truncate_pending && rr.truncate_path == seg_path ? rr.truncate_to : data->size();
+    rr.last_header = *header;
+    rr.last_header_valid = true;
+  }
+  return rr;
+}
+
+Status AuditLog::Recover(RecoveryInfo* info) {
+  RecoveryInfo scratch;
+  RecoveryInfo& out = info != nullptr ? *info : scratch;
+  out = RecoveryInfo{};
+  if (options_.mode != PersistenceMode::kDisk || options_.path.empty()) {
+    recovered_ = true;
+    return Status::Ok();
+  }
+  if (recovered_) {
+    return FailedPrecondition("Recover() already ran");
+  }
+  if (entries_logged_ != 0) {
+    return FailedPrecondition("Recover() must precede the first append");
+  }
+  const int64_t t0 = NowNanos();
+
+  // 1. The committed head. It may be missing or torn — the chain then
+  //    self-verifies through the segment headers and whatever follows the
+  //    last durable commit is kept (it was authenticated by us).
+  Bytes stored_head;
+  uint64_t stored_count = 0;
+  bool head_valid = false;
+  const bool head_exists = FileExists(HeadFilePath(options_.path));
+  if (head_exists) {
+    auto data = ReadFileBytes(HeadFilePath(options_.path));
+    if (data.ok() && data->size() == crypto::kSha256DigestSize + 16 + 64) {
+      auto sig = crypto::EcdsaSignature::Decode(
+          BytesView(*data).subspan(crypto::kSha256DigestSize + 16, 64));
+      Bytes signed_blob(data->begin(),
+                        data->begin() + static_cast<ptrdiff_t>(crypto::kSha256DigestSize + 16));
+      if (sig.has_value() && signing_key_.public_key().Verify(signed_blob, *sig)) {
+        stored_head.assign(data->begin(),
+                           data->begin() + static_cast<ptrdiff_t>(crypto::kSha256DigestSize));
+        stored_count = LoadBe64(data->data() + crypto::kSha256DigestSize + 8);
+        head_valid = true;
+      }
+    }
+  }
+  out.head_missing = !head_valid;
+
+  // 2. The newest snapshot, if present and its seal opens under our
+  //    identity. Any failure just falls back to a full replay.
+  std::optional<SnapshotState> snapshot;
+  if (FileExists(SnapshotFilePath(options_.path))) {
+    auto snap = ReadSnapshotFile(SnapshotFilePath(options_.path), MakeSealContext());
+    if (snap.ok()) {
+      snapshot = std::move(*snap);
+    }
+  }
+
+  out.had_state = head_exists || snapshot.has_value() || FileExists(options_.path) ||
+                  !ListSegmentFiles(options_.path).empty();
+
+  // 3. Replay, snapshot plan first. The committed head must appear in the
+  //    recovered chain exactly at its entry count; a stale or forged
+  //    snapshot fails this and triggers the full replay.
+  auto attempt = [&](const SnapshotState* snap) -> Result<ReplayResult> {
+    auto rr = ScanPersisted(snap);
+    if (!rr.ok()) {
+      return rr;
+    }
+    if (head_valid) {
+      if (stored_count < rr->snapshot_entries) {
+        return DataLoss("snapshot is newer than the committed head");
+      }
+      if (stored_count > rr->entries.size()) {
+        return DataLoss("committed head covers more entries than the log holds");
+      }
+      Bytes at(crypto::kSha256DigestSize, 0);
+      if (stored_count == rr->snapshot_entries) {
+        if (snap != nullptr) {
+          at = snap->chain_head;
+        }
+      } else {
+        at = rr->tail_heads[stored_count - rr->snapshot_entries - 1];
+      }
+      if (!ConstantTimeEqual(at, stored_head)) {
+        return PermissionDenied("recovered chain does not match the committed head");
+      }
+    }
+    return rr;
+  };
+  Result<ReplayResult> rr = attempt(snapshot ? &*snapshot : nullptr);
+  if (!rr.ok() && snapshot.has_value()) {
+    snapshot.reset();
+    rr = attempt(nullptr);
+  }
+  if (!rr.ok()) {
+    return rr.status();
+  }
+
+  // 4. Drop the torn tail from disk so the next append lands cleanly.
+  if (rr->truncate_pending) {
+    if (options_.segment_bytes > 0 && rr->truncate_to < kSegmentHeaderSize) {
+      RemoveFileIfExists(rr->truncate_path);
+    } else {
+      SEAL_RETURN_IF_ERROR(TruncateFile(rr->truncate_path, rr->truncate_to));
+    }
+  }
+
+  // 5. Rebuild the database and in-memory state.
+  for (const LogEntry& entry : rr->entries) {
+    SEAL_RETURN_IF_ERROR(db_.InsertRow(entry.table, entry.values));
+  }
+  entries_ = std::move(rr->entries);
+  entries_logged_ = entries_.size();
+  chain_head_ = rr->chain;
+  last_flushed_head_ = chain_head_;
+  persisted_bytes_ = (snapshot ? snapshot->persisted_bytes : 0) + rr->tail_bytes;
+  max_ticket_ = 0;
+  for (const LogEntry& entry : entries_) {
+    max_ticket_ = std::max(max_ticket_, entry.time);
+  }
+  const std::vector<uint32_t> archives = ListArchiveFiles(options_.path);
+  next_archive_index_ = archives.empty() ? 0 : archives.back() + 1;
+  if (options_.segment_bytes > 0) {
+    rewrite_epoch_ = rr->rewrite_epoch;
+    active_prev_head_ = chain_head_;
+    if (rr->any_segment) {
+      if (!rr->last_header_valid) {
+        // Torn header: the file was removed; recreate the same index on
+        // the next flush.
+        active_segment_ = rr->last_segment;
+        segment_count_ = rr->last_segment;
+        active_segment_open_ = false;
+      } else if (rr->last_header.closed != 0) {
+        // Crash after a roll closed this segment but before the next one
+        // was opened.
+        active_segment_ = rr->last_segment + 1;
+        segment_count_ = rr->last_segment + 1;
+        active_segment_open_ = false;
+      } else {
+        active_segment_ = rr->last_segment;
+        segment_count_ = rr->last_segment + 1;
+        active_segment_open_ = true;
+        active_segment_file_bytes_ = rr->last_segment_bytes;
+        active_prev_head_ = rr->last_header.prev_head;
+        active_first_ticket_ = rr->last_header.first_ticket;
+        active_last_ticket_ =
+            entries_.empty() ? rr->last_header.first_ticket : entries_.back().time;
+      }
+    }
+  }
+  bytes_since_snapshot_ = 0;
+  recovered_ = true;
+
+  out.snapshot_loaded = snapshot.has_value();
+  out.snapshot_entries = rr->snapshot_entries;
+  out.replayed_entries = entries_.size() - rr->snapshot_entries;
+  out.discarded_records = rr->torn_records;
+  out.max_ticket = max_ticket_;
+
+  // 6. Re-commit: the restarted ROTE cluster starts a fresh counter epoch,
+  //    so the recovered head must be rebound to a value this cluster will
+  //    report (and a missing/torn head replaced).
+  if (out.had_state) {
+    SEAL_RETURN_IF_ERROR(CommitHead());
+  }
+
+  out.recovery_nanos = NowNanos() - t0;
+  SEAL_OBS_COUNTER("log_recovery_replayed_entries").Add(out.replayed_entries);
+  SEAL_OBS_COUNTER("log_recovery_discarded_records_total").Add(out.discarded_records);
+  SEAL_OBS_HISTOGRAM("log_recovery_nanos").Observe(static_cast<uint64_t>(out.recovery_nanos));
+  return Status::Ok();
 }
 
 Result<std::vector<LogEntry>> AuditLog::ReadVerifiedEntries(const std::string& path,
                                                             const Bytes& encryption_key) {
-  auto data = ReadFile(path);
-  if (!data.ok()) {
-    return data.status();
-  }
   std::optional<crypto::Aes128Gcm> cipher;
   if (!encryption_key.empty()) {
     cipher.emplace(encryption_key);
   }
-  std::vector<LogEntry> entries;
-  size_t off = 0;
-  while (off < data->size()) {
-    if (off + 4 > data->size()) {
-      return DataLoss("truncated record frame");
-    }
-    uint32_t len = LoadBe32(data->data() + off);
-    off += 4;
-    if (off + len > data->size()) {
-      return DataLoss("truncated record body");
-    }
-    auto plain = MaybeDecrypt(cipher ? &*cipher : nullptr, BytesView(*data).subspan(off, len));
-    if (!plain.ok()) {
-      return plain.status();
-    }
-    off += len;
-    size_t entry_off = 0;
-    auto entry = LogEntry::Deserialize(*plain, entry_off);
-    if (!entry.ok()) {
-      return entry.status();
-    }
-    entries.push_back(std::move(*entry));
+  auto scan = ScanWholeLog(path, cipher ? &*cipher : nullptr);
+  if (!scan.ok()) {
+    return scan.status();
   }
-  return entries;
+  return std::move(scan->entries);
 }
 
 Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
                                        const crypto::EcdsaPublicKey& log_public_key,
                                        const rote::RoteCounter& counter,
                                        const Bytes& encryption_key) {
-  auto data = ReadFile(path);
-  if (!data.ok()) {
-    return data.status();
-  }
   std::optional<crypto::Aes128Gcm> cipher;
   if (!encryption_key.empty()) {
     cipher.emplace(encryption_key);
   }
-  Bytes head(crypto::kSha256DigestSize, 0);
-  size_t off = 0;
-  size_t count = 0;
-  while (off < data->size()) {
-    if (off + 4 > data->size()) {
-      return DataLoss("truncated record frame");
-    }
-    uint32_t len = LoadBe32(data->data() + off);
-    off += 4;
-    if (off + len > data->size()) {
-      return DataLoss("truncated record body");
-    }
-    auto plain = MaybeDecrypt(cipher ? &*cipher : nullptr, BytesView(*data).subspan(off, len));
-    if (!plain.ok()) {
-      return plain.status();
-    }
-    off += len;
-    size_t entry_off = 0;
-    auto entry = LogEntry::Deserialize(*plain, entry_off);
-    if (!entry.ok()) {
-      return entry.status();
-    }
-    crypto::Sha256 h;
-    h.Update(head);
-    h.Update(*plain);
-    crypto::Sha256Digest d = h.Finish();
-    head.assign(d.begin(), d.end());
-    ++count;
+  auto scan = ScanWholeLog(path, cipher ? &*cipher : nullptr);
+  if (!scan.ok()) {
+    return scan.status();
   }
 
-  auto sig_data = ReadFile(SigPath(path));
+  auto sig_data = ReadFileBytes(HeadFilePath(path));
   if (!sig_data.ok()) {
     return sig_data.status();
   }
@@ -421,10 +981,10 @@ Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
   if (!log_public_key.Verify(signed_blob, *sig)) {
     return PermissionDenied("log head signature invalid: tampered or forged log");
   }
-  if (!ConstantTimeEqual(stored_head, head)) {
+  if (!ConstantTimeEqual(stored_head, scan->chain)) {
     return PermissionDenied("hash chain mismatch: log entries modified");
   }
-  if (stored_count != count) {
+  if (stored_count != scan->count) {
     return PermissionDenied("entry count mismatch");
   }
   auto current = counter.Read();
@@ -435,7 +995,51 @@ Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
     return PermissionDenied("rollback detected: counter " + std::to_string(stored_counter) +
                             " but cluster reports " + std::to_string(*current));
   }
-  return count;
+  return scan->count;
+}
+
+Result<std::vector<LogEntry>> AuditLog::ReadArchivedEntries(const std::string& path,
+                                                            const Bytes& encryption_key,
+                                                            const sgx::Enclave* sealing_enclave,
+                                                            sgx::SealPolicy seal_policy) {
+  SealContext ctx;
+  ctx.encryption_key = &encryption_key;
+  ctx.enclave = sealing_enclave;
+  ctx.policy = seal_policy;
+  std::vector<LogEntry> all;
+  const std::vector<uint32_t> archives = ListArchiveFiles(path);
+  for (size_t i = 0; i < archives.size(); ++i) {
+    if (archives[i] != i) {
+      return DataLoss("missing trim archive " + std::to_string(i));
+    }
+    auto entries = ReadArchiveFile(ArchiveFilePath(path, static_cast<uint32_t>(i)), ctx);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    all.insert(all.end(), std::make_move_iterator(entries->begin()),
+               std::make_move_iterator(entries->end()));
+  }
+  return all;
+}
+
+Result<std::vector<LogEntry>> AuditLog::ReadFullHistory(const std::string& path,
+                                                        const Bytes& encryption_key,
+                                                        const sgx::Enclave* sealing_enclave,
+                                                        sgx::SealPolicy seal_policy) {
+  auto archived = ReadArchivedEntries(path, encryption_key, sealing_enclave, seal_policy);
+  if (!archived.ok()) {
+    return archived.status();
+  }
+  auto live = ReadVerifiedEntries(path, encryption_key);
+  if (!live.ok()) {
+    return live.status();
+  }
+  std::vector<LogEntry> all = std::move(*archived);
+  all.insert(all.end(), std::make_move_iterator(live->begin()),
+             std::make_move_iterator(live->end()));
+  std::stable_sort(all.begin(), all.end(),
+                   [](const LogEntry& a, const LogEntry& b) { return a.time < b.time; });
+  return all;
 }
 
 }  // namespace seal::core

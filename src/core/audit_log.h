@@ -5,6 +5,14 @@
 // enclave's log key; rollback of the persisted log is prevented by binding
 // each flush to a fresh value of the distributed monotonic counter (ROTE).
 // Trimming re-computes the hashes of the remaining entries.
+//
+// Durable lifecycle (ROADMAP item 3): with `segment_bytes > 0` the log is
+// written as fixed-size segments with chained headers instead of one
+// ever-growing file; closed segments are fsynced and immutable. Periodic
+// sealed snapshots (`snapshot_interval_bytes`) make restart O(tail):
+// Recover() loads the newest valid snapshot and replays only the segments
+// past it. With `archive_trimmed`, Trim moves deleted rows into compressed
+// sealed archive segments so the full history stays auditable offline.
 #ifndef SRC_CORE_AUDIT_LOG_H_
 #define SRC_CORE_AUDIT_LOG_H_
 
@@ -15,6 +23,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/core/log_segment.h"
 #include "src/crypto/ecdsa.h"
 #include "src/crypto/gcm.h"
 #include "src/crypto/sha256.h"
@@ -35,28 +44,62 @@ struct AuditLogOptions {
   // the caller (sealing); empty = sign-only.
   Bytes encryption_key;
   rote::RoteCounter::Options counter_options;
-};
 
-// One serialised log entry, the hash-chain unit.
-struct LogEntry {
-  int64_t time = 0;       // per-instance logical timestamp (primary key)
-  int64_t wall_nanos = 0; // wall clock at append: orders entries ACROSS
-                          // instances when partial logs are merged (§3.2)
-  std::string table;
-  db::Row values;  // full row, including time
-
-  Bytes Serialize() const;
-  static Result<LogEntry> Deserialize(BytesView in, size_t& off);
+  // --- durable lifecycle ---
+  // 0 = legacy single-file layout. >0 = segmented: records go into
+  // `<path>.segNNNNNN` files rolled once a segment reaches this many bytes.
+  uint64_t segment_bytes = 0;
+  // Resume from on-disk state instead of starting fresh: the constructor
+  // leaves prior files alone and Recover() (called after ExecuteSchema)
+  // restores the database, chain and counters from the newest valid
+  // snapshot plus the tail segments. With false, construction removes any
+  // stale lifecycle files at `path` (the pre-recovery behaviour).
+  bool recover = false;
+  // Write a sealed snapshot after every N committed bytes (and after every
+  // trim rewrite). 0 disables automatic snapshots; WriteSnapshot() still
+  // works. Snapshots bound recovery replay to the post-snapshot tail.
+  uint64_t snapshot_interval_bytes = 0;
+  // Trim moves deleted rows into `<path>.archNNNNNN` (compressed, sealed)
+  // instead of discarding them.
+  bool archive_trimmed = false;
+  // Identity under which snapshots and archives are sealed. Null = fall
+  // back to `encryption_key` (or plaintext for sign-only logs).
+  const sgx::Enclave* sealing_enclave = nullptr;
+  sgx::SealPolicy seal_policy = sgx::SealPolicy::kMrSigner;
+  // Fsync data files on flush and head/snapshot files on commit. Off only
+  // for benchmarks that isolate CPU cost from storage latency.
+  bool fsync = true;
 };
 
 class AuditLog {
  public:
+  // What Recover() found and did, for logging/metrics and the logger's
+  // ticket restoration.
+  struct RecoveryInfo {
+    bool had_state = false;        // any prior lifecycle file existed
+    bool snapshot_loaded = false;  // restart skipped the pre-snapshot log
+    size_t snapshot_entries = 0;
+    size_t replayed_entries = 0;   // decrypted + re-chained from segments
+    size_t discarded_records = 0;  // torn tail records dropped
+    bool head_missing = false;     // .sig absent or torn; chain self-verified
+    int64_t max_ticket = 0;        // highest logical time recovered
+    int64_t recovery_nanos = 0;
+  };
+
   // `signing_key` is the enclave's log key (provisioned under attestation).
   AuditLog(AuditLogOptions options, crypto::EcdsaPrivateKey signing_key);
   ~AuditLog();
 
   // Executes schema DDL against the in-enclave database.
   Status ExecuteSchema(const std::vector<std::string>& statements);
+
+  // Restores the log from disk (kDisk with `options.recover`): loads the
+  // newest valid snapshot, replays the tail segments through the hash
+  // chain into the database, discards a torn tail record, verifies the
+  // chain against the last committed head and re-commits. Must run after
+  // ExecuteSchema and before the first Append. A fresh path recovers to an
+  // empty log. No-op in kMemory mode.
+  Status Recover(RecoveryInfo* info = nullptr);
 
   // Appends one tuple: inserts into the database, extends the hash chain
   // and (in kDisk mode) stages the framed — and, with a key, encrypted —
@@ -71,9 +114,15 @@ class AuditLog {
   Status FlushPersisted();
 
   // Synchronously commits the current chain head: staged-entry flush +
-  // signature + monotonic counter round + head-file write. In kDisk mode
-  // the logger calls this once per drained batch.
+  // signature + monotonic counter round + atomic head-file replace. In
+  // kDisk mode the logger calls this once per drained batch.
   Status CommitHead();
+
+  // Writes a sealed snapshot of the current committed state (database
+  // image as framed entries + chain head + replay resume point). Called
+  // automatically per `snapshot_interval_bytes`; exposed for tests and
+  // benchmarks.
+  Status WriteSnapshot();
 
   // Runs a read-only query (invariant checking).
   Result<db::QueryResult> Query(const std::string& sql);
@@ -86,14 +135,17 @@ class AuditLog {
   // Runs the trimming queries, then rebuilds the hash chain over the
   // surviving entries and rewrites the persisted log. The rebuild (and the
   // counter round it costs in kDisk mode) is skipped when no query deleted
-  // anything. `deleted_out` (optional) receives the number of rows removed.
+  // anything. With `archive_trimmed`, the deleted entries are first moved
+  // into a sealed archive segment. `deleted_out` / `archived_out`
+  // (optional) receive the number of rows removed / archived.
   Status Trim(const std::vector<std::string>& trimming_queries,
-              size_t* deleted_out = nullptr);
+              size_t* deleted_out = nullptr, size_t* archived_out = nullptr);
 
   // Verifies a persisted log against tampering and rollback: recomputes
-  // the chain, checks the signature with `log_public_key`, and compares
-  // the embedded counter against the ROTE cluster. Returns the number of
-  // verified entries.
+  // the chain (across all segments, checking each segment header's
+  // continuity in the segmented layout), checks the signature with
+  // `log_public_key`, and compares the embedded counter against the ROTE
+  // cluster. Returns the number of verified entries.
   static Result<size_t> VerifyLogFile(const std::string& path,
                                       const crypto::EcdsaPublicKey& log_public_key,
                                       const rote::RoteCounter& counter,
@@ -105,13 +157,37 @@ class AuditLog {
   static Result<std::vector<LogEntry>> ReadVerifiedEntries(const std::string& path,
                                                            const Bytes& encryption_key = {});
 
+  // Reads the trim archives of `path` in archive order (oldest first).
+  // Sealed archives additionally need the sealing identity.
+  static Result<std::vector<LogEntry>> ReadArchivedEntries(
+      const std::string& path, const Bytes& encryption_key = {},
+      const sgx::Enclave* sealing_enclave = nullptr,
+      sgx::SealPolicy seal_policy = sgx::SealPolicy::kMrSigner);
+
+  // The complete pre-trim history: archived entries + live entries, merged
+  // by logical time. Offline auditors run VerifyLogFile first (the hot log
+  // carries the signed head; archives are sealed/authenticated payloads).
+  static Result<std::vector<LogEntry>> ReadFullHistory(
+      const std::string& path, const Bytes& encryption_key = {},
+      const sgx::Enclave* sealing_enclave = nullptr,
+      sgx::SealPolicy seal_policy = sgx::SealPolicy::kMrSigner);
+
   db::Database& database() { return db_; }
   const Bytes& chain_head() const { return chain_head_; }
   size_t entry_count() const { return entries_logged_; }
   rote::RoteCounter& counter() { return *counter_; }
   uint64_t persisted_bytes() const { return persisted_bytes_; }
+  const AuditLogOptions& options() const { return options_; }
+  uint32_t segment_count() const { return segment_count_; }
+  uint32_t archive_count() const { return next_archive_index_; }
 
  private:
+  struct StagedFrame {
+    int64_t ticket = 0;
+    size_t size = 0;      // frame bytes (length prefix + record)
+    Bytes head_after;     // chain head after this entry
+  };
+
   Status PersistEntry(const LogEntry& entry);
   Status RewritePersistedLog();
   Bytes ExtendChain(const Bytes& head, const LogEntry& entry) const;
@@ -119,6 +195,21 @@ class AuditLog {
   // entry otherwise.
   Bytes EncodeRecord(BytesView plain);
   void AppendFramedRecord(Bytes& out, const LogEntry& entry);
+  void StageEntry(const LogEntry& entry);
+  SealContext MakeSealContext() const;
+  // Segment-aware flush: opens/rolls/closes segments at record
+  // boundaries. `frames` carries the per-record tickets and chain heads
+  // matching `batch`.
+  Status FlushSegmented(BytesView batch, const std::vector<StagedFrame>& frames);
+  Status OpenSegment(const Bytes& prev_head, int64_t first_ticket);
+  Status CloseActiveSegment();
+  Status MaybeSnapshot();
+  // Scans segments (or the legacy file) from the snapshot's resume point,
+  // decrypting and re-chaining records. Returns recovered entries without
+  // touching member state so a failed snapshot plan can fall back to a
+  // full replay.
+  struct ReplayResult;
+  Result<ReplayResult> ScanPersisted(const SnapshotState* snapshot) const;
 
   AuditLogOptions options_;
   crypto::EcdsaPrivateKey signing_key_;
@@ -133,10 +224,29 @@ class AuditLog {
   Bytes chain_head_;  // SHA-256 of the chain so far
   size_t entries_logged_ = 0;
   uint64_t persisted_bytes_ = 0;
-  // Framed records appended since the last flush (kDisk mode).
+  // Framed records appended since the last flush (kDisk mode), plus the
+  // per-record metadata the segment roller needs (ticket boundaries and
+  // the chain head after each record).
   Bytes pending_persist_;
+  std::vector<StagedFrame> pending_frames_;
   // Kept for chain recomputation on trim: the serialised entries in order.
   std::vector<LogEntry> entries_;
+
+  // --- segmented-layout state ---
+  uint32_t active_segment_ = 0;
+  uint32_t segment_count_ = 0;           // segments existing on disk
+  uint64_t active_segment_file_bytes_ = 0;  // includes the header
+  bool active_segment_open_ = false;
+  Bytes active_prev_head_;   // chain head before the active segment's first record
+  int64_t active_first_ticket_ = 0;
+  int64_t active_last_ticket_ = 0;
+  Bytes last_flushed_head_;  // chain head after the last flushed record
+  uint64_t rewrite_epoch_ = 0;
+  uint64_t last_counter_value_ = 0;
+  uint64_t bytes_since_snapshot_ = 0;
+  uint32_t next_archive_index_ = 0;
+  int64_t max_ticket_ = 0;
+  bool recovered_ = false;
 };
 
 }  // namespace seal::core

@@ -63,6 +63,10 @@ struct CheckReport {
   size_t invariants_checked = 0;
   int64_t check_nanos = 0;
   int64_t trim_nanos = 0;
+  // Rows the round's trim removed from the hot log, and how many of those
+  // went into a sealed archive segment (AuditLogOptions::archive_trimmed).
+  size_t trimmed_rows = 0;
+  size_t archived_rows = 0;
   // Every pair with logical time <= covered_time had been drained into the
   // database when this round's snapshot was captured.
   int64_t covered_time = 0;

@@ -521,7 +521,13 @@ Status LibSealRuntime::Init() {
     // like the asyncall workers'.
     LoggerOptions logger_options = options_.logger;
     logger_options.enclave = enclave_.get();
-    logger_ = std::make_unique<AuditLogger>(std::move(pending_module_), options_.audit_log,
+    AuditLogOptions log_options = options_.audit_log;
+    if (log_options.sealing_enclave == nullptr) {
+      // Snapshots and trim archives seal under this enclave's identity
+      // (MRSIGNER by default, so sealed logs survive an enclave upgrade).
+      log_options.sealing_enclave = enclave_.get();
+    }
+    logger_ = std::make_unique<AuditLogger>(std::move(pending_module_), std::move(log_options),
                                             std::move(logger_options), state_->log_key);
     SEAL_RETURN_IF_ERROR(logger_->Init());
   }

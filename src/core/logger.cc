@@ -31,6 +31,13 @@ Status AuditLogger::Init() {
   SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Schema()));
   SEAL_RETURN_IF_ERROR(log_.ExecuteSchema(module_->Views()));
   std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (log_.options().recover) {
+    SEAL_RETURN_IF_ERROR(log_.Recover(&recovery_info_));
+    // Tickets resume past everything recovered: the sequencer must never
+    // hand out a logical time the restored log already contains.
+    next_time_.store(recovery_info_.max_ticket + 1, std::memory_order_relaxed);
+    next_drain_time_ = recovery_info_.max_ticket + 1;
+  }
   EnsureEngineLocked();
   return Status::Ok();
 }
@@ -297,7 +304,8 @@ void AuditLogger::TriggerChecksLocked(PendingPair* op, bool interval_check) {
 Status AuditLogger::TrimLockedInner(CheckReport* report) {
   const int64_t trim_start = NowNanos();
   size_t deleted = 0;
-  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted));
+  size_t archived = 0;
+  SEAL_RETURN_IF_ERROR(log_.Trim(module_->TrimmingQueries(), &deleted, &archived));
   if (deleted > 0 && engine_ != nullptr) {
     // Rows left the log, so the deltas past the watermarks no longer
     // describe it: the next check scans whatever survived in full.
@@ -306,6 +314,8 @@ Status AuditLogger::TrimLockedInner(CheckReport* report) {
   const int64_t trim_nanos = NowNanos() - trim_start;
   if (report != nullptr) {
     report->trim_nanos = trim_nanos;
+    report->trimmed_rows = deleted;
+    report->archived_rows = archived;
   }
   SEAL_OBS_COUNTER("logger_trims_total").Increment();
   SEAL_OBS_COUNTER("logger_trimmed_rows_total").Add(deleted);

@@ -124,6 +124,10 @@ class AuditLogger {
   // (PauseForTesting, rounds_completed).
   CheckerEngine* checker() { return engine_.get(); }
 
+  // What Init()'s recovery pass found (meaningful only with
+  // AuditLogOptions::recover).
+  const AuditLog::RecoveryInfo& recovery_info() const { return recovery_info_; }
+
   // The incremental watermark of the i-th invariant (in Invariants()
   // order): the highest logical time its last clean check covered, or -1
   // when the next check must scan the full log.
@@ -185,6 +189,7 @@ class AuditLogger {
   LoggerOptions options_;
 
   std::atomic<int64_t> next_time_{1};
+  AuditLog::RecoveryInfo recovery_info_;
   std::atomic<int64_t> pairs_logged_{0};
   std::array<Shard, kAppendShards> shards_;
 

@@ -312,5 +312,185 @@ TEST_F(AuditLogTest, LogEntrySerializationRoundTrip) {
   EXPECT_EQ(off, wire.size());
 }
 
+// --- hostile-input deserialization ----------------------------------------
+
+// time + wall clock + table, i.e. everything before the value count.
+Bytes EntryPrefix(const std::string& table) {
+  Bytes wire;
+  AppendBe64(wire, 1);
+  AppendBe64(wire, 2);
+  AppendBe32(wire, static_cast<uint32_t>(table.size()));
+  Append(wire, table);
+  return wire;
+}
+
+// A full entry whose values carry the given raw (tagged) payloads verbatim.
+Bytes EntryWithRawValues(const std::vector<std::string>& raw) {
+  Bytes wire = EntryPrefix("updates");
+  AppendBe32(wire, static_cast<uint32_t>(raw.size()));
+  for (const std::string& s : raw) {
+    AppendBe32(wire, static_cast<uint32_t>(s.size()));
+    Append(wire, s);
+  }
+  return wire;
+}
+
+Status DeserializeStatus(BytesView wire) {
+  size_t off = 0;
+  return LogEntry::Deserialize(wire, off).status();
+}
+
+TEST_F(AuditLogTest, LogEntryHugeValueCountRejected) {
+  // A count that cannot possibly fit in the frame must be rejected up
+  // front, before any allocation proportional to it.
+  Bytes wire = EntryPrefix("updates");
+  AppendBe32(wire, 0xFFFFFFFFu);
+  Status status = DeserializeStatus(wire);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("more values"), std::string::npos);
+
+  // Same with a count just one past what the remaining bytes can hold.
+  Bytes tight = EntryWithRawValues({"I1", "I2"});
+  // Patch the count from 2 to 3: the two 6-byte value frames can hold at
+  // most two values.
+  const size_t count_off = EntryPrefix("updates").size();
+  tight[count_off + 3] = 3;
+  EXPECT_FALSE(DeserializeStatus(tight).ok());
+}
+
+TEST_F(AuditLogTest, LogEntryMalformedValuesRejected) {
+  // Valid control case first so the helpers themselves are trusted.
+  EXPECT_TRUE(DeserializeStatus(EntryWithRawValues({"N", "I42", "R2.5", "T2:hi"})).ok());
+
+  const std::vector<std::string> hostile = {
+      "Iabc",    // integer with no digits
+      "I12x",    // integer with trailing junk
+      "I",       // integer with empty payload
+      "R",       // real with empty payload
+      "Rxyz",    // real with no digits
+      "R1.5x",   // real with trailing junk
+      "T5:ab",   // text length larger than payload
+      "T1:ab",   // text length smaller than payload
+      "Tab",     // text without a colon
+      "Nx",      // null with a payload
+      "X",       // unknown tag
+  };
+  for (const std::string& value : hostile) {
+    EXPECT_FALSE(DeserializeStatus(EntryWithRawValues({value})).ok())
+        << "accepted hostile value: " << value;
+  }
+}
+
+TEST_F(AuditLogTest, LogEntryZeroLengthValueRejected) {
+  Bytes wire = EntryPrefix("updates");
+  AppendBe32(wire, 1);
+  AppendBe32(wire, 0);  // zero-length value frame
+  wire.push_back('N');  // spare byte so the count passes the density guard
+  Status status = DeserializeStatus(wire);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("zero-length"), std::string::npos);
+}
+
+TEST_F(AuditLogTest, LogEntryTruncationAtEveryBoundaryRejected) {
+  const Bytes wire = EntryWithRawValues({"I7", "T4:text", "N", "R0.25"});
+  size_t off = 0;
+  ASSERT_TRUE(LogEntry::Deserialize(wire, off).ok());
+  ASSERT_EQ(off, wire.size());
+  // Every strict prefix is missing data somewhere -- header, table, value
+  // length, or value payload -- and must fail cleanly, never crash or
+  // return a partially-parsed entry.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(DeserializeStatus(BytesView(wire).subspan(0, len)).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST_F(AuditLogTest, LogEntryHugeTableLengthRejected) {
+  Bytes wire;
+  AppendBe64(wire, 1);
+  AppendBe64(wire, 2);
+  AppendBe32(wire, 0xFFFFFFF0u);  // table length far past the frame
+  AppendBe32(wire, 0);
+  EXPECT_FALSE(DeserializeStatus(wire).ok());
+}
+
+TEST_F(AuditLogTest, ReadVerifiedEntriesRejectsHostileRecords) {
+  const std::string path = TempPath("hostile_records.log");
+  // Record with trailing bytes after a valid entry.
+  {
+    Bytes file;
+    Bytes wire = EntryWithRawValues({"I1"});
+    wire.push_back(0x00);  // one stray byte inside the frame
+    AppendBe32(file, static_cast<uint32_t>(wire.size()));
+    Append(file, wire);
+    ASSERT_TRUE(DurableWriteFile(path, file, /*append=*/false, /*sync=*/false).ok());
+    auto entries = AuditLog::ReadVerifiedEntries(path);
+    ASSERT_FALSE(entries.ok());
+    EXPECT_NE(entries.status().message().find("trailing bytes"), std::string::npos);
+  }
+  // Frame length running past the end of the file.
+  {
+    Bytes file;
+    AppendBe32(file, 1000);
+    file.push_back(0xAB);
+    ASSERT_TRUE(DurableWriteFile(path, file, /*append=*/false, /*sync=*/false).ok());
+    auto entries = AuditLog::ReadVerifiedEntries(path);
+    ASSERT_FALSE(entries.ok());
+    EXPECT_NE(entries.status().message().find("truncated record body"), std::string::npos);
+  }
+  // Frame cut off inside the 4-byte length prefix.
+  {
+    Bytes file = {0x00, 0x00};
+    ASSERT_TRUE(DurableWriteFile(path, file, /*append=*/false, /*sync=*/false).ok());
+    auto entries = AuditLog::ReadVerifiedEntries(path);
+    ASSERT_FALSE(entries.ok());
+    EXPECT_NE(entries.status().message().find("truncated record frame"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+// --- trim wall-clock preservation -----------------------------------------
+
+TEST_F(AuditLogTest, TrimPreservesDistinctWallClocksForEqualTimeRows) {
+  // Regression: the trim rebuild used to recover wall clocks through a
+  // (table, time) map, so two rows sharing a ticket collapsed onto one
+  // wall timestamp and the rebuilt chain no longer matched reality.
+  const std::string path = TempPath("trim_wall.log");
+  AuditLog log(DiskOptions(path), TestKey());
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "a"), 100).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "dev", "b"), 200).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(2, "main", "c"), 300).ok());
+  ASSERT_TRUE(log.CommitHead().ok());
+  size_t deleted = 0;
+  ASSERT_TRUE(log.Trim({"DELETE FROM updates WHERE time = 2"}, &deleted).ok());
+  EXPECT_EQ(deleted, 1u);
+  auto entries = AuditLog::ReadVerifiedEntries(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].wall_nanos, 100);
+  EXPECT_EQ((*entries)[1].wall_nanos, 200);
+  auto verified = AuditLog::VerifyLogFile(path, TestKey().public_key(), log.counter());
+  EXPECT_TRUE(verified.ok());
+}
+
+TEST_F(AuditLogTest, TrimPreservesWallClocksForIdenticalRows) {
+  // Even byte-identical surviving rows keep their own wall clocks, matched
+  // first-in-first-out so the rebuilt order equals the append order.
+  const std::string path = TempPath("trim_wall_dup.log");
+  AuditLog log(DiskOptions(path), TestKey());
+  ASSERT_TRUE(log.ExecuteSchema(GitSchema()).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "a"), 100).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(1, "main", "a"), 200).ok());
+  ASSERT_TRUE(log.Append("updates", GitUpdateRow(9, "main", "z"), 300).ok());
+  ASSERT_TRUE(log.CommitHead().ok());
+  ASSERT_TRUE(log.Trim({"DELETE FROM updates WHERE time = 9"}).ok());
+  auto entries = AuditLog::ReadVerifiedEntries(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].wall_nanos, 100);
+  EXPECT_EQ((*entries)[1].wall_nanos, 200);
+}
+
 }  // namespace
 }  // namespace seal::core

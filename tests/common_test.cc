@@ -2,6 +2,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
+#include "src/common/compress.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 
@@ -117,6 +118,128 @@ TEST(Rng, RangeInclusive) {
     EXPECT_GE(v, -3);
     EXPECT_LE(v, 4);
   }
+}
+
+Bytes LzRoundTrip(BytesView in) {
+  Bytes packed = LzCompress(in);
+  auto out = LzDecompress(packed);
+  EXPECT_TRUE(out.ok()) << out.status().message();
+  return out.ok() ? *out : Bytes{};
+}
+
+TEST(Compress, RoundTripEmpty) { EXPECT_TRUE(LzRoundTrip({}).empty()); }
+
+TEST(Compress, RoundTripShortLiteral) {
+  const Bytes in = ToBytes("abc");
+  EXPECT_EQ(LzRoundTrip(in), in);
+}
+
+TEST(Compress, RoundTripRepetitiveShrinks) {
+  // Highly repetitive input must round-trip and actually compress; the
+  // input ends mid-repetition, so the stream ends in a match followed by
+  // the empty terminating literal token.
+  Bytes in;
+  for (int i = 0; i < 500; ++i) {
+    Append(in, std::string_view("INSERT INTO updates VALUES "));
+  }
+  Bytes packed = LzCompress(in);
+  EXPECT_LT(packed.size(), in.size() / 4);
+  auto out = LzDecompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Compress, RoundTripIncompressible) {
+  SplitMix64 rng(7);
+  Bytes in;
+  in.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    in.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  EXPECT_EQ(LzRoundTrip(in), in);
+}
+
+TEST(Compress, RoundTripLongRuns) {
+  // Runs longer than 15 exercise the 255-continuation length encoding on
+  // both the literal and match sides.
+  Bytes in(10000, 0x42);
+  Bytes tail = ToBytes("unique-tail-no-repeat");
+  in.insert(in.end(), tail.begin(), tail.end());
+  EXPECT_EQ(LzRoundTrip(in), in);
+}
+
+TEST(Compress, DecodeRejectsTruncatedHeader) {
+  EXPECT_FALSE(LzDecompress(Bytes{0x00, 0x01, 0x02}).ok());
+}
+
+TEST(Compress, DecodeRejectsOversizedDeclaredSize) {
+  Bytes packed = LzCompress(ToBytes("hello"));
+  EXPECT_FALSE(LzDecompress(packed, /*max_raw_size=*/4).ok());
+  EXPECT_TRUE(LzDecompress(packed, /*max_raw_size=*/5).ok());
+}
+
+TEST(Compress, DecodeRejectsTruncationAtEveryBoundary) {
+  Bytes in;
+  for (int i = 0; i < 40; ++i) {
+    Append(in, std::string_view("repeat-me "));
+  }
+  Bytes packed = LzCompress(in);
+  for (size_t len = 0; len < packed.size(); ++len) {
+    EXPECT_FALSE(LzDecompress(BytesView(packed).subspan(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Compress, DecodeRejectsTrailingBytes) {
+  Bytes packed = LzCompress(ToBytes("payload"));
+  packed.push_back(0x00);
+  auto out = LzDecompress(packed);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(Compress, DecodeRejectsBadMatchOffset) {
+  // raw size 8, one token: 4 literals then a match reaching back 9 bytes
+  // -- past the start of the output produced so far.
+  Bytes evil;
+  AppendBe64(evil, 8);
+  evil.push_back(0x40);  // 4 literals, match len 0 (+4 = 4)
+  Append(evil, std::string_view("abcd"));
+  AppendBe16(evil, 9);  // offset 9 > 4 bytes of output
+  auto out = LzDecompress(evil);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("offset"), std::string::npos);
+
+  // Offset zero is equally invalid.
+  evil[evil.size() - 2] = 0;
+  evil[evil.size() - 1] = 0;
+  EXPECT_FALSE(LzDecompress(evil).ok());
+}
+
+TEST(Compress, DecodeRejectsShortOfDeclaredSize) {
+  // Declares 100 raw bytes with an empty token stream.
+  Bytes evil;
+  AppendBe64(evil, 100);
+  auto out = LzDecompress(evil);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("short of declared size"), std::string::npos);
+
+  // A literal run that stops short of the declared size fails too (the
+  // decoder expects a match to follow and runs out of bytes).
+  Bytes evil2;
+  AppendBe64(evil2, 100);
+  evil2.push_back(0x30);  // 3 literals, no match
+  Append(evil2, std::string_view("abc"));
+  EXPECT_FALSE(LzDecompress(evil2).ok());
+}
+
+TEST(Compress, DecodeRejectsLiteralOverflowingDeclaredSize) {
+  // Declares 2 raw bytes but the token carries 4 literals.
+  Bytes evil;
+  AppendBe64(evil, 2);
+  evil.push_back(0x40);
+  Append(evil, std::string_view("abcd"));
+  EXPECT_FALSE(LzDecompress(evil).ok());
 }
 
 TEST(Rng, IdentHasRequestedLength) {

@@ -293,5 +293,48 @@ TEST(Logger, ConcurrentAppendsWithChecksStress) {
   EXPECT_TRUE(final_check->clean());
 }
 
+TEST(Logger, RestartRecoversLogAndResumesTickets) {
+  const std::string path = std::string(::testing::TempDir()) + "/logger_recovery.log";
+  RemoveLogFiles(path);
+  AuditLogOptions log_options;
+  log_options.mode = PersistenceMode::kDisk;
+  log_options.path = path;
+  log_options.segment_bytes = 512;
+  log_options.recover = true;
+  log_options.counter_options.inject_latency = false;
+  const LoggerOptions logger_options{.check_interval = 0};
+  const auto key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("lt"));
+
+  {
+    auto logger = std::make_unique<AuditLogger>(std::make_unique<ssm::GitModule>(), log_options,
+                                                logger_options, key);
+    ASSERT_TRUE(logger->Init().ok());
+    EXPECT_FALSE(logger->recovery_info().had_state);
+    services::GitBackend backend;
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(PumpPush(*logger, backend, i).ok());
+    }
+  }
+
+  // A new logger over the same path replays the persisted log and issues
+  // its first ticket past the recovered maximum.
+  auto logger = std::make_unique<AuditLogger>(std::make_unique<ssm::GitModule>(), log_options,
+                                              logger_options, key);
+  ASSERT_TRUE(logger->Init().ok());
+  EXPECT_TRUE(logger->recovery_info().had_state);
+  EXPECT_EQ(logger->recovery_info().max_ticket, 5);
+  EXPECT_EQ(logger->log().entry_count(), 5u);
+  services::GitBackend backend;
+  ASSERT_TRUE(PumpPush(*logger, backend, 6).ok());
+  auto rows = logger->log().Query("SELECT MAX(time) FROM updates");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 6);
+  auto check = logger->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->clean());
+  RemoveLogFiles(path);
+}
+
 }  // namespace
 }  // namespace seal::core
