@@ -26,6 +26,9 @@ class SpinBackoff {
 thread_local const void* t_bound_runtime = nullptr;
 thread_local int t_bound_slot = -1;
 
+// True while this OS thread is inside WorkerLoop (an enclave worker).
+thread_local bool t_enclave_worker = false;
+
 // Upper bounds on the blocking waits. Correctness does not depend on them:
 // every state transition now notifies the condition variable a waiter could
 // be parked on (including Stop), so these are pure belt-and-braces against
@@ -101,7 +104,10 @@ void AsyncCallRuntime::Stop() {
   workers_.clear();
 }
 
+bool AsyncCallRuntime::OnEnclaveWorkerThread() { return t_enclave_worker; }
+
 void AsyncCallRuntime::WorkerLoop(Worker* worker) {
+  t_enclave_worker = true;
   // Spawn the T persistent lthread tasks.
   for (int i = 0; i < options_.tasks_per_thread; ++i) {
     auto binding = std::make_unique<TaskBinding>();
@@ -237,15 +243,46 @@ Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
   if (enclave_->ecall_handler(id) == nullptr) {
     return InvalidArgument("unknown ecall id " + std::to_string(id));
   }
-  CallSlot* slot = slots_[static_cast<size_t>(AcquireSlotIndex())].get();
-  // Take ownership of the slot (only contended if more application threads
-  // than slots share an index), write the payload, then publish it.
-  SpinBackoff acquire_backoff;
-  int expected = CallSlot::kEmpty;
-  while (!slot->state.compare_exchange_weak(expected, CallSlot::kPreparing,
-                                            std::memory_order_acq_rel)) {
-    expected = CallSlot::kEmpty;
-    acquire_backoff.Pause();
+  // An application LTHREAD task (a reactor connection) must not use the
+  // per-OS-thread slot binding: many tasks share one OS thread, and if task
+  // A is parked mid-ecall the bound slot stays occupied — task B spinning
+  // on that same slot would wedge the whole thread (A can never resume).
+  // Such callers instead claim ANY free slot per call and yield between
+  // sweeps so sibling tasks (including the ones whose ecalls will free
+  // slots) keep running.
+  const bool cooperative = lthread::Scheduler::Current() != nullptr && !t_enclave_worker;
+  CallSlot* slot = nullptr;
+  if (cooperative) {
+    uint32_t start = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    const size_t n = slots_.size();
+    for (;;) {
+      for (size_t i = 0; i < n && slot == nullptr; ++i) {
+        CallSlot* cand = slots_[(static_cast<size_t>(start) + i) % n].get();
+        int want = CallSlot::kEmpty;
+        if (cand->state.compare_exchange_strong(want, CallSlot::kPreparing,
+                                                std::memory_order_acq_rel)) {
+          slot = cand;
+        }
+      }
+      if (slot != nullptr) {
+        break;
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        return Unavailable("async-call runtime stopped before a slot was free");
+      }
+      lthread::Scheduler::Yield();
+    }
+  } else {
+    slot = slots_[static_cast<size_t>(AcquireSlotIndex())].get();
+    // Take ownership of the slot (only contended if more application
+    // threads than slots share an index), write the payload, then publish.
+    SpinBackoff acquire_backoff;
+    int expected = CallSlot::kEmpty;
+    while (!slot->state.compare_exchange_weak(expected, CallSlot::kPreparing,
+                                              std::memory_order_acq_rel)) {
+      expected = CallSlot::kEmpty;
+      acquire_backoff.Pause();
+    }
   }
   slot->ecall_id = id;
   slot->ecall_data = data;
@@ -303,6 +340,13 @@ Status AsyncCallRuntime::AsyncEcall(int id, void* data) {
         return Unavailable("async-call runtime stopped before the call was claimed");
       }
       continue;  // a worker won the race: the call is in flight and will drain
+    }
+    // A cooperative caller never parks its OS thread: sibling lthread
+    // tasks on this reactor thread must keep running (one of them may be
+    // the very task whose progress completes our call). Yield instead.
+    if (cooperative) {
+      lthread::Scheduler::Yield();
+      continue;
     }
     // Spin briefly, then block until the enclave side signals the slot.
     if (++idle_spins < 64) {

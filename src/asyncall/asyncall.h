@@ -110,6 +110,13 @@ class AsyncCallRuntime {
   // code reached via AsyncEcall.
   static Status AsyncOcall(int id, void* data);
 
+  // True on a thread currently inside WorkerLoop (an enclave worker that
+  // runs handler lthread tasks). Distinguishes "handler task inside the
+  // enclave" from "application lthread task outside it" — both have a
+  // current lthread Scheduler, but only the former may post async-ocalls,
+  // and only the latter takes the cooperative AsyncEcall path.
+  static bool OnEnclaveWorkerThread();
+
   const Options& options() const { return options_; }
 
   // Maps a monotonically increasing (and wrapping) ticket to a slot index

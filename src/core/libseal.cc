@@ -268,9 +268,11 @@ Status LibSealRuntime::DoEcall(int id, void* data) {
 }
 
 Status LibSealRuntime::DoOcallFromInside(LibSealRuntime* runtime, int id, void* data) {
-  // On an lthread task the asynchronous protocol applies; on a plain
-  // thread (synchronous mode) the hardware-transition path is used.
-  if (lthread::Scheduler::Current() != nullptr) {
+  // On an enclave-worker lthread task the asynchronous protocol applies;
+  // everywhere else (plain threads in synchronous mode, and application
+  // lthread tasks such as reactor connections — which also have a current
+  // scheduler but no slot binding) the hardware-transition path is used.
+  if (asyncall::AsyncCallRuntime::OnEnclaveWorkerThread()) {
     return asyncall::AsyncCallRuntime::AsyncOcall(id, data);
   }
   return runtime->enclave_->Ocall(id, data);

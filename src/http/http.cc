@@ -81,6 +81,32 @@ const std::string* FindHeader(const Headers& headers, std::string_view name) {
   return nullptr;
 }
 
+bool RequestsConnectionClose(const HttpRequest& request) {
+  bool close = false;
+  bool keep_alive = false;
+  const std::string* header = request.GetHeader("Connection");
+  if (header != nullptr) {
+    std::string_view rest = *header;
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view token = Trim(rest.substr(0, comma));
+      if (IEquals(token, "close")) {
+        close = true;
+      } else if (IEquals(token, "keep-alive")) {
+        keep_alive = true;
+      }
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    }
+  }
+  if (close) {
+    return true;  // "close" wins over any other token
+  }
+  if (IEquals(request.version, "HTTP/1.0")) {
+    return !keep_alive;  // 1.0 must opt IN to persistence
+  }
+  return false;  // HTTP/1.1 defaults to keep-alive
+}
+
 void HttpRequest::SetHeader(std::string name, std::string value) {
   for (auto& [n, v] : headers) {
     if (IEquals(n, name)) {

@@ -47,6 +47,12 @@ struct HttpResponse {
   std::string Serialize() const;
 };
 
+// Whether the server must close the connection after responding to
+// `request`, per RFC 7230 §6: the Connection header is a comma-separated,
+// case-insensitive token list ("Close", "keep-alive, close"), and HTTP/1.0
+// defaults to close unless the request opts into keep-alive.
+bool RequestsConnectionClose(const HttpRequest& request);
+
 // Parses a complete message held in memory.
 Result<HttpRequest> ParseRequest(std::string_view raw);
 Result<HttpResponse> ParseResponse(std::string_view raw);

@@ -31,6 +31,7 @@ void Task::Trampoline() {
 Task* Scheduler::Spawn(std::function<void()> fn, size_t stack_size) {
   tasks_.push_back(std::unique_ptr<Task>(new Task(this, next_id_++, std::move(fn), stack_size)));
   ++live_;
+  ready_.push_back(tasks_.back().get());
   return tasks_.back().get();
 }
 
@@ -45,23 +46,61 @@ void Scheduler::SwitchTo(Task* task) {
   task->cpu_nanos_ += ThreadCpuNanos() - task->slice_cpu_start_;
   t_current = prev_task;
   t_scheduler = prev_sched;
-  if (task->state_ == Task::State::kFinished) {
-    --live_;
-  } else if (task->state_ == Task::State::kRunning) {
-    task->state_ = Task::State::kRunnable;
+  switch (task->state_) {
+    case Task::State::kFinished:
+      --live_;
+      break;
+    case Task::State::kRunning:  // swapped out without setting a state
+      task->state_ = Task::State::kRunnable;
+      ready_.push_back(task);
+      break;
+    case Task::State::kRunnable:  // yielded: runs again next round
+      ready_.push_back(task);
+      break;
+    case Task::State::kBlocked:
+      // A cross-thread wake may have landed while the task was still
+      // running (wake-before-block). Consume the parked token now so the
+      // wakeup is not lost.
+      if (task->wake_pending_.exchange(false, std::memory_order_acq_rel)) {
+        task->state_ = Task::State::kRunnable;
+        ready_.push_back(task);
+      }
+      break;
+  }
+}
+
+void Scheduler::DrainExternalWakeups() {
+  std::vector<Task*> pending;
+  {
+    std::lock_guard<std::mutex> lock(ext_mutex_);
+    if (ext_wakeups_.empty()) {
+      return;
+    }
+    pending.swap(ext_wakeups_);
+  }
+  for (Task* task : pending) {
+    // state_ is only written by this thread, so the read is safe; the
+    // token decides whether this mailbox entry still means anything.
+    if (task->state_ == Task::State::kBlocked &&
+        task->wake_pending_.exchange(false, std::memory_order_acq_rel)) {
+      task->state_ = Task::State::kRunnable;
+      ready_.push_back(task);
+    }
   }
 }
 
 bool Scheduler::RunOnce() {
+  DrainExternalWakeups();
   bool progressed = false;
-  // Snapshot: tasks spawned during the round run next round.
-  size_t count = tasks_.size();
+  // Snapshot: tasks queued during the round (spawns, yields, wakeups) run
+  // next round.
+  size_t count = ready_.size();
   for (size_t i = 0; i < count; ++i) {
-    Task* task = tasks_[i].get();
-    if (task->state_ == Task::State::kRunnable) {
-      SwitchTo(task);
-      progressed = true;
-    }
+    Task* task = ready_.front();
+    ready_.pop_front();
+    assert(task->state_ == Task::State::kRunnable && "non-runnable task in ready queue");
+    SwitchTo(task);
+    progressed = true;
   }
   // Compact finished tasks occasionally to bound memory.
   if (tasks_.size() > 64) {
@@ -72,6 +111,11 @@ bool Scheduler::RunOnce() {
       }
     }
     if (alive * 2 < tasks_.size()) {
+      // Neutralise any mailbox entries that still point at tasks we are
+      // about to free. Wakers guarantee no NEW wakes for finished tasks
+      // (they tear down before the task exits), so post-drain the mailbox
+      // cannot regrow a dangling pointer.
+      DrainExternalWakeups();
       std::vector<std::unique_ptr<Task>> keep;
       keep.reserve(alive);
       for (auto& t : tasks_) {
@@ -111,8 +155,33 @@ void Scheduler::Block() {
 
 void Scheduler::MakeRunnable(Task* task) {
   if (task->state_ == Task::State::kBlocked) {
+    task->wake_pending_.store(false, std::memory_order_relaxed);  // direct wake wins
     task->state_ = Task::State::kRunnable;
+    ready_.push_back(task);
   }
+}
+
+void Scheduler::MakeRunnableFromAnyThread(Task* task) {
+  task->wake_pending_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(ext_mutex_);
+    ext_wakeups_.push_back(task);
+  }
+  ext_cv_.notify_one();
+}
+
+void Scheduler::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(ext_mutex_);
+    notified_ = true;
+  }
+  ext_cv_.notify_one();
+}
+
+void Scheduler::WaitForWork() {
+  std::unique_lock<std::mutex> lock(ext_mutex_);
+  ext_cv_.wait(lock, [this] { return notified_ || !ext_wakeups_.empty(); });
+  notified_ = false;
 }
 
 Task* Scheduler::Current() { return t_current; }

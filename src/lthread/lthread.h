@@ -2,14 +2,33 @@
 // paper uses inside the enclave (§4.3). Tasks run on a scheduler owned by
 // one OS thread; Yield() returns control to the scheduler, which resumes
 // the next runnable task. There is no preemption.
+//
+// Scheduling is a FIFO ready queue: Spawn/Yield/wakeup append, each
+// RunOnce() round pops the tasks that were ready when the round started.
+// This keeps round semantics identical to the original list scan while
+// making a round O(runnable) instead of O(ever-created) — with 20k mostly
+// idle connection tasks parked on a reactor thread, only the woken few are
+// touched.
+//
+// Cross-thread wakeups: everything on a Scheduler is owned by its OS
+// thread EXCEPT MakeRunnableFromAnyThread/Notify, which other threads (the
+// poller, shutdown paths) use to wake a blocked task. The handoff is a
+// per-task wake token plus a mutex-protected mailbox the scheduler thread
+// drains; a wake that races with the task still running simply parks the
+// token, which the scheduler consumes the moment the task blocks — wakeups
+// are never lost, at worst a task observes one spurious resume.
 #ifndef SRC_LTHREAD_LTHREAD_H_
 #define SRC_LTHREAD_LTHREAD_H_
 
 #include <ucontext.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace seal::lthread {
@@ -25,7 +44,8 @@ class Task {
   uint64_t id() const { return id_; }
 
   // Task-local pointer for the embedding layer (the async-call runtime binds
-  // each task to the call slot it is currently serving).
+  // each task to the call slot it is currently serving; the reactor binds
+  // each task to its connection context).
   void set_user_data(void* p) { user_data_ = p; }
   void* user_data() const { return user_data_; }
 
@@ -49,12 +69,15 @@ class Task {
   void* user_data_ = nullptr;
   int64_t cpu_nanos_ = 0;
   int64_t slice_cpu_start_ = 0;  // thread CPU stamp at the current resume
+  // Set by MakeRunnableFromAnyThread; consumed on the scheduler thread
+  // (mailbox drain, or SwitchTo when the wake raced the task blocking).
+  std::atomic<bool> wake_pending_{false};
   std::vector<uint8_t> stack_;
   ucontext_t context_;
 };
 
-// A cooperative scheduler. Not thread-safe: one Scheduler per OS thread
-// (the async-call layer runs S schedulers on S enclave threads).
+// A cooperative scheduler. One Scheduler per OS thread; only the two
+// cross-thread entry points documented below may be called from elsewhere.
 class Scheduler {
  public:
   static constexpr size_t kDefaultStackSize = 256 * 1024;
@@ -70,8 +93,8 @@ class Scheduler {
   // Runs runnable tasks until all have finished.
   void Run();
 
-  // Runs at most one scheduling round (each runnable task gets one slice).
-  // Returns true if any task made progress.
+  // Runs at most one scheduling round (each task ready at round start gets
+  // one slice). Returns true if any task made progress.
   bool RunOnce();
 
   // --- called from inside a running task ---
@@ -79,26 +102,56 @@ class Scheduler {
   // Yields back to the scheduler; the task stays runnable.
   static void Yield();
   // Marks the current task blocked and yields; another context must call
-  // MakeRunnable to resume it.
+  // MakeRunnable / MakeRunnableFromAnyThread to resume it.
   static void Block();
 
-  // Wakes a blocked task (callable from the scheduler's thread).
+  // Wakes a blocked task. Only from the scheduler's own thread.
   void MakeRunnable(Task* task);
+
+  // --- cross-thread entry points (any thread) ---
+
+  // Wakes `task`, which must belong to this scheduler and must not have
+  // finished (callers own that guarantee: a connection's wakers are torn
+  // down before its task exits). Safe to race with the task blocking,
+  // running, or being already runnable; also wakes WaitForWork.
+  void MakeRunnableFromAnyThread(Task* task);
+
+  // Wakes the scheduler thread out of WaitForWork without waking a task
+  // (new work arrived by some other channel, or shutdown).
+  void Notify();
+
+  // --- scheduler-thread idle parking ---
+
+  // Blocks the OS thread until MakeRunnableFromAnyThread or Notify is
+  // called. Returns immediately if a wakeup is already pending. Call only
+  // from the scheduler's own thread, outside RunOnce.
+  void WaitForWork();
 
   // The currently running task on this thread, or nullptr.
   static Task* Current();
 
   size_t live_tasks() const { return live_; }
+  // Tasks currently queued to run (scheduler thread only; metrics).
+  size_t ready_depth() const { return ready_.size(); }
 
  private:
   friend class Task;
 
   void SwitchTo(Task* task);
+  // Moves mailbox wakeups into the ready queue (scheduler thread only).
+  void DrainExternalWakeups();
 
   std::vector<std::unique_ptr<Task>> tasks_;
+  std::deque<Task*> ready_;
   size_t live_ = 0;
   uint64_t next_id_ = 1;
   ucontext_t main_context_;
+
+  // Cross-thread wakeup mailbox.
+  std::mutex ext_mutex_;
+  std::condition_variable ext_cv_;
+  std::vector<Task*> ext_wakeups_;
+  bool notified_ = false;
 };
 
 }  // namespace seal::lthread

@@ -1,19 +1,13 @@
 #include "src/net/net.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/common/clock.h"
 
 namespace seal::net {
 
-void Pipe::Write(BytesView data) {
-  if (data.empty()) {
-    return;
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) {
-    return;  // writes after close are dropped, like a reset connection
-  }
+void Pipe::EnqueueLocked(BytesView data) {
   int64_t now = NowNanos();
   int64_t transmit_end = now;
   if (bandwidth_bytes_per_sec_ > 0) {
@@ -24,18 +18,87 @@ void Pipe::Write(BytesView data) {
     link_free_at_ = transmit_end;
   }
   chunks_.push_back(Chunk{transmit_end + latency_nanos_, Bytes(data.begin(), data.end())});
+  buffered_ += data.size();
+}
+
+void Pipe::NotifyWatchers(std::unique_lock<std::mutex>& lock) {
+  if (watchers_.empty()) {
+    return;
+  }
+  // Snapshot, then invoke outside the pipe lock: watcher hooks take the
+  // poller's lock, and the poller takes pipe locks while scanning, so
+  // calling under mutex_ would invert that order. `notifying_` lets
+  // RemoveWatcher wait out invocations snapshotted before the removal.
+  std::vector<std::function<void()>> hooks;
+  hooks.reserve(watchers_.size());
+  for (auto& [id, fn] : watchers_) {
+    hooks.push_back(fn);
+  }
+  ++notifying_;
+  lock.unlock();
+  for (auto& fn : hooks) {
+    fn();
+  }
+  lock.lock();
+  if (--notifying_ == 0) {
+    watcher_cv_.notify_all();
+  }
+}
+
+void Pipe::Write(BytesView data) {
+  if (data.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    return;  // writes after close are dropped, like a reset connection
+  }
+  EnqueueLocked(data);
   cv_.notify_all();
+  NotifyWatchers(lock);
+}
+
+int64_t Pipe::TryWrite(BytesView data) {
+  if (data.empty()) {
+    return 0;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    return static_cast<int64_t>(data.size());  // accepted and dropped, like Write
+  }
+  size_t take = data.size();
+  if (capacity_ != 0) {
+    if (buffered_ >= capacity_) {
+      return kWouldBlock;
+    }
+    take = std::min(take, capacity_ - buffered_);
+  }
+  EnqueueLocked(BytesView(data.data(), take));
+  cv_.notify_all();
+  NotifyWatchers(lock);
+  return static_cast<int64_t>(take);
 }
 
 void Pipe::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   closed_ = true;
   cv_.notify_all();
+  NotifyWatchers(lock);
+}
+
+void Pipe::set_capacity(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = bytes;
 }
 
 bool Pipe::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+size_t Pipe::buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffered_;
 }
 
 size_t Pipe::Read(uint8_t* buf, size_t max) {
@@ -50,8 +113,13 @@ size_t Pipe::Read(uint8_t* buf, size_t max) {
         std::copy(front.data.begin() + static_cast<ptrdiff_t>(front.offset),
                   front.data.begin() + static_cast<ptrdiff_t>(front.offset + take), buf);
         front.offset += take;
+        buffered_ -= take;
         if (front.offset == front.data.size()) {
           chunks_.pop_front();
+        }
+        if (capacity_ != 0) {
+          // Room opened up: a non-blocking writer may be waiting on it.
+          NotifyWatchers(lock);
         }
         return take;
       }
@@ -64,6 +132,74 @@ size_t Pipe::Read(uint8_t* buf, size_t max) {
     }
     cv_.wait(lock);
   }
+}
+
+int64_t Pipe::TryRead(uint8_t* buf, size_t max) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!chunks_.empty()) {
+    Chunk& front = chunks_.front();
+    if (front.ready_at > NowNanos()) {
+      return kWouldBlock;  // in flight; CheckReadReady reports when it's due
+    }
+    size_t available = front.data.size() - front.offset;
+    size_t take = std::min(available, max);
+    std::copy(front.data.begin() + static_cast<ptrdiff_t>(front.offset),
+              front.data.begin() + static_cast<ptrdiff_t>(front.offset + take), buf);
+    front.offset += take;
+    buffered_ -= take;
+    if (front.offset == front.data.size()) {
+      chunks_.pop_front();
+    }
+    if (capacity_ != 0) {
+      NotifyWatchers(lock);
+    }
+    return static_cast<int64_t>(take);
+  }
+  if (closed_) {
+    return 0;  // EOF
+  }
+  return kWouldBlock;
+}
+
+Pipe::ReadReadiness Pipe::CheckReadReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReadReadiness r;
+  if (!chunks_.empty()) {
+    int64_t due = chunks_.front().ready_at;
+    if (due <= NowNanos()) {
+      r.ready = true;
+    } else {
+      r.next_ready_at = due;
+    }
+    return r;
+  }
+  r.ready = closed_;  // EOF counts as readable
+  return r;
+}
+
+bool Pipe::CheckWriteReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    return true;  // a TryWrite would "succeed" (and drop)
+  }
+  return capacity_ == 0 || buffered_ < capacity_;
+}
+
+uint64_t Pipe::AddWatcher(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_watcher_id_++;
+  watchers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Pipe::RemoveWatcher(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
+                                 [id](const auto& w) { return w.first == id; }),
+                  watchers_.end());
+  // Wait out snapshots taken before the erase so the callback provably
+  // never fires after we return.
+  watcher_cv_.wait(lock, [this] { return notifying_ == 0; });
 }
 
 Status Stream::ReadFull(uint8_t* buf, size_t n) {
@@ -100,18 +236,33 @@ StreamPtr Listener::Accept() {
 }
 
 void Listener::Shutdown() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  shutdown_ = true;
-  cv_.notify_all();
+  std::deque<StreamPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    orphans.swap(pending_);
+    cv_.notify_all();
+  }
+  // Queued but never accepted: abort outside the lock so dialers see EOF
+  // instead of a connection nobody will ever serve.
+  for (auto& stream : orphans) {
+    stream->Abort();
+  }
 }
 
-void Listener::Push(StreamPtr stream) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (shutdown_) {
-    return;
+bool Listener::Push(StreamPtr stream) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      pending_.push_back(std::move(stream));
+      cv_.notify_all();
+      return true;
+    }
   }
-  pending_.push_back(std::move(stream));
-  cv_.notify_all();
+  // Raced with Shutdown: close both directions so the dialer's end reads
+  // EOF rather than blocking forever on a half-open stream.
+  stream->Abort();
+  return false;
 }
 
 Result<std::shared_ptr<Listener>> Network::Listen(const std::string& address) {
@@ -135,16 +286,24 @@ Result<StreamPtr> Network::Dial(const std::string& address, int64_t latency_nano
     listener = it->second;
   }
   auto [client_end, server_end] = CreateStreamPair(latency_nanos, bandwidth_bytes_per_sec);
-  listener->Push(std::move(server_end));
+  if (!listener->Push(std::move(server_end))) {
+    return Unavailable("connection refused: " + address);
+  }
   return std::move(client_end);
 }
 
 void Network::Unlisten(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = listeners_.find(address);
-  if (it != listeners_.end()) {
-    it->second->Shutdown();
-    listeners_.erase(it);
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(address);
+    if (it != listeners_.end()) {
+      listener = it->second;
+      listeners_.erase(it);
+    }
+  }
+  if (listener != nullptr) {
+    listener->Shutdown();  // outside the map lock: aborts orphaned streams
   }
 }
 

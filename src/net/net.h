@@ -2,16 +2,24 @@
 // listeners, and an address registry. Stands in for the TCP sockets between
 // clients, proxies and services in the paper's testbed (including the 76 ms
 // WAN link between the Squid proxy and Dropbox, §6.4).
+//
+// Besides the blocking socket surface, pipes expose a non-blocking edge
+// (TryRead/TryWrite plus readiness probes and change watchers) that the
+// Poller in poller.h multiplexes -- the stand-in for epoll on the untrusted
+// side of the enclave boundary.
 #ifndef SRC_NET_NET_H_
 #define SRC_NET_NET_H_
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -22,6 +30,10 @@ namespace seal::net {
 // delivery time (now + latency); readers block until stamped data is due.
 class Pipe {
  public:
+  // Returned by TryRead/TryWrite when the operation cannot make progress
+  // without blocking.
+  static constexpr int64_t kWouldBlock = -1;
+
   // `bandwidth_bytes_per_sec` of 0 means unlimited; otherwise chunk
   // delivery is additionally delayed by the link's serialisation time
   // (back-to-back writes queue behind each other, like a real NIC).
@@ -35,7 +47,44 @@ class Pipe {
   // is closed and drained. Returns the number of bytes read; 0 means EOF.
   size_t Read(uint8_t* buf, size_t max);
 
+  // Non-blocking read: >0 bytes copied, 0 at EOF (closed and drained),
+  // kWouldBlock when no data is due yet (including data still "in flight"
+  // on a latency-modelled link).
+  int64_t TryRead(uint8_t* buf, size_t max);
+
+  // Non-blocking write: returns the number of bytes accepted (all of them
+  // on an unbounded pipe, a prefix when a capacity is set and almost full),
+  // kWouldBlock when the buffer is full. Writing to a closed pipe "accepts"
+  // and drops everything, like Write.
+  int64_t TryWrite(BytesView data);
+
+  // Bounds the bytes TryWrite may buffer (0 = unlimited, the default).
+  // Models the peer's receive window so writers see backpressure. The
+  // blocking Write stays unbounded: only non-blocking writers can usefully
+  // react to a full buffer.
+  void set_capacity(size_t bytes);
+
+  // Readiness probes for the poller. `next_ready_at` is non-zero when data
+  // exists but is still in flight: the earliest nanosecond it becomes due.
+  struct ReadReadiness {
+    bool ready = false;          // a TryRead would make progress (data or EOF)
+    int64_t next_ready_at = 0;   // when in-flight data is due (0 = none)
+  };
+  ReadReadiness CheckReadReady() const;
+  // True when a TryWrite would accept at least one byte.
+  bool CheckWriteReady() const;
+
+  // Registers a callback invoked (on the mutating thread, outside the pipe
+  // lock) whenever the pipe's state changes: data written, closed, or --
+  // when a capacity is set -- buffered bytes drained. Watchers must not
+  // block and must not re-enter the pipe. RemoveWatcher additionally waits
+  // out any in-flight invocation, so after it returns the callback will
+  // never run again.
+  uint64_t AddWatcher(std::function<void()> fn);
+  void RemoveWatcher(uint64_t id);
+
   bool closed() const;
+  size_t buffered_bytes() const;
 
  private:
   struct Chunk {
@@ -44,6 +93,14 @@ class Pipe {
     size_t offset = 0;
   };
 
+  // Snapshots the watcher list and invokes it with the lock released;
+  // `lock` must hold mutex_ on entry and holds it again on return.
+  void NotifyWatchers(std::unique_lock<std::mutex>& lock);
+
+  // Appends a chunk stamped with the link's delivery time. Caller holds
+  // mutex_.
+  void EnqueueLocked(BytesView data);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Chunk> chunks_;
@@ -51,35 +108,80 @@ class Pipe {
   int64_t latency_nanos_;
   int64_t bandwidth_bytes_per_sec_;
   int64_t link_free_at_ = 0;  // when the link finishes its current chunk
+  size_t capacity_ = 0;       // TryWrite bound; 0 = unlimited
+  size_t buffered_ = 0;       // unconsumed bytes across chunks_
+
+  std::vector<std::pair<uint64_t, std::function<void()>>> watchers_;
+  uint64_t next_watcher_id_ = 1;
+  int notifying_ = 0;  // in-flight NotifyWatchers invocations
+  std::condition_variable watcher_cv_;
 };
 
 // A duplex stream endpoint. Create connected pairs with CreateStreamPair.
+// Virtual so embedding layers can interpose on the blocking operations
+// (the reactor wraps accepted streams in a cooperative variant that
+// suspends an lthread task instead of the OS thread).
 class Stream {
  public:
   Stream(std::shared_ptr<Pipe> read_pipe, std::shared_ptr<Pipe> write_pipe)
       : read_pipe_(std::move(read_pipe)), write_pipe_(std::move(write_pipe)) {}
-  ~Stream() { Close(); }
+  // Half-closes our outgoing direction, like Close().
+  virtual ~Stream() {
+    if (write_pipe_ != nullptr) {
+      write_pipe_->Close();
+    }
+  }
 
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
-  // Writes all of `data` (never blocks: buffers are unbounded).
-  void Write(BytesView data) { write_pipe_->Write(data); }
+  // Writes all of `data` (the base stream never blocks: buffers are
+  // unbounded).
+  virtual void Write(BytesView data) { write_pipe_->Write(data); }
   void Write(std::string_view data) {
-    write_pipe_->Write(BytesView(reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+    Write(BytesView(reinterpret_cast<const uint8_t*>(data.data()), data.size()));
   }
 
   // Reads up to `max` bytes; blocks for at least one. 0 = EOF.
-  size_t Read(uint8_t* buf, size_t max) { return read_pipe_->Read(buf, max); }
+  virtual size_t Read(uint8_t* buf, size_t max) { return read_pipe_->Read(buf, max); }
+
+  // Non-blocking variants (see Pipe::TryRead/TryWrite).
+  int64_t TryRead(uint8_t* buf, size_t max) { return read_pipe_->TryRead(buf, max); }
+  int64_t TryWrite(BytesView data) { return write_pipe_->TryWrite(data); }
 
   // Reads exactly n bytes or fails at EOF.
   Status ReadFull(uint8_t* buf, size_t n);
 
   // Half-close of our outgoing direction; reading continues until the peer
   // closes too.
-  void Close() { write_pipe_->Close(); }
+  virtual void Close() { write_pipe_->Close(); }
 
- private:
+  // Hard close of BOTH directions: our reader unblocks with EOF and the
+  // peer sees EOF too. Shutdown paths use this to unwedge threads parked
+  // in Read on an idle connection; it is safe to call from any thread
+  // while another thread is using the stream.
+  virtual void Abort() {
+    if (read_pipe_ != nullptr) {
+      read_pipe_->Close();
+    }
+    if (write_pipe_ != nullptr) {
+      write_pipe_->Close();
+    }
+  }
+
+  // The underlying endpoints, for readiness watching (Poller).
+  Pipe* read_pipe() const { return read_pipe_.get(); }
+  Pipe* write_pipe() const { return write_pipe_.get(); }
+
+ protected:
+  // For wrapper subclasses: construct empty, then adopt another stream's
+  // endpoints (the donor's destructor becomes a no-op).
+  Stream() = default;
+  void AdoptPipes(std::unique_ptr<Stream> donor) {
+    read_pipe_ = std::move(donor->read_pipe_);
+    write_pipe_ = std::move(donor->write_pipe_);
+  }
+
   std::shared_ptr<Pipe> read_pipe_;
   std::shared_ptr<Pipe> write_pipe_;
 };
@@ -97,11 +199,16 @@ class Listener {
   // Blocks until a connection arrives or the listener is shut down
   // (nullptr).
   StreamPtr Accept();
+  // Stops accepting. Connections queued but never accepted are aborted so
+  // their dialers observe EOF instead of blocking forever.
   void Shutdown();
 
  private:
   friend class Network;
-  void Push(StreamPtr stream);
+  // False when the listener is already shut down; the stream is aborted
+  // (both directions closed) before being dropped so the dialer cannot be
+  // handed a stream nobody will ever serve.
+  bool Push(StreamPtr stream);
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,176 @@
+#include "src/net/poller.h"
+
+#include <chrono>
+
+#include "src/common/clock.h"
+#include "src/obs/obs.h"
+
+namespace seal::net {
+
+Poller::Poller() { thread_ = std::thread([this] { Loop(); }); }
+
+Poller::~Poller() { Stop(); }
+
+uint64_t Poller::Watch(Pipe* pipe, Interest interest, std::function<void()> callback) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t id = next_id_++;
+  WatchState& w = watches_[id];
+  w.pipe = pipe;
+  w.interest = interest;
+  w.callback = std::move(callback);
+  // The hook only enqueues the id; stale ids (after Unwatch) are skipped by
+  // the loop. Lock order is poller -> pipe everywhere: pipe hooks run with
+  // the pipe lock already released (Pipe::NotifyWatchers).
+  w.pipe_watcher_id = pipe->AddWatcher([this, id] {
+    std::lock_guard<std::mutex> l(mutex_);
+    dirty_.push_back(id);
+    cv_.notify_all();
+  });
+  SEAL_OBS_GAUGE("poller_watches").Set(static_cast<int64_t>(watches_.size()));
+  EvaluateLocked(id, lock);
+  return id;
+}
+
+void Poller::Rearm(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = watches_.find(id);
+  if (it == watches_.end() || it->second.removing) {
+    return;
+  }
+  it->second.armed = true;
+  EvaluateLocked(id, lock);
+}
+
+void Poller::Unwatch(uint64_t id) {
+  Pipe* pipe = nullptr;
+  uint64_t pipe_watcher_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = watches_.find(id);
+    if (it == watches_.end()) {
+      return;
+    }
+    it->second.removing = true;
+    pipe = it->second.pipe;
+    pipe_watcher_id = it->second.pipe_watcher_id;
+  }
+  // Outside the poller lock: RemoveWatcher waits out in-flight hook
+  // invocations, and those hooks need the poller lock to finish.
+  pipe->RemoveWatcher(pipe_watcher_id);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = watches_.find(id);
+    if (it != watches_.end()) {
+      fire_cv_.wait(lock, [&] { return !it->second.firing; });
+      watches_.erase(it);
+    }
+    SEAL_OBS_GAUGE("poller_watches").Set(static_cast<int64_t>(watches_.size()));
+  }
+}
+
+void Poller::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      if (thread_.joinable()) {
+        // fall through to join below
+      } else {
+        return;
+      }
+    }
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Detach hooks of any watches the owner never removed, so pipe mutations
+  // after the poller is gone cannot call into freed state. Pipes must still
+  // be alive at this point (owners keep streams alive until after Stop).
+  std::map<uint64_t, WatchState> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftovers.swap(watches_);
+  }
+  for (auto& [id, w] : leftovers) {
+    w.pipe->RemoveWatcher(w.pipe_watcher_id);
+  }
+}
+
+size_t Poller::watch_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watches_.size();
+}
+
+void Poller::EvaluateLocked(uint64_t id, std::unique_lock<std::mutex>& lock) {
+  auto it = watches_.find(id);
+  if (it == watches_.end()) {
+    return;
+  }
+  WatchState& w = it->second;
+  if (!w.armed || w.firing || w.removing || stop_) {
+    return;
+  }
+  bool ready = false;
+  if (w.interest == Interest::kRead) {
+    Pipe::ReadReadiness r = w.pipe->CheckReadReady();
+    ready = r.ready;
+    if (!ready && r.next_ready_at != 0) {
+      deadlines_.emplace(r.next_ready_at, id);
+      cv_.notify_all();  // the loop may need to shorten its sleep
+    }
+  } else {
+    ready = w.pipe->CheckWriteReady();
+  }
+  if (!ready) {
+    return;
+  }
+  w.armed = false;
+  w.firing = true;
+  std::function<void()> cb = w.callback;
+  lock.unlock();
+  cb();
+  SEAL_OBS_COUNTER("poller_dispatch_total").Increment();
+  lock.lock();
+  // The map is stable across the unlock except for erase, which Unwatch
+  // defers until firing clears.
+  auto again = watches_.find(id);
+  if (again != watches_.end()) {
+    again->second.firing = false;
+  }
+  fire_cv_.notify_all();
+}
+
+void Poller::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    while (!dirty_.empty() && !stop_) {
+      uint64_t id = dirty_.front();
+      dirty_.pop_front();
+      EvaluateLocked(id, lock);
+    }
+    if (stop_) {
+      break;
+    }
+    int64_t now = NowNanos();
+    while (!deadlines_.empty() && deadlines_.top().first <= now) {
+      uint64_t id = deadlines_.top().second;
+      deadlines_.pop();
+      EvaluateLocked(id, lock);
+    }
+    if (!dirty_.empty()) {
+      continue;
+    }
+    if (!deadlines_.empty()) {
+      int64_t wait_nanos = deadlines_.top().first - NowNanos();
+      if (wait_nanos > 0) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(wait_nanos),
+                     [this] { return stop_ || !dirty_.empty(); });
+      }
+    } else {
+      cv_.wait(lock, [this] { return stop_ || !dirty_.empty() || !deadlines_.empty(); });
+    }
+  }
+}
+
+}  // namespace seal::net

@@ -1,0 +1,102 @@
+// Poller: readiness multiplexer over Pipe endpoints — the stand-in for
+// epoll on the untrusted side of the enclave boundary. One background
+// thread watches any number of pipes and invokes a per-watch callback
+// when the pipe becomes ready (readable data due / EOF for kRead, buffer
+// space for kWrite).
+//
+// Watches are level-triggered but one-shot-armed, the way epoll is used
+// with EPOLLONESHOT: a ready watch fires its callback once and disarms;
+// the owner calls Rearm() when it wants the next event. This makes the
+// "callback races with the task that is about to block" window easy to
+// reason about in the reactor: arm, then check, then block.
+//
+// Latency-modelled pipes can hold data that exists but is not yet due
+// (in flight on the simulated link). Such watches park in a deadline heap
+// and fire when the data arrives, without busy-polling.
+#ifndef SRC_NET_POLLER_H_
+#define SRC_NET_POLLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/net.h"
+
+namespace seal::net {
+
+class Poller {
+ public:
+  enum class Interest { kRead, kWrite };
+
+  Poller();
+  // Stops and joins the poll thread. All watches must be Unwatch()ed first
+  // (the reactor owns that ordering); remaining ones are dropped.
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers `callback` to fire when `pipe` is ready for `interest`. The
+  // watch is created armed, and readiness is evaluated immediately (a pipe
+  // that is already ready fires promptly — level-triggered semantics).
+  // The callback runs on the poller thread, or on whatever thread mutated
+  // the pipe; it must be fast and must not call back into the Poller or
+  // the pipe. Returns a watch id.
+  uint64_t Watch(Pipe* pipe, Interest interest, std::function<void()> callback);
+
+  // Re-arms a fired (or never-fired) watch and re-evaluates readiness.
+  // Calling Rearm on an armed watch is a no-op re-check.
+  void Rearm(uint64_t id);
+
+  // Removes the watch. On return the callback is guaranteed to never run
+  // again, making it safe to destroy whatever the callback captures (and
+  // then the pipe). Must not be called from inside the watch's callback.
+  void Unwatch(uint64_t id);
+
+  void Stop();
+
+  size_t watch_count() const;
+
+ private:
+  struct WatchState {
+    Pipe* pipe = nullptr;
+    Interest interest = Interest::kRead;
+    std::function<void()> callback;
+    uint64_t pipe_watcher_id = 0;
+    bool armed = true;
+    bool firing = false;    // callback currently running on the poll thread
+    bool removing = false;  // Unwatch in progress: stop firing it
+  };
+
+  // Evaluates one watch and fires it if armed+ready. Caller holds mutex_;
+  // the probe takes the pipe lock under mutex_ (lock order is always
+  // poller -> pipe) and the callback runs with mutex_ released.
+  void EvaluateLocked(uint64_t id, std::unique_lock<std::mutex>& lock);
+
+  void Loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable fire_cv_;  // signalled when a callback finishes
+  std::map<uint64_t, WatchState> watches_;
+  uint64_t next_id_ = 1;
+  std::deque<uint64_t> dirty_;  // ids whose pipe changed state
+  // (deadline, id) for in-flight data on latency-modelled links.
+  std::priority_queue<std::pair<int64_t, uint64_t>, std::vector<std::pair<int64_t, uint64_t>>,
+                      std::greater<>>
+      deadlines_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace seal::net
+
+#endif  // SRC_NET_POLLER_H_

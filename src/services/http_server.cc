@@ -21,7 +21,13 @@ Status HttpServer::Start() {
   }
   listener_ = *listener;
   running_.store(true, std::memory_order_release);
-  pool_.Start();
+  if (options_.event_driven) {
+    reactor_ = std::make_unique<Reactor>(Reactor::Options{
+        options_.reactor_threads, options_.reactor_task_stack_size, "reactor"});
+    reactor_->Start();
+  } else {
+    pool_.Start();
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -35,7 +41,40 @@ void HttpServer::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  pool_.Stop();
+  // Unwedge workers/tasks parked in a read on an idle keep-alive
+  // connection BEFORE joining them: their next read returns EOF and the
+  // serve loop exits. Without this, Stop() hangs behind any idle client.
+  AbortLiveConnections();
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    reactor_.reset();
+  } else {
+    pool_.Stop();
+  }
+}
+
+bool HttpServer::RegisterConnection(net::Stream* stream) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    return false;  // Stop already swept the registry; don't serve
+  }
+  live_conns_.insert(stream);
+  return true;
+}
+
+void HttpServer::DeregisterConnection(net::Stream* stream) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  live_conns_.erase(stream);
+}
+
+void HttpServer::AbortLiveConnections() {
+  // Abort under the registry lock: a stream present in the set cannot be
+  // destroyed concurrently, because its server deregisters (same lock)
+  // before destroying it.
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (net::Stream* stream : live_conns_) {
+    stream->Abort();
+  }
 }
 
 void HttpServer::AcceptLoop() {
@@ -44,49 +83,60 @@ void HttpServer::AcceptLoop() {
     if (stream == nullptr) {
       return;  // shut down
     }
-    // shared_ptr because std::function requires a copyable callable.
-    auto s = std::make_shared<net::StreamPtr>(std::move(stream));
-    pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
+    if (reactor_ != nullptr) {
+      reactor_->Serve(std::move(stream),
+                      [this](net::StreamPtr s) { ServeConnection(std::move(s)); });
+    } else {
+      // shared_ptr because std::function requires a copyable callable.
+      auto s = std::make_shared<net::StreamPtr>(std::move(stream));
+      pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
+    }
   }
 }
 
 void HttpServer::ServeConnection(net::StreamPtr stream) {
-  std::unique_ptr<ServerConnection> conn = transport_->Wrap(std::move(stream));
-  if (conn->Handshake() != 1) {
+  net::Stream* raw = stream.get();
+  if (!RegisterConnection(raw)) {
+    stream->Abort();
     return;
   }
-  for (;;) {
-    auto raw = http::ReadHttpMessage([&](uint8_t* buf, size_t max) {
-      int n = conn->Read(buf, static_cast<int>(max));
-      return n <= 0 ? size_t{0} : static_cast<size_t>(n);
-    });
-    if (!raw.ok()) {
-      break;  // client closed or garbage
+  std::unique_ptr<ServerConnection> conn = transport_->Wrap(std::move(stream));
+  if (conn->Handshake() == 1) {
+    for (;;) {
+      auto rawmsg = http::ReadHttpMessage([&](uint8_t* buf, size_t max) {
+        int n = conn->Read(buf, static_cast<int>(max));
+        return n <= 0 ? size_t{0} : static_cast<size_t>(n);
+      });
+      if (!rawmsg.ok()) {
+        break;  // client closed or garbage
+      }
+      auto request = http::ParseRequest(*rawmsg);
+      if (!request.ok()) {
+        break;
+      }
+      if (options_.per_request_compute_nanos > 0) {
+        // CPU time, not wall time: concurrent requests on a loaded machine
+        // must not double-count the simulated application work.
+        SpinCpuNanos(options_.per_request_compute_nanos);
+      }
+      http::HttpResponse response = handler_(*request);
+      // Count before writing: a client that already has the response must
+      // observe the request as served.
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      std::string wire = response.Serialize();
+      if (conn->Write(reinterpret_cast<const uint8_t*>(wire.data()),
+                      static_cast<int>(wire.size())) < 0) {
+        break;
+      }
+      if (http::RequestsConnectionClose(*request)) {
+        break;
+      }
     }
-    auto request = http::ParseRequest(*raw);
-    if (!request.ok()) {
-      break;
-    }
-    if (options_.per_request_compute_nanos > 0) {
-      // CPU time, not wall time: concurrent requests on a loaded machine
-      // must not double-count the simulated application work.
-      SpinCpuNanos(options_.per_request_compute_nanos);
-    }
-    http::HttpResponse response = handler_(*request);
-    // Count before writing: a client that already has the response must
-    // observe the request as served.
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    std::string wire = response.Serialize();
-    if (conn->Write(reinterpret_cast<const uint8_t*>(wire.data()),
-                    static_cast<int>(wire.size())) < 0) {
-      break;
-    }
-    const std::string* connection_header = request->GetHeader("Connection");
-    if (connection_header != nullptr && *connection_header == "close") {
-      break;
-    }
+    conn->Close();
   }
-  conn->Close();
+  // Deregister before the stream dies (conn owns it): after this line
+  // Stop() can no longer see the pointer, so it never aborts freed pipes.
+  DeregisterConnection(raw);
 }
 
 }  // namespace seal::services

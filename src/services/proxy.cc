@@ -21,7 +21,13 @@ Status ProxyServer::Start() {
   }
   listener_ = *listener;
   running_.store(true, std::memory_order_release);
-  pool_.Start();
+  if (options_.event_driven) {
+    reactor_ = std::make_unique<Reactor>(Reactor::Options{
+        options_.reactor_threads, options_.reactor_task_stack_size, "reactor"});
+    reactor_->Start();
+  } else {
+    pool_.Start();
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -35,7 +41,39 @@ void ProxyServer::Stop() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  pool_.Stop();
+  // Unblock workers/tasks parked in a read on either leg of an idle
+  // proxied connection; without this Stop() hangs behind any idle client.
+  AbortLiveConnections();
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    reactor_.reset();
+  } else {
+    pool_.Stop();
+  }
+}
+
+bool ProxyServer::RegisterConnection(net::Stream* stream) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  live_conns_.insert(stream);
+  return true;
+}
+
+void ProxyServer::DeregisterConnection(net::Stream* stream) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  live_conns_.erase(stream);
+}
+
+void ProxyServer::AbortLiveConnections() {
+  // Abort under the registry lock: a stream present in the set cannot be
+  // destroyed concurrently (deregistration takes the same lock and happens
+  // before the stream dies).
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (net::Stream* stream : live_conns_) {
+    stream->Abort();
+  }
 }
 
 void ProxyServer::AcceptLoop() {
@@ -44,23 +82,47 @@ void ProxyServer::AcceptLoop() {
     if (stream == nullptr) {
       return;
     }
-    // shared_ptr because std::function requires a copyable callable.
-    auto s = std::make_shared<net::StreamPtr>(std::move(stream));
-    pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
+    if (reactor_ != nullptr) {
+      reactor_->Serve(std::move(stream),
+                      [this](net::StreamPtr s) { ServeConnection(std::move(s)); });
+    } else {
+      // shared_ptr because std::function requires a copyable callable.
+      auto s = std::make_shared<net::StreamPtr>(std::move(stream));
+      pool_.Submit([this, s] { ServeConnection(std::move(*s)); });
+    }
   }
 }
 
 void ProxyServer::ServeConnection(net::StreamPtr stream) {
+  net::Stream* raw_downstream = stream.get();
+  if (!RegisterConnection(raw_downstream)) {
+    stream->Abort();
+    return;
+  }
   std::unique_ptr<ServerConnection> downstream = transport_->Wrap(std::move(stream));
   if (downstream->Handshake() != 1) {
+    DeregisterConnection(raw_downstream);
     return;
   }
   // Second TLS leg to the origin (this is what makes Squid slower than
   // Apache in Fig. 7b: two handshakes, double en-/decryption).
-  auto upstream_stream =
-      network_->Dial(options_.upstream_address, options_.upstream_latency_nanos);
-  if (!upstream_stream.ok()) {
+  auto dialed = network_->Dial(options_.upstream_address, options_.upstream_latency_nanos);
+  if (!dialed.ok()) {
     downstream->Close();
+    DeregisterConnection(raw_downstream);
+    return;
+  }
+  net::StreamPtr upstream_stream = std::move(*dialed);
+  if (reactor_ != nullptr) {
+    // On a reactor task the upstream leg must cooperate too: a blocking
+    // upstream read would park the whole shard thread.
+    upstream_stream = reactor_->MakeCooperative(std::move(upstream_stream));
+  }
+  net::Stream* raw_upstream = upstream_stream.get();
+  if (!RegisterConnection(raw_upstream)) {
+    upstream_stream->Abort();
+    downstream->Close();
+    DeregisterConnection(raw_downstream);
     return;
   }
 
@@ -73,72 +135,81 @@ void ProxyServer::ServeConnection(net::StreamPtr stream) {
   std::unique_ptr<tls::StreamBio> plain_bio;
   std::unique_ptr<tls::TlsConnection> plain_upstream;
   core::LibSealSsl* seal_upstream = nullptr;
+  bool upstream_ok = true;
 
   if (options_.upstream_runtime != nullptr) {
     seal_upstream =
-        options_.upstream_runtime->SslNew(upstream_stream->get(), tls::Role::kClient);
+        options_.upstream_runtime->SslNew(upstream_stream.get(), tls::Role::kClient);
     if (seal_upstream == nullptr ||
         options_.upstream_runtime->SslHandshake(seal_upstream) != 1) {
       if (seal_upstream != nullptr) {
         options_.upstream_runtime->SslFree(seal_upstream);
+        seal_upstream = nullptr;
       }
-      downstream->Close();
-      return;
+      upstream_ok = false;
+    } else {
+      core::LibSealRuntime* runtime = options_.upstream_runtime;
+      core::LibSealSsl* ssl = seal_upstream;
+      upstream_read = [runtime, ssl](uint8_t* buf, size_t max) {
+        int n = runtime->SslRead(ssl, buf, static_cast<int>(max));
+        return n <= 0 ? size_t{0} : static_cast<size_t>(n);
+      };
+      upstream_write = [runtime, ssl](const std::string& data) {
+        return runtime->SslWrite(ssl, reinterpret_cast<const uint8_t*>(data.data()),
+                                 static_cast<int>(data.size())) >= 0;
+      };
+      upstream_close = [runtime, ssl] { runtime->SslShutdown(ssl); };
     }
-    core::LibSealRuntime* runtime = options_.upstream_runtime;
-    upstream_read = [runtime, seal_upstream](uint8_t* buf, size_t max) {
-      int n = runtime->SslRead(seal_upstream, buf, static_cast<int>(max));
-      return n <= 0 ? size_t{0} : static_cast<size_t>(n);
-    };
-    upstream_write = [runtime, seal_upstream](const std::string& data) {
-      return runtime->SslWrite(seal_upstream, reinterpret_cast<const uint8_t*>(data.data()),
-                               static_cast<int>(data.size())) >= 0;
-    };
-    upstream_close = [runtime, seal_upstream] { runtime->SslShutdown(seal_upstream); };
   } else {
-    plain_bio = std::make_unique<tls::StreamBio>(upstream_stream->get());
+    plain_bio = std::make_unique<tls::StreamBio>(upstream_stream.get());
     plain_upstream = std::make_unique<tls::TlsConnection>(plain_bio.get(),
                                                           &options_.upstream_tls,
                                                           tls::Role::kClient);
     if (!plain_upstream->Handshake().ok()) {
-      downstream->Close();
-      return;
+      upstream_ok = false;
+    } else {
+      tls::TlsConnection* conn = plain_upstream.get();
+      upstream_read = [conn](uint8_t* buf, size_t max) {
+        auto n = conn->Read(buf, max);
+        return n.ok() ? *n : size_t{0};
+      };
+      upstream_write = [conn](const std::string& data) { return conn->Write(data).ok(); };
+      upstream_close = [conn] { conn->Close(); };
     }
-    tls::TlsConnection* conn = plain_upstream.get();
-    upstream_read = [conn](uint8_t* buf, size_t max) {
-      auto n = conn->Read(buf, max);
-      return n.ok() ? *n : size_t{0};
-    };
-    upstream_write = [conn](const std::string& data) { return conn->Write(data).ok(); };
-    upstream_close = [conn] { conn->Close(); };
   }
 
-  for (;;) {
-    auto request = http::ReadHttpMessage([&](uint8_t* buf, size_t max) {
-      int n = downstream->Read(buf, static_cast<int>(max));
-      return n <= 0 ? size_t{0} : static_cast<size_t>(n);
-    });
-    if (!request.ok()) {
-      break;
+  if (upstream_ok) {
+    for (;;) {
+      auto request = http::ReadHttpMessage([&](uint8_t* buf, size_t max) {
+        int n = downstream->Read(buf, static_cast<int>(max));
+        return n <= 0 ? size_t{0} : static_cast<size_t>(n);
+      });
+      if (!request.ok()) {
+        break;
+      }
+      if (!upstream_write(*request)) {
+        break;
+      }
+      auto response = http::ReadHttpMessage(upstream_read);
+      if (!response.ok()) {
+        break;
+      }
+      if (downstream->Write(reinterpret_cast<const uint8_t*>(response->data()),
+                            static_cast<int>(response->size())) < 0) {
+        break;
+      }
+      requests_proxied_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!upstream_write(*request)) {
-      break;
-    }
-    auto response = http::ReadHttpMessage(upstream_read);
-    if (!response.ok()) {
-      break;
-    }
-    if (downstream->Write(reinterpret_cast<const uint8_t*>(response->data()),
-                          static_cast<int>(response->size())) < 0) {
-      break;
-    }
-    requests_proxied_.fetch_add(1, std::memory_order_relaxed);
+    upstream_close();
   }
-  upstream_close();
   if (seal_upstream != nullptr) {
     options_.upstream_runtime->SslFree(seal_upstream);
   }
   downstream->Close();
+  // Deregister both legs before their streams die (upstream_stream at
+  // scope exit, downstream inside `downstream`'s destructor).
+  DeregisterConnection(raw_upstream);
+  DeregisterConnection(raw_downstream);
 }
 
 }  // namespace seal::services

@@ -149,5 +149,57 @@ TEST(Http, ReadHttpMessageEofMidBody) {
   EXPECT_FALSE(msg.ok());
 }
 
+// --- RequestsConnectionClose (RFC 7230 §6.1/§6.3 semantics) ---
+
+HttpRequest RequestWithConnection(const std::string& value, const std::string& version) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/";
+  req.version = version;
+  if (!value.empty()) {
+    req.SetHeader("Connection", value);
+  }
+  return req;
+}
+
+TEST(ConnectionClose, Http11DefaultsToKeepAlive) {
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("", "HTTP/1.1")));
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("keep-alive", "HTTP/1.1")));
+}
+
+TEST(ConnectionClose, ExactCloseToken) {
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("close", "HTTP/1.1")));
+}
+
+TEST(ConnectionClose, CaseInsensitive) {
+  // Pre-fix the server compared against the exact string "close".
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("Close", "HTTP/1.1")));
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("CLOSE", "HTTP/1.1")));
+}
+
+TEST(ConnectionClose, TokenListWithWhitespace) {
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("keep-alive, close", "HTTP/1.1")));
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("close , TE", "HTTP/1.1")));
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("TE,close", "HTTP/1.1")));
+}
+
+TEST(ConnectionClose, SubstringIsNotAToken) {
+  // "close" must match a whole comma-separated token, not a substring.
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("closed", "HTTP/1.1")));
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("x-close-hint", "HTTP/1.1")));
+}
+
+TEST(ConnectionClose, Http10ClosesByDefault) {
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("", "HTTP/1.0")));
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("close", "HTTP/1.0")));
+}
+
+TEST(ConnectionClose, Http10KeepAliveOptIn) {
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("keep-alive", "HTTP/1.0")));
+  EXPECT_FALSE(RequestsConnectionClose(RequestWithConnection("Keep-Alive", "HTTP/1.0")));
+  // close still wins over an accompanying keep-alive.
+  EXPECT_TRUE(RequestsConnectionClose(RequestWithConnection("keep-alive, close", "HTTP/1.0")));
+}
+
 }  // namespace
 }  // namespace seal::http

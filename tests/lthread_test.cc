@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/lthread/lthread.h"
@@ -117,6 +120,127 @@ TEST(Lthread, DeepCallStacksWork) {
   sched.Spawn([&] { result = fib(15); });
   sched.Run();
   EXPECT_EQ(result, 610);
+}
+
+// --- cross-thread wakeup (the reactor's poller -> shard-thread path) ---
+
+TEST(LthreadCrossThread, WakeupFromAnotherThread) {
+  Scheduler sched;
+  std::atomic<bool> blocked{false};
+  std::atomic<bool> done{false};
+  Task* task = sched.Spawn([&] {
+    blocked.store(true, std::memory_order_release);
+    Scheduler::Block();
+    done.store(true, std::memory_order_release);
+  });
+  std::thread waker([&] {
+    while (!blocked.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    // Give the scheduler time to actually park in WaitForWork.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sched.MakeRunnableFromAnyThread(task);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    if (!sched.RunOnce()) {
+      sched.WaitForWork();
+    }
+  }
+  waker.join();
+  EXPECT_EQ(sched.live_tasks(), 0u);
+  while (sched.RunOnce()) {
+  }
+}
+
+// Hammers the wake-before-block window: the waker races the task's park.
+// Pre-wake-token schedulers lose wakeups that land between "decide to
+// block" and "actually parked"; the per-task token makes them stick.
+TEST(LthreadCrossThread, WakeBeforeBlockRaceLosesNoWakeups) {
+  constexpr int kRounds = 2000;
+  Scheduler sched;
+  std::atomic<int> progress{0};
+  Task* task = sched.Spawn([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      Scheduler::Block();
+      progress.fetch_add(1, std::memory_order_acq_rel);
+    }
+  });
+  std::atomic<bool> stop{false};
+  std::thread waker([&] {
+    // No handshake with the task: wakes land at arbitrary points relative
+    // to Block(), including before it (absorbed by the wake token).
+    while (!stop.load(std::memory_order_acquire)) {
+      sched.MakeRunnableFromAnyThread(task);
+      std::this_thread::yield();
+    }
+  });
+  while (progress.load(std::memory_order_acquire) < kRounds) {
+    if (!sched.RunOnce()) {
+      sched.WaitForWork();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  waker.join();
+  EXPECT_EQ(progress.load(), kRounds);
+  // Drain: the final wake may have re-queued the (now finished) task's
+  // bookkeeping; RunOnce until idle must not crash or find stale state.
+  while (sched.RunOnce()) {
+  }
+  EXPECT_EQ(sched.live_tasks(), 0u);
+}
+
+TEST(LthreadCrossThread, ManyTasksWokenFromManyThreads) {
+  constexpr int kTasks = 32;
+  constexpr int kRoundsPerTask = 50;
+  Scheduler sched;
+  std::vector<Task*> tasks;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(sched.Spawn([&] {
+      for (int r = 0; r < kRoundsPerTask; ++r) {
+        Scheduler::Block();
+      }
+      finished.fetch_add(1, std::memory_order_acq_rel);
+    }));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> wakers;
+  for (int w = 0; w < 3; ++w) {
+    wakers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (Task* t : tasks) {
+          sched.MakeRunnableFromAnyThread(t);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (finished.load(std::memory_order_acquire) < kTasks) {
+    if (!sched.RunOnce()) {
+      sched.WaitForWork();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : wakers) {
+    w.join();
+  }
+  while (sched.RunOnce()) {
+  }
+  EXPECT_EQ(sched.live_tasks(), 0u);
+}
+
+TEST(LthreadCrossThread, NotifyWakesWaitForWork) {
+  Scheduler sched;
+  std::atomic<bool> notified{false};
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    notified.store(true, std::memory_order_release);
+    sched.Notify();
+  });
+  // No tasks at all: WaitForWork must park until Notify, not spin or hang.
+  sched.WaitForWork();
+  EXPECT_TRUE(notified.load(std::memory_order_acquire));
+  notifier.join();
 }
 
 }  // namespace

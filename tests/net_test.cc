@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/net/net.h"
+#include "src/net/poller.h"
 
 namespace seal::net {
 namespace {
@@ -140,6 +146,265 @@ TEST(Net, ManyConnections) {
     t.join();
   }
   server.join();
+}
+
+// --- non-blocking surface: TryRead / TryWrite / watchers ---
+
+TEST(NetNonBlocking, TryReadWouldBlockThenDelivers) {
+  auto [a, b] = CreateStreamPair();
+  uint8_t buf[8];
+  EXPECT_EQ(b->TryRead(buf, sizeof(buf)), Pipe::kWouldBlock);
+  a->Write(std::string_view("hi"));
+  EXPECT_EQ(b->TryRead(buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 2), "hi");
+  EXPECT_EQ(b->TryRead(buf, sizeof(buf)), Pipe::kWouldBlock);
+  a->Close();
+  EXPECT_EQ(b->TryRead(buf, sizeof(buf)), 0);  // EOF
+}
+
+TEST(NetNonBlocking, TryReadHonoursLatency) {
+  constexpr int64_t kLatency = 20 * 1000 * 1000;  // 20 ms
+  auto [a, b] = CreateStreamPair(kLatency);
+  a->Write(std::string_view("x"));
+  uint8_t buf[1];
+  // In flight: not readable yet, but CheckReadReady reports the deadline.
+  EXPECT_EQ(b->TryRead(buf, 1), Pipe::kWouldBlock);
+  Pipe::ReadReadiness r = b->read_pipe()->CheckReadReady();
+  EXPECT_FALSE(r.ready);
+  EXPECT_GT(r.next_ready_at, 0);
+  while (b->TryRead(buf, 1) == Pipe::kWouldBlock) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(buf[0], 'x');
+}
+
+TEST(NetNonBlocking, TryWriteBackpressureAndDrain) {
+  auto [a, b] = CreateStreamPair();
+  a->write_pipe()->set_capacity(4);
+  uint8_t data[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(a->TryWrite(BytesView(data, 8)), 4);  // partial accept
+  EXPECT_EQ(a->TryWrite(BytesView(data + 4, 4)), Pipe::kWouldBlock);
+  EXPECT_FALSE(a->write_pipe()->CheckWriteReady());
+  uint8_t buf[2];
+  ASSERT_TRUE(b->ReadFull(buf, 2).ok());  // drain opens the window
+  EXPECT_TRUE(a->write_pipe()->CheckWriteReady());
+  EXPECT_EQ(a->TryWrite(BytesView(data + 4, 4)), 2);
+}
+
+TEST(NetNonBlocking, AbortUnblocksParkedReader) {
+  auto [a, b] = CreateStreamPair();
+  std::atomic<bool> got_eof{false};
+  std::thread reader([&, &b = b] {
+    uint8_t buf[1];
+    got_eof.store(b->Read(buf, 1) == 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_eof.load());
+  b->Abort();  // closes BOTH directions, including our own read side
+  reader.join();
+  EXPECT_TRUE(got_eof.load());
+  uint8_t buf[1];
+  EXPECT_EQ(a->Read(buf, 1), 0u);  // the peer sees EOF too
+}
+
+TEST(NetNonBlocking, WatcherFiresOnWriteAndClose) {
+  auto [a, b] = CreateStreamPair();
+  std::atomic<int> fires{0};
+  uint64_t id = b->read_pipe()->AddWatcher([&] { fires.fetch_add(1); });
+  a->Write(std::string_view("x"));
+  EXPECT_GE(fires.load(), 1);
+  int before_close = fires.load();
+  a->Close();
+  EXPECT_GT(fires.load(), before_close);
+  b->read_pipe()->RemoveWatcher(id);
+  int after_remove = fires.load();
+  a->Write(std::string_view("y"));  // unwatched: no further callbacks
+  EXPECT_EQ(fires.load(), after_remove);
+}
+
+// --- Poller ---
+
+// Waits for `flag` with a deadline so a missed wakeup fails the test
+// instead of hanging the suite.
+bool AwaitFlag(std::atomic<bool>& flag, int64_t timeout_ms = 2000) {
+  int64_t deadline = NowNanos() + timeout_ms * 1000 * 1000;
+  while (!flag.load(std::memory_order_acquire)) {
+    if (NowNanos() > deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+TEST(PollerTest, FiresWhenDataArrives) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  std::atomic<bool> ready{false};
+  uint64_t id = poller.Watch(b->read_pipe(), Poller::Interest::kRead,
+                             [&] { ready.store(true, std::memory_order_release); });
+  EXPECT_FALSE(ready.load());
+  a->Write(std::string_view("x"));
+  EXPECT_TRUE(AwaitFlag(ready));
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, AlreadyReadyFiresImmediately) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  a->Write(std::string_view("x"));
+  std::atomic<bool> ready{false};
+  uint64_t id = poller.Watch(b->read_pipe(), Poller::Interest::kRead,
+                             [&] { ready.store(true, std::memory_order_release); });
+  EXPECT_TRUE(AwaitFlag(ready));
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, OneShotUntilRearm) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  std::atomic<int> fires{0};
+  uint64_t id =
+      poller.Watch(b->read_pipe(), Poller::Interest::kRead, [&] { fires.fetch_add(1); });
+  a->Write(std::string_view("x"));
+  // First event fires exactly once even though more writes arrive...
+  while (fires.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  a->Write(std::string_view("y"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(fires.load(), 1);
+  // ...until rearmed (data still buffered: level-triggered, fires again).
+  poller.Rearm(id);
+  while (fires.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, CloseWhileWatchedFiresEofReadiness) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  std::atomic<bool> ready{false};
+  uint64_t id = poller.Watch(b->read_pipe(), Poller::Interest::kRead,
+                             [&] { ready.store(true, std::memory_order_release); });
+  a->Close();  // no data ever written: EOF alone must count as readable
+  EXPECT_TRUE(AwaitFlag(ready));
+  uint8_t buf[1];
+  EXPECT_EQ(b->TryRead(buf, 1), 0);
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, WriteBackpressureFiresWhenDrained) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  a->write_pipe()->set_capacity(2);
+  uint8_t data[2] = {1, 2};
+  ASSERT_EQ(a->TryWrite(BytesView(data, 2)), 2);
+  ASSERT_EQ(a->TryWrite(BytesView(data, 2)), Pipe::kWouldBlock);
+  std::atomic<bool> writable{false};
+  uint64_t id = poller.Watch(a->write_pipe(), Poller::Interest::kWrite,
+                             [&] { writable.store(true, std::memory_order_release); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(writable.load());  // still full
+  uint8_t buf[2];
+  ASSERT_TRUE(b->ReadFull(buf, 2).ok());  // reader drains -> window opens
+  EXPECT_TRUE(AwaitFlag(writable));
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, LatencyDataFiresAtDeadlineWithoutBusyPoll) {
+  constexpr int64_t kLatency = 25 * 1000 * 1000;  // 25 ms
+  Poller poller;
+  auto [a, b] = CreateStreamPair(kLatency);
+  std::atomic<bool> ready{false};
+  int64_t start = NowNanos();
+  uint64_t id = poller.Watch(b->read_pipe(), Poller::Interest::kRead,
+                             [&] { ready.store(true, std::memory_order_release); });
+  a->Write(std::string_view("x"));
+  EXPECT_TRUE(AwaitFlag(ready));
+  EXPECT_GE(NowNanos() - start, kLatency);  // not before the data is due
+  uint8_t buf[1];
+  EXPECT_EQ(b->TryRead(buf, 1), 1);
+  poller.Unwatch(id);
+}
+
+TEST(PollerTest, UnwatchGuaranteesNoFurtherCallbacks) {
+  Poller poller;
+  auto [a, b] = CreateStreamPair();
+  std::atomic<int> fires{0};
+  uint64_t id =
+      poller.Watch(b->read_pipe(), Poller::Interest::kRead, [&] { fires.fetch_add(1); });
+  a->Write(std::string_view("x"));
+  while (fires.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  poller.Unwatch(id);
+  int frozen = fires.load();
+  poller.Rearm(id);  // stale id: must be a no-op
+  a->Write(std::string_view("y"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(fires.load(), frozen);
+  EXPECT_EQ(poller.watch_count(), 0u);
+}
+
+TEST(PollerTest, ManyWatchesConcurrentTraffic) {
+  Poller poller;
+  constexpr int kStreams = 64;
+  std::vector<std::pair<StreamPtr, StreamPtr>> pairs;
+  std::vector<std::unique_ptr<std::atomic<int>>> counts;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kStreams; ++i) {
+    pairs.push_back(CreateStreamPair());
+    counts.push_back(std::make_unique<std::atomic<int>>(0));
+    std::atomic<int>* count = counts.back().get();
+    ids.push_back(poller.Watch(pairs.back().second->read_pipe(), Poller::Interest::kRead,
+                               [count] { count->fetch_add(1); }));
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < kStreams; ++i) {
+      pairs[static_cast<size_t>(i)].first->Write(std::string_view("x"));
+    }
+  });
+  writer.join();
+  for (int i = 0; i < kStreams; ++i) {
+    int64_t deadline = NowNanos() + 2000 * 1000 * 1000LL;
+    while (counts[static_cast<size_t>(i)]->load() == 0 && NowNanos() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    EXPECT_EQ(counts[static_cast<size_t>(i)]->load(), 1) << "stream " << i;
+  }
+  for (uint64_t id : ids) {
+    poller.Unwatch(id);
+  }
+}
+
+// --- Dial vs Unlisten race (regression) ---
+
+// Pre-fix, Listener::Push after Shutdown silently dropped the server end,
+// so a Dial that raced Shutdown returned a stream whose reads block until
+// the orphaned server end happened to be destroyed. Now the dial fails.
+TEST(NetShutdown, DialAfterListenerShutdownIsRefused) {
+  Network network;
+  auto listener = network.Listen("svc");
+  ASSERT_TRUE(listener.ok());
+  // Shut the listener down directly WITHOUT Unlisten: the address is still
+  // registered, which is exactly the race window (Unlisten removes the map
+  // entry after Shutdown; a Dial can interleave).
+  (*listener)->Shutdown();
+  auto conn = network.Dial("svc");
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(NetShutdown, ShutdownAbortsQueuedConnections) {
+  Network network;
+  auto listener = network.Listen("svc");
+  ASSERT_TRUE(listener.ok());
+  auto conn = network.Dial("svc");
+  ASSERT_TRUE(conn.ok());  // queued on the listener, never accepted
+  (*listener)->Shutdown();
+  uint8_t buf[1];
+  EXPECT_EQ((*conn)->Read(buf, 1), 0u);  // EOF, not a hang
 }
 
 }  // namespace

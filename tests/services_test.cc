@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "src/common/clock.h"
@@ -315,6 +317,130 @@ TEST(ProxyTest, RelaysThroughTwoTlsLegs) {
   proxy.Stop();
   origin.Stop();
   EXPECT_EQ(proxy.requests_proxied(), 2u);
+}
+
+// Regression (shutdown hang): a blocking-mode worker parked in Read on an
+// idle keep-alive connection used to wedge Stop() forever -- the worker
+// never returned to the pool, and pool_.Stop() joined it. Stop() now
+// aborts live connections first.
+TEST(HttpServerTest, StopCompletesWithIdleKeepAliveConnection) {
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443", .worker_threads = 2}, &transport,
+                    ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "web:443", client_tls);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->RoundTrip(MakeContentRequest(16, /*keep_alive=*/true)).ok());
+  // The connection stays open and idle; its worker is parked in Read.
+  auto stopped = std::async(std::launch::async, [&] { server.Stop(); });
+  ASSERT_EQ(stopped.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+      << "Stop() hung behind an idle keep-alive connection";
+}
+
+// Same hang on the proxy: the worker is parked in a read on the downstream
+// leg (or the upstream leg) of an idle proxied connection.
+TEST(ProxyTest, StopCompletesWithIdleProxiedConnection) {
+  net::Network network;
+  tls::TlsConfig origin_tls = ServerTlsConfig();
+  PlainTransport origin_transport(origin_tls);
+  HttpServer origin(&network, {.address = "origin:443"}, &origin_transport, ServeStaticContent);
+  ASSERT_TRUE(origin.Start().ok());
+  tls::TlsConfig proxy_tls = ServerTlsConfig();
+  PlainTransport proxy_transport(proxy_tls);
+  ProxyServer::Options proxy_options;
+  proxy_options.listen_address = "proxy:3128";
+  proxy_options.upstream_address = "origin:443";
+  proxy_options.upstream_tls = ClientTlsConfig();
+  proxy_options.worker_threads = 2;
+  ProxyServer proxy(&network, proxy_options, &proxy_transport);
+  ASSERT_TRUE(proxy.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "proxy:3128", client_tls);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->RoundTrip(MakeContentRequest(16, /*keep_alive=*/true)).ok());
+  auto stopped = std::async(std::launch::async, [&] { proxy.Stop(); });
+  ASSERT_EQ(stopped.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+      << "proxy Stop() hung behind an idle proxied connection";
+  origin.Stop();
+}
+
+// Regression (Connection header): the server compared the raw header value
+// against the exact lowercase string "close", so "Close", "keep-alive,
+// close", and HTTP/1.0's close-by-default all kept the connection alive.
+// Observable end-to-end: after a response that should close, the next
+// round trip on the same connection fails.
+TEST(HttpServerTest, ConnectionCloseIsCaseInsensitive) {
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443"}, &transport, ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "web:443", client_tls);
+  ASSERT_TRUE(client.ok());
+  http::HttpRequest req = MakeContentRequest(16, /*keep_alive=*/true);
+  req.SetHeader("Connection", "Close");  // capital C, RFC 7230 tokens are case-insensitive
+  ASSERT_TRUE((*client)->RoundTrip(req).ok());
+  EXPECT_FALSE((*client)->RoundTrip(MakeContentRequest(16, true)).ok())
+      << "server ignored 'Connection: Close' and kept the connection alive";
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConnectionCloseInTokenList) {
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443"}, &transport, ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "web:443", client_tls);
+  ASSERT_TRUE(client.ok());
+  http::HttpRequest req = MakeContentRequest(16, /*keep_alive=*/true);
+  req.SetHeader("Connection", "keep-alive, close");  // close wins
+  ASSERT_TRUE((*client)->RoundTrip(req).ok());
+  EXPECT_FALSE((*client)->RoundTrip(MakeContentRequest(16, true)).ok())
+      << "server ignored 'close' inside a Connection token list";
+  server.Stop();
+}
+
+TEST(HttpServerTest, Http10DefaultsToClose) {
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443"}, &transport, ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "web:443", client_tls);
+  ASSERT_TRUE(client.ok());
+  // keep_alive=true -> no Connection header at all; 1.0 must still close.
+  http::HttpRequest req = MakeContentRequest(16, /*keep_alive=*/true);
+  req.version = "HTTP/1.0";
+  ASSERT_TRUE((*client)->RoundTrip(req).ok());
+  EXPECT_FALSE((*client)->RoundTrip(MakeContentRequest(16, true)).ok())
+      << "server kept an HTTP/1.0 connection alive without 'keep-alive'";
+  server.Stop();
+}
+
+TEST(HttpServerTest, Http10KeepAliveOptInPersists) {
+  net::Network network;
+  tls::TlsConfig server_tls = ServerTlsConfig();
+  PlainTransport transport(server_tls);
+  HttpServer server(&network, {.address = "web:443"}, &transport, ServeStaticContent);
+  ASSERT_TRUE(server.Start().ok());
+  tls::TlsConfig client_tls = ClientTlsConfig();
+  auto client = HttpsClient::Connect(&network, "web:443", client_tls);
+  ASSERT_TRUE(client.ok());
+  http::HttpRequest req = MakeContentRequest(16, /*keep_alive=*/true);
+  req.version = "HTTP/1.0";
+  req.SetHeader("Connection", "keep-alive");
+  ASSERT_TRUE((*client)->RoundTrip(req).ok());
+  EXPECT_TRUE((*client)->RoundTrip(MakeContentRequest(16, true)).ok())
+      << "server closed an HTTP/1.0 connection that opted into keep-alive";
+  (*client)->Close();
+  server.Stop();
 }
 
 TEST(ProxyTest, UpstreamLatencyAddsToRoundTrip) {
