@@ -951,7 +951,8 @@ Result<std::vector<LogEntry>> AuditLog::ReadVerifiedEntries(const std::string& p
 Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
                                        const crypto::EcdsaPublicKey& log_public_key,
                                        const rote::RoteCounter& counter,
-                                       const Bytes& encryption_key) {
+                                       const Bytes& encryption_key,
+                                       VerifiedHeadInfo* head_out) {
   std::optional<crypto::Aes128Gcm> cipher;
   if (!encryption_key.empty()) {
     cipher.emplace(encryption_key);
@@ -994,6 +995,11 @@ Result<size_t> AuditLog::VerifyLogFile(const std::string& path,
   if (stored_counter != *current) {
     return PermissionDenied("rollback detected: counter " + std::to_string(stored_counter) +
                             " but cluster reports " + std::to_string(*current));
+  }
+  if (head_out != nullptr) {
+    head_out->counter_value = stored_counter;
+    head_out->entry_count = stored_count;
+    head_out->chain_head = Bytes(stored_head.begin(), stored_head.end());
   }
   return scan->count;
 }

@@ -141,15 +141,26 @@ class AuditLog {
   Status Trim(const std::vector<std::string>& trimming_queries,
               size_t* deleted_out = nullptr, size_t* archived_out = nullptr);
 
+  // What the signed head of a verified log claimed. Merging uses this to
+  // detect two partials presenting the same (instance, counter round) —
+  // a duplicated or forked shard log.
+  struct VerifiedHeadInfo {
+    uint64_t counter_value = 0;  // ROTE round the head was bound to
+    uint64_t entry_count = 0;
+    Bytes chain_head;
+  };
+
   // Verifies a persisted log against tampering and rollback: recomputes
   // the chain (across all segments, checking each segment header's
   // continuity in the segmented layout), checks the signature with
   // `log_public_key`, and compares the embedded counter against the ROTE
-  // cluster. Returns the number of verified entries.
+  // cluster. Returns the number of verified entries; `head_out` (optional)
+  // receives what the verified head claimed.
   static Result<size_t> VerifyLogFile(const std::string& path,
                                       const crypto::EcdsaPublicKey& log_public_key,
                                       const rote::RoteCounter& counter,
-                                      const Bytes& encryption_key = {});
+                                      const Bytes& encryption_key = {},
+                                      VerifiedHeadInfo* head_out = nullptr);
 
   // Reads (and decrypts) the entries of a persisted log WITHOUT verifying
   // the chain; callers that need evidence must run VerifyLogFile first
@@ -173,8 +184,13 @@ class AuditLog {
       sgx::SealPolicy seal_policy = sgx::SealPolicy::kMrSigner);
 
   db::Database& database() { return db_; }
+  const db::Database& database() const { return db_; }
   const Bytes& chain_head() const { return chain_head_; }
   size_t entry_count() const { return entries_logged_; }
+  // The live (post-trim) entries in append order. The cross-shard checker
+  // snapshots this under the logger's drain lock for its consistent cut.
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  uint64_t last_counter_value() const { return last_counter_value_; }
   rote::RoteCounter& counter() { return *counter_; }
   uint64_t persisted_bytes() const { return persisted_bytes_; }
   const AuditLogOptions& options() const { return options_; }

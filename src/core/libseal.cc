@@ -360,6 +360,15 @@ void LibSealRuntime::RegisterInterface() {
     Status status = conn->tls->Handshake();
     // Synchronise the sanitised shadow structure (§4.1).
     conn->outside->handshake_done = status.ok() ? 1 : 0;
+    if (status.ok()) {
+      // The session id is plaintext on the wire, so copying it to the
+      // shadow leaks nothing; shard routers need it for affinity.
+      const Bytes& sid = conn->tls->session_id();
+      size_t n = std::min(sid.size(), sizeof(conn->outside->session_id));
+      std::copy(sid.begin(), sid.begin() + static_cast<ptrdiff_t>(n),
+                conn->outside->session_id);
+      conn->outside->session_id_len = n;
+    }
     args->result = status.ok() ? 1 : -1;
   });
 
@@ -503,6 +512,12 @@ Status LibSealRuntime::Init() {
   Bytes identity = ToBytes("libseal-enclave-v1:");
   if (pending_module_ != nullptr) {
     Append(identity, pending_module_->name());
+  }
+  if (!options_.instance_tag.empty()) {
+    // Shard instances of the same module get distinct measurements, hence
+    // distinct log/sealing keys (see LibSealOptions::instance_tag).
+    Append(identity, ":");
+    Append(identity, options_.instance_tag);
   }
   enclave_ = std::make_unique<sgx::Enclave>(options_.enclave, identity, "libseal-authority");
   state_ = std::make_unique<EnclaveState>();

@@ -61,6 +61,12 @@ struct LibSealSsl {
   int handshake_done = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  // The TLS session id after a successful handshake (empty until then).
+  // Safe to expose: the id is already plaintext on the wire in both the
+  // full and abbreviated handshakes. Shard routers key connection affinity
+  // on it (see services::ShardedTransport).
+  uint8_t session_id[32] = {0};
+  size_t session_id_len = 0;
 
   // Application-specific data kept OUTSIDE the enclave (§4.2 optimisation
   // 3: Apache stores the current request here; keeping it outside avoids
@@ -92,6 +98,14 @@ struct LibSealOptions {
 
   // TLS identity/trust, provisioned into the enclave at Init (§6.3).
   tls::TlsConfig tls;
+
+  // Distinguishes enclave instances of the SAME module within one process
+  // (horizontal sharding: ShardSet runs one runtime per shard). The tag is
+  // folded into the enclave identity, so each shard derives its own
+  // measurement, log signing key and sealing identity — shard logs are
+  // independently attributable and one shard's key cannot sign another's
+  // entries. Empty (the default) preserves the single-instance identity.
+  std::string instance_tag;
 
   // Approximate in-enclave footprint per connection, charged against the
   // EPC model.

@@ -1,43 +1,16 @@
 #include "src/core/log_merge.h"
 
 #include <algorithm>
+#include <map>
 
 namespace seal::core {
 
-Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
-                                      ServiceModule& module) {
-  struct Tagged {
-    size_t instance;
-    LogEntry entry;
-  };
-  std::vector<Tagged> all;
-  for (size_t i = 0; i < partials.size(); ++i) {
-    const PartialLog& partial = partials[i];
-    if (partial.counter == nullptr) {
-      return InvalidArgument("partial log without counter for rollback verification");
-    }
-    // (a) Independently verify the partial log; a merge over unverified
-    // inputs would not constitute evidence.
-    auto verified = AuditLog::VerifyLogFile(partial.path, partial.log_public_key,
-                                            *partial.counter, partial.encryption_key);
-    if (!verified.ok()) {
-      return Status(verified.status().code(),
-                    "instance " + std::to_string(i) + ": " + verified.status().message());
-    }
-    auto entries =
-        AuditLog::ReadVerifiedEntries(partial.path, partial.encryption_key);
-    if (!entries.ok()) {
-      return entries.status();
-    }
-    for (LogEntry& entry : *entries) {
-      all.push_back(Tagged{i, std::move(entry)});
-    }
-  }
-
-  // (b) Interleave by wall clock (ties broken by instance, then logical
-  // time): per-instance logical clocks are NOT comparable across
-  // instances, but every entry carries the wall time of its append.
-  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+Result<MergeResult> MergeTaggedEntries(std::vector<TaggedEntry> all,
+                                       ServiceModule& module, size_t instances) {
+  // Interleave by wall clock (ties broken by instance, then logical time):
+  // per-instance logical clocks are NOT comparable across instances, but
+  // every entry carries the wall time of its append.
+  std::stable_sort(all.begin(), all.end(), [](const TaggedEntry& a, const TaggedEntry& b) {
     if (a.entry.wall_nanos != b.entry.wall_nanos) {
       return a.entry.wall_nanos < b.entry.wall_nanos;
     }
@@ -47,9 +20,9 @@ Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
     return a.entry.time < b.entry.time;
   });
 
-  // (c) Materialise into a fresh database with re-assigned global times.
+  // Materialise into a fresh database with re-assigned global times.
   MergeResult result;
-  result.instances = partials.size();
+  result.instances = instances;
   for (const std::string& sql : module.Schema()) {
     auto r = result.database.Execute(sql);
     if (!r.ok()) {
@@ -65,7 +38,7 @@ Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
   int64_t global_time = 0;
   int64_t last_original = -1;
   size_t last_instance = 0;
-  for (Tagged& tagged : all) {
+  for (TaggedEntry& tagged : all) {
     // Entries from the same (instance, original time) share a pair and
     // keep sharing a global timestamp.
     if (tagged.entry.time != last_original || tagged.instance != last_instance) {
@@ -82,6 +55,51 @@ Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
     ++result.total_entries;
   }
   return result;
+}
+
+Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
+                                      ServiceModule& module) {
+  std::vector<TaggedEntry> all;
+  // Instance key -> (first index, counter round of that partial's head).
+  // Each enclave instance contributes at most one partial per merge; two
+  // partials under the same log key are a duplicated (same round) or
+  // forked (different round) copy of one shard's log, and interleaving
+  // either would double-count its entries as evidence.
+  std::map<Bytes, std::pair<size_t, uint64_t>> seen;
+  for (size_t i = 0; i < partials.size(); ++i) {
+    const PartialLog& partial = partials[i];
+    if (partial.counter == nullptr) {
+      return InvalidArgument("partial log without counter for rollback verification");
+    }
+    // Independently verify the partial log; a merge over unverified
+    // inputs would not constitute evidence.
+    AuditLog::VerifiedHeadInfo head;
+    auto verified = AuditLog::VerifyLogFile(partial.path, partial.log_public_key,
+                                            *partial.counter, partial.encryption_key, &head);
+    if (!verified.ok()) {
+      return Status(verified.status().code(),
+                    "instance " + std::to_string(i) + ": " + verified.status().message());
+    }
+    auto [it, inserted] =
+        seen.emplace(partial.log_public_key.Encode(), std::make_pair(i, head.counter_value));
+    if (!inserted) {
+      const auto& [first_index, first_round] = it->second;
+      return PermissionDenied(
+          "duplicate partial log: instances " + std::to_string(first_index) + " and " +
+          std::to_string(i) + " share a log key (counter rounds " +
+          std::to_string(first_round) + " and " + std::to_string(head.counter_value) +
+          "); a shard's log may only be merged once");
+    }
+    auto entries =
+        AuditLog::ReadVerifiedEntries(partial.path, partial.encryption_key);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (LogEntry& entry : *entries) {
+      all.push_back(TaggedEntry{i, std::move(entry)});
+    }
+  }
+  return MergeTaggedEntries(std::move(all), module, partials.size());
 }
 
 }  // namespace seal::core

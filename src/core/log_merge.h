@@ -37,9 +37,29 @@ struct MergeResult {
   size_t instances = 0;
 };
 
+// One entry of a partial log, tagged with which instance produced it.
+struct TaggedEntry {
+  size_t instance = 0;
+  LogEntry entry;
+};
+
+// The interleave + materialise core shared by offline merging and the
+// runtime cross-shard checker: sorts `all` by (wall clock, instance,
+// logical time), re-assigns contiguous global timestamps that preserve
+// each instance's internal order, and inserts the rows into a fresh
+// database carrying the SSM's schema and views. Callers provide already
+// verified/trusted entries (MergeVerifiedLogs verifies the on-disk
+// partials first; ShardSet snapshots in-enclave state that never left
+// the trust boundary).
+Result<MergeResult> MergeTaggedEntries(std::vector<TaggedEntry> all,
+                                       ServiceModule& module, size_t instances);
+
 // Verifies and merges the partial logs into one database with the given
 // SSM schema. Fails if ANY partial log fails verification: a merged view
-// over unverified inputs would not be evidence.
+// over unverified inputs would not be evidence. Also fails if two partials
+// present the same instance key for the same counter round: a duplicated
+// (or forked-and-rolled-back) shard log must not be double-counted as
+// evidence.
 Result<MergeResult> MergeVerifiedLogs(const std::vector<PartialLog>& partials,
                                       ServiceModule& module);
 

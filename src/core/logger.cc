@@ -19,7 +19,14 @@ AuditLogger::AuditLogger(std::unique_ptr<ServiceModule> module, AuditLogOptions 
                          LoggerOptions logger_options, crypto::EcdsaPrivateKey signing_key)
     : module_(std::move(module)),
       log_(std::move(log_options), std::move(signing_key)),
-      options_(logger_options) {}
+      options_(logger_options) {
+  if (options_.shard_index >= 0) {
+    // Resolved once: the SEAL_OBS macros cache through function-local
+    // statics, which cannot carry a per-shard label.
+    shard_appends_ = &obs::Registry::Global().GetCounter(
+        "shard_appends_total{shard=\"" + std::to_string(options_.shard_index) + "\"}");
+  }
+}
 
 AuditLogger::~AuditLogger() {
   if (engine_ != nullptr) {
@@ -201,6 +208,9 @@ void AuditLogger::ProcessPairLocked(PendingPair* op) {
   pairs_logged_.fetch_add(1, std::memory_order_relaxed);
   SEAL_OBS_COUNTER("logger_pairs_total").Increment();
   SEAL_OBS_COUNTER("logger_tuples_total").Add(op->tuples.size());
+  if (shard_appends_ != nullptr) {
+    shard_appends_->Add(op->tuples.size());
+  }
   if (!op->tuples.empty()) {
     // Only pairs that actually appended tuples advance the check interval:
     // unparseable or uninteresting traffic adds nothing worth re-checking.
@@ -326,6 +336,24 @@ Status AuditLogger::TrimLockedInner(CheckReport* report) {
 Status AuditLogger::TrimForRound(CheckReport* report) {
   std::lock_guard<std::mutex> lock(drain_mutex_);
   return TrimLockedInner(report);
+}
+
+Result<AuditLogger::CommittedHead> AuditLogger::CommitAndSnapshotHead(
+    std::vector<LogEntry>* entries_out) {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  DrainStagedLocked();
+  SEAL_RETURN_IF_ERROR(CommitIfDirtyLocked());
+  CommittedHead head;
+  head.chain_head = log_.chain_head();
+  head.counter_value = log_.last_counter_value();
+  head.entry_count = log_.entry_count();
+  head.max_ticket = next_drain_time_ - 1;
+  if (entries_out != nullptr) {
+    // Same critical section as the commit: the copy IS the state the head
+    // signs, which is what makes the cross-shard cut consistent.
+    *entries_out = log_.entries();
+  }
+  return head;
 }
 
 Result<CheckReport> AuditLogger::CheckInvariants() {

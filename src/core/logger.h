@@ -34,6 +34,10 @@ namespace seal::sgx {
 class Enclave;
 }  // namespace seal::sgx
 
+namespace seal::obs {
+class Counter;
+}  // namespace seal::obs
+
 namespace seal::core {
 
 // Intake shards for OnPair staging. Connection ids hash onto shards, so
@@ -71,6 +75,9 @@ struct LoggerOptions {
   // Observer invoked once per completed check round (any trigger), from
   // the thread that ran the round, before waiters wake.
   std::function<void(const CheckReport&)> on_report;
+  // Which ShardSet shard this logger serves (-1 = unsharded). Only labels
+  // the per-shard metrics (`shard_appends_total{shard="N"}`).
+  int shard_index = -1;
 };
 
 class AuditLogger {
@@ -103,6 +110,22 @@ class AuditLogger {
   // enqueued and this call waits for it WITHOUT holding the drain lock, so
   // manual checks no longer freeze appenders.
   Result<CheckReport> CheckInvariants();
+
+  // One shard's contribution to an epoch anchor: its committed head and,
+  // when `entries_out` is set, a snapshot of the live entries taken in the
+  // SAME critical section — the per-shard half of a consistent cross-shard
+  // cut (no entry can land between the head commit and the copy).
+  struct CommittedHead {
+    Bytes chain_head;
+    uint64_t counter_value = 0;  // ROTE round the head is bound to (0 in kMemory)
+    uint64_t entry_count = 0;
+    int64_t max_ticket = 0;  // highest logical time drained into the log
+  };
+
+  // Drains everything staged, commits the head if any tuple landed since
+  // the last commit, and returns the committed state. ShardSet calls this
+  // on every shard at each epoch boundary.
+  Result<CommittedHead> CommitAndSnapshotHead(std::vector<LogEntry>* entries_out = nullptr);
 
   // Runs the SSM's trimming queries and rebuilds the hash chain.
   Status Trim();
@@ -217,6 +240,11 @@ class AuditLogger {
 
   mutable std::mutex report_mutex_;
   std::optional<CheckReport> last_report_;
+
+  // Per-shard append counter, resolved once at construction (the SEAL_OBS
+  // macros cache via function-local statics, which cannot carry a dynamic
+  // shard label). Null when unsharded.
+  obs::Counter* shard_appends_ = nullptr;
 };
 
 }  // namespace seal::core

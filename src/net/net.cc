@@ -91,6 +91,19 @@ void Pipe::set_capacity(size_t bytes) {
   capacity_ = bytes;
 }
 
+void Pipe::Unread(BytesView data) {
+  if (data.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // ready_at 0 = due since forever: these bytes were already delivered once
+  // and must come back ahead of everything still queued or in flight.
+  chunks_.push_front(Chunk{0, Bytes(data.begin(), data.end())});
+  buffered_ += data.size();
+  cv_.notify_all();
+  NotifyWatchers(lock);
+}
+
 bool Pipe::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;

@@ -64,6 +64,15 @@ class Pipe {
   // react to a full buffer.
   void set_capacity(size_t bytes);
 
+  // Pushes already-consumed bytes back to the FRONT of the pipe so the next
+  // Read/TryRead returns them again, immediately (no latency re-charge: the
+  // bytes already crossed the link once). This is how a routing layer can
+  // peek at a protocol prologue — e.g. the TLS ClientHello a shard router
+  // inspects for its session id — and then hand the untouched byte stream
+  // to the real protocol engine. Only the pipe's single reader may call it,
+  // between its own reads.
+  void Unread(BytesView data);
+
   // Readiness probes for the poller. `next_ready_at` is non-zero when data
   // exists but is still in flight: the earliest nanosecond it becomes due.
   struct ReadReadiness {

@@ -1,0 +1,186 @@
+#include "src/services/sharded_transport.h"
+
+#include <algorithm>
+
+namespace seal::services {
+
+namespace {
+
+// ClientHello prologue offsets (see src/tls/connection.cc): record header
+// type(1)=22 || version(2) || length(2), then the handshake message
+// type(1)=1 || length(3) || random(32) || sid_len(1) || sid.
+constexpr size_t kRecordHeaderSize = 5;
+constexpr size_t kHelloFixedSize = kRecordHeaderSize + 4 + 32 + 1;  // through sid_len
+constexpr uint8_t kHandshakeRecord = 22;
+constexpr uint8_t kClientHelloMsg = 1;
+constexpr size_t kMaxSessionIdSize = 32;
+
+// FNV-1a over the session id: the stable fallback route for ids the
+// router has not learned.
+uint64_t HashSessionId(BytesView sid) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : sid) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::optional<Bytes> ParseClientHelloSessionId(BytesView prefix) {
+  if (prefix.size() < kHelloFixedSize) {
+    return std::nullopt;
+  }
+  if (prefix[0] != kHandshakeRecord || prefix[kRecordHeaderSize] != kClientHelloMsg) {
+    return std::nullopt;
+  }
+  size_t sid_len = prefix[kHelloFixedSize - 1];
+  if (sid_len > kMaxSessionIdSize || prefix.size() < kHelloFixedSize + sid_len) {
+    return std::nullopt;
+  }
+  return Bytes(prefix.begin() + static_cast<ptrdiff_t>(kHelloFixedSize),
+               prefix.begin() + static_cast<ptrdiff_t>(kHelloFixedSize + sid_len));
+}
+
+size_t ShardRouter::BucketFor(BytesView session_id) {
+  return session_id.empty() ? 0 : session_id[0] % kBuckets;
+}
+
+void ShardRouter::Learn(BytesView session_id, uint32_t shard) {
+  if (session_id.empty()) {
+    return;
+  }
+  Bucket& bucket = buckets_[BucketFor(session_id)];
+  std::lock_guard<std::mutex> lock(bucket.mutex);
+  bucket.sessions[Bytes(session_id.begin(), session_id.end())] = shard;
+}
+
+std::optional<uint32_t> ShardRouter::Lookup(BytesView session_id) const {
+  if (session_id.empty()) {
+    return std::nullopt;
+  }
+  const Bucket& bucket = buckets_[BucketFor(session_id)];
+  std::lock_guard<std::mutex> lock(bucket.mutex);
+  auto it = bucket.sessions.find(Bytes(session_id.begin(), session_id.end()));
+  if (it == bucket.sessions.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t ShardRouter::size() const {
+  size_t total = 0;
+  for (const Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    total += bucket.sessions.size();
+  }
+  return total;
+}
+
+// Defers the shard choice to Handshake(): peek the ClientHello, route,
+// unread, then delegate every ServerConnection operation to the chosen
+// shard's real connection. Namespace-scope (not anonymous) so the friend
+// declaration in ShardedTransport reaches it.
+class ShardedConnection : public ServerConnection {
+ public:
+  ShardedConnection(ShardedTransport* transport, net::StreamPtr stream)
+      : transport_(transport), stream_(std::move(stream)) {}
+
+  int Handshake() override {
+    if (inner_ != nullptr) {
+      return -1;  // handshake already ran
+    }
+    uint32_t shard = ChooseShard();
+    inner_ = transport_->transports_[shard]->Wrap(std::move(stream_));
+    int rc = inner_->Handshake();
+    if (rc == 1) {
+      // Learn the (possibly fresh) session id so the NEXT connection
+      // offering it resumes on this shard, where the enclave-resident
+      // session cache holds the master secret.
+      transport_->router_.Learn(inner_->session_id(), shard);
+    }
+    return rc;
+  }
+
+  int Read(uint8_t* buf, int len) override {
+    return inner_ == nullptr ? -1 : inner_->Read(buf, len);
+  }
+  int Write(const uint8_t* buf, int len) override {
+    return inner_ == nullptr ? -1 : inner_->Write(buf, len);
+  }
+  void Close() override {
+    if (inner_ != nullptr) {
+      inner_->Close();
+    }
+  }
+  Bytes session_id() const override {
+    return inner_ == nullptr ? Bytes{} : inner_->session_id();
+  }
+
+ private:
+  // Reads the ClientHello prologue (blocking — cooperative-safe: in
+  // reactor mode Stream::Read suspends the lthread), routes on the offered
+  // session id, and pushes every consumed byte back so the shard's TLS
+  // engine sees an untouched stream.
+  uint32_t ChooseShard() {
+    Bytes consumed;
+    auto read_to = [&](size_t want) {
+      uint8_t buf[512];
+      while (consumed.size() < want) {
+        size_t n = stream_->Read(buf, std::min(sizeof(buf), want - consumed.size()));
+        if (n == 0) {
+          return false;  // EOF mid-prologue
+        }
+        consumed.insert(consumed.end(), buf, buf + n);
+      }
+      return true;
+    };
+    std::optional<Bytes> sid;
+    if (read_to(kHelloFixedSize) && consumed[0] == kHandshakeRecord) {
+      size_t sid_len = consumed[kHelloFixedSize - 1];
+      if (sid_len <= kMaxSessionIdSize && read_to(kHelloFixedSize + sid_len)) {
+        sid = ParseClientHelloSessionId(consumed);
+      }
+    }
+    if (!consumed.empty()) {
+      stream_->read_pipe()->Unread(consumed);
+    }
+    if (!sid.has_value() || sid->empty()) {
+      // Not parseable as TLS (the shard's handshake will reject it with
+      // the same error an un-sharded server would give), or a fresh
+      // client with nothing to resume: spread the load.
+      return transport_->NextRoundRobin();
+    }
+    return transport_->RouteFor(*sid);
+  }
+
+  ShardedTransport* transport_;
+  net::StreamPtr stream_;
+  std::unique_ptr<ServerConnection> inner_;
+};
+
+ShardedTransport::ShardedTransport(core::ShardSet* shards) : shards_(shards) {
+  transports_.reserve(shards_->shard_count());
+  for (size_t k = 0; k < shards_->shard_count(); ++k) {
+    transports_.push_back(std::make_unique<LibSealTransport>(&shards_->shard(k)));
+  }
+}
+
+std::unique_ptr<ServerConnection> ShardedTransport::Wrap(net::StreamPtr stream) {
+  return std::make_unique<ShardedConnection>(this, std::move(stream));
+}
+
+uint32_t ShardedTransport::RouteFor(BytesView session_id) const {
+  auto learned = router_.Lookup(session_id);
+  if (learned.has_value() && *learned < transports_.size()) {
+    return *learned;
+  }
+  return core::ShardSet::ShardFor(HashSessionId(session_id), transports_.size());
+}
+
+uint32_t ShardedTransport::NextRoundRobin() {
+  return static_cast<uint32_t>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                               transports_.size());
+}
+
+}  // namespace seal::services

@@ -24,6 +24,8 @@ class PlainConnection : public ServerConnection {
 
   void Close() override { tls_.Close(); }
 
+  Bytes session_id() const override { return tls_.session_id(); }
+
  private:
   net::StreamPtr stream_;
   tls::StreamBio bio_;
@@ -59,6 +61,15 @@ class LibSealConnection : public ServerConnection {
     if (ssl_ != nullptr) {
       runtime_->SslShutdown(ssl_);
     }
+  }
+
+  Bytes session_id() const override {
+    if (ssl_ == nullptr || ssl_->session_id_len == 0) {
+      return {};
+    }
+    // From the sanitised shadow (synced at the handshake ecall): the id is
+    // plaintext on the wire, so exposing it outside leaks nothing.
+    return Bytes(ssl_->session_id, ssl_->session_id + ssl_->session_id_len);
   }
 
  private:

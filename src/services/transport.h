@@ -21,6 +21,11 @@ class ServerConnection {
   virtual int Read(uint8_t* buf, int len) = 0;       // >0, 0 eof, -1 error
   virtual int Write(const uint8_t* buf, int len) = 0;
   virtual void Close() = 0;
+  // The TLS session id after a successful handshake (empty before it, or
+  // for transports without one). Stable across resumption — a resumed
+  // session reports the id of the original full handshake — which is what
+  // lets ShardedTransport keep reconnects shard-affine.
+  virtual Bytes session_id() const { return {}; }
 };
 
 class ServerTransport {

@@ -153,6 +153,36 @@ TEST(LogMerge, WrongKeyRejected) {
   EXPECT_FALSE(MergeVerifiedLogs({partial}, module).ok());
 }
 
+// Regression: two partials presenting the same (instance, counter round)
+// must be rejected. Before the duplicate check, MergeVerifiedLogs would
+// happily interleave the same shard log twice — both copies verify
+// individually — and every entry counted double as "evidence".
+TEST(LogMerge, DuplicatePartialRejected) {
+  services::GitBackend backend;
+  Instance a("dup_a");
+  Instance b("dup_b");
+  a.Pump(backend, services::MakeGitPush("repo", {{"main", "c1"}}));
+  a.Pump(backend, services::MakeGitPush("repo", {{"main", "c2"}}));
+  b.Pump(backend, services::MakeGitFetch("repo"));
+
+  ssm::GitModule module;
+  auto merged = MergeVerifiedLogs({a.Partial(), b.Partial(), a.Partial()}, module);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kPermissionDenied)
+      << merged.status().ToString();
+  EXPECT_NE(merged.status().message().find("duplicate partial log"), std::string::npos)
+      << merged.status().message();
+  // The message names both offending indices.
+  EXPECT_NE(merged.status().message().find("instances 0 and 2"), std::string::npos)
+      << merged.status().message();
+
+  // The same set without the duplicate merges fine — the check keys on the
+  // instance's log key, not on superficial path equality.
+  auto clean = MergeVerifiedLogs({a.Partial(), b.Partial()}, module);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->total_entries, 3u);
+}
+
 TEST(LogMerge, EmptyInputYieldsEmptyDatabase) {
   ssm::GitModule module;
   auto merged = MergeVerifiedLogs({}, module);

@@ -45,6 +45,27 @@ TEST(Net, ReadFullAcrossChunks) {
   writer.join();
 }
 
+TEST(Net, UnreadPutsBytesBackAheadOfQueuedData) {
+  auto [a, b] = CreateStreamPair();
+  a->Write(std::string_view("hello world"));
+  uint8_t peeked[5];
+  ASSERT_TRUE(b->ReadFull(peeked, 5).ok());  // "hello"
+  // Push the peeked prefix back: the next reader sees the stream untouched
+  // (how ShardedTransport routes on the ClientHello without consuming it).
+  b->read_pipe()->Unread(BytesView(peeked, 5));
+  uint8_t all[11];
+  ASSERT_TRUE(b->ReadFull(all, 11).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(all), 11), "hello world");
+  // Unread bytes jump ahead of chunks still queued in the pipe.
+  a->Write(std::string_view("tail"));
+  uint8_t t;
+  ASSERT_TRUE(b->ReadFull(&t, 1).ok());
+  b->read_pipe()->Unread(BytesView(&t, 1));
+  uint8_t rest[4];
+  ASSERT_TRUE(b->ReadFull(rest, 4).ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(rest), 4), "tail");
+}
+
 TEST(Net, EofOnClose) {
   auto [a, b] = CreateStreamPair();
   a->Write(std::string_view("bye"));

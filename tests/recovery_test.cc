@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "src/core/audit_log.h"
+#include "src/core/shard.h"
 #include "src/sgx/enclave.h"
 
 namespace seal::core {
@@ -543,6 +546,172 @@ TEST(TrimArchive, RestartAfterTrimRecoversPostTrimLog) {
   history = AuditLog::ReadFullHistory(path);
   ASSERT_TRUE(history.ok());
   EXPECT_EQ(history->size(), 35u);
+}
+
+// --- shard-set epoch anchoring under crash ---
+
+// Minimal SSM for the anchoring tests: one row per pair, no invariants.
+// What is under test here is the epoch protocol, not checking.
+class OpsModule : public ServiceModule {
+ public:
+  std::string name() const override { return "ops"; }
+  std::vector<std::string> Schema() const override { return {"CREATE TABLE ops(time, body)"}; }
+  std::vector<Invariant> Invariants() const override { return {}; }
+  std::vector<std::string> TrimmingQueries() const override { return {}; }
+  void Log(std::string_view request, std::string_view /*response*/, int64_t /*time*/,
+           std::vector<LogTuple>* out) override {
+    out->push_back(LogTuple{"ops", {db::Value(std::string(request))}});
+  }
+};
+
+std::string FreshShardBase(const std::string& name, size_t shards) {
+  std::string base = std::string(::testing::TempDir()) + "/" + name;
+  for (size_t k = 0; k < shards; ++k) {
+    RemoveLogFiles(base + ".shard" + std::to_string(k));
+  }
+  std::remove((base + ".epoch").c_str());
+  return base;
+}
+
+ShardSetOptions ShardOptions(const std::string& base, size_t shards = 3) {
+  ShardSetOptions options;
+  options.shards = shards;
+  options.libseal.enclave.inject_costs = false;
+  options.libseal.use_async_calls = false;
+  options.libseal.audit_log = SegmentedOptions(base);  // kDisk + recover
+  options.libseal.logger.check_interval = 0;
+  options.epoch_counter.inject_latency = false;
+  options.recover = true;
+  return options;
+}
+
+std::function<std::unique_ptr<ServiceModule>()> OpsFactory() {
+  return [] { return std::make_unique<OpsModule>(); };
+}
+
+void PumpPairs(ShardSet& set, uint64_t first_key, int n) {
+  for (int i = 0; i < n; ++i) {
+    uint64_t key = first_key + static_cast<uint64_t>(i);
+    auto r = set.OnPair(key, "op-" + std::to_string(key), "ok", false);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+size_t TotalEntries(ShardSet& set) {
+  size_t total = 0;
+  for (size_t k = 0; k < set.shard_count(); ++k) {
+    total += set.logger(k)->log().entry_count();
+  }
+  return total;
+}
+
+// The crash window the file comment in shard.h argues about: the process
+// dies AFTER every shard committed its head (phase 1) but BEFORE the epoch
+// record was written (phase 2). The shards are then AHEAD of the record on
+// disk — recovery must accept that as consistent (the heads are genuine)
+// and re-anchor at the recovered state. Nothing is lost, nothing rolls
+// back.
+TEST(ShardRecovery, CrashBetweenHeadCommitAndEpochRecordAdvancesAll) {
+  const std::string base = FreshShardBase("shard_crash_window.log", 3);
+  {
+    ShardSet set(ShardOptions(base), OpsFactory());
+    ASSERT_TRUE(set.Init().ok());
+    PumpPairs(set, 0, 30);
+    ASSERT_TRUE(set.AnchorEpoch().ok());
+    // More traffic past the anchor, then the crash: heads commit, the
+    // record write never happens — the record on disk stays the stale
+    // 30-entry anchor.
+    PumpPairs(set, 1000, 15);
+    set.crash_after_head_commit_for_testing = true;
+    auto crashed = set.AnchorEpoch();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kUnavailable);
+  }
+  ShardSet set(ShardOptions(base), OpsFactory());
+  ASSERT_TRUE(set.Init().ok()) << "recovery must accept shards AHEAD of the anchored record";
+  EXPECT_EQ(TotalEntries(set), 45u);  // nothing rolled back, nothing lost
+  // Init re-anchored the recovered state: the record now matches the live
+  // shard heads, not the stale pre-crash ones.
+  auto rec = ShardSet::ReadEpochRecord(set.epoch_path(), set.anchor_public_key());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->heads.size(), 3u);
+  for (const ShardHeadInfo& head : rec->heads) {
+    EXPECT_EQ(head.entry_count, set.logger(head.shard)->log().entry_count());
+    EXPECT_EQ(head.chain_head, set.logger(head.shard)->log().chain_head());
+  }
+  // And the recovered set keeps accepting traffic and anchoring.
+  PumpPairs(set, 2000, 5);
+  ASSERT_TRUE(set.AnchorEpoch().ok());
+  EXPECT_EQ(TotalEntries(set), 50u);
+}
+
+// A clean restart recovers every shard and re-anchors at exactly the
+// recovered heads.
+TEST(ShardRecovery, CleanRestartReanchorsAtRecoveredHeads) {
+  const std::string base = FreshShardBase("shard_clean_restart.log", 3);
+  {
+    ShardSet set(ShardOptions(base), OpsFactory());
+    ASSERT_TRUE(set.Init().ok());
+    PumpPairs(set, 0, 24);
+    ASSERT_TRUE(set.AnchorEpoch().ok());
+  }
+  ShardSet set(ShardOptions(base), OpsFactory());
+  ASSERT_TRUE(set.Init().ok());
+  EXPECT_EQ(TotalEntries(set), 24u);
+  auto rec = ShardSet::ReadEpochRecord(set.epoch_path(), set.anchor_public_key());
+  ASSERT_TRUE(rec.ok());
+  for (const ShardHeadInfo& head : rec->heads) {
+    EXPECT_EQ(head.entry_count, set.logger(head.shard)->log().entry_count());
+  }
+}
+
+// The attack the shared epoch record exists to catch: per-shard ROTE
+// counters accept a shard restored from an old backup together with its
+// old counter state, but the anchored head vector pins ALL shards to one
+// epoch — a shard recovering BEHIND its anchored head is a rollback.
+TEST(ShardRecovery, IndividuallyRolledBackShardIsDetected) {
+  const std::string base = FreshShardBase("shard_rollback.log", 3);
+  {
+    ShardSet set(ShardOptions(base), OpsFactory());
+    ASSERT_TRUE(set.Init().ok());
+    PumpPairs(set, 0, 30);
+    ASSERT_TRUE(set.AnchorEpoch().ok());
+  }
+  // The operator "restores" shard 1 from before any traffic existed.
+  RemoveLogFiles(base + ".shard1");
+  ShardSet set(ShardOptions(base), OpsFactory());
+  Status s = set.Init();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("rolled back past anchored epoch"), std::string::npos)
+      << s.message();
+}
+
+// Modifying a shard's entries without changing its length is equally
+// caught: the anchored chain head no longer matches.
+TEST(ShardRecovery, AnchoredChainHeadPinsEntryContents) {
+  const std::string base = FreshShardBase("shard_content.log", 2);
+  {
+    ShardSet set(ShardOptions(base, 2), OpsFactory());
+    ASSERT_TRUE(set.Init().ok());
+    PumpPairs(set, 0, 20);
+    ASSERT_TRUE(set.AnchorEpoch().ok());
+  }
+  // Find the shard 0 segment files and flip one record byte. Per-shard
+  // recovery itself rejects the forged chain before the epoch check runs —
+  // either way Init must fail.
+  const std::string shard0 = base + ".shard0";
+  const auto segments = ListSegmentFiles(shard0);
+  ASSERT_FALSE(segments.empty());
+  auto data = ReadFileBytes(SegmentFilePath(shard0, segments[0]));
+  ASSERT_TRUE(data.ok());
+  ASSERT_GT(data->size(), kSegmentHeaderSize + 10);
+  (*data)[kSegmentHeaderSize + 9] ^= 0x01;
+  ASSERT_TRUE(DurableWriteFile(SegmentFilePath(shard0, segments[0]), *data, /*append=*/false,
+                               /*sync=*/false)
+                  .ok());
+  ShardSet set(ShardOptions(base, 2), OpsFactory());
+  EXPECT_FALSE(set.Init().ok());
 }
 
 TEST(Recovery, DoubleRecoverIsRejected) {

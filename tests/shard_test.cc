@@ -1,0 +1,461 @@
+// Multi-enclave sharding (ROADMAP item 2): route-key -> shard mapping,
+// session-affine connection routing across TLS resumption, epoch-anchored
+// head records, and the cross-shard consistent-cut invariant check agreeing
+// with both the offline log_merge path and a single-instance replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/libseal.h"
+#include "src/core/log_merge.h"
+#include "src/core/log_segment.h"
+#include "src/core/shard.h"
+#include "src/services/git_service.h"
+#include "src/services/http_server.h"
+#include "src/services/https_client.h"
+#include "src/services/sharded_transport.h"
+#include "src/ssm/git_ssm.h"
+#include "src/tls/x509.h"
+
+namespace seal {
+namespace {
+
+struct Pki {
+  Pki() {
+    ca = tls::MakeSelfSignedCa("Shard CA", crypto::EcdsaPrivateKey::FromSeed(ToBytes("shard-ca")));
+    server_key = crypto::EcdsaPrivateKey::FromSeed(ToBytes("shard-srv"));
+    server_cert = tls::IssueCertificate(ca, "libseal.service", server_key.public_key(), 2);
+  }
+  tls::CertifiedKey ca;
+  crypto::EcdsaPrivateKey server_key;
+  tls::Certificate server_cert;
+};
+
+Pki& GetPki() {
+  static Pki pki;
+  return pki;
+}
+
+core::LibSealOptions MakeLibSealOptions() {
+  core::LibSealOptions options;
+  options.enclave.inject_costs = false;
+  options.use_async_calls = false;  // shard tests drive loggers directly
+  options.audit_log.counter_options.inject_latency = false;
+  options.logger.check_interval = 0;
+  options.tls.certificate = GetPki().server_cert;
+  options.tls.private_key = GetPki().server_key;
+  return options;
+}
+
+core::ShardSetOptions MakeShardSetOptions(size_t shards, const std::string& disk_base = "") {
+  core::ShardSetOptions options;
+  options.shards = shards;
+  options.libseal = MakeLibSealOptions();
+  if (!disk_base.empty()) {
+    options.libseal.audit_log.mode = core::PersistenceMode::kDisk;
+    options.libseal.audit_log.path = disk_base;
+  }
+  options.epoch_counter.inject_latency = false;
+  return options;
+}
+
+// Scrubs the per-shard log files and the epoch record (gtest's TempDir
+// persists across runs).
+std::string FreshShardBase(const std::string& name, size_t shards) {
+  std::string base = std::string(::testing::TempDir()) + "/" + name;
+  for (size_t k = 0; k < shards; ++k) {
+    core::RemoveLogFiles(base + ".shard" + std::to_string(k));
+  }
+  std::remove((base + ".epoch").c_str());
+  return base;
+}
+
+std::function<std::unique_ptr<core::ServiceModule>()> GitFactory() {
+  return [] { return std::make_unique<ssm::GitModule>(); };
+}
+
+size_t ViolationRows(const core::CheckReport& report) {
+  size_t rows = 0;
+  for (const auto& violation : report.violations) {
+    rows += violation.rows.rows.size();
+  }
+  return rows;
+}
+
+tls::TlsConfig ClientTls() {
+  tls::TlsConfig config;
+  config.trusted_roots = {GetPki().ca.cert};
+  return config;
+}
+
+// --- route-key mapping ---
+
+TEST(ShardFor, StableAndInRange) {
+  for (uint64_t key = 0; key < 1000; ++key) {
+    uint32_t shard = core::ShardSet::ShardFor(key, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, core::ShardSet::ShardFor(key, 4));  // same key, same shard
+  }
+  EXPECT_EQ(core::ShardSet::ShardFor(42, 1), 0u);
+  EXPECT_EQ(core::ShardSet::ShardFor(42, 0), 0u);  // degenerate count
+}
+
+TEST(ShardFor, SequentialKeysSpreadAcrossShards) {
+  // Connection ids are sequential; the splitmix finalizer must still
+  // balance them (a plain modulo would too, but also correlates with any
+  // striding in the id assignment).
+  constexpr size_t kShards = 4;
+  size_t counts[kShards] = {0};
+  for (uint64_t key = 0; key < 1000; ++key) {
+    counts[core::ShardSet::ShardFor(key, kShards)]++;
+  }
+  for (size_t k = 0; k < kShards; ++k) {
+    EXPECT_GT(counts[k], 150u) << "shard " << k << " starved";
+  }
+}
+
+// --- ClientHello peeking ---
+
+Bytes SyntheticClientHello(size_t sid_len) {
+  Bytes hello;
+  hello.push_back(22);  // handshake record
+  hello.push_back(3);
+  hello.push_back(3);
+  AppendBe16(hello, static_cast<uint16_t>(4 + 32 + 1 + sid_len));
+  hello.push_back(1);  // ClientHello
+  hello.push_back(0);
+  hello.push_back(0);
+  hello.push_back(static_cast<uint8_t>(32 + 1 + sid_len));
+  for (int i = 0; i < 32; ++i) {
+    hello.push_back(static_cast<uint8_t>(i));  // client random
+  }
+  hello.push_back(static_cast<uint8_t>(sid_len));
+  for (size_t i = 0; i < sid_len; ++i) {
+    hello.push_back(static_cast<uint8_t>(0xa0 + i));
+  }
+  return hello;
+}
+
+TEST(ParseClientHello, ExtractsOfferedSessionId) {
+  Bytes hello = SyntheticClientHello(16);
+  auto sid = services::ParseClientHelloSessionId(hello);
+  ASSERT_TRUE(sid.has_value());
+  ASSERT_EQ(sid->size(), 16u);
+  EXPECT_EQ((*sid)[0], 0xa0);
+  EXPECT_EQ((*sid)[15], 0xaf);
+}
+
+TEST(ParseClientHello, FreshClientOffersEmptyId) {
+  auto sid = services::ParseClientHelloSessionId(SyntheticClientHello(0));
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_TRUE(sid->empty());
+}
+
+TEST(ParseClientHello, RejectsNonHelloAndTruncatedPrefixes) {
+  Bytes hello = SyntheticClientHello(16);
+  // Truncated before the sid length byte.
+  EXPECT_FALSE(services::ParseClientHelloSessionId(BytesView(hello).subspan(0, 20)).has_value());
+  // Truncated mid-sid.
+  EXPECT_FALSE(services::ParseClientHelloSessionId(BytesView(hello).subspan(0, hello.size() - 4))
+                   .has_value());
+  // Not a handshake record.
+  Bytes appdata = hello;
+  appdata[0] = 23;
+  EXPECT_FALSE(services::ParseClientHelloSessionId(appdata).has_value());
+  // Handshake record but not a ClientHello.
+  Bytes finished = hello;
+  finished[5] = 20;
+  EXPECT_FALSE(services::ParseClientHelloSessionId(finished).has_value());
+  // Over-long sid length.
+  Bytes oversized = hello;
+  oversized[41] = 33;
+  EXPECT_FALSE(services::ParseClientHelloSessionId(oversized).has_value());
+}
+
+TEST(ShardRouterTest, LearnsAndOverwrites) {
+  services::ShardRouter router;
+  Bytes sid(16, 0x11);
+  EXPECT_FALSE(router.Lookup(sid).has_value());
+  router.Learn(sid, 2);
+  ASSERT_TRUE(router.Lookup(sid).has_value());
+  EXPECT_EQ(*router.Lookup(sid), 2u);
+  router.Learn(sid, 3);  // renegotiated elsewhere: latest wins
+  EXPECT_EQ(*router.Lookup(sid), 3u);
+  EXPECT_EQ(router.size(), 1u);
+  router.Learn({}, 1);  // empty ids are never mapped
+  EXPECT_EQ(router.size(), 1u);
+}
+
+// --- epoch records ---
+
+TEST(EpochRecordTest, SerializeRoundTrips) {
+  core::EpochRecord rec;
+  rec.epoch = 7;
+  rec.wall_nanos = 123456789;
+  rec.heads.push_back({0, Bytes(32, 0xab), 4, 9});
+  rec.heads.push_back({1, Bytes(32, 0xcd), 5, 11});
+  auto back = core::EpochRecord::Deserialize(rec.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->epoch, 7u);
+  EXPECT_EQ(back->wall_nanos, 123456789);
+  ASSERT_EQ(back->heads.size(), 2u);
+  EXPECT_EQ(back->heads[0].chain_head, rec.heads[0].chain_head);
+  EXPECT_EQ(back->heads[1].counter_value, 5u);
+  EXPECT_EQ(back->heads[1].entry_count, 11u);
+}
+
+TEST(EpochRecordTest, RejectsTruncationAndGarbage) {
+  core::EpochRecord rec;
+  rec.epoch = 1;
+  rec.heads.push_back({0, Bytes(32, 0x01), 1, 1});
+  Bytes ser = rec.Serialize();
+  ser.pop_back();
+  EXPECT_FALSE(core::EpochRecord::Deserialize(ser).ok());
+  EXPECT_FALSE(core::EpochRecord::Deserialize(ToBytes("not an epoch record")).ok());
+  Bytes trailing = rec.Serialize();
+  trailing.push_back(0);
+  EXPECT_FALSE(core::EpochRecord::Deserialize(trailing).ok());
+}
+
+TEST(ShardSetTest, EpochAnchorPersistsAndDetectsTamper) {
+  const std::string base = FreshShardBase("shard_epoch_rec.log", 2);
+  core::ShardSet set(MakeShardSetOptions(2, base), GitFactory());
+  ASSERT_TRUE(set.Init().ok());
+  EXPECT_GE(set.last_anchored_epoch(), 1u);  // Init anchors the initial state
+
+  services::GitBackend backend;
+  for (uint64_t key = 0; key < 8; ++key) {
+    http::HttpRequest req = services::MakeGitPush("repo", {{"main", "c" + std::to_string(key)}});
+    http::HttpResponse rsp = backend.Handle(req);
+    ASSERT_TRUE(set.OnPair(key, req.Serialize(), rsp.Serialize(), false).ok());
+  }
+  auto rec = set.AnchorEpoch();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GT(rec->epoch, 1u);
+  ASSERT_EQ(rec->heads.size(), 2u);
+  for (const core::ShardHeadInfo& head : rec->heads) {
+    EXPECT_EQ(head.entry_count, set.logger(head.shard)->log().entry_count());
+    EXPECT_EQ(head.chain_head, set.logger(head.shard)->log().chain_head());
+  }
+
+  auto read = core::ShardSet::ReadEpochRecord(set.epoch_path(), set.anchor_public_key());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->epoch, rec->epoch);
+  ASSERT_EQ(read->heads.size(), 2u);
+  EXPECT_EQ(read->heads[0].chain_head, rec->heads[0].chain_head);
+  EXPECT_EQ(read->heads[1].chain_head, rec->heads[1].chain_head);
+
+  // A flipped payload byte breaks the anchor signature.
+  auto data = core::ReadFileBytes(set.epoch_path());
+  ASSERT_TRUE(data.ok());
+  (*data)[10] ^= 0x01;
+  ASSERT_TRUE(
+      core::DurableWriteFile(set.epoch_path(), *data, /*append=*/false, /*sync=*/false).ok());
+  auto tampered = core::ShardSet::ReadEpochRecord(set.epoch_path(), set.anchor_public_key());
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.status().code(), StatusCode::kPermissionDenied);
+  set.Shutdown();
+}
+
+// --- cross-shard checking ---
+
+// The core equivalence the sharded deployment must preserve: an attack
+// whose evidence is split across shards (pushes on shard A, the rolled-back
+// advertisement on shard B) is invisible to every per-shard check, but the
+// cross-shard consistent cut, the offline log_merge of the durable shard
+// logs, and a single-instance replay of the same trace all agree on the
+// violations.
+TEST(ShardSetTest, CrossShardCheckMatchesOfflineMergeAndSingleInstance) {
+  const std::string base = FreshShardBase("shard_equiv.log", 2);
+  core::ShardSet set(MakeShardSetOptions(2, base), GitFactory());
+  ASSERT_TRUE(set.Init().ok());
+
+  uint64_t push_key = 0;
+  uint64_t fetch_key = 0;
+  while (core::ShardSet::ShardFor(push_key, 2) != 0) {
+    ++push_key;
+  }
+  while (core::ShardSet::ShardFor(fetch_key, 2) != 1) {
+    ++fetch_key;
+  }
+
+  services::GitBackend backend;
+  std::vector<std::pair<std::string, std::string>> trace;
+  auto pump = [&](uint64_t key, const http::HttpRequest& req) {
+    http::HttpResponse rsp = backend.Handle(req);
+    trace.emplace_back(req.Serialize(), rsp.Serialize());
+    auto r = set.OnPair(key, trace.back().first, trace.back().second, false);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  };
+  pump(push_key, services::MakeGitPush("repo", {{"main", "c1"}}));
+  pump(push_key, services::MakeGitPush("repo", {{"main", "c2"}}));
+  backend.set_attack(services::GitBackend::Attack::kRollback);
+  pump(fetch_key, services::MakeGitFetch("repo"));
+
+  EXPECT_EQ(set.logger(0)->pairs_logged(), 2);
+  EXPECT_EQ(set.logger(1)->pairs_logged(), 1);
+
+  // The shard holding only the advertisement cannot fire the soundness
+  // invariant locally.
+  auto local = set.logger(1)->CheckInvariants();
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(local->clean()) << local->Summary();
+
+  auto cross = set.CheckCrossShard();
+  ASSERT_TRUE(cross.ok()) << cross.status().ToString();
+  EXPECT_EQ(cross->shards, 2u);
+  EXPECT_EQ(cross->merged_entries, 3u);
+  const size_t cross_rows = ViolationRows(cross->report);
+  EXPECT_GT(cross_rows, 0u);
+
+  // Offline auditor path: merge the durable per-shard logs.
+  std::vector<core::PartialLog> partials;
+  for (size_t k = 0; k < set.shard_count(); ++k) {
+    core::PartialLog partial;
+    partial.path = base + ".shard" + std::to_string(k);
+    partial.log_public_key = set.shard(k).log_public_key();
+    partial.counter = &set.logger(k)->log().counter();
+    partials.push_back(std::move(partial));
+  }
+  ssm::GitModule module;
+  auto merged = core::MergeVerifiedLogs(partials, module);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->total_entries, 3u);
+  size_t offline_rows = 0;
+  for (const core::Invariant& invariant : module.Invariants()) {
+    auto r = merged->database.Execute(invariant.query);
+    ASSERT_TRUE(r.ok()) << invariant.name << ": " << r.status().ToString();
+    offline_rows += r->rows.size();
+  }
+  EXPECT_EQ(offline_rows, cross_rows);
+
+  // And a single un-sharded instance replaying the identical trace.
+  core::LibSealRuntime single(MakeLibSealOptions(), std::make_unique<ssm::GitModule>());
+  ASSERT_TRUE(single.Init().ok());
+  for (const auto& [req, rsp] : trace) {
+    ASSERT_TRUE(single.logger()->OnPair(1, req, rsp, false).ok());
+  }
+  auto replay = single.logger()->CheckInvariants();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(ViolationRows(*replay), cross_rows);
+  single.Shutdown();
+  set.Shutdown();
+}
+
+TEST(ShardSetTest, CleanTrafficStaysCleanAcrossShards) {
+  core::ShardSet set(MakeShardSetOptions(4), GitFactory());
+  ASSERT_TRUE(set.Init().ok());
+  services::GitBackend backend;
+  for (uint64_t key = 0; key < 20; ++key) {
+    http::HttpRequest req = services::MakeGitPush("repo", {{"main", "c" + std::to_string(key)}});
+    http::HttpResponse rsp = backend.Handle(req);
+    ASSERT_TRUE(set.OnPair(key, req.Serialize(), rsp.Serialize(), false).ok());
+  }
+  http::HttpRequest fetch = services::MakeGitFetch("repo");
+  http::HttpResponse rsp = backend.Handle(fetch);
+  ASSERT_TRUE(set.OnPair(99, fetch.Serialize(), rsp.Serialize(), false).ok());
+  auto cross = set.CheckCrossShard();
+  ASSERT_TRUE(cross.ok()) << cross.status().ToString();
+  EXPECT_EQ(cross->merged_entries, 21u);
+  EXPECT_TRUE(cross->report.clean()) << cross->report.Summary();
+  // Appends actually spread: no shard holds the whole log.
+  for (size_t k = 0; k < set.shard_count(); ++k) {
+    EXPECT_LT(set.logger(k)->log().entry_count(), 21u) << "shard " << k << " took everything";
+  }
+  set.Shutdown();
+}
+
+// --- connection routing ---
+
+TEST(ShardedTransportTest, ResumedSessionLandsOnSameShard) {
+  net::Network network;
+  core::ShardSetOptions options = MakeShardSetOptions(4);
+  options.libseal.use_async_calls = true;
+  options.libseal.async.enclave_threads = 2;
+  options.libseal.async.tasks_per_thread = 16;
+  core::ShardSet set(options, GitFactory());
+  ASSERT_TRUE(set.Init().ok());
+  services::ShardedTransport transport(&set);
+  services::GitBackend backend;
+  services::HttpServer server(&network, {.address = "git:443"}, &transport,
+                              [&](const http::HttpRequest& r) { return backend.Handle(r); });
+  ASSERT_TRUE(server.Start().ok());
+
+  tls::TlsConfig client_tls = ClientTls();
+  services::ClientSessionStore sessions;
+  Bytes sid;
+  uint32_t first_shard = 0;
+  {
+    auto client = services::HttpsClient::Connect(&network, "git:443", client_tls, 0, 0, &sessions);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_FALSE((*client)->tls().resumed());
+    auto rsp = (*client)->RoundTrip(services::MakeGitPush("repo", {{"main", "c1"}}));
+    ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+    sid = (*client)->tls().session_id();
+    ASSERT_FALSE(sid.empty());
+    auto learned = transport.router().Lookup(sid);
+    ASSERT_TRUE(learned.has_value()) << "handshake did not teach the router";
+    first_shard = *learned;
+    EXPECT_EQ(set.logger(first_shard)->pairs_logged(), 1);
+    (*client)->Close();
+  }
+  // Reconnect offering the session: only the original shard's
+  // enclave-resident cache holds the master secret, so an abbreviated
+  // handshake proves the router sent the connection back there.
+  {
+    auto client = services::HttpsClient::Connect(&network, "git:443", client_tls, 0, 0, &sessions);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_TRUE((*client)->tls().resumed());
+    EXPECT_EQ((*client)->tls().session_id(), sid);
+    auto rsp = (*client)->RoundTrip(services::MakeGitPush("repo", {{"main", "c2"}}));
+    ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+    (*client)->Close();
+  }
+  EXPECT_EQ(transport.RouteFor(sid), first_shard);
+  EXPECT_EQ(set.logger(first_shard)->pairs_logged(), 2);
+  for (size_t k = 0; k < set.shard_count(); ++k) {
+    if (k != first_shard) {
+      EXPECT_EQ(set.logger(k)->pairs_logged(), 0) << "pair leaked to shard " << k;
+    }
+  }
+  server.Stop();
+  set.Shutdown();
+}
+
+TEST(ShardedTransportTest, FreshClientsSpreadRoundRobin) {
+  net::Network network;
+  core::ShardSetOptions options = MakeShardSetOptions(4);
+  options.libseal.use_async_calls = true;
+  options.libseal.async.enclave_threads = 2;
+  options.libseal.async.tasks_per_thread = 16;
+  core::ShardSet set(options, GitFactory());
+  ASSERT_TRUE(set.Init().ok());
+  services::ShardedTransport transport(&set);
+  services::GitBackend backend;
+  services::HttpServer server(&network, {.address = "git:443"}, &transport,
+                              [&](const http::HttpRequest& r) { return backend.Handle(r); });
+  ASSERT_TRUE(server.Start().ok());
+
+  tls::TlsConfig client_tls = ClientTls();
+  // Four sequential fresh clients (no session store, nothing to resume):
+  // round-robin puts one on each shard.
+  for (int c = 0; c < 4; ++c) {
+    auto client = services::HttpsClient::Connect(&network, "git:443", client_tls);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto rsp = (*client)->RoundTrip(
+        services::MakeGitPush("repo", {{"main", "c" + std::to_string(c)}}));
+    ASSERT_TRUE(rsp.ok()) << rsp.status().ToString();
+    (*client)->Close();
+  }
+  for (size_t k = 0; k < set.shard_count(); ++k) {
+    EXPECT_EQ(set.logger(k)->pairs_logged(), 1) << "shard " << k;
+  }
+  server.Stop();
+  set.Shutdown();
+}
+
+}  // namespace
+}  // namespace seal
