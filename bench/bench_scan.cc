@@ -1,0 +1,161 @@
+// Micro-benchmark for the seadb execution engines: filter, hash-join and
+// aggregation throughput (input rows/s) of the row-at-a-time interpreter
+// vs the vectorized columnar kernels (src/db/vector_exec.cc), over the
+// identical tables and queries. Emits BENCH_scan.json for the perf-smoke
+// job; results are cross-checked byte-identical before any timing counts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/db/database.h"
+
+namespace seal::bench {
+namespace {
+
+std::string Fingerprint(const db::QueryResult& r) {
+  std::string out;
+  for (const auto& c : r.columns) {
+    out += c;
+    out += '|';
+  }
+  for (const db::Row& row : r.rows) {
+    for (const db::Value& v : row) {
+      out += v.Serialize();
+      out += '|';
+    }
+    out += ';';
+  }
+  return out;
+}
+
+db::Database BuildTables(int rows) {
+  db::Database db;
+  (void)db.Execute("CREATE TABLE t(time, k, v, s)");
+  (void)db.Execute("CREATE TABLE d(time, k, c)");
+  const char* tags[] = {"alpha", "bravo", "charlie-longer-than-inline", "delta"};
+  for (int i = 0; i < rows; ++i) {
+    // InsertRow: the logger's programmatic append path, no SQL parsing.
+    (void)db.InsertRow("t", {db::Value(static_cast<int64_t>(i + 1)),
+                             db::Value(static_cast<int64_t>(i % 1000)),
+                             db::Value(static_cast<int64_t>((i * 37) % 2000 - 1000)),
+                             db::Value(std::string(tags[i % 4]))});
+  }
+  for (int i = 0; i < rows / 10; ++i) {
+    (void)db.InsertRow("d", {db::Value(static_cast<int64_t>(i + 1)),
+                             db::Value(static_cast<int64_t>((i * 13) % 1000)),
+                             db::Value(static_cast<int64_t>(i % 64 - 8))});
+  }
+  return db;
+}
+
+struct KernelResult {
+  double interpreted_rows_per_sec = 0;
+  double vectorized_rows_per_sec = 0;
+  bool identical = false;
+
+  double Speedup() const {
+    return interpreted_rows_per_sec > 0 ? vectorized_rows_per_sec / interpreted_rows_per_sec : 0;
+  }
+};
+
+// Times `sql` under both engines. Throughput is INPUT rows per second
+// (`input_rows` per execution), the figure of merit for a scan kernel.
+KernelResult MeasureKernel(db::Database& db, const std::string& sql, size_t input_rows) {
+  KernelResult result;
+  std::string fingerprints[2];
+  for (int c = 0; c < 2; ++c) {
+    db::Tuning tuning = db.tuning();
+    tuning.use_vectorized = (c == 1);
+    db.set_tuning(tuning);
+    auto first = db.Execute(sql);
+    if (!first.ok()) {
+      std::printf("query failed: %s\n", sql.c_str());
+      return result;
+    }
+    fingerprints[c] = Fingerprint(*first);
+    // Run for >= 200ms or 3 iterations, whichever is more work.
+    int iters = 0;
+    int64_t start = NowNanos();
+    int64_t elapsed = 0;
+    do {
+      (void)db.Execute(sql);
+      ++iters;
+      elapsed = NowNanos() - start;
+    } while (elapsed < 200'000'000 || iters < 3);
+    double rows_per_sec = static_cast<double>(input_rows) * static_cast<double>(iters) /
+                          (static_cast<double>(elapsed) / 1e9);
+    (c == 0 ? result.interpreted_rows_per_sec : result.vectorized_rows_per_sec) = rows_per_sec;
+  }
+  result.identical = fingerprints[0] == fingerprints[1];
+  return result;
+}
+
+}  // namespace
+}  // namespace seal::bench
+
+int main(int argc, char** argv) {
+  using namespace seal::bench;
+
+  bool quick = false;
+  std::string out_path = "BENCH_scan.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  const int rows = quick ? 20'000 : 100'000;
+  seal::db::Database db = BuildTables(rows);
+  const size_t n = static_cast<size_t>(rows);
+
+  struct Case {
+    const char* name;
+    std::string sql;
+    size_t input_rows;
+  } cases[] = {
+      {"filter", "SELECT k, v FROM t WHERE v > 900 AND k < 500", n},
+      {"join",
+       "SELECT t.k, t.v, d.c FROM t JOIN d ON t.k = d.k WHERE d.c > 40",
+       n + n / 10},
+      {"aggregate", "SELECT k, COUNT(*), SUM(v), MAX(s) FROM t GROUP BY k", n},
+  };
+
+  std::printf("=== seadb kernels: input rows/s, interpreted vs vectorized (%d rows) ===\n", rows);
+  std::printf("%-10s %16s %16s %9s %10s\n", "kernel", "interpreted", "vectorized", "speedup",
+              "identical");
+  KernelResult results[3];
+  bool all_identical = true;
+  for (int i = 0; i < 3; ++i) {
+    results[i] = MeasureKernel(db, cases[i].sql, cases[i].input_rows);
+    all_identical = all_identical && results[i].identical;
+    std::printf("%-10s %16.0f %16.0f %8.1fx %10s\n", cases[i].name,
+                results[i].interpreted_rows_per_sec, results[i].vectorized_rows_per_sec,
+                results[i].Speedup(), results[i].identical ? "yes" : "NO");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"scan\",\n"
+                 "  \"rows\": %d,\n"
+                 "  \"filter_rows_per_sec\": {\"interpreted\": %.0f, \"vectorized\": %.0f},\n"
+                 "  \"join_rows_per_sec\": {\"interpreted\": %.0f, \"vectorized\": %.0f},\n"
+                 "  \"aggregate_rows_per_sec\": {\"interpreted\": %.0f, \"vectorized\": %.0f},\n"
+                 "  \"speedup\": {\"filter\": %.2f, \"join\": %.2f, \"aggregate\": %.2f},\n"
+                 "  \"results_identical\": %s,\n"
+                 "  \"quick\": %s\n"
+                 "}\n",
+                 rows, results[0].interpreted_rows_per_sec, results[0].vectorized_rows_per_sec,
+                 results[1].interpreted_rows_per_sec, results[1].vectorized_rows_per_sec,
+                 results[2].interpreted_rows_per_sec, results[2].vectorized_rows_per_sec,
+                 results[0].Speedup(), results[1].Speedup(), results[2].Speedup(),
+                 all_identical ? "true" : "false", quick ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "src/core/checker.h"
 
 #include "src/common/clock.h"
+#include "src/common/log.h"
 #include "src/obs/obs.h"
 #include "src/sgx/enclave.h"
 
@@ -61,6 +62,20 @@ void CheckerEngine::Start() {
     return;
   }
   started_ = true;
+  // Oversubscribing check workers past the physical core count only adds
+  // context-switch overhead to round latency (the workers are CPU-bound
+  // invariant evaluations), so clamp. hardware_concurrency() may report 0
+  // on exotic platforms; treat that as "unknown" and don't clamp.
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw > 0 && options_.parallelism > hw) {
+    SEAL_LOG(kWarn) << "check_parallelism " << options_.parallelism << " exceeds hardware concurrency "
+                    << hw << "; clamping";
+    options_.parallelism = hw;
+  }
+  if (options_.parallelism == 0) {
+    options_.parallelism = 1;
+  }
+  SEAL_OBS_GAUGE("checker_effective_parallelism").Set(static_cast<double>(options_.parallelism));
   // Helpers before the worker: the worker reads helpers_ unlocked when
   // deciding whether to fan a round out.
   for (size_t i = 1; i < options_.parallelism; ++i) {

@@ -1,0 +1,54 @@
+#include "src/db/column_store.h"
+
+namespace seal::db {
+
+void ColumnStore::Append(const Row& row) {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  if ((n >> kBatchShift) >= dir_->size()) {
+    // Copy-on-grow: readers pinning the old directory keep a consistent
+    // prefix; the new directory shares every existing batch.
+    auto grown = std::make_shared<Directory>(*dir_);
+    grown->push_back(std::make_shared<Batch>(num_cols_));
+    dir_ = std::move(grown);
+  }
+  Batch& batch = *(*dir_)[n >> kBatchShift];
+  const size_t off = n & kBatchMask;
+  for (size_t c = 0; c < num_cols_; ++c) {
+    Column& col = batch.cols[c];
+    const Value& v = row[c];
+    if (v.is_null()) {
+      col.tags[off] = kNull;
+      col.data[off] = 0;
+    } else if (v.is_int()) {
+      col.tags[off] = kInt;
+      col.data[off] = static_cast<uint64_t>(v.AsInt());
+    } else if (v.is_real()) {
+      double d = v.AsReal();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      col.tags[off] = kReal;
+      col.data[off] = bits;
+    } else {
+      const std::string& s = v.text();
+      if (s.size() <= kMaxInline) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, s.data(), s.size());
+        col.data[off] = bits;
+        col.tags[off] = static_cast<uint8_t>(kInlineText + s.size());
+      } else {
+        if (col.dict.capacity() < kBatchRows) {
+          // First dictionary entry in this batch's column: no published row
+          // can reference the dict yet, so this one-time reallocation cannot
+          // race a reader.
+          col.dict.reserve(kBatchRows);
+        }
+        col.data[off] = col.dict.size();
+        col.dict.push_back(s);
+        col.tags[off] = kDictText;
+      }
+    }
+  }
+  size_.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace seal::db

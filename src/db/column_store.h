@@ -1,0 +1,167 @@
+// Column-major shadow storage for seadb tables.
+//
+// RowStore keeps the row-at-a-time truth; ColumnStore keeps the same rows
+// transposed into per-column contiguous arrays so the vectorized executor
+// (vector_exec.cc) can run predicate/join/aggregate kernels without boxing
+// a Value per cell. Each column is stored as fixed 1024-row batches of a
+// tag byte plus a 64-bit payload: integers and doubles live directly in
+// the payload, short strings (<= 8 bytes) are inlined into it, and longer
+// strings go through a per-batch dictionary. NULLs are a tag, so a "null
+// bitmap" test is one byte compare and never touches the payload.
+//
+// Concurrency contract (mirrors RowStore):
+//  - All MUTATORS (Append, Rebuild, Reset) must be externally synchronised
+//    with each other and with captures — in the audit logger they run under
+//    the sequencer's drain mutex.
+//  - A captured View may be READ from any thread concurrently with any
+//    mutator: batches never move once allocated, the batch directory is
+//    replaced copy-on-grow, appends only write slots >= every view's count,
+//    and a batch's string dictionary reserves its full capacity before the
+//    first entry is published (push_back never reallocates under a reader).
+#ifndef SRC_DB_COLUMN_STORE_H_
+#define SRC_DB_COLUMN_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace seal::db {
+
+class ColumnStore {
+ public:
+  static constexpr size_t kBatchShift = 10;
+  static constexpr size_t kBatchRows = size_t{1} << kBatchShift;  // 1024
+  static constexpr size_t kBatchMask = kBatchRows - 1;
+  // Longest string stored inline in the 8-byte payload.
+  static constexpr size_t kMaxInline = 8;
+
+  // Per-cell tag: type plus, for inline text, the length.
+  enum Tag : uint8_t {
+    kNull = 0,
+    kInt = 1,
+    kReal = 2,
+    kDictText = 3,                      // payload = index into the batch dict
+    kInlineText = 4,                    // tags [4, 4+kMaxInline]: payload = bytes
+  };
+
+  // One column's slice of one 1024-row batch.
+  struct Column {
+    std::array<uint8_t, kBatchRows> tags{};
+    std::array<uint64_t, kBatchRows> data{};
+    // Reserved to kBatchRows before the first entry so push_back never
+    // reallocates under a concurrent reader (see file comment).
+    std::vector<std::string> dict;
+
+    bool IsNull(size_t i) const { return tags[i] == kNull; }
+    int64_t IntAt(size_t i) const { return static_cast<int64_t>(data[i]); }
+    double RealAt(size_t i) const {
+      double d;
+      std::memcpy(&d, &data[i], sizeof(d));
+      return d;
+    }
+    std::string_view TextAt(size_t i) const {
+      if (tags[i] == kDictText) {
+        return dict[data[i]];
+      }
+      return std::string_view(reinterpret_cast<const char*>(&data[i]),
+                              tags[i] - kInlineText);
+    }
+    Value ValueAt(size_t i) const {
+      switch (tags[i]) {
+        case kNull:
+          return Value::Null();
+        case kInt:
+          return Value(IntAt(i));
+        case kReal:
+          return Value(RealAt(i));
+        default:
+          return Value(std::string(TextAt(i)));
+      }
+    }
+  };
+
+  struct Batch {
+    explicit Batch(size_t num_cols) : cols(num_cols) {}
+    std::vector<Column> cols;
+  };
+  using Directory = std::vector<std::shared_ptr<Batch>>;
+
+  // A frozen prefix of the store, pinned through the batch directory.
+  class View {
+   public:
+    View() = default;
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    size_t num_cols() const { return num_cols_; }
+    size_t num_batches() const { return (count_ + kBatchMask) >> kBatchShift; }
+    const Batch& batch(size_t b) const { return *(*dir_)[b]; }
+    const Column& column(size_t b, size_t c) const { return (*dir_)[b]->cols[c]; }
+
+    Value ValueAt(size_t c, size_t row) const {
+      return column(row >> kBatchShift, c).ValueAt(row & kBatchMask);
+    }
+
+   private:
+    friend class ColumnStore;
+    View(std::shared_ptr<const Directory> dir, size_t count, size_t num_cols)
+        : dir_(std::move(dir)), count_(count), num_cols_(num_cols) {}
+
+    std::shared_ptr<const Directory> dir_;
+    size_t count_ = 0;
+    size_t num_cols_ = 0;
+  };
+
+  ColumnStore() : dir_(std::make_shared<const Directory>()) {}
+  ColumnStore(ColumnStore&& other) noexcept
+      : num_cols_(other.num_cols_),
+        dir_(std::move(other.dir_)),
+        size_(other.size_.load(std::memory_order_relaxed)) {
+    other.dir_ = std::make_shared<const Directory>();
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  ColumnStore& operator=(ColumnStore&& other) noexcept {
+    if (this != &other) {
+      num_cols_ = other.num_cols_;
+      dir_ = std::move(other.dir_);
+      size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      other.dir_ = std::make_shared<const Directory>();
+      other.size_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  size_t num_cols() const { return num_cols_; }
+
+  // Drops all rows and fixes the column count (CREATE TABLE / rebuild).
+  // Publishes a fresh directory so pinned views keep the old rows alive.
+  void Reset(size_t num_cols) {
+    num_cols_ = num_cols;
+    dir_ = std::make_shared<const Directory>();
+    size_.store(0, std::memory_order_release);
+  }
+
+  // Appends one row (row.size() must equal num_cols()).
+  void Append(const Row& row);
+
+  View Snapshot() const { return View(dir_, size(), num_cols_); }
+
+ private:
+  size_t num_cols_ = 0;
+  std::shared_ptr<const Directory> dir_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace seal::db
+
+#endif  // SRC_DB_COLUMN_STORE_H_

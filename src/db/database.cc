@@ -152,6 +152,53 @@ void Database::IndexInsertedRow(TableData& table, size_t row_idx) {
   }
 }
 
+void Database::RemapTimeIndexAfterDelete(TableData& table, const std::vector<bool>& doomed) {
+  if (!table.index_valid || table.time_col < 0) {
+    // The index may become valid again once the offending rows are gone;
+    // only the full rebuild re-checks that.
+    RebuildTimeIndex(table);
+    return;
+  }
+  SEAL_OBS_COUNTER("seadb_index_incremental_remaps_total").Increment();
+  // Old position -> new position after compaction (prefix sum of keeps).
+  std::vector<size_t> new_pos(doomed.size());
+  size_t next = 0;
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    new_pos[i] = next;
+    if (!doomed[i]) {
+      ++next;
+    }
+  }
+  // Surviving entries keep their (time, position-order) sort: the remap is
+  // strictly monotone on surviving positions, so no re-sort is needed.
+  std::vector<std::pair<int64_t, size_t>> remapped;
+  remapped.reserve(next);
+  for (const auto& [time, pos] : table.time_index) {
+    if (!doomed[pos]) {
+      remapped.emplace_back(time, new_pos[pos]);
+    }
+  }
+  table.time_index = std::move(remapped);
+  // Deleting rows from a time-ordered table keeps it time-ordered; only the
+  // last row's time needs refreshing. A table that was NOT time-ordered may
+  // coincidentally become ordered after the delete — conservatively keep
+  // the flag false (it is advisory; the index above stays authoritative).
+  if (table.rows_time_ordered) {
+    table.last_row_time =
+        table.rows.empty()
+            ? 0
+            : table.rows[table.rows.size() - 1][static_cast<size_t>(table.time_col)].AsInt();
+  }
+}
+
+void Database::RebuildColumns(TableData& table) {
+  table.cols.Reset(table.columns.size());
+  const size_t n = table.rows.size();
+  for (size_t i = 0; i < n; ++i) {
+    table.cols.Append(table.rows[i]);
+  }
+}
+
 void Database::RebuildTimeIndex(TableData& table) {
   table.index_valid = table.time_col >= 0;
   table.time_index.clear();
@@ -202,6 +249,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     }
     TableData& table = tables_[create->name];
     table.columns = create->columns;
+    table.cols.Reset(table.columns.size());
     InitTimeIndex(table);
     BumpSchemaEpoch();
     return QueryResult{};
@@ -254,6 +302,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
         }
         row[positions[i]] = std::move(*v);
       }
+      table.cols.Append(row);
       table.rows.push_back(std::move(row));
       IndexInsertedRow(table, table.rows.size() - 1);
       ++result.affected;
@@ -271,6 +320,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     if (del->where == nullptr) {
       result.affected = table.rows.size();
       table.rows.clear();
+      table.cols.Reset(table.columns.size());
       RebuildTimeIndex(table);
       if (result.affected > 0) {
         BumpTrimEpoch();
@@ -307,7 +357,8 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     }
     if (result.affected > 0) {
       table.rows.Assign(std::move(kept));
-      RebuildTimeIndex(table);  // row positions shifted
+      RemapTimeIndexAfterDelete(table, doomed);  // row positions shifted
+      RebuildColumns(table);
       BumpTrimEpoch();
     }
     return result;
@@ -365,6 +416,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     }
     if (result.affected > 0) {
       table.rows.Assign(std::move(updated));
+      RebuildColumns(table);
       BumpTrimEpoch();
       if (touched_time) {
         RebuildTimeIndex(table);
@@ -394,6 +446,7 @@ Status Database::CreateTable(const std::string& name, std::vector<std::string> c
   }
   TableData& table = tables_[name];
   table.columns = std::move(columns);
+  table.cols.Reset(table.columns.size());
   InitTimeIndex(table);
   BumpSchemaEpoch();
   return Status::Ok();
@@ -407,6 +460,7 @@ Status Database::InsertRow(const std::string& name, Row row) {
   if (row.size() != it->second.columns.size()) {
     return InvalidArgument("row arity mismatch for table " + name);
   }
+  it->second.cols.Append(row);
   it->second.rows.push_back(std::move(row));
   IndexInsertedRow(it->second, it->second.rows.size() - 1);
   return Status::Ok();
@@ -539,6 +593,7 @@ Snapshot Database::CaptureSnapshot() const {
   for (const auto& [name, table] : tables_) {
     TableSnapshot ts;
     ts.view = table.rows.Snapshot();
+    ts.col_view = table.cols.Snapshot();
     ts.time_col = table.time_col;
     ts.time_sorted = table.rows_time_ordered && table.time_col >= 0;
     snap.tables.emplace(name, std::move(ts));
@@ -694,6 +749,7 @@ Result<Database> Database::Deserialize(BytesView in) {
     }
     InitTimeIndex(table);
     RebuildTimeIndex(table);
+    RebuildColumns(table);
     db.tables_[name] = std::move(table);
   }
   if (off + 4 > in.size()) {

@@ -18,6 +18,7 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/db/ast.h"
+#include "src/db/column_store.h"
 #include "src/db/row_store.h"
 #include "src/db/value.h"
 
@@ -32,11 +33,15 @@ struct QueryResult {
   bool empty() const { return rows.empty(); }
 };
 
-// Executor knobs, settable per database. Both default on; benchmarks flip
+// Executor knobs, settable per database. All default on; benchmarks flip
 // them off to compare against the unindexed nested-loop engine.
 struct Tuning {
   bool use_time_index = true;  // index scans + ORDER BY/MAX fast paths
   bool use_hash_join = true;   // hash joins for equi-join keys
+  // Batch-at-a-time columnar kernels (vector_exec.cc) for uncorrelated
+  // SELECTs in the supported shape subset; unsupported shapes fall back to
+  // the interpreter. Results are byte-identical either way.
+  bool use_vectorized = true;
 };
 
 // A logical snapshot of one table: a pinned prefix of its row store plus
@@ -44,6 +49,9 @@ struct Tuning {
 // (concurrently mutated) index state.
 struct TableSnapshot {
   RowStore::View view;
+  // The same prefix transposed column-major (always view.size() rows: the
+  // row and column stores are mutated in lockstep under the writer lock).
+  ColumnStore::View col_view;
   int time_col = -1;
   // Rows ascending by integer time (the sequencer drains in ticket order,
   // so this is the steady state). Enables binary-search TimeBound
@@ -186,13 +194,19 @@ class Database {
 
  private:
   friend class Executor;
+  friend class VecAnalyzer;  // vector_exec.cc: plan/scan analysis
 
   struct TableData {
     std::vector<std::string> columns;
     RowStore rows;
+    // Column-major shadow of `rows`, mutated in lockstep (appends on
+    // INSERT, rebuilt on DELETE/UPDATE compaction). The vectorized engine
+    // reads it; the interpreter never touches it.
+    ColumnStore cols;
     // Primary-key index on the `time` column: (time, row position), sorted.
     // Valid only while every row's time value is a non-null integer;
-    // maintained on INSERT, rebuilt after DELETE/UPDATE compaction.
+    // maintained on INSERT, remapped incrementally after DELETE compaction
+    // and rebuilt after UPDATE touches the time column.
     int time_col = -1;
     bool index_valid = false;
     std::vector<std::pair<int64_t, size_t>> time_index;
@@ -210,6 +224,15 @@ class Database {
   static void InitTimeIndex(TableData& table);
   static void IndexInsertedRow(TableData& table, size_t row_idx);
   static void RebuildTimeIndex(TableData& table);
+  // Incremental index maintenance after a DELETE compaction: surviving
+  // index entries are remapped to their post-compaction positions in one
+  // O(n) pass (no re-sort — the remap is monotone). Falls back to a full
+  // rebuild when the index was already invalid. `doomed` is the pre-delete
+  // per-row deletion mask.
+  static void RemapTimeIndexAfterDelete(TableData& table, const std::vector<bool>& doomed);
+  // Rebuilds the columnar shadow from the row store (DELETE/UPDATE
+  // compaction and deserialisation; appends use ColumnStore::Append).
+  static void RebuildColumns(TableData& table);
 
   // AND-injects `<base>.time > 0` into `s` when its base source exposes a
   // `time` column; returns the literal Expr to rebind, or nullptr.

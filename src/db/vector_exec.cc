@@ -1,0 +1,1999 @@
+// Vectorized columnar SELECT execution for seadb.
+//
+// TryVectorized runs an uncorrelated SELECT through batch-at-a-time kernels
+// over ColumnStore views: predicate evaluation produces selection vectors,
+// joins produce per-source row-index vectors (late materialisation), and
+// grouping/aggregation accumulate over column cells without boxing a Value
+// per row. An analysis pass admits only statement shapes whose semantics
+// this file reproduces bit-for-bit against the interpreter in executor.cc;
+// everything else returns nullopt (recorded in db_vector_fallback_total)
+// and falls back. Correctness therefore never depends on coverage: the
+// vectorized engine either produces the interpreter's exact bytes or it
+// declines to run.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/db/column_store.h"
+#include "src/db/exec_internal.h"
+#include "src/db/executor.h"
+#include "src/obs/obs.h"
+
+namespace seal::db {
+namespace {
+
+using exec_internal::IsAggregateName;
+using exec_internal::LikeMatch;
+using exec_internal::NameEq;
+using exec_internal::SerializeRow;
+using exec_internal::SplitAnd;
+
+constexpr uint32_t kNoRow = 0xffffffffu;
+constexpr size_t kVecBatch = ColumnStore::kBatchRows;
+
+// --- cells ----------------------------------------------------------------
+// A cell is the unboxed form of a Value: a tag plus the one live payload.
+// Text payloads are string_views into a ColumnStore batch, a dictionary
+// entry, an AST literal or a VecCol-owned buffer — all stable for the
+// duration of the query.
+
+enum CellTag : uint8_t { kCellNull = 0, kCellInt = 1, kCellReal = 2, kCellText = 3 };
+
+struct CellView {
+  uint8_t tag = kCellNull;
+  int64_t i = 0;
+  double d = 0;
+  std::string_view s;
+};
+
+int64_t CellAsInt(const CellView& c) {
+  switch (c.tag) {
+    case kCellInt:
+      return c.i;
+    case kCellReal:
+      return static_cast<int64_t>(c.d);
+    case kCellText:
+      return std::strtoll(std::string(c.s).c_str(), nullptr, 10);
+    default:
+      return 0;
+  }
+}
+
+double CellAsReal(const CellView& c) {
+  switch (c.tag) {
+    case kCellReal:
+      return c.d;
+    case kCellInt:
+      return static_cast<double>(c.i);
+    case kCellText:
+      return std::strtod(std::string(c.s).c_str(), nullptr);
+    default:
+      return 0.0;
+  }
+}
+
+std::string CellAsTextStr(const CellView& c) {
+  switch (c.tag) {
+    case kCellText:
+      return std::string(c.s);
+    case kCellInt:
+      return std::to_string(c.i);
+    case kCellReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", c.d);
+      return buf;
+    }
+    default:
+      return "";
+  }
+}
+
+bool CellTruthy(const CellView& c) {
+  switch (c.tag) {
+    case kCellInt:
+      return c.i != 0;
+    case kCellReal:
+      return c.d != 0.0;
+    case kCellText:
+      return !c.s.empty();
+    default:
+      return false;
+  }
+}
+
+// Mirrors Value::Compare: null < numeric < text; int/int exact, otherwise
+// numerics compare as double; text compares bytewise.
+int CellCompare(const CellView& a, const CellView& b) {
+  auto cls = [](const CellView& c) {
+    return c.tag == kCellNull ? 0 : (c.tag == kCellText ? 2 : 1);
+  };
+  int ca = cls(a);
+  int cb = cls(b);
+  if (ca != cb) {
+    return ca < cb ? -1 : 1;
+  }
+  if (ca == 0) {
+    return 0;
+  }
+  if (ca == 1) {
+    if (a.tag == kCellInt && b.tag == kCellInt) {
+      return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
+    }
+    double x = CellAsReal(a);
+    double y = CellAsReal(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  int c = a.s.compare(b.s);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+// Mirrors Value::Serialize byte-for-byte (group/distinct keys must match
+// the interpreter's exactly).
+void CellSerializeAppend(const CellView& c, std::string* out) {
+  switch (c.tag) {
+    case kCellNull:
+      out->push_back('N');
+      return;
+    case kCellInt:
+      out->push_back('I');
+      out->append(std::to_string(c.i));
+      return;
+    case kCellReal: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "R%.17g", c.d);
+      out->append(buf);
+      return;
+    }
+    default:
+      out->push_back('T');
+      out->append(std::to_string(c.s.size()));
+      out->push_back(':');
+      out->append(c.s);
+      return;
+  }
+}
+
+// Mirrors exec_internal::JoinKeyOf: an integral-valued real maps to the
+// integer form so that Value::Compare == 0 implies identical keys.
+void CellJoinKeyAppend(const CellView& c, std::string* out) {
+  if (c.tag == kCellReal) {
+    double d = c.d;
+    if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        out->push_back('I');
+        out->append(std::to_string(i));
+        return;
+      }
+    }
+  }
+  CellSerializeAppend(c, out);
+}
+
+Value CellToValue(const CellView& c) {
+  switch (c.tag) {
+    case kCellInt:
+      return Value(c.i);
+    case kCellReal:
+      return Value(c.d);
+    case kCellText:
+      return Value(std::string(c.s));
+    default:
+      return Value::Null();
+  }
+}
+
+CellView ValueToCell(const Value& v) {
+  CellView c;
+  if (v.is_int()) {
+    c.tag = kCellInt;
+    c.i = v.AsInt();
+  } else if (v.is_real()) {
+    c.tag = kCellReal;
+    c.d = v.AsReal();
+  } else if (v.is_text()) {
+    c.tag = kCellText;
+    c.s = v.text();
+  }
+  return c;
+}
+
+// --- batch column ---------------------------------------------------------
+// One expression's values for a batch of rows, struct-of-arrays. `owned`
+// stores computed strings; it is reserved up front so push_back never moves
+// a string out from under a string_view already pointing at it.
+
+struct VecCol {
+  std::vector<uint8_t> tag;
+  std::vector<int64_t> ival;
+  std::vector<double> rval;
+  std::vector<std::string_view> sval;
+  std::vector<std::string> owned;
+  // Buffers adopted from child evaluations whose views we forwarded
+  // (COALESCE): keeps their storage alive for this column's lifetime.
+  std::vector<std::vector<std::string>> keepalive;
+
+  void Reset(size_t n) {
+    tag.assign(n, kCellNull);
+    ival.resize(n);
+    rval.resize(n);
+    sval.resize(n);
+    owned.clear();
+    owned.reserve(n);
+    keepalive.clear();
+  }
+  void SetNull(size_t i) { tag[i] = kCellNull; }
+  void SetInt(size_t i, int64_t v) {
+    tag[i] = kCellInt;
+    ival[i] = v;
+  }
+  void SetReal(size_t i, double v) {
+    tag[i] = kCellReal;
+    rval[i] = v;
+  }
+  void SetView(size_t i, std::string_view v) {
+    tag[i] = kCellText;
+    sval[i] = v;
+  }
+  void SetOwned(size_t i, std::string v) {
+    owned.push_back(std::move(v));
+    tag[i] = kCellText;
+    sval[i] = owned.back();
+  }
+  void SetCell(size_t i, const CellView& c) {
+    switch (c.tag) {
+      case kCellInt:
+        SetInt(i, c.i);
+        break;
+      case kCellReal:
+        SetReal(i, c.d);
+        break;
+      case kCellText:
+        SetView(i, c.s);
+        break;
+      default:
+        SetNull(i);
+        break;
+    }
+  }
+  CellView At(size_t i) const {
+    CellView c;
+    c.tag = tag[i];
+    c.i = ival[i];
+    c.d = rval[i];
+    if (c.tag == kCellText) {
+      c.s = sval[i];
+    }
+    return c;
+  }
+  // Takes over `from`'s string storage (call after forwarding its views).
+  void Adopt(VecCol&& from) {
+    if (!from.owned.empty()) {
+      keepalive.push_back(std::move(from.owned));
+    }
+    for (auto& k : from.keepalive) {
+      keepalive.push_back(std::move(k));
+    }
+  }
+};
+
+// --- plan -----------------------------------------------------------------
+
+struct VecSource {
+  ColumnStore::View view;
+  std::vector<std::string> columns;
+  std::string alias;
+};
+
+struct ColRef {
+  uint32_t src = 0;
+  uint32_t col = 0;
+};
+
+struct VecJoinStep {
+  JoinClause::Kind kind = JoinClause::Kind::kInner;
+  uint32_t right_src = 0;
+  // (combined column index on the probe side, raw column index in the right
+  // source's view). Empty means every left/right pair matches (cross).
+  std::vector<std::pair<uint32_t, uint32_t>> keys;
+};
+
+struct VecOrderKey {
+  enum Route { kCopyColumn, kEval };
+  Route route = kEval;
+  size_t out_col = 0;      // kCopyColumn: output column to copy
+  const Expr* expr = nullptr;  // kEval
+  bool desc = false;
+};
+
+struct VecPlan {
+  std::vector<VecSource> sources;
+  std::vector<VecJoinStep> joins;
+  // Final combined schema, exactly as the interpreter builds it.
+  std::vector<std::string> aliases;
+  std::vector<std::string> columns;
+  std::vector<ColRef> refs;
+  // Column-expression nodes resolved during analysis (first-match rule).
+  std::unordered_map<const Expr*, uint32_t> col_map;
+
+  bool grouped = false;
+  // Some output/HAVING expression reads a column (or star) outside any
+  // aggregate: the interpreter's empty-relation aggregate row would read
+  // past an empty representative, so we fall back at runtime instead.
+  bool col_outside_agg = false;
+  std::vector<const Expr*> aggs;
+  std::unordered_map<const Expr*, uint32_t> agg_ids;
+
+  struct OutItem {
+    const Expr* expr = nullptr;  // null => star expansion of `star_col`
+    uint32_t star_col = 0;
+  };
+  std::vector<OutItem> items;
+  std::vector<std::string> out_names;
+  std::vector<VecOrderKey> order_keys;
+
+  bool has_limit = false;
+  int64_t limit = 0;
+  int64_t offset = 0;
+
+  // Base-table scan, already narrowed by the advisory TimeBound.
+  std::vector<uint32_t> base_rows;
+};
+
+// Per-source row-index vectors for the current intermediate relation; a
+// combined row i is ({rows[0][i], rows[1][i], ...}); kNoRow marks the
+// null-padded right side of an unmatched LEFT JOIN row.
+struct Selection {
+  size_t count = 0;
+  std::vector<std::vector<uint32_t>> rows;
+};
+
+CellView ReadCell(const ColumnStore::View& view, uint32_t col, uint32_t row) {
+  const ColumnStore::Column& c =
+      view.column(row >> ColumnStore::kBatchShift, col);
+  size_t o = row & ColumnStore::kBatchMask;
+  CellView out;
+  switch (c.tags[o]) {
+    case ColumnStore::kNull:
+      break;
+    case ColumnStore::kInt:
+      out.tag = kCellInt;
+      out.i = c.IntAt(o);
+      break;
+    case ColumnStore::kReal:
+      out.tag = kCellReal;
+      out.d = c.RealAt(o);
+      break;
+    default:
+      out.tag = kCellText;
+      out.s = c.TextAt(o);
+      break;
+  }
+  return out;
+}
+
+CellView ReadCombined(const VecPlan& plan, const Selection& sel, uint32_t combined_col,
+                      size_t row) {
+  const ColRef& ref = plan.refs[combined_col];
+  uint32_t r = sel.rows[ref.src][row];
+  if (r == kNoRow) {
+    return CellView{};
+  }
+  return ReadCell(plan.sources[ref.src].view, ref.col, r);
+}
+
+// --- open-addressing byte-key table --------------------------------------
+// Keys live in one arena; per-key chains preserve insertion order so hash
+// join emission matches nested-loop order and group ids are first-seen.
+
+struct ByteKeyMap {
+  struct Entry {
+    uint64_t hash = 0;
+    uint32_t off = 0;
+    uint32_t len = 0;
+    uint32_t head = kNoRow;  // join chain head / group id
+    uint32_t tail = kNoRow;
+  };
+
+  std::string arena;
+  std::vector<Entry> entries;
+  std::vector<uint32_t> slots;  // entry index + 1; 0 = empty
+  uint64_t mask = 0;
+
+  static uint64_t Hash(std::string_view key) {
+    uint64_t h = 1469598103934665603ull;
+    for (char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  void Init(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) {
+      cap <<= 1;
+    }
+    slots.assign(cap, 0);
+    mask = cap - 1;
+    entries.clear();
+    entries.reserve(expected);
+    arena.clear();
+  }
+
+  void Grow() {
+    std::vector<uint32_t> old = std::move(slots);
+    slots.assign(old.size() * 2, 0);
+    mask = slots.size() - 1;
+    for (uint32_t e = 0; e < entries.size(); ++e) {
+      uint64_t p = entries[e].hash & mask;
+      while (slots[p] != 0) {
+        p = (p + 1) & mask;
+      }
+      slots[p] = e + 1;
+    }
+  }
+
+  bool KeyEq(const Entry& e, std::string_view key) const {
+    return e.len == key.size() &&
+           std::memcmp(arena.data() + e.off, key.data(), key.size()) == 0;
+  }
+
+  // Returns the entry for `key`, inserting if absent (*inserted reports
+  // which). References stay valid until the next FindOrInsert.
+  Entry* FindOrInsert(std::string_view key, bool* inserted) {
+    if ((entries.size() + 1) * 2 > slots.size()) {
+      Grow();
+    }
+    uint64_t h = Hash(key);
+    uint64_t p = h & mask;
+    while (slots[p] != 0) {
+      Entry& e = entries[slots[p] - 1];
+      if (e.hash == h && KeyEq(e, key)) {
+        *inserted = false;
+        return &e;
+      }
+      p = (p + 1) & mask;
+    }
+    Entry e;
+    e.hash = h;
+    e.off = static_cast<uint32_t>(arena.size());
+    e.len = static_cast<uint32_t>(key.size());
+    arena.append(key);
+    entries.push_back(e);
+    slots[p] = static_cast<uint32_t>(entries.size());
+    *inserted = true;
+    return &entries.back();
+  }
+
+  const Entry* Find(std::string_view key) const {
+    uint64_t h = Hash(key);
+    uint64_t p = h & mask;
+    while (slots[p] != 0) {
+      const Entry& e = entries[slots[p] - 1];
+      if (e.hash == h && KeyEq(e, key)) {
+        return &e;
+      }
+      p = (p + 1) & mask;
+    }
+    return nullptr;
+  }
+};
+
+// --- batch expression evaluation -----------------------------------------
+// Evaluates plan-validated expressions for selection rows [start, start+n).
+// The analysis pass guarantees no node in the tree can fail, so this layer
+// is Status-free. AND/OR evaluate both sides eagerly: the interpreter's
+// short-circuit only skips pure work and both operators reduce to
+// (lt && rt) / (lt || rt) over truthiness, including the NULL cases.
+
+void EvalBatch(const Expr& e, const VecPlan& plan, const Selection& sel, size_t start,
+               size_t n, VecCol* out);
+
+void EvalColumnBatch(const Expr& e, const VecPlan& plan, const Selection& sel,
+                     size_t start, size_t n, VecCol* out) {
+  const ColRef& ref = plan.refs[plan.col_map.at(&e)];
+  const ColumnStore::View& view = plan.sources[ref.src].view;
+  const std::vector<uint32_t>& rows = sel.rows[ref.src];
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[start + i];
+    if (r == kNoRow) {
+      out->SetNull(i);
+      continue;
+    }
+    out->SetCell(i, ReadCell(view, ref.col, r));
+  }
+}
+
+void EvalBinaryBatch(const Expr& e, const VecPlan& plan, const Selection& sel,
+                     size_t start, size_t n, VecCol* out) {
+  if (e.op == "AND" || e.op == "OR") {
+    VecCol l, r;
+    l.Reset(n);
+    r.Reset(n);
+    EvalBatch(*e.args[0], plan, sel, start, n, &l);
+    EvalBatch(*e.args[1], plan, sel, start, n, &r);
+    const bool is_and = e.op == "AND";
+    for (size_t i = 0; i < n; ++i) {
+      bool lt = CellTruthy(l.At(i));
+      bool rt = CellTruthy(r.At(i));
+      out->SetInt(i, (is_and ? (lt && rt) : (lt || rt)) ? 1 : 0);
+    }
+    return;
+  }
+  if (e.op == "BETWEEN") {
+    VecCol v, lo, hi;
+    v.Reset(n);
+    lo.Reset(n);
+    hi.Reset(n);
+    EvalBatch(*e.args[0], plan, sel, start, n, &v);
+    EvalBatch(*e.args[1], plan, sel, start, n, &lo);
+    EvalBatch(*e.args[2], plan, sel, start, n, &hi);
+    for (size_t i = 0; i < n; ++i) {
+      CellView cv = v.At(i);
+      CellView cl = lo.At(i);
+      CellView ch = hi.At(i);
+      bool ge = cv.tag != kCellNull && cl.tag != kCellNull && CellCompare(cv, cl) >= 0;
+      bool le = cv.tag != kCellNull && ch.tag != kCellNull && CellCompare(cv, ch) <= 0;
+      bool in = ge && le;
+      if (e.negated) {
+        in = !in;
+      }
+      out->SetInt(i, in ? 1 : 0);
+    }
+    return;
+  }
+  VecCol l, r;
+  l.Reset(n);
+  r.Reset(n);
+  EvalBatch(*e.args[0], plan, sel, start, n, &l);
+  EvalBatch(*e.args[1], plan, sel, start, n, &r);
+  if (e.op == "LIKE") {
+    for (size_t i = 0; i < n; ++i) {
+      CellView a = l.At(i);
+      CellView b = r.At(i);
+      if (a.tag == kCellNull || b.tag == kCellNull) {
+        out->SetNull(i);
+        continue;
+      }
+      std::string at;
+      std::string bt;
+      std::string_view av = a.tag == kCellText ? a.s : (at = CellAsTextStr(a));
+      std::string_view bv = b.tag == kCellText ? b.s : (bt = CellAsTextStr(b));
+      bool m = LikeMatch(av, bv);
+      if (e.negated) {
+        m = !m;
+      }
+      out->SetInt(i, m ? 1 : 0);
+    }
+    return;
+  }
+  if (e.op == "=" || e.op == "!=" || e.op == "<" || e.op == "<=" || e.op == ">" ||
+      e.op == ">=") {
+    // Branch on the operator once per batch, not per row.
+    int lo = -2, hi = 2;  // admitted Compare results [lo, hi]
+    bool neq = false;
+    if (e.op == "=") {
+      lo = hi = 0;
+    } else if (e.op == "!=") {
+      neq = true;
+    } else if (e.op == "<") {
+      lo = -1, hi = -1;
+    } else if (e.op == "<=") {
+      lo = -1, hi = 0;
+    } else if (e.op == ">") {
+      lo = 1, hi = 1;
+    } else {
+      lo = 0, hi = 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      CellView a = l.At(i);
+      CellView b = r.At(i);
+      if (a.tag == kCellNull || b.tag == kCellNull) {
+        out->SetNull(i);
+        continue;
+      }
+      int c = CellCompare(a, b);
+      bool t = neq ? c != 0 : (c >= lo && c <= hi);
+      out->SetInt(i, t ? 1 : 0);
+    }
+    return;
+  }
+  // Arithmetic / concatenation, mirroring exec_internal::Arith.
+  for (size_t i = 0; i < n; ++i) {
+    CellView a = l.At(i);
+    CellView b = r.At(i);
+    if (a.tag == kCellNull || b.tag == kCellNull) {
+      out->SetNull(i);
+      continue;
+    }
+    if (e.op == "||") {
+      out->SetOwned(i, CellAsTextStr(a) + CellAsTextStr(b));
+      continue;
+    }
+    if (a.tag == kCellInt && b.tag == kCellInt) {
+      int64_t x = a.i;
+      int64_t y = b.i;
+      if (e.op == "+") {
+        out->SetInt(i, x + y);
+      } else if (e.op == "-") {
+        out->SetInt(i, x - y);
+      } else if (e.op == "*") {
+        out->SetInt(i, x * y);
+      } else if (e.op == "/") {
+        y == 0 ? out->SetNull(i) : out->SetInt(i, x / y);
+      } else if (e.op == "%") {
+        y == 0 ? out->SetNull(i) : out->SetInt(i, x % y);
+      } else {
+        out->SetNull(i);
+      }
+    } else {
+      double x = CellAsReal(a);
+      double y = CellAsReal(b);
+      if (e.op == "+") {
+        out->SetReal(i, x + y);
+      } else if (e.op == "-") {
+        out->SetReal(i, x - y);
+      } else if (e.op == "*") {
+        out->SetReal(i, x * y);
+      } else if (e.op == "/") {
+        y == 0.0 ? out->SetNull(i) : out->SetReal(i, x / y);
+      } else {
+        out->SetNull(i);  // "%" on non-integers
+      }
+    }
+  }
+}
+
+void EvalFunctionBatch(const Expr& e, const VecPlan& plan, const Selection& sel,
+                       size_t start, size_t n, VecCol* out) {
+  std::vector<VecCol> args(e.args.size());
+  for (size_t a = 0; a < e.args.size(); ++a) {
+    args[a].Reset(n);
+    EvalBatch(*e.args[a], plan, sel, start, n, &args[a]);
+  }
+  if (e.name == "LENGTH") {
+    for (size_t i = 0; i < n; ++i) {
+      if (args.size() != 1 || args[0].tag[i] == kCellNull) {
+        out->SetNull(i);
+        continue;
+      }
+      CellView c = args[0].At(i);
+      size_t len = c.tag == kCellText ? c.s.size() : CellAsTextStr(c).size();
+      out->SetInt(i, static_cast<int64_t>(len));
+    }
+    return;
+  }
+  if (e.name == "ABS") {
+    for (size_t i = 0; i < n; ++i) {
+      if (args.size() != 1 || args[0].tag[i] == kCellNull) {
+        out->SetNull(i);
+        continue;
+      }
+      CellView c = args[0].At(i);
+      if (c.tag == kCellInt) {
+        out->SetInt(i, c.i < 0 ? -c.i : c.i);
+      } else {
+        double v = CellAsReal(c);
+        out->SetReal(i, v < 0 ? -v : v);
+      }
+    }
+    return;
+  }
+  if (e.name == "SUBSTR") {
+    for (size_t i = 0; i < n; ++i) {
+      if (args.size() < 2 || args[0].tag[i] == kCellNull) {
+        out->SetNull(i);
+        continue;
+      }
+      std::string s = CellAsTextStr(args[0].At(i));
+      int64_t begin = CellAsInt(args[1].At(i));  // 1-based
+      int64_t len =
+          args.size() > 2 ? CellAsInt(args[2].At(i)) : static_cast<int64_t>(s.size());
+      if (begin < 1) {
+        begin = 1;
+      }
+      if (begin > static_cast<int64_t>(s.size())) {
+        out->SetOwned(i, std::string());
+        continue;
+      }
+      out->SetOwned(i, s.substr(static_cast<size_t>(begin - 1), static_cast<size_t>(len)));
+    }
+    return;
+  }
+  // COALESCE (the only other name analysis admits): forward the first
+  // non-null argument's view, then adopt every argument's string storage.
+  for (size_t i = 0; i < n; ++i) {
+    out->SetNull(i);
+    for (VecCol& a : args) {
+      if (a.tag[i] != kCellNull) {
+        out->SetCell(i, a.At(i));
+        break;
+      }
+    }
+  }
+  for (VecCol& a : args) {
+    out->Adopt(std::move(a));
+  }
+}
+
+void EvalBatch(const Expr& e, const VecPlan& plan, const Selection& sel, size_t start,
+               size_t n, VecCol* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      CellView c = ValueToCell(e.literal);
+      for (size_t i = 0; i < n; ++i) {
+        out->SetCell(i, c);
+      }
+      return;
+    }
+    case ExprKind::kColumn:
+      EvalColumnBatch(e, plan, sel, start, n, out);
+      return;
+    case ExprKind::kUnary: {
+      VecCol v;
+      v.Reset(n);
+      EvalBatch(*e.args[0], plan, sel, start, n, &v);
+      if (e.op == "NOT") {
+        for (size_t i = 0; i < n; ++i) {
+          if (v.tag[i] == kCellNull) {
+            out->SetNull(i);
+          } else {
+            out->SetInt(i, CellTruthy(v.At(i)) ? 0 : 1);
+          }
+        }
+      } else {  // "-"
+        for (size_t i = 0; i < n; ++i) {
+          CellView c = v.At(i);
+          if (c.tag == kCellNull) {
+            out->SetNull(i);
+          } else if (c.tag == kCellInt) {
+            out->SetInt(i, -c.i);
+          } else {
+            out->SetReal(i, -CellAsReal(c));
+          }
+        }
+      }
+      return;
+    }
+    case ExprKind::kBinary:
+      EvalBinaryBatch(e, plan, sel, start, n, out);
+      return;
+    case ExprKind::kFunction:
+      EvalFunctionBatch(e, plan, sel, start, n, out);
+      return;
+    case ExprKind::kIsNull: {
+      VecCol v;
+      v.Reset(n);
+      EvalBatch(*e.args[0], plan, sel, start, n, &v);
+      for (size_t i = 0; i < n; ++i) {
+        bool is_null = v.tag[i] == kCellNull;
+        if (e.negated) {
+          is_null = !is_null;
+        }
+        out->SetInt(i, is_null ? 1 : 0);
+      }
+      return;
+    }
+    case ExprKind::kInList: {
+      VecCol needle;
+      needle.Reset(n);
+      EvalBatch(*e.args[0], plan, sel, start, n, &needle);
+      std::vector<VecCol> items(e.args.size() - 1);
+      for (size_t a = 1; a < e.args.size(); ++a) {
+        items[a - 1].Reset(n);
+        EvalBatch(*e.args[a], plan, sel, start, n, &items[a - 1]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        CellView nv = needle.At(i);
+        if (nv.tag == kCellNull) {
+          out->SetNull(i);
+          continue;
+        }
+        bool found = false;
+        for (const VecCol& item : items) {
+          CellView c = item.At(i);
+          if (c.tag != kCellNull && CellCompare(c, nv) == 0) {
+            found = true;
+            break;
+          }
+        }
+        if (e.negated) {
+          found = !found;
+        }
+        out->SetInt(i, found ? 1 : 0);
+      }
+      return;
+    }
+    default:
+      // Analysis rejects every other kind; emit NULLs defensively.
+      for (size_t i = 0; i < n; ++i) {
+        out->SetNull(i);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+// --- analysis -------------------------------------------------------------
+// Builds a VecPlan, or fails with a fallback reason. Failure is always
+// safe: the interpreter runs instead, producing either the same result or
+// the error the statement deserves (unknown column, misplaced aggregate).
+// A named class (not anonymous-namespace) so Database can befriend it.
+
+class VecAnalyzer {
+ public:
+  VecAnalyzer(const Database& db, const Snapshot* snap) : db_(db), snap_(snap) {}
+
+  const char* reason() const { return reason_; }
+
+  bool Build(const SelectStmt& stmt, const TimeBound& bound, VecPlan* plan);
+
+ private:
+  bool Fail(const char* reason) {
+    reason_ = reason;
+    return false;
+  }
+
+  bool AddSource(const TableRef& ref, VecPlan* plan);
+  bool AddBaseScan(const SelectStmt& stmt, const TimeBound& bound, VecPlan* plan);
+  bool AddJoin(const JoinClause& join, VecPlan* plan);
+  bool CheckExpr(const Expr& e, VecPlan* plan, bool agg_allowed, bool in_agg,
+                 bool track_bare);
+
+  const Database& db_;
+  const Snapshot* snap_;
+  const char* reason_ = "unsupported";
+};
+
+bool VecAnalyzer::AddSource(const TableRef& ref, VecPlan* plan) {
+  if (ref.subquery != nullptr) {
+    return Fail("derived_table");
+  }
+  auto table_it = db_.tables_.find(ref.table_name);
+  if (table_it == db_.tables_.end()) {
+    // Views recurse through ExecuteSelect where TryVectorized gets another
+    // look at the body; unknown names produce the interpreter's NotFound.
+    return Fail(db_.views_.count(ref.table_name) > 0 ? "view_source" : "unknown_table");
+  }
+  const Database::TableData& t = table_it->second;
+  VecSource src;
+  src.columns = t.columns;
+  src.alias = ref.alias.empty() ? ref.table_name : ref.alias;
+  if (snap_ != nullptr) {
+    auto snap_it = snap_->tables.find(ref.table_name);
+    if (snap_it != snap_->tables.end()) {
+      src.view = snap_it->second.col_view;
+      if (src.view.size() != snap_it->second.view.size()) {
+        return Fail("colstore_stale");
+      }
+    }
+  } else {
+    src.view = t.cols.Snapshot();
+    if (src.view.size() != t.rows.size()) {
+      return Fail("colstore_stale");
+    }
+  }
+  if (!src.view.empty() && src.view.num_cols() != src.columns.size()) {
+    return Fail("colstore_stale");
+  }
+  plan->sources.push_back(std::move(src));
+  return true;
+}
+
+// Narrows the base scan with the advisory TimeBound, mirroring the
+// interpreter's index/sorted-view range scans (including their counters).
+// Dropping the bound is always result-identical, so every uncertain case
+// degrades to a full scan, never to a fallback.
+bool VecAnalyzer::AddBaseScan(const SelectStmt& stmt, const TimeBound& bound,
+                              VecPlan* plan) {
+  const VecSource& src = plan->sources[0];
+  const size_t total = src.view.size();
+  auto full_scan = [&](const char* reason) {
+    plan->base_rows.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+      plan->base_rows[i] = static_cast<uint32_t>(i);
+    }
+    obs::Registry::Global()
+        .GetCounter(std::string("seadb_full_scans_total{reason=\"") + reason + "\"}")
+        .Increment();
+  };
+  if (!bound.constrained()) {
+    full_scan("unbounded");
+    return true;
+  }
+  if (!db_.tuning_.use_time_index) {
+    full_scan("tuning_off");
+    return true;
+  }
+
+  // Resolve the inclusive [lo, hi] admitted time range.
+  bool empty_range = false;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  if (bound.lo.has_value()) {
+    if (bound.lo_strict && *bound.lo == std::numeric_limits<int64_t>::max()) {
+      empty_range = true;
+    } else {
+      lo = bound.lo_strict ? *bound.lo + 1 : *bound.lo;
+    }
+  }
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  if (bound.hi.has_value()) {
+    if (bound.hi_strict && *bound.hi == std::numeric_limits<int64_t>::min()) {
+      empty_range = true;
+    } else {
+      hi = bound.hi_strict ? *bound.hi - 1 : *bound.hi;
+    }
+  }
+
+  int time_col = -1;
+  bool sorted = false;
+  if (snap_ != nullptr) {
+    auto snap_it = snap_->tables.find(stmt.from->table_name);
+    if (snap_it != snap_->tables.end()) {
+      time_col = snap_it->second.time_col;
+      sorted = snap_it->second.time_sorted;
+    }
+  } else {
+    const Database::TableData& t = db_.tables_.find(stmt.from->table_name)->second;
+    if (t.index_valid) {
+      time_col = t.time_col;
+      sorted = t.rows_time_ordered;
+      if (!sorted) {
+        // Out-of-order rows: walk the live index range and emit positions
+        // in row order, exactly like the interpreter's index range scan.
+        SEAL_OBS_COUNTER("seadb_index_range_scans_total").Increment();
+        if (!empty_range && lo <= hi) {
+          auto begin = std::lower_bound(t.time_index.begin(), t.time_index.end(),
+                                        std::make_pair(lo, size_t{0}));
+          auto end =
+              std::upper_bound(begin, t.time_index.end(),
+                               std::make_pair(hi, std::numeric_limits<size_t>::max()));
+          plan->base_rows.reserve(static_cast<size_t>(end - begin));
+          for (auto it = begin; it != end; ++it) {
+            plan->base_rows.push_back(static_cast<uint32_t>(it->second));
+          }
+          std::sort(plan->base_rows.begin(), plan->base_rows.end());
+        }
+        return true;
+      }
+    }
+  }
+  if (time_col < 0 || !sorted) {
+    full_scan("index_invalid");
+    return true;
+  }
+
+  SEAL_OBS_COUNTER("seadb_index_range_scans_total").Increment();
+  size_t lo_idx = 0;
+  size_t hi_idx = 0;
+  if (!empty_range && lo <= hi) {
+    const size_t tc = static_cast<size_t>(time_col);
+    auto time_at = [&](size_t i) { return src.view.ValueAt(tc, i).AsInt(); };
+    size_t a = 0;
+    size_t b = total;
+    while (a < b) {  // first row with time >= lo
+      size_t mid = a + (b - a) / 2;
+      if (time_at(mid) < lo) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    lo_idx = a;
+    b = total;
+    while (a < b) {  // first row with time > hi
+      size_t mid = a + (b - a) / 2;
+      if (time_at(mid) <= hi) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    hi_idx = a;
+  }
+  plan->base_rows.reserve(hi_idx - lo_idx);
+  for (size_t i = lo_idx; i < hi_idx; ++i) {
+    plan->base_rows.push_back(static_cast<uint32_t>(i));
+  }
+  return true;
+}
+
+bool VecAnalyzer::AddJoin(const JoinClause& join, VecPlan* plan) {
+  if (!AddSource(join.table, plan)) {
+    return false;
+  }
+  const uint32_t right_src = static_cast<uint32_t>(plan->sources.size() - 1);
+  const VecSource& right = plan->sources[right_src];
+  const size_t left_width = plan->columns.size();
+
+  VecJoinStep step;
+  step.kind = join.kind;
+  step.right_src = right_src;
+
+  // NATURAL column pairing + right-column dedup, as the interpreter does it.
+  std::vector<bool> right_kept(right.columns.size(), true);
+  if (join.kind == JoinClause::Kind::kNatural) {
+    for (size_t rc = 0; rc < right.columns.size(); ++rc) {
+      for (size_t lc = 0; lc < left_width; ++lc) {
+        if (NameEq(plan->columns[lc], right.columns[rc])) {
+          step.keys.emplace_back(static_cast<uint32_t>(lc), static_cast<uint32_t>(rc));
+          right_kept[rc] = false;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<size_t> kept_to_right;
+  for (size_t rc = 0; rc < right.columns.size(); ++rc) {
+    if (right_kept[rc]) {
+      kept_to_right.push_back(rc);
+      plan->aliases.push_back(right.alias);
+      plan->columns.push_back(right.columns[rc]);
+      plan->refs.push_back(ColRef{right_src, static_cast<uint32_t>(rc)});
+    }
+  }
+
+  if (join.on != nullptr) {
+    if (join.kind != JoinClause::Kind::kInner && join.kind != JoinClause::Kind::kNatural &&
+        join.kind != JoinClause::Kind::kLeft) {
+      return Fail("join_shape");
+    }
+    // Every ON conjunct must decompose into a left/right equi-key column
+    // pair under the interpreter's first-match resolution; any residual
+    // conjunct would need per-pair evaluation, so we fall back.
+    auto resolve = [&](const Expr& e) -> int {
+      if (e.kind != ExprKind::kColumn) {
+        return -1;
+      }
+      for (size_t i = 0; i < plan->columns.size(); ++i) {
+        if (!NameEq(plan->columns[i], e.name)) {
+          continue;
+        }
+        if (!e.table.empty() && !NameEq(plan->aliases[i], e.table)) {
+          continue;
+        }
+        return static_cast<int>(i);
+      }
+      return -1;
+    };
+    std::vector<const Expr*> conjuncts;
+    SplitAnd(join.on.get(), &conjuncts);
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kBinary || c->op != "=") {
+        return Fail("join_residual");
+      }
+      int a = resolve(*c->args[0]);
+      int b = resolve(*c->args[1]);
+      if (a < 0 || b < 0) {
+        return Fail("join_residual");
+      }
+      bool a_left = static_cast<size_t>(a) < left_width;
+      bool b_left = static_cast<size_t>(b) < left_width;
+      if (a_left == b_left) {
+        return Fail("join_residual");
+      }
+      size_t lc = static_cast<size_t>(a_left ? a : b);
+      size_t rc = kept_to_right[static_cast<size_t>(a_left ? b : a) - left_width];
+      step.keys.emplace_back(static_cast<uint32_t>(lc), static_cast<uint32_t>(rc));
+    }
+  }
+  plan->joins.push_back(std::move(step));
+  return true;
+}
+
+bool VecAnalyzer::CheckExpr(const Expr& e, VecPlan* plan, bool agg_allowed, bool in_agg,
+                            bool track_bare) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumn: {
+      for (size_t i = 0; i < plan->columns.size(); ++i) {
+        if (!NameEq(plan->columns[i], e.name)) {
+          continue;
+        }
+        if (!e.table.empty() && !NameEq(plan->aliases[i], e.table)) {
+          continue;
+        }
+        plan->col_map[&e] = static_cast<uint32_t>(i);
+        if (track_bare && !in_agg) {
+          plan->col_outside_agg = true;
+        }
+        return true;
+      }
+      return Fail("unknown_column");
+    }
+    case ExprKind::kUnary:
+      if (e.op != "-" && e.op != "NOT") {
+        return Fail("unknown_unary");
+      }
+      return CheckExpr(*e.args[0], plan, agg_allowed, in_agg, track_bare);
+    case ExprKind::kBinary: {
+      static const char* kOps[] = {"AND", "OR", "BETWEEN", "LIKE", "=", "!=", "<",
+                                   "<=",  ">",  ">=",      "+",    "-", "*",  "/",
+                                   "%",   "||"};
+      bool known = false;
+      for (const char* op : kOps) {
+        if (e.op == op) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Fail("unknown_binary");
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!CheckExpr(*a, plan, agg_allowed, in_agg, track_bare)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateName(e.name)) {
+        if (!agg_allowed || in_agg) {
+          return Fail(in_agg ? "nested_aggregate" : "aggregate_misplaced");
+        }
+        if (!e.star && e.args.size() != 1) {
+          return Fail("aggregate_arity");
+        }
+        if (!e.star && !CheckExpr(*e.args[0], plan, false, true, track_bare)) {
+          return false;
+        }
+        if (plan->agg_ids.emplace(&e, static_cast<uint32_t>(plan->aggs.size())).second) {
+          plan->aggs.push_back(&e);
+        }
+        return true;
+      }
+      if (e.name != "LENGTH" && e.name != "ABS" && e.name != "SUBSTR" &&
+          e.name != "COALESCE") {
+        return Fail("unknown_function");
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!CheckExpr(*a, plan, agg_allowed, in_agg, track_bare)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return CheckExpr(*e.args[0], plan, agg_allowed, in_agg, track_bare);
+    case ExprKind::kInList: {
+      if (e.subquery != nullptr) {
+        return Fail("subquery");
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!CheckExpr(*a, plan, agg_allowed, in_agg, track_bare)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return Fail("subquery");
+  }
+}
+
+bool VecAnalyzer::Build(const SelectStmt& stmt, const TimeBound& bound, VecPlan* plan) {
+  if (!stmt.from.has_value() || stmt.items.empty()) {
+    return Fail("no_from");
+  }
+  if (stmt.limit != nullptr &&
+      (stmt.limit->kind != ExprKind::kLiteral || !stmt.limit->literal.is_int())) {
+    return Fail("limit_expr");
+  }
+  if (stmt.offset != nullptr &&
+      (stmt.offset->kind != ExprKind::kLiteral || !stmt.offset->literal.is_int())) {
+    return Fail("limit_expr");
+  }
+  if (stmt.limit != nullptr) {
+    plan->has_limit = true;
+    plan->limit = stmt.limit->literal.AsInt();
+  }
+  if (stmt.offset != nullptr) {
+    plan->offset = std::max<int64_t>(0, stmt.offset->literal.AsInt());
+  }
+
+  // FROM + joins: build the combined schema exactly as the interpreter does.
+  if (!AddSource(*stmt.from, plan)) {
+    return false;
+  }
+  for (size_t c = 0; c < plan->sources[0].columns.size(); ++c) {
+    plan->aliases.push_back(plan->sources[0].alias);
+    plan->columns.push_back(plan->sources[0].columns[c]);
+    plan->refs.push_back(ColRef{0, static_cast<uint32_t>(c)});
+  }
+  for (const JoinClause& join : stmt.joins) {
+    if (!AddJoin(join, plan)) {
+      return false;
+    }
+  }
+  if (!AddBaseScan(stmt, bound, plan)) {
+    return false;
+  }
+
+  // Grouping mirrors the interpreter: aggregates in items or HAVING, or an
+  // explicit GROUP BY. A HAVING on a non-grouped statement is ignored.
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && ContainsAggregate(*item.expr)) {
+      has_aggregates = true;
+    }
+  }
+  if (stmt.having != nullptr && ContainsAggregate(*stmt.having)) {
+    has_aggregates = true;
+  }
+  plan->grouped = has_aggregates || !stmt.group_by.empty();
+
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Fail("aggregate_in_where");
+    }
+    if (!CheckExpr(*stmt.where, plan, false, false, false)) {
+      return false;
+    }
+  }
+  for (const ExprPtr& g : stmt.group_by) {
+    if (ContainsAggregate(*g)) {
+      return Fail("aggregate_in_group_by");
+    }
+    if (!CheckExpr(*g, plan, false, false, false)) {
+      return false;
+    }
+  }
+  if (plan->grouped && stmt.having != nullptr &&
+      !CheckExpr(*stmt.having, plan, true, false, true)) {
+    return false;
+  }
+
+  // Output items: star expansion and names, as the interpreter builds them.
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < plan->columns.size(); ++i) {
+        if (!item.star_table.empty() && !NameEq(plan->aliases[i], item.star_table)) {
+          continue;
+        }
+        plan->out_names.push_back(plan->columns[i]);
+        plan->items.push_back(VecPlan::OutItem{nullptr, static_cast<uint32_t>(i)});
+        plan->col_outside_agg = true;
+      }
+      continue;
+    }
+    if (!item.alias.empty()) {
+      plan->out_names.push_back(item.alias);
+    } else if (item.expr->kind == ExprKind::kColumn) {
+      plan->out_names.push_back(item.expr->name);
+    } else {
+      plan->out_names.push_back(ExprToString(*item.expr));
+    }
+    if (!CheckExpr(*item.expr, plan, plan->grouped, false, true)) {
+      return false;
+    }
+    plan->items.push_back(VecPlan::OutItem{item.expr.get(), 0});
+  }
+
+  // ORDER BY routes are static: positional literal, output-alias match, or
+  // expression evaluation — decided by the interpreter's exact rules.
+  for (const OrderItem& oi : stmt.order_by) {
+    VecOrderKey key;
+    key.desc = oi.desc;
+    if (oi.expr->kind == ExprKind::kLiteral && oi.expr->literal.is_int()) {
+      int64_t pos = oi.expr->literal.AsInt();
+      if (pos >= 1 && pos <= static_cast<int64_t>(plan->items.size())) {
+        key.route = VecOrderKey::kCopyColumn;
+        key.out_col = static_cast<size_t>(pos - 1);
+        plan->order_keys.push_back(key);
+        continue;
+      }
+    }
+    bool matched_alias = false;
+    if (oi.expr->kind == ExprKind::kColumn && oi.expr->table.empty()) {
+      for (size_t i = 0; i < plan->out_names.size(); ++i) {
+        if (NameEq(plan->out_names[i], oi.expr->name) && plan->items[i].expr != nullptr &&
+            !NameEq(ExprToString(*plan->items[i].expr), oi.expr->name)) {
+          key.route = VecOrderKey::kCopyColumn;
+          key.out_col = i;
+          matched_alias = true;
+          break;
+        }
+      }
+    }
+    if (matched_alias) {
+      plan->order_keys.push_back(key);
+      continue;
+    }
+    if (!plan->grouped && ContainsAggregate(*oi.expr)) {
+      return Fail("aggregate_in_order_by");
+    }
+    if (!CheckExpr(*oi.expr, plan, plan->grouped, false, true)) {
+      return false;
+    }
+    key.route = VecOrderKey::kEval;
+    key.expr = oi.expr.get();
+    plan->order_keys.push_back(key);
+  }
+  return true;
+}
+
+namespace {
+
+// --- join execution -------------------------------------------------------
+
+// True when the left combined row's key was appended to *key (no NULL
+// component); a NULL key never matches under SQL equality.
+bool LeftJoinKey(const VecPlan& plan, const Selection& sel, const VecJoinStep& step,
+                 size_t row, std::string* key) {
+  key->clear();
+  for (const auto& [lc, rc] : step.keys) {
+    (void)rc;
+    CellView c = ReadCombined(plan, sel, lc, row);
+    if (c.tag == kCellNull) {
+      return false;
+    }
+    CellJoinKeyAppend(c, key);
+    key->push_back('\x1f');
+  }
+  return true;
+}
+
+Selection ExecJoin(const VecPlan& plan, const VecJoinStep& step, Selection sel) {
+  const VecSource& right = plan.sources[step.right_src];
+  const uint32_t right_n = static_cast<uint32_t>(right.view.size());
+  const size_t num_left_srcs = sel.rows.size();
+
+  Selection out;
+  out.rows.resize(num_left_srcs + 1);
+  auto emit = [&](size_t left_row, uint32_t right_row) {
+    for (size_t s = 0; s < num_left_srcs; ++s) {
+      out.rows[s].push_back(sel.rows[s][left_row]);
+    }
+    out.rows[num_left_srcs].push_back(right_row);
+    ++out.count;
+  };
+
+  if (step.keys.empty()) {
+    // Cross-product semantics (CROSS, ON-less INNER, NATURAL with no shared
+    // columns); a LEFT join still pads when the right side is empty.
+    SEAL_OBS_COUNTER("seadb_joins_total{algo=\"vector_cross\"}").Increment();
+    for (size_t i = 0; i < sel.count; ++i) {
+      if (right_n == 0 && step.kind == JoinClause::Kind::kLeft) {
+        emit(i, kNoRow);
+        continue;
+      }
+      for (uint32_t r = 0; r < right_n; ++r) {
+        emit(i, r);
+      }
+    }
+    return out;
+  }
+
+  SEAL_OBS_COUNTER("seadb_joins_total{algo=\"vector_hash\"}").Increment();
+  // Build: bucket right rows by key bytes; chains keep insertion order so
+  // probe emission matches the interpreter's nested-loop pair order.
+  ByteKeyMap table;
+  table.Init(right_n);
+  std::vector<uint32_t> next(right_n, kNoRow);
+  std::string key;
+  for (uint32_t r = 0; r < right_n; ++r) {
+    key.clear();
+    bool null_key = false;
+    for (const auto& [lc, rc] : step.keys) {
+      (void)lc;
+      CellView c = ReadCell(right.view, rc, r);
+      if (c.tag == kCellNull) {
+        null_key = true;
+        break;
+      }
+      CellJoinKeyAppend(c, &key);
+      key.push_back('\x1f');
+    }
+    if (null_key) {
+      continue;
+    }
+    bool inserted = false;
+    ByteKeyMap::Entry* e = table.FindOrInsert(key, &inserted);
+    if (inserted) {
+      e->head = e->tail = r;
+    } else {
+      next[e->tail] = r;
+      e->tail = r;
+    }
+  }
+  // Probe left rows in order.
+  for (size_t i = 0; i < sel.count; ++i) {
+    bool matched = false;
+    if (LeftJoinKey(plan, sel, step, i, &key)) {
+      if (const ByteKeyMap::Entry* e = table.Find(key)) {
+        for (uint32_t r = e->head; r != kNoRow; r = next[r]) {
+          emit(i, r);
+          matched = true;
+        }
+      }
+    }
+    if (!matched && step.kind == JoinClause::Kind::kLeft) {
+      emit(i, kNoRow);
+    }
+  }
+  return out;
+}
+
+// --- WHERE filter ---------------------------------------------------------
+
+Selection ExecFilter(const VecPlan& plan, const Expr& where, Selection sel) {
+  Selection out;
+  out.rows.resize(sel.rows.size());
+  VecCol cond;
+  for (size_t start = 0; start < sel.count; start += kVecBatch) {
+    size_t n = std::min(kVecBatch, sel.count - start);
+    cond.Reset(n);
+    EvalBatch(where, plan, sel, start, n, &cond);
+    SEAL_OBS_COUNTER("db_vectorized_batches_total").Increment();
+    for (size_t i = 0; i < n; ++i) {
+      if (!CellTruthy(cond.At(i))) {
+        continue;
+      }
+      for (size_t s = 0; s < sel.rows.size(); ++s) {
+        out.rows[s].push_back(sel.rows[s][start + i]);
+      }
+      ++out.count;
+    }
+  }
+  return out;
+}
+
+// --- grouping + aggregation ----------------------------------------------
+
+// Owned copy of one cell: MIN/MAX accumulator state.
+struct OwnedCell {
+  bool has = false;
+  uint8_t tag = kCellNull;
+  int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  CellView AsView() const {
+    CellView c;
+    c.tag = tag;
+    c.i = i;
+    c.d = d;
+    if (tag == kCellText) {
+      c.s = s;
+    }
+    return c;
+  }
+  void Assign(const CellView& c) {
+    has = true;
+    tag = c.tag;
+    i = c.i;
+    d = c.d;
+    if (c.tag == kCellText) {
+      s.assign(c.s);
+    }
+  }
+};
+
+// Per-group accumulators for one aggregate node.
+struct AggState {
+  const Expr* node = nullptr;
+  std::vector<int64_t> count;               // COUNT non-null
+  std::vector<std::set<std::string>> distinct;  // COUNT(DISTINCT ...)
+  std::vector<OwnedCell> best;              // MIN/MAX
+  std::vector<uint8_t> any;                 // SUM/AVG saw a non-null
+  std::vector<uint8_t> all_int;
+  std::vector<int64_t> isum;
+  std::vector<double> rsum;
+};
+
+// Evaluates every aggregate over the filtered relation in one batched pass
+// per aggregate, accumulating into per-group state; returns per-aggregate,
+// per-group result Values with the interpreter's exact semantics.
+std::vector<std::vector<Value>> ExecAggregates(const VecPlan& plan, const Selection& sel,
+                                               const std::vector<uint32_t>& gids,
+                                               size_t num_groups) {
+  std::vector<std::vector<Value>> results(plan.aggs.size());
+  VecCol arg;
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    const Expr& node = *plan.aggs[a];
+    AggState st;
+    const bool is_count = node.name == "COUNT";
+    const bool is_minmax = node.name == "MIN" || node.name == "MAX";
+    const bool is_max = node.name == "MAX";
+    const bool is_sum_avg = node.name == "SUM" || node.name == "AVG";
+    st.count.assign(num_groups, 0);
+    if (is_count && node.distinct && !node.star) {
+      st.distinct.assign(num_groups, {});
+    }
+    if (is_minmax) {
+      st.best.assign(num_groups, {});
+    }
+    if (is_sum_avg) {
+      st.any.assign(num_groups, 0);
+      st.all_int.assign(num_groups, 1);
+      st.isum.assign(num_groups, 0);
+      st.rsum.assign(num_groups, 0);
+    }
+    for (size_t start = 0; start < sel.count; start += kVecBatch) {
+      size_t n = std::min(kVecBatch, sel.count - start);
+      arg.Reset(n);
+      if (node.star) {
+        for (size_t i = 0; i < n; ++i) {
+          arg.SetInt(i, 1);  // the interpreter samples literal 1 per row
+        }
+      } else {
+        EvalBatch(*node.args[0], plan, sel, start, n, &arg);
+      }
+      SEAL_OBS_COUNTER("db_vectorized_batches_total").Increment();
+      for (size_t i = 0; i < n; ++i) {
+        CellView c = arg.At(i);
+        if (c.tag == kCellNull) {
+          continue;
+        }
+        uint32_t g = gids[start + i];
+        ++st.count[g];
+        if (!st.distinct.empty()) {
+          std::string key;
+          CellSerializeAppend(c, &key);
+          st.distinct[g].insert(std::move(key));
+        }
+        if (is_minmax) {
+          OwnedCell& best = st.best[g];
+          if (!best.has || (is_max ? CellCompare(c, best.AsView()) > 0
+                                   : CellCompare(c, best.AsView()) < 0)) {
+            best.Assign(c);
+          }
+        }
+        if (is_sum_avg) {
+          st.any[g] = 1;
+          if (c.tag != kCellInt) {
+            st.all_int[g] = 0;
+          } else {
+            st.isum[g] += c.i;
+          }
+          st.rsum[g] += CellAsReal(c);
+        }
+      }
+    }
+    std::vector<Value>& out = results[a];
+    out.reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (is_count) {
+        if (!st.distinct.empty()) {
+          out.push_back(Value(static_cast<int64_t>(st.distinct[g].size())));
+        } else {
+          out.push_back(Value(st.count[g]));
+        }
+      } else if (is_minmax) {
+        out.push_back(st.best[g].has ? CellToValue(st.best[g].AsView()) : Value::Null());
+      } else if (node.name == "SUM") {
+        if (!st.any[g]) {
+          out.push_back(Value::Null());
+        } else {
+          out.push_back(st.all_int[g] ? Value(st.isum[g]) : Value(st.rsum[g]));
+        }
+      } else {  // AVG
+        if (!st.any[g]) {
+          out.push_back(Value::Null());
+        } else {
+          out.push_back(Value(st.rsum[g] / static_cast<double>(st.count[g])));
+        }
+      }
+    }
+  }
+  return results;
+}
+
+// Scalar expression evaluation for grouped projection/HAVING/ORDER BY: one
+// group representative row, aggregate nodes read from precomputed results.
+// Mirrors Executor::EvalInternal; analysis guarantees it cannot fail.
+Value EvalGroupScalar(const Expr& e, const VecPlan& plan, const Selection& sel,
+                      uint32_t rep_row, size_t gid,
+                      const std::vector<std::vector<Value>>& agg_vals) {
+  auto recurse = [&](const Expr& sub) {
+    return EvalGroupScalar(sub, plan, sel, rep_row, gid, agg_vals);
+  };
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumn: {
+      if (rep_row == kNoRow) {
+        return Value::Null();  // unreachable: col_outside_agg forces fallback
+      }
+      return CellToValue(ReadCombined(plan, sel, plan.col_map.at(&e), rep_row));
+    }
+    case ExprKind::kUnary: {
+      Value v = recurse(*e.args[0]);
+      if (v.is_null()) {
+        return Value::Null();
+      }
+      if (e.op == "NOT") {
+        return Value(static_cast<int64_t>(v.Truthy() ? 0 : 1));
+      }
+      return v.is_int() ? Value(-v.AsInt()) : Value(-v.AsReal());
+    }
+    case ExprKind::kBinary: {
+      if (e.op == "AND" || e.op == "OR") {
+        Value l = recurse(*e.args[0]);
+        bool lt = l.Truthy();
+        if (e.op == "AND" && !lt && !l.is_null()) {
+          return Value(static_cast<int64_t>(0));
+        }
+        if (e.op == "OR" && lt) {
+          return Value(static_cast<int64_t>(1));
+        }
+        bool rt = recurse(*e.args[1]).Truthy();
+        return Value(static_cast<int64_t>((e.op == "AND" ? lt && rt : lt || rt) ? 1 : 0));
+      }
+      if (e.op == "BETWEEN") {
+        Value v = recurse(*e.args[0]);
+        Value lo = recurse(*e.args[1]);
+        Value hi = recurse(*e.args[2]);
+        bool in = exec_internal::CompareOp(">=", v, lo).Truthy() &&
+                  exec_internal::CompareOp("<=", v, hi).Truthy();
+        if (e.negated) {
+          in = !in;
+        }
+        return Value(static_cast<int64_t>(in ? 1 : 0));
+      }
+      Value l = recurse(*e.args[0]);
+      Value r = recurse(*e.args[1]);
+      if (e.op == "LIKE") {
+        if (l.is_null() || r.is_null()) {
+          return Value::Null();
+        }
+        bool m = LikeMatch(l.AsText(), r.AsText());
+        if (e.negated) {
+          m = !m;
+        }
+        return Value(static_cast<int64_t>(m ? 1 : 0));
+      }
+      if (e.op == "=" || e.op == "!=" || e.op == "<" || e.op == "<=" || e.op == ">" ||
+          e.op == ">=") {
+        return exec_internal::CompareOp(e.op, l, r);
+      }
+      return exec_internal::Arith(e.op, l, r);
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateName(e.name)) {
+        return agg_vals[plan.agg_ids.at(&e)][gid];
+      }
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const ExprPtr& a : e.args) {
+        args.push_back(recurse(*a));
+      }
+      if (e.name == "LENGTH") {
+        if (args.size() != 1 || args[0].is_null()) {
+          return Value::Null();
+        }
+        return Value(static_cast<int64_t>(args[0].AsText().size()));
+      }
+      if (e.name == "ABS") {
+        if (args.size() != 1 || args[0].is_null()) {
+          return Value::Null();
+        }
+        if (args[0].is_int()) {
+          int64_t v = args[0].AsInt();
+          return Value(v < 0 ? -v : v);
+        }
+        double v = args[0].AsReal();
+        return Value(v < 0 ? -v : v);
+      }
+      if (e.name == "SUBSTR") {
+        if (args.size() < 2 || args[0].is_null()) {
+          return Value::Null();
+        }
+        std::string s = args[0].AsText();
+        int64_t begin = args[1].AsInt();
+        int64_t len =
+            args.size() > 2 ? args[2].AsInt() : static_cast<int64_t>(s.size());
+        if (begin < 1) {
+          begin = 1;
+        }
+        if (begin > static_cast<int64_t>(s.size())) {
+          return Value(std::string());
+        }
+        return Value(s.substr(static_cast<size_t>(begin - 1), static_cast<size_t>(len)));
+      }
+      // COALESCE
+      for (const Value& v : args) {
+        if (!v.is_null()) {
+          return v;
+        }
+      }
+      return Value::Null();
+    }
+    case ExprKind::kIsNull: {
+      bool is_null = recurse(*e.args[0]).is_null();
+      if (e.negated) {
+        is_null = !is_null;
+      }
+      return Value(static_cast<int64_t>(is_null ? 1 : 0));
+    }
+    case ExprKind::kInList: {
+      Value needle = recurse(*e.args[0]);
+      if (needle.is_null()) {
+        return Value::Null();
+      }
+      bool found = false;
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        Value v = recurse(*e.args[i]);
+        if (!v.is_null() && Value::Compare(v, needle) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (e.negated) {
+        found = !found;
+      }
+      return Value(static_cast<int64_t>(found ? 1 : 0));
+    }
+    default:
+      return Value::Null();  // unreachable: analysis rejects
+  }
+}
+
+// --- output assembly ------------------------------------------------------
+
+struct VecOutRow {
+  Row row;
+  Row keys;
+};
+
+// Fills each row's ORDER BY keys from its projected values (copy routes)
+// or from `evaluated` (eval routes, one VecCol batch column per eval key).
+void FillOrderKeys(const VecPlan& plan, const std::vector<VecCol>& evaluated,
+                   size_t lane, VecOutRow* out) {
+  size_t eval_i = 0;
+  for (const VecOrderKey& key : plan.order_keys) {
+    if (key.route == VecOrderKey::kCopyColumn) {
+      out->keys.push_back(out->row[key.out_col]);
+    } else {
+      out->keys.push_back(CellToValue(evaluated[eval_i++].At(lane)));
+    }
+  }
+}
+
+// Non-grouped projection: batch-evaluate every item and eval-route ORDER BY
+// key, then materialise Values per row.
+std::vector<VecOutRow> ProjectRows(const VecPlan& plan, const Selection& sel) {
+  std::vector<VecOutRow> outputs;
+  outputs.reserve(sel.count);
+  std::vector<VecCol> item_cols(plan.items.size());
+  size_t num_eval_keys = 0;
+  for (const VecOrderKey& k : plan.order_keys) {
+    if (k.route == VecOrderKey::kEval) {
+      ++num_eval_keys;
+    }
+  }
+  std::vector<VecCol> key_cols(num_eval_keys);
+  for (size_t start = 0; start < sel.count; start += kVecBatch) {
+    size_t n = std::min(kVecBatch, sel.count - start);
+    for (size_t c = 0; c < plan.items.size(); ++c) {
+      if (plan.items[c].expr != nullptr) {
+        item_cols[c].Reset(n);
+        EvalBatch(*plan.items[c].expr, plan, sel, start, n, &item_cols[c]);
+      }
+    }
+    size_t eval_i = 0;
+    for (const VecOrderKey& k : plan.order_keys) {
+      if (k.route == VecOrderKey::kEval) {
+        key_cols[eval_i].Reset(n);
+        EvalBatch(*k.expr, plan, sel, start, n, &key_cols[eval_i]);
+        ++eval_i;
+      }
+    }
+    SEAL_OBS_COUNTER("db_vectorized_batches_total").Increment();
+    for (size_t i = 0; i < n; ++i) {
+      VecOutRow out;
+      out.row.reserve(plan.items.size());
+      for (size_t c = 0; c < plan.items.size(); ++c) {
+        if (plan.items[c].expr == nullptr) {
+          out.row.push_back(CellToValue(ReadCombined(plan, sel, plan.items[c].star_col,
+                                                     start + i)));
+        } else {
+          out.row.push_back(CellToValue(item_cols[c].At(i)));
+        }
+      }
+      FillOrderKeys(plan, key_cols, i, &out);
+      outputs.push_back(std::move(out));
+    }
+  }
+  return outputs;
+}
+
+// Grouped projection: assign first-seen group ids batch-wise, aggregate,
+// then emit one row per HAVING-surviving group in first-seen order.
+std::vector<VecOutRow> ProjectGroups(const VecPlan& plan, const SelectStmt& stmt,
+                                     const Selection& sel) {
+  // 1. Group ids (first-seen order, interpreter-identical serialized keys).
+  std::vector<uint32_t> gids(sel.count, 0);
+  std::vector<uint32_t> reps;
+  size_t num_groups = 0;
+  if (stmt.group_by.empty()) {
+    num_groups = 1;
+    reps.push_back(sel.count > 0 ? 0 : kNoRow);
+  } else {
+    ByteKeyMap interner;
+    interner.Init(64);
+    std::vector<VecCol> key_cols(stmt.group_by.size());
+    std::string key;
+    for (size_t start = 0; start < sel.count; start += kVecBatch) {
+      size_t n = std::min(kVecBatch, sel.count - start);
+      for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+        key_cols[g].Reset(n);
+        EvalBatch(*stmt.group_by[g], plan, sel, start, n, &key_cols[g]);
+      }
+      SEAL_OBS_COUNTER("db_vectorized_batches_total").Increment();
+      for (size_t i = 0; i < n; ++i) {
+        key.clear();
+        for (const VecCol& kc : key_cols) {
+          CellSerializeAppend(kc.At(i), &key);
+          key.push_back('|');
+        }
+        bool inserted = false;
+        ByteKeyMap::Entry* e = interner.FindOrInsert(key, &inserted);
+        if (inserted) {
+          e->head = static_cast<uint32_t>(num_groups++);
+          reps.push_back(static_cast<uint32_t>(start + i));
+        }
+        gids[start + i] = e->head;
+      }
+    }
+    if (num_groups == 0) {
+      return {};  // GROUP BY over zero rows: no groups, no output
+    }
+  }
+
+  // 2. Aggregates.
+  std::vector<std::vector<Value>> agg_vals = ExecAggregates(plan, sel, gids, num_groups);
+
+  // 3. HAVING + projection per group, in first-seen order.
+  std::vector<VecOutRow> outputs;
+  outputs.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    uint32_t rep = reps[g];
+    if (stmt.having != nullptr &&
+        !EvalGroupScalar(*stmt.having, plan, sel, rep, g, agg_vals).Truthy()) {
+      continue;
+    }
+    VecOutRow out;
+    out.row.reserve(plan.items.size());
+    for (const VecPlan::OutItem& item : plan.items) {
+      if (item.expr == nullptr) {
+        out.row.push_back(rep == kNoRow
+                              ? Value::Null()  // unreachable (fallback guard)
+                              : CellToValue(ReadCombined(plan, sel, item.star_col, rep)));
+      } else {
+        out.row.push_back(EvalGroupScalar(*item.expr, plan, sel, rep, g, agg_vals));
+      }
+    }
+    for (const VecOrderKey& key : plan.order_keys) {
+      if (key.route == VecOrderKey::kCopyColumn) {
+        out.keys.push_back(out.row[key.out_col]);
+      } else {
+        out.keys.push_back(EvalGroupScalar(*key.expr, plan, sel, rep, g, agg_vals));
+      }
+    }
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+std::nullopt_t VecFallback(const char* reason) {
+  obs::Registry::Global()
+      .GetCounter(std::string("db_vector_fallback_total{reason=\"") + reason + "\"}")
+      .Increment();
+  return std::nullopt;
+}
+
+class KernelTimer {
+ public:
+  explicit KernelTimer(const char* op) : op_(op), start_(NowNanos()) {}
+  ~KernelTimer() {
+    obs::Registry::Global()
+        .GetHistogram(std::string("db_vector_kernel_nanos{op=\"") + op_ + "\"}")
+        .Observe(static_cast<uint64_t>(NowNanos() - start_));
+  }
+
+ private:
+  const char* op_;
+  int64_t start_;
+};
+
+}  // namespace
+
+std::optional<Result<QueryResult>> Executor::TryVectorized(const SelectStmt& stmt) {
+  VecPlan plan;
+  {
+    TimeBound bound;
+    if (stmt.from.has_value()) {
+      bound = ExtractWhereBound(stmt, {});
+    }
+    VecAnalyzer analyzer(db_, snap_);
+    if (!analyzer.Build(stmt, bound, &plan)) {
+      return VecFallback(analyzer.reason());
+    }
+  }
+
+  // Scan: the narrowed base selection feeds everything downstream.
+  Selection sel;
+  {
+    KernelTimer timer("scan");
+    sel.rows.resize(1);
+    sel.rows[0] = std::move(plan.base_rows);
+    sel.count = sel.rows[0].size();
+  }
+  if (!plan.joins.empty()) {
+    KernelTimer timer("join");
+    for (const VecJoinStep& step : plan.joins) {
+      sel = ExecJoin(plan, step, std::move(sel));
+    }
+  }
+  if (stmt.where != nullptr) {
+    KernelTimer timer("filter");
+    sel = ExecFilter(plan, *stmt.where, std::move(sel));
+  }
+
+  // The interpreter's empty-relation aggregate row reads columns from an
+  // empty representative; don't reproduce that — hand the statement back.
+  if (plan.grouped && stmt.group_by.empty() && sel.count == 0 && plan.col_outside_agg) {
+    return VecFallback("empty_agg_column_ref");
+  }
+
+  std::vector<VecOutRow> outputs;
+  if (plan.grouped) {
+    KernelTimer timer("aggregate");
+    outputs = ProjectGroups(plan, stmt, sel);
+  } else {
+    KernelTimer timer("project");
+    outputs = ProjectRows(plan, sel);
+  }
+
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<VecOutRow> unique;
+    for (VecOutRow& out : outputs) {
+      if (seen.insert(SerializeRow(out.row)).second) {
+        unique.push_back(std::move(out));
+      }
+    }
+    outputs = std::move(unique);
+  }
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(outputs.begin(), outputs.end(),
+                     [&](const VecOutRow& a, const VecOutRow& b) {
+                       for (size_t i = 0; i < plan.order_keys.size(); ++i) {
+                         int c = Value::Compare(a.keys[i], b.keys[i]);
+                         if (c != 0) {
+                           return plan.order_keys[i].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  QueryResult result;
+  result.columns = plan.out_names;
+  size_t offset = static_cast<size_t>(plan.offset);
+  size_t limit =
+      plan.has_limit && plan.limit >= 0 ? static_cast<size_t>(plan.limit) : outputs.size();
+  for (size_t i = offset; i < outputs.size() && result.rows.size() < limit; ++i) {
+    result.rows.push_back(std::move(outputs[i].row));
+  }
+  SEAL_OBS_COUNTER("db_vectorized_queries_total").Increment();
+  return result;
+}
+
+}  // namespace seal::db

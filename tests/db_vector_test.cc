@@ -1,0 +1,200 @@
+// Vectorized columnar engine (src/db/vector_exec.cc): engine selection,
+// fallback accounting, columnar-shadow consistency, and the incremental
+// time-index remap after trims.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/obs/obs.h"
+
+namespace seal::db {
+namespace {
+
+std::string Fingerprint(const QueryResult& r) {
+  std::string out;
+  for (const auto& c : r.columns) {
+    out += c;
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : r.rows) {
+    for (const auto& v : row) {
+      out += v.Serialize();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// Executes `sql` with the vectorized engine on and off and asserts the
+// results are byte-identical.
+void ExpectEnginesAgree(Database& db, const std::string& sql) {
+  Tuning vec = db.tuning();
+  vec.use_vectorized = true;
+  Tuning interp = vec;
+  interp.use_vectorized = false;
+  db.set_tuning(vec);
+  auto a = db.Execute(sql);
+  db.set_tuning(interp);
+  auto b = db.Execute(sql);
+  db.set_tuning(vec);
+  ASSERT_EQ(a.ok(), b.ok()) << sql;
+  if (a.ok()) {
+    EXPECT_EQ(Fingerprint(*a), Fingerprint(*b)) << sql;
+  }
+}
+
+Database MakeFixture() {
+  Database db;
+  EXPECT_TRUE(db.Execute("CREATE TABLE t(time, a, b, s)").ok());
+  const char* strs[] = {"lo", "long-dictionary-string", "hi", "NULL"};
+  for (int i = 0; i < 40; ++i) {
+    std::string s = strs[i % 4];
+    if (s != "NULL") {
+      s = "'" + s + std::to_string(i % 3) + "'";
+    }
+    std::string b = (i % 7 == 0) ? "NULL" : ((i % 5 == 0) ? "0.5" : std::to_string(i % 13 - 6));
+    EXPECT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i + 1) + ", " +
+                           std::to_string(i % 5) + ", " + b + ", " + s + ")")
+                    .ok());
+  }
+  return db;
+}
+
+TEST(VectorizedEngine, SupportedSelectRunsVectorized) {
+  obs::Registry::Global().Reset();
+  Database db = MakeFixture();
+  auto r = db.Execute("SELECT a, COUNT(*), SUM(b) FROM t WHERE b > -4 GROUP BY a");
+  ASSERT_TRUE(r.ok());
+  auto metrics = obs::Registry::Global().TakeSnapshot();
+  EXPECT_GT(metrics.counter("db_vectorized_queries_total"), 0u);
+  EXPECT_GT(metrics.counter("db_vectorized_batches_total"), 0u);
+  EXPECT_NE(metrics.histogram("db_vector_kernel_nanos{op=\"scan\"}"), nullptr);
+  EXPECT_NE(metrics.histogram("db_vector_kernel_nanos{op=\"aggregate\"}"), nullptr);
+}
+
+TEST(VectorizedEngine, TuningOffRunsInterpreter) {
+  obs::Registry::Global().Reset();
+  Database db = MakeFixture();
+  Tuning t = db.tuning();
+  t.use_vectorized = false;
+  db.set_tuning(t);
+  ASSERT_TRUE(db.Execute("SELECT a FROM t WHERE b > 0").ok());
+  auto metrics = obs::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(metrics.counter("db_vectorized_queries_total"), 0u);
+}
+
+TEST(VectorizedEngine, UnsupportedShapeFallsBack) {
+  obs::Registry::Global().Reset();
+  Database db = MakeFixture();
+  // Non-equi join condition: the analyzer rejects it and the interpreter
+  // produces the result.
+  auto r = db.Execute("SELECT x.a, y.a FROM t x JOIN t y ON x.a < y.a LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  auto metrics = obs::Registry::Global().TakeSnapshot();
+  EXPECT_GT(metrics.CounterFamilyTotal("db_vector_fallback_total"), 0u);
+  EXPECT_EQ(metrics.counter("db_vectorized_queries_total"), 0u);
+}
+
+TEST(VectorizedEngine, JoinKernelsAndResultsMatchInterpreter) {
+  Database db = MakeFixture();
+  ASSERT_TRUE(db.Execute("CREATE TABLE u(time, a, c)").ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO u VALUES (" + std::to_string(i + 1) + ", " +
+                           std::to_string(i % 4) + ", " + std::to_string(i - 6) + ")")
+                    .ok());
+  }
+  ExpectEnginesAgree(db, "SELECT t.a, t.b, u.c FROM t JOIN u ON t.a = u.a WHERE u.c <> 0");
+  ExpectEnginesAgree(db, "SELECT t.a, u.c FROM t LEFT JOIN u ON t.b = u.c");
+  ExpectEnginesAgree(db, "SELECT * FROM t NATURAL JOIN u ORDER BY 1, 2 LIMIT 10");
+  obs::Registry::Global().Reset();
+  Tuning vec = db.tuning();
+  vec.use_vectorized = true;
+  db.set_tuning(vec);
+  ASSERT_TRUE(db.Execute("SELECT t.a, u.c FROM t JOIN u ON t.a = u.a").ok());
+  auto metrics = obs::Registry::Global().TakeSnapshot();
+  EXPECT_GT(metrics.counter("seadb_joins_total{algo=\"vector_hash\"}"), 0u);
+}
+
+TEST(VectorizedEngine, SnapshotExecutionAgrees) {
+  Database db = MakeFixture();
+  Snapshot snap = db.CaptureSnapshot();
+  // Mutate after capture; the snapshot views must pin the old prefix for
+  // both engines identically.
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (99, 9, 9, 'post')").ok());
+  for (const char* sql : {"SELECT a, b, s FROM t WHERE b >= 0",
+                          "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a",
+                          "SELECT s FROM t WHERE s LIKE 'lo%' ORDER BY 1 LIMIT 5"}) {
+    Tuning vec = db.tuning();
+    vec.use_vectorized = true;
+    db.set_tuning(vec);
+    auto a = db.ExecuteSnapshot(sql, snap);
+    vec.use_vectorized = false;
+    db.set_tuning(vec);
+    auto b = db.ExecuteSnapshot(sql, snap);
+    ASSERT_TRUE(a.ok() && b.ok()) << sql;
+    EXPECT_EQ(Fingerprint(*a), Fingerprint(*b)) << sql;
+  }
+}
+
+// --- incremental time-index maintenance after trims (PR satellite) ---
+
+// The index after a DELETE-with-WHERE must equal the index of a database
+// built from scratch with only the surviving rows.
+TEST(TimeIndexAfterTrim, RemappedIndexEqualsRebuiltIndex) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE updates(time, repo)").ok());
+  for (int i = 1; i <= 30; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO updates VALUES (" + std::to_string(i) + ", 'r" +
+                           std::to_string(i % 3) + "')")
+                    .ok());
+  }
+  // Trim a non-prefix subset (WHERE on a non-time column) so surviving
+  // rows compact to new positions.
+  ASSERT_TRUE(db.Execute("DELETE FROM updates WHERE repo = 'r1'").ok());
+
+  Database fresh;
+  ASSERT_TRUE(fresh.Execute("CREATE TABLE updates(time, repo)").ok());
+  for (int i = 1; i <= 30; ++i) {
+    if (i % 3 == 1) {
+      continue;
+    }
+    ASSERT_TRUE(fresh.Execute("INSERT INTO updates VALUES (" + std::to_string(i) + ", 'r" +
+                              std::to_string(i % 3) + "')")
+                    .ok());
+  }
+  const auto* remapped = db.TimeIndexForTesting("updates");
+  const auto* rebuilt = fresh.TimeIndexForTesting("updates");
+  ASSERT_NE(remapped, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(*remapped, *rebuilt);
+
+  // And index-narrowed queries agree across engines post-trim.
+  ExpectEnginesAgree(db, "SELECT time, repo FROM updates WHERE time > 10");
+  ExpectEnginesAgree(db, "SELECT COUNT(*) FROM updates WHERE time > 10 AND time <= 25");
+}
+
+TEST(TimeIndexAfterTrim, PrefixTrimKeepsIndexValid) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE updates(time, v)").ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO updates VALUES (" + std::to_string(i) + ", " + std::to_string(i) + ")")
+            .ok());
+  }
+  ASSERT_TRUE(db.Execute("DELETE FROM updates WHERE time <= 12").ok());
+  const auto* index = db.TimeIndexForTesting("updates");
+  ASSERT_NE(index, nullptr);
+  ASSERT_EQ(index->size(), 8u);
+  for (size_t i = 0; i < index->size(); ++i) {
+    EXPECT_EQ((*index)[i].first, static_cast<int64_t>(13 + i));
+    EXPECT_EQ((*index)[i].second, i);
+  }
+  ExpectEnginesAgree(db, "SELECT v FROM updates WHERE time > 15 ORDER BY time");
+}
+
+}  // namespace
+}  // namespace seal::db
